@@ -1,0 +1,114 @@
+// Ablation (paper §V): FlowMemory lets the switch run with LOW idle
+// timeouts while the controller answers re-appearing flows from memory.
+// Sweep the switch idle timeout with and without a (longer-lived)
+// FlowMemory and report controller load (packet-ins) and memory hit rate.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.hpp"
+#include "workload/runner.hpp"
+
+namespace {
+
+struct SweepResult {
+    std::uint64_t packet_ins = 0;
+    std::uint64_t memory_hits = 0;
+    std::uint64_t deployments = 0;
+    double warm_median_ms = 0;
+};
+
+SweepResult run_sweep(tedge::sim::SimTime switch_timeout,
+                      tedge::sim::SimTime memory_timeout, std::uint64_t seed) {
+    using namespace tedge;
+    testbed::C3Options c3;
+    c3.seed = seed;
+    c3.with_k8s = false;
+    c3.controller.dispatcher.switch_idle_timeout = switch_timeout;
+    c3.controller.flow_memory.idle_timeout = memory_timeout;
+    c3.controller.flow_memory.scan_period = sim::seconds(5);
+    c3.controller.scale_down_idle = false;
+    auto testbed = build_c3(c3);
+    auto& platform = testbed->platform;
+
+    const auto& service = testbed::service_by_key("nginx");
+    std::vector<net::ServiceAddress> addresses;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        net::ServiceAddress address{
+            net::Ipv4{static_cast<std::uint32_t>(net::Ipv4{203, 0, 121, 10}.value() + i)},
+            service.address.port};
+        platform.register_service(address, service.yaml);
+        addresses.push_back(address);
+    }
+
+    workload::BigFlowsOptions trace_options;
+    trace_options.services = 8;
+    trace_options.requests = 600;
+    trace_options.horizon = sim::seconds(300);
+    trace_options.clients = static_cast<std::uint32_t>(testbed->clients.size());
+    trace_options.min_requests = 20;
+    trace_options.seed = seed;
+    const auto trace = workload::synthesize_bigflows(trace_options);
+
+    workload::TraceRunner runner(platform, testbed->clients);
+    workload::TraceReplayOptions replay;
+    replay.addresses = addresses;
+    replay.request_sizes = {service.request_size};
+    auto& metrics = runner.replay(trace, replay);
+
+    SweepResult result;
+    result.packet_ins = platform.controller().dispatcher().stats().packet_ins;
+    result.memory_hits = platform.controller().flow_memory().hits();
+    result.deployments = platform.deployment_engine().records().size();
+    sim::SampleSet warm;
+    for (const auto& record : metrics.records()) {
+        if (record.ok && record.time_total.ms() < 50.0) warm.add_time(record.time_total);
+    }
+    if (!warm.empty()) result.warm_median_ms = warm.median();
+    return result;
+}
+
+void print_sweep() {
+    using namespace tedge;
+    using workload::TextTable;
+    bench::print_header(
+        "Ablation -- FlowMemory vs switch idle timeouts (paper §V)",
+        "memorizing flows lets the switch keep LOW idle timeouts: "
+        "re-appearing flows are answered from FlowMemory without a fresh "
+        "scheduling pass, keeping controller work flat");
+
+    TextTable table({"switch timeout", "memory timeout", "packet-ins",
+                     "memory hits", "deployments", "warm median [ms]"});
+    struct Case {
+        int switch_s;
+        int memory_s;
+    };
+    for (const Case c : {Case{5, 60}, Case{10, 60}, Case{60, 60}, Case{5, 5},
+                         Case{10, 600}, Case{600, 600}}) {
+        const auto r = run_sweep(sim::seconds(c.switch_s), sim::seconds(c.memory_s), 3);
+        table.add_row({std::to_string(c.switch_s) + " s",
+                       std::to_string(c.memory_s) + " s",
+                       std::to_string(r.packet_ins), std::to_string(r.memory_hits),
+                       std::to_string(r.deployments),
+                       TextTable::num(r.warm_median_ms, 2)});
+    }
+    std::cout << table.str();
+}
+
+void BM_FlowMemorySweep(benchmark::State& state) {
+    std::uint64_t seed = 20;
+    for (auto _ : state) {
+        auto r = run_sweep(tedge::sim::seconds(10), tedge::sim::seconds(60), seed++);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_FlowMemorySweep)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_sweep();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

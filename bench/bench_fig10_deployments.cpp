@@ -1,0 +1,61 @@
+// Fig. 10: distribution of the 42 edge service deployments over the five
+// minutes -- with a burst of deployments in the first seconds as the trace's
+// popular services are touched for the first time.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.hpp"
+#include "simcore/histogram.hpp"
+
+namespace {
+
+void print_fig10() {
+    using namespace tedge;
+    bench::print_header(
+        "Fig. 10 -- deployment distribution over the trace",
+        "42 deployments in five minutes, up to eight per second at the start");
+
+    bench::DeploymentExperimentOptions options;
+    options.cluster_kind = "docker";
+    options.service_key = "nginx";
+    options.pre_create = false; // deployments run Create + Scale Up
+    const auto result = bench::run_deployment_experiment(options);
+
+    std::cout << "deployments: " << result.deployment_start_times.size() << "\n";
+
+    sim::TimeSeriesBins per_second(sim::seconds(300), sim::seconds(1));
+    for (const auto t : result.deployment_start_times) per_second.add(t);
+    std::cout << "max deployments in one second: " << per_second.max_bin()
+              << " (paper: up to 8)\n\n";
+
+    sim::TimeSeriesBins per_10s(sim::seconds(300), sim::seconds(10));
+    for (const auto t : result.deployment_start_times) per_10s.add(t);
+    std::cout << "deployments per 10 s bucket:\n" << per_10s.ascii(40);
+}
+
+void BM_DeploymentExperimentDocker(benchmark::State& state) {
+    std::uint64_t seed = 100;
+    for (auto _ : state) {
+        tedge::bench::DeploymentExperimentOptions options;
+        options.cluster_kind = "docker";
+        options.service_key = "asm";
+        options.pre_create = false;
+        options.num_services = 8;
+        options.num_requests = 200;
+        options.horizon = tedge::sim::seconds(60);
+        options.seed = seed++;
+        auto result = tedge::bench::run_deployment_experiment(options);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_DeploymentExperimentDocker)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_fig10();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

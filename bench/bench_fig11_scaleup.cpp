@@ -1,0 +1,70 @@
+// Fig. 11: total time (median) for the first client request when services
+// only need to be *scaled up* (image cached, containers/Deployment created):
+// Docker well under one second, Kubernetes around three seconds, ResNet
+// significantly longer on both.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+void print_fig11() {
+    using namespace tedge;
+    using workload::TextTable;
+    bench::print_header(
+        "Fig. 11 -- total time (median) to SCALE UP, 42 instances per run",
+        "Docker < 1 s for web services; Kubernetes ~ 3 s; ResNet much longer; "
+        "Asm vs Nginx: no notable difference");
+
+    TextTable table({"Service", "Cluster", "median [s]", "p25 [s]", "p75 [s]",
+                     "n", "paper"});
+    const std::vector<std::pair<std::string, std::string>> paper_notes = {
+        {"docker", "< 1 s"}, {"k8s", "~ 3 s"}};
+    for (const auto& service_key : {"asm", "nginx", "resnet", "nginx_py"}) {
+        for (const auto& [cluster, note] : paper_notes) {
+            tedge::bench::DeploymentExperimentOptions options;
+            options.cluster_kind = cluster;
+            options.service_key = service_key;
+            options.pre_create = true; // Scale Up only
+            const auto result = tedge::bench::run_deployment_experiment(options);
+            const auto& samples = result.first_request_ms;
+            table.add_row({tedge::testbed::service_by_key(service_key).display_name,
+                           cluster,
+                           TextTable::num(samples.median() / 1e3, 2),
+                           TextTable::num(samples.p25() / 1e3, 2),
+                           TextTable::num(samples.p75() / 1e3, 2),
+                           std::to_string(samples.count()),
+                           std::string(note) +
+                               (std::string(service_key) == "resnet" ? " (+model load)"
+                                                                     : "")});
+        }
+    }
+    std::cout << table.str();
+}
+
+void BM_ScaleUpDockerNginx(benchmark::State& state) {
+    std::uint64_t seed = 50;
+    for (auto _ : state) {
+        tedge::bench::DeploymentExperimentOptions options;
+        options.cluster_kind = "docker";
+        options.service_key = "nginx";
+        options.num_services = 6;
+        options.num_requests = 150;
+        options.horizon = tedge::sim::seconds(60);
+        options.seed = seed++;
+        auto result = tedge::bench::run_deployment_experiment(options);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_ScaleUpDockerNginx)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_fig11();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

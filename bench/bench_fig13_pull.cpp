@@ -1,0 +1,72 @@
+// Fig. 13: total time to pull the service images onto the EGS from Docker
+// Hub / Google Container Registry, vs from a private registry located in
+// the same network (paper: improves pull times by about 1.5 to 2 seconds).
+// Layer sharing: pulling Nginx+Py when Nginx is cached only fetches the
+// Python layer.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+void print_fig13() {
+    using namespace tedge;
+    using workload::TextTable;
+    bench::print_header(
+        "Fig. 13 -- image pull times: public registries vs private registry",
+        "private in-network registry improves pull times by ~1.5-2 s; pull "
+        "time depends on total size AND layer count; shared base layers may "
+        "already be cached");
+
+    TextTable table({"Service", "Registry", "pull [s]", "downloaded", "layers",
+                     "paper"});
+    for (const auto& service_key : {"asm", "nginx", "resnet", "nginx_py"}) {
+        const auto& service = tedge::testbed::service_by_key(service_key);
+        const std::string home =
+            service.images.front().ref.registry == "gcr.io" ? "gcr.io" : "docker.io";
+
+        const auto pub = tedge::bench::measure_pull(service_key, false);
+        const auto priv = tedge::bench::measure_pull(service_key, true);
+        const double delta_s = (pub.pull_ms - priv.pull_ms) / 1e3;
+
+        auto mib = [](sim::Bytes b) {
+            return TextTable::num(static_cast<double>(b) / 1024.0 / 1024.0, 1) + " MiB";
+        };
+        table.add_row({service.display_name, home, TextTable::num(pub.pull_ms / 1e3, 2),
+                       mib(pub.bytes), std::to_string(pub.layers_downloaded), ""});
+        table.add_row({"", "registry.local", TextTable::num(priv.pull_ms / 1e3, 2),
+                       mib(priv.bytes), std::to_string(priv.layers_downloaded),
+                       "private ~1.5-2 s faster (delta " +
+                           TextTable::num(delta_s, 1) + " s)"});
+    }
+
+    // Layer sharing: Nginx+Py with the Nginx layers already on disk.
+    const auto shared = tedge::bench::measure_pull("nginx_py", false, "nginx");
+    table.add_row({"Nginx+Py (nginx cached)", "docker.io",
+                   TextTable::num(shared.pull_ms / 1e3, 2),
+                   TextTable::num(static_cast<double>(shared.bytes) / 1024.0 / 1024.0, 1) +
+                       " MiB",
+                   std::to_string(shared.layers_downloaded),
+                   "only the Python layer is fetched"});
+    std::cout << table.str();
+}
+
+void BM_PullAsmPrivate(benchmark::State& state) {
+    std::uint64_t seed = 10;
+    for (auto _ : state) {
+        auto m = tedge::bench::measure_pull("asm", true, "", seed++);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_PullAsmPrivate)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_fig13();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 14: wait time (median) until the services are ready after being
+// scaled up -- the controller continuously probes the service port before
+// installing the flows. For ResNet the waiting time alone accounts for more
+// than a fourth of the total time.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+void print_fig14() {
+    using namespace tedge;
+    using workload::TextTable;
+    bench::print_header(
+        "Fig. 14 -- wait-until-ready (port probing) after SCALE UP",
+        "small for web services; for ResNet the wait alone is > 1/4 of the "
+        "total time (model load)");
+
+    TextTable table({"Service", "Cluster", "wait median [ms]", "total median [ms]",
+                     "wait/total", "paper"});
+    for (const auto& service_key : {"asm", "nginx", "resnet", "nginx_py"}) {
+        for (const auto& cluster : {"docker", "k8s"}) {
+            tedge::bench::DeploymentExperimentOptions options;
+            options.cluster_kind = cluster;
+            options.service_key = service_key;
+            options.pre_create = true;
+            const auto result = tedge::bench::run_deployment_experiment(options);
+            const double wait = result.wait_ready_ms.median();
+            const double total = result.deploy_total_ms.median();
+            table.add_row(
+                {tedge::testbed::service_by_key(service_key).display_name, cluster,
+                 TextTable::num(wait, 0), TextTable::num(total, 0),
+                 TextTable::num(wait / total * 100.0, 0) + "%",
+                 std::string(service_key) == "resnet" ? "> 25% of total" : "small"});
+        }
+    }
+    std::cout << table.str();
+}
+
+void BM_PortProbeRoundTrip(benchmark::State& state) {
+    // Cost of one scheduling decision + probe round on a warm testbed.
+    std::uint64_t seed = 30;
+    for (auto _ : state) {
+        auto samples = tedge::bench::measure_warm_requests("docker", "asm", 5, seed++);
+        benchmark::DoNotOptimize(samples);
+    }
+}
+BENCHMARK(BM_PortProbeRoundTrip)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_fig14();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

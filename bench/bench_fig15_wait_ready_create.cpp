@@ -1,0 +1,62 @@
+// Fig. 15: wait time (median) until the services are ready after being
+// created + scaled up (the Create phase shifts work earlier; the port-probe
+// wait itself stays in the same range as fig. 14).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+void print_fig15() {
+    using namespace tedge;
+    using workload::TextTable;
+    bench::print_header(
+        "Fig. 15 -- wait-until-ready (port probing) after CREATE + SCALE UP",
+        "same shape as fig. 14; ResNet dominated by model load");
+
+    TextTable table({"Service", "Cluster", "wait median [ms]", "total median [ms]",
+                     "wait/total"});
+    for (const auto& service_key : {"asm", "nginx", "resnet", "nginx_py"}) {
+        for (const auto& cluster : {"docker", "k8s"}) {
+            tedge::bench::DeploymentExperimentOptions options;
+            options.cluster_kind = cluster;
+            options.service_key = service_key;
+            options.pre_create = false; // Create + Scale Up
+            const auto result = tedge::bench::run_deployment_experiment(options);
+            const double wait = result.wait_ready_ms.median();
+            const double total = result.deploy_total_ms.median();
+            table.add_row({tedge::testbed::service_by_key(service_key).display_name,
+                           cluster, TextTable::num(wait, 0), TextTable::num(total, 0),
+                           TextTable::num(wait / total * 100.0, 0) + "%"});
+        }
+    }
+    std::cout << table.str();
+}
+
+void BM_EnsureDeployedAsmDocker(benchmark::State& state) {
+    std::uint64_t seed = 90;
+    for (auto _ : state) {
+        tedge::bench::DeploymentExperimentOptions options;
+        options.cluster_kind = "docker";
+        options.service_key = "asm";
+        options.pre_create = false;
+        options.num_services = 4;
+        options.num_requests = 100;
+        options.horizon = tedge::sim::seconds(60);
+        options.seed = seed++;
+        auto result = tedge::bench::run_deployment_experiment(options);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_EnsureDeployedAsmDocker)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_fig15();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

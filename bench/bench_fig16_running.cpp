@@ -1,0 +1,53 @@
+// Fig. 16: total time (median) for client requests when the instance is
+// already running -- about a millisecond for the web services on either
+// cluster, significantly longer for ResNet (inference + 83 KiB upload).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+void print_fig16() {
+    using namespace tedge;
+    using workload::TextTable;
+    bench::print_header(
+        "Fig. 16 -- request time with the instance already running",
+        "~1 ms for short responses; ResNet significantly longer; no notable "
+        "difference between Docker and Kubernetes");
+
+    TextTable table({"Service", "Cluster", "median [ms]", "p25 [ms]", "p75 [ms]",
+                     "paper"});
+    for (const auto& service_key : {"asm", "nginx", "resnet", "nginx_py"}) {
+        for (const auto& cluster : {"docker", "k8s"}) {
+            const auto samples = tedge::bench::measure_warm_requests(cluster,
+                                                                     service_key);
+            table.add_row({tedge::testbed::service_by_key(service_key).display_name,
+                           cluster, TextTable::num(samples.median(), 2),
+                           TextTable::num(samples.p25(), 2),
+                           TextTable::num(samples.p75(), 2),
+                           std::string(service_key) == "resnet" ? "much longer"
+                                                                : "~ 1 ms"});
+        }
+    }
+    std::cout << table.str();
+}
+
+void BM_WarmRequestDockerAsm(benchmark::State& state) {
+    std::uint64_t seed = 40;
+    for (auto _ : state) {
+        auto samples = tedge::bench::measure_warm_requests("docker", "asm", 10, seed++);
+        benchmark::DoNotOptimize(samples);
+    }
+}
+BENCHMARK(BM_WarmRequestDockerAsm)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_fig16();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks for the framework's hot paths: event queue, flow-table
+// lookup at realistic table sizes, scheduler decisions, YAML parsing, and
+// statistics. These are real-time benchmarks of the simulator itself (not
+// simulated time) -- they bound how fast experiments run.
+#include <benchmark/benchmark.h>
+
+#include "net/flow_table.hpp"
+#include "sdn/schedulers/proximity.hpp"
+#include "simcore/event_queue.hpp"
+#include "simcore/random.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/stats.hpp"
+#include "yamlite/emitter.hpp"
+#include "yamlite/parser.hpp"
+
+namespace {
+
+using namespace tedge;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+    sim::EventQueue queue;
+    sim::Rng rng(1);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i) {
+            queue.push(sim::from_seconds(rng.uniform(0, 1)), [] {});
+        }
+        while (!queue.empty()) queue.pop();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SimulationNestedEvents(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::Simulation simulation;
+        int depth = 0;
+        std::function<void()> chain = [&] {
+            if (++depth < 1000) simulation.schedule(sim::microseconds(1), chain);
+        };
+        simulation.schedule(sim::microseconds(1), chain);
+        simulation.run();
+        benchmark::DoNotOptimize(depth);
+    }
+}
+BENCHMARK(BM_SimulationNestedEvents);
+
+void BM_FlowTableLookup(benchmark::State& state) {
+    net::FlowTable table;
+    sim::Rng rng(2);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < n; ++i) {
+        net::FlowEntry entry;
+        entry.match.src_ip = net::Ipv4{static_cast<std::uint32_t>(rng())};
+        entry.match.dst_ip = net::Ipv4{10, 0, 0, static_cast<std::uint8_t>(i % 250)};
+        entry.match.dst_port = 80;
+        entry.cookie = i;
+        table.install(entry, sim::SimTime::zero());
+    }
+    net::Packet packet;
+    packet.dst_ip = net::Ipv4{10, 0, 0, 7};
+    packet.dst_port = 80;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.lookup(packet, sim::SimTime::zero()));
+    }
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_YamlParseDeployment(benchmark::State& state) {
+    const std::string yaml = R"(
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: edge-svc
+spec:
+  replicas: 0
+  selector:
+    matchLabels:
+      app: edge-svc
+  template:
+    metadata:
+      labels:
+        app: edge-svc
+    spec:
+      containers:
+        - name: nginx
+          image: nginx:1.23.2
+          ports:
+            - containerPort: 80
+)";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(yamlite::parse(yaml));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(yaml.size()));
+}
+BENCHMARK(BM_YamlParseDeployment);
+
+void BM_YamlEmitRoundTrip(benchmark::State& state) {
+    const auto doc = yamlite::parse("a:\n  b:\n    - x\n    - y\nc: 1\n");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(yamlite::parse(yamlite::emit(doc)));
+    }
+}
+BENCHMARK(BM_YamlEmitRoundTrip);
+
+void BM_SampleSetQuantile(benchmark::State& state) {
+    sim::Rng rng(3);
+    sim::SampleSet set;
+    for (int i = 0; i < 10000; ++i) set.add(rng.uniform(0, 1000));
+    for (auto _ : state) {
+        // Re-add one sample to force the re-sort each iteration.
+        set.add(rng.uniform(0, 1000));
+        benchmark::DoNotOptimize(set.quantile(0.95));
+    }
+}
+BENCHMARK(BM_SampleSetQuantile);
+
+void BM_RngLognormal(benchmark::State& state) {
+    sim::Rng rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.lognormal_median(1.0, 0.2));
+    }
+}
+BENCHMARK(BM_RngLognormal);
+
+} // namespace
+
+BENCHMARK_MAIN();

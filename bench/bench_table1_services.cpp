@@ -1,0 +1,68 @@
+// Table I: the four edge services (image sizes, layers, containers, HTTP).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.hpp"
+#include "workload/metrics.hpp"
+
+namespace {
+
+void print_table1() {
+    using tedge::workload::TextTable;
+    tedge::bench::print_header(
+        "Table I -- edge services used in this work",
+        "Asm 6.18 KiB/1 layer; Nginx 135 MiB/6; ResNet 308 MiB/9; "
+        "Nginx+Py 181 MiB/7; 1/1/1/2 containers; GET/GET/POST/GET");
+
+    TextTable table({"Service", "Image(s)", "Size", "Layers", "Containers", "HTTP"});
+    for (const auto& service : tedge::testbed::table1_services()) {
+        std::string images;
+        tedge::sim::Bytes size = 0;
+        std::size_t layers = 0;
+        for (const auto& image : service.images) {
+            if (!images.empty()) images += " + ";
+            images += image.ref.str();
+            size += image.total_size();
+            layers += image.layer_count();
+        }
+        std::string size_text;
+        if (size < tedge::sim::kib(1024)) {
+            size_text = TextTable::num(static_cast<double>(size) / 1024.0, 2) + " KiB";
+        } else {
+            size_text =
+                TextTable::num(static_cast<double>(size) / 1024.0 / 1024.0, 0) + " MiB";
+        }
+        table.add_row({service.display_name, images, size_text,
+                       std::to_string(layers),
+                       std::to_string(service.images.size() == 2 ? 2 : 1),
+                       service.http_method});
+    }
+    std::cout << table.str();
+}
+
+void BM_ImageRefParse(benchmark::State& state) {
+    for (auto _ : state) {
+        auto ref = tedge::container::ImageRef::parse(
+            "gcr.io/tensorflow-serving/resnet:latest");
+        benchmark::DoNotOptimize(ref);
+    }
+}
+BENCHMARK(BM_ImageRefParse);
+
+void BM_MakeLayers(benchmark::State& state) {
+    for (auto _ : state) {
+        auto layers = tedge::container::make_layers("nginx", tedge::sim::mib(135), 6);
+        benchmark::DoNotOptimize(layers);
+    }
+}
+BENCHMARK(BM_MakeLayers);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_table1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

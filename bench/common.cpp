@@ -1,0 +1,217 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "workload/runner.hpp"
+
+namespace tedge::bench {
+namespace {
+
+testbed::C3Options base_options(const DeploymentExperimentOptions& options) {
+    testbed::C3Options c3;
+    c3.seed = options.seed;
+    c3.with_docker = options.cluster_kind == "docker";
+    c3.with_k8s = options.cluster_kind == "k8s";
+    c3.controller.scheduler = sdn::kProximityScheduler;
+    // Keep instances warm for the whole trace (the paper's runs do not
+    // scale services down mid-experiment).
+    c3.controller.flow_memory.idle_timeout = sim::seconds(900);
+    c3.controller.flow_memory.scan_period = sim::seconds(60);
+    c3.controller.scale_down_idle = false;
+    c3.controller.dispatcher.switch_idle_timeout = sim::seconds(900);
+    return c3;
+}
+
+} // namespace
+
+DeploymentExperimentResult
+run_deployment_experiment(const DeploymentExperimentOptions& options) {
+    DeploymentExperimentResult result;
+
+    auto testbed = build_c3(base_options(options));
+    auto& platform = testbed->platform;
+    auto* cluster = platform.clusters().front();
+
+    const auto& service = testbed::service_by_key(options.service_key);
+
+    // Register `num_services` copies of the service type under distinct
+    // addresses (the 42 public destinations of the bigFlows trace).
+    std::vector<net::ServiceAddress> addresses;
+    std::vector<const orchestrator::ServiceSpec*> specs;
+    for (std::uint32_t i = 0; i < options.num_services; ++i) {
+        net::ServiceAddress address{net::Ipv4{203, 0, 120, 0}, service.address.port};
+        address.ip = net::Ipv4{static_cast<std::uint32_t>(
+            net::Ipv4{203, 0, 120, 10}.value() + i)};
+        const auto& annotated = platform.register_service(address, service.yaml);
+        addresses.push_back(address);
+        specs.push_back(&annotated.spec);
+    }
+
+    // Pull phase up front (cached images), per figs. 11/12.
+    if (options.pre_pull) {
+        std::size_t remaining = specs.size();
+        for (const auto* spec : specs) {
+            cluster->ensure_image(*spec, [&remaining](bool ok,
+                                                      const container::PullTiming&) {
+                if (!ok) throw std::runtime_error("pre-pull failed");
+                --remaining;
+            });
+        }
+        while (remaining > 0) {
+            platform.simulation().run_until(platform.simulation().now() +
+                                            sim::seconds(1));
+        }
+    }
+
+    // Create phase up front when measuring Scale Up only (fig. 11).
+    if (options.pre_create) {
+        std::size_t remaining = specs.size();
+        for (const auto* spec : specs) {
+            cluster->create_service(*spec, [&remaining](bool ok) {
+                if (!ok) throw std::runtime_error("pre-create failed");
+                --remaining;
+            });
+        }
+        while (remaining > 0) {
+            platform.simulation().run_until(platform.simulation().now() +
+                                            sim::seconds(1));
+        }
+    }
+
+    // Replay the bigFlows-like trace.
+    workload::BigFlowsOptions trace_options;
+    trace_options.services = options.num_services;
+    trace_options.requests = options.num_requests;
+    trace_options.horizon = options.horizon;
+    trace_options.clients = static_cast<std::uint32_t>(testbed->clients.size());
+    trace_options.seed = options.seed;
+    result.trace = workload::synthesize_bigflows(trace_options);
+
+    workload::TraceRunner runner(platform, testbed->clients);
+    workload::TraceReplayOptions replay;
+    replay.addresses = addresses;
+    replay.request_sizes = {service.request_size};
+    auto& metrics = runner.replay(result.trace, replay);
+
+    // First request per service vs. warm requests.
+    std::map<std::string, const workload::RequestRecord*> first_by_service;
+    for (const auto& record : metrics.records()) {
+        auto& slot = first_by_service[record.service];
+        if (slot == nullptr || record.sent < slot->sent) slot = &record;
+    }
+    for (const auto& record : metrics.records()) {
+        if (!record.ok) {
+            ++result.failures;
+            continue;
+        }
+        if (first_by_service.at(record.service) == &record) {
+            result.first_request_ms.add_time(record.time_total);
+        } else {
+            result.warm_request_ms.add_time(record.time_total);
+        }
+    }
+
+    for (const auto& record : platform.deployment_engine().records()) {
+        if (!record.ok) continue;
+        result.wait_ready_ms.add_time(record.phases.wait_ready);
+        result.deploy_total_ms.add_time(record.total());
+        result.deployment_start_times.push_back(record.started);
+    }
+    return result;
+}
+
+PullMeasurement measure_pull(const std::string& service_key, bool private_registry,
+                             const std::string& pre_cached_service,
+                             std::uint64_t seed) {
+    testbed::C3Options c3;
+    c3.seed = seed;
+    c3.with_k8s = false;
+    c3.use_private_registry_mirror = private_registry;
+    auto testbed = build_c3(c3);
+    auto& platform = testbed->platform;
+    auto* cluster = testbed->docker;
+
+    auto pull_one = [&](const testbed::TestService& service) {
+        const auto& annotated =
+            platform.register_service(service.address, service.yaml);
+        PullMeasurement m;
+        bool done = false;
+        cluster->ensure_image(annotated.spec,
+                              [&](bool ok, const container::PullTiming& t) {
+            if (!ok) throw std::runtime_error("pull failed");
+            m.pull_ms = t.duration().ms();
+            m.bytes = t.bytes_downloaded;
+            m.layers_downloaded = t.layers_downloaded;
+            m.layers_cached = t.layers_cached;
+            done = true;
+        });
+        while (!done) {
+            platform.simulation().run_until(platform.simulation().now() +
+                                            sim::seconds(1));
+        }
+        return m;
+    };
+
+    if (!pre_cached_service.empty()) {
+        pull_one(testbed::service_by_key(pre_cached_service));
+    }
+    return pull_one(testbed::service_by_key(service_key));
+}
+
+sim::SampleSet measure_warm_requests(const std::string& cluster_kind,
+                                     const std::string& service_key, int requests,
+                                     std::uint64_t seed) {
+    testbed::C3Options c3;
+    c3.seed = seed;
+    c3.with_docker = cluster_kind == "docker";
+    c3.with_k8s = cluster_kind == "k8s";
+    c3.controller.flow_memory.idle_timeout = sim::seconds(900);
+    c3.controller.dispatcher.switch_idle_timeout = sim::seconds(900);
+    c3.controller.scale_down_idle = false;
+    auto testbed = build_c3(c3);
+    auto& platform = testbed->platform;
+
+    const auto& service = testbed::service_by_key(service_key);
+    const auto& annotated = platform.register_service(service.address, service.yaml);
+
+    // Deploy fully and wait until ready.
+    bool ready = false;
+    platform.deployment_engine().ensure(
+        *platform.clusters().front(), annotated.spec, {},
+        [&](bool ok, const orchestrator::InstanceInfo&) { ready = ok; });
+    while (!ready) {
+        platform.simulation().run_until(platform.simulation().now() + sim::seconds(1));
+    }
+
+    sim::SampleSet samples;
+    int completed = 0;
+    for (int i = 0; i < requests; ++i) {
+        platform.simulation().schedule(
+            sim::milliseconds(100) * static_cast<std::int64_t>(i),
+            [&, i] {
+                platform.http_request(
+                    testbed->clients[static_cast<std::size_t>(i) %
+                                     testbed->clients.size()],
+                    service.address, service.request_size,
+                    [&](const net::HttpResult& r) {
+                        if (r.ok) samples.add_time(r.time_total);
+                        ++completed;
+                    });
+            });
+    }
+    while (completed < requests) {
+        platform.simulation().run_until(platform.simulation().now() + sim::seconds(1));
+    }
+    return samples;
+}
+
+void print_header(const std::string& experiment, const std::string& paper_claim) {
+    std::cout << "\n==================================================================\n"
+              << experiment << "\n"
+              << "paper: " << paper_claim << "\n"
+              << "==================================================================\n";
+}
+
+} // namespace tedge::bench

@@ -1,0 +1,65 @@
+// Shared experiment drivers for the per-figure bench binaries.
+//
+// Each paper experiment is reproduced with the paper's own methodology:
+// 42 copies of one service type are registered, the bigFlows-like trace
+// (1708 requests / 5 min) is replayed, and the first request of each service
+// triggers an on-demand deployment whose phases the DeploymentEngine times.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simcore/stats.hpp"
+#include "testbed/c3.hpp"
+#include "workload/bigflows.hpp"
+#include "workload/metrics.hpp"
+
+namespace tedge::bench {
+
+struct DeploymentExperimentOptions {
+    std::string cluster_kind = "docker";  ///< "docker" or "k8s"
+    std::string service_key = "nginx";
+    bool pre_pull = true;     ///< images cached before the run
+    bool pre_create = true;   ///< true: Scale Up only (fig 11); false: Create+Scale Up (fig 12)
+    std::uint32_t num_services = 42;
+    std::size_t num_requests = 1708;
+    sim::SimTime horizon = sim::seconds(300);
+    std::uint64_t seed = 1;
+};
+
+struct DeploymentExperimentResult {
+    sim::SampleSet first_request_ms;  ///< deployment-triggering request totals
+    sim::SampleSet warm_request_ms;   ///< requests served by a running instance
+    sim::SampleSet wait_ready_ms;     ///< controller port-probe wait (figs 14/15)
+    sim::SampleSet deploy_total_ms;   ///< engine total per deployment
+    std::vector<sim::SimTime> deployment_start_times;  ///< for fig 10 binning
+    workload::Trace trace;
+    std::size_t failures = 0;
+};
+
+[[nodiscard]] DeploymentExperimentResult
+run_deployment_experiment(const DeploymentExperimentOptions& options);
+
+/// Fig. 13: time to pull one service's image set onto a cold node, from its
+/// home registry or through the private in-network registry.
+struct PullMeasurement {
+    double pull_ms = 0;
+    sim::Bytes bytes = 0;
+    std::size_t layers_downloaded = 0;
+    std::size_t layers_cached = 0;
+};
+[[nodiscard]] PullMeasurement measure_pull(const std::string& service_key,
+                                           bool private_registry,
+                                           const std::string& pre_cached_service = "",
+                                           std::uint64_t seed = 1);
+
+/// Fig. 16: request time with the instance already running.
+[[nodiscard]] sim::SampleSet measure_warm_requests(const std::string& cluster_kind,
+                                                   const std::string& service_key,
+                                                   int requests = 50,
+                                                   std::uint64_t seed = 1);
+
+/// Bench banner: experiment id, what the paper reports, how we reproduce it.
+void print_header(const std::string& experiment, const std::string& paper_claim);
+
+} // namespace tedge::bench

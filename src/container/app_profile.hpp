@@ -1,0 +1,52 @@
+// Application behaviour profiles.
+//
+// The paper treats each edge service as a black box characterised by its
+// image (size/layers), its startup time until the port accepts connections,
+// and its per-request processing time -- which is exactly what an AppProfile
+// captures. Samples are log-normal around a target median, matching the
+// right-skewed timing distributions of real container starts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simcore/random.hpp"
+#include "simcore/time.hpp"
+#include "simcore/units.hpp"
+
+namespace tedge::container {
+
+struct AppProfile {
+    std::string name;
+
+    /// Process start -> listening on its port (e.g. nginx config parse,
+    /// TensorFlow model load).
+    sim::SimTime init_median = sim::milliseconds(30);
+    double init_sigma = 0.15;
+
+    /// Per-request processing time once running.
+    sim::SimTime service_median = sim::microseconds(200);
+    double service_sigma = 0.2;
+
+    sim::Bytes response_size = 512;
+
+    /// Parallel requests handled before queueing (nginx: many; a
+    /// single-threaded model server: few).
+    int concurrency = 16;
+
+    /// Port the application listens on inside the container (0 = none; e.g.
+    /// a sidecar writing files only).
+    std::uint16_t port = 80;
+
+    [[nodiscard]] sim::SimTime sample_init(sim::Rng& rng) const {
+        return sim::from_seconds(
+            rng.lognormal_median(init_median.seconds(), init_sigma));
+    }
+
+    [[nodiscard]] sim::SimTime sample_service(sim::Rng& rng) const {
+        return sim::from_seconds(
+            rng.lognormal_median(service_median.seconds(), service_sigma));
+    }
+};
+
+} // namespace tedge::container

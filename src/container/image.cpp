@@ -1,0 +1,92 @@
+#include "container/image.hpp"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace tedge::container {
+
+std::optional<ImageRef> ImageRef::parse(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    ImageRef ref;
+    std::string rest = text;
+
+    // Registry host: first component containing '.' or ':' (docker's rule).
+    const auto first_slash = rest.find('/');
+    if (first_slash != std::string::npos) {
+        const std::string head = rest.substr(0, first_slash);
+        if (head.find('.') != std::string::npos || head.find(':') != std::string::npos ||
+            head == "localhost") {
+            ref.registry = head;
+            rest = rest.substr(first_slash + 1);
+        }
+    }
+
+    // Tag: after the last ':' that comes after the last '/'.
+    const auto last_colon = rest.rfind(':');
+    const auto last_slash = rest.rfind('/');
+    if (last_colon != std::string::npos &&
+        (last_slash == std::string::npos || last_colon > last_slash)) {
+        ref.tag = rest.substr(last_colon + 1);
+        rest = rest.substr(0, last_colon);
+        if (ref.tag.empty()) return std::nullopt;
+    }
+
+    if (rest.empty()) return std::nullopt;
+    // Docker Hub "official images" implicitly live under library/.
+    if (ref.registry == "docker.io" && rest.find('/') == std::string::npos) {
+        rest = "library/" + rest;
+    }
+    ref.repository = rest;
+    return ref;
+}
+
+std::string ImageRef::full() const {
+    return registry + "/" + repository + ":" + tag;
+}
+
+std::string ImageRef::str() const {
+    std::string out;
+    if (registry != "docker.io") out += registry + "/";
+    std::string repo = repository;
+    if (registry == "docker.io" && repo.rfind("library/", 0) == 0) {
+        repo = repo.substr(8);
+    }
+    out += repo;
+    out += ":" + tag;
+    return out;
+}
+
+sim::Bytes Image::total_size() const {
+    return std::accumulate(layers.begin(), layers.end(), sim::Bytes{0},
+                           [](sim::Bytes acc, const Layer& l) { return acc + l.size; });
+}
+
+std::vector<Layer> make_layers(const std::string& name, sim::Bytes total,
+                               std::size_t count) {
+    if (count == 0) throw std::invalid_argument("make_layers: zero layers");
+    if (total <= 0) throw std::invalid_argument("make_layers: non-positive size");
+    std::vector<Layer> layers;
+    layers.reserve(count);
+    // Base layer gets ~60% of the bytes; the remainder is split evenly.
+    sim::Bytes remaining = total;
+    for (std::size_t i = 0; i < count; ++i) {
+        sim::Bytes size;
+        if (count == 1) {
+            size = remaining;
+        } else if (i == 0) {
+            size = (total * 6) / 10;
+        } else {
+            size = remaining / static_cast<sim::Bytes>(count - i);
+        }
+        size = std::max<sim::Bytes>(size, 1);
+        size = std::min(size, remaining - static_cast<sim::Bytes>(count - i - 1));
+        remaining -= size;
+        std::ostringstream digest;
+        digest << "sha256:" << name << "-" << i << "-" << size;
+        layers.push_back(Layer{digest.str(), size});
+    }
+    return layers;
+}
+
+} // namespace tedge::container

@@ -1,0 +1,60 @@
+// Container images: named references and content-addressed layers.
+//
+// Pull times in the paper depend on both total image size and the number of
+// layers (each layer is downloaded and verified separately, and popular base
+// layers may already be cached by other images) -- so layers are first-class
+// here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simcore/units.hpp"
+
+namespace tedge::container {
+
+/// A single image layer, identified by its content digest.
+struct Layer {
+    std::string digest;       ///< e.g. "sha256:ab12..."
+    sim::Bytes size = 0;      ///< compressed (wire) size
+
+    bool operator==(const Layer&) const = default;
+};
+
+/// Parsed image reference: [registry/]repository[:tag].
+struct ImageRef {
+    std::string registry = "docker.io";  ///< registry host
+    std::string repository;              ///< e.g. "library/nginx"
+    std::string tag = "latest";
+
+    /// Parse docker-style references. The first path component is treated
+    /// as a registry host iff it contains '.' or ':' (docker's rule).
+    [[nodiscard]] static std::optional<ImageRef> parse(const std::string& text);
+
+    /// Canonical full name "registry/repository:tag".
+    [[nodiscard]] std::string full() const;
+
+    /// Short form as a user would write it.
+    [[nodiscard]] std::string str() const;
+
+    bool operator==(const ImageRef&) const = default;
+    auto operator<=>(const ImageRef&) const = default;
+};
+
+struct Image {
+    ImageRef ref;
+    std::vector<Layer> layers;
+
+    [[nodiscard]] sim::Bytes total_size() const;
+    [[nodiscard]] std::size_t layer_count() const { return layers.size(); }
+};
+
+/// Deterministically derive a layer list for a synthetic image: `count`
+/// layers whose sizes sum to `total`, skewed like real images (one large
+/// base layer plus smaller config layers). Digests embed `name` so equal
+/// bases shared across images must be constructed explicitly.
+[[nodiscard]] std::vector<Layer> make_layers(const std::string& name,
+                                             sim::Bytes total, std::size_t count);
+
+} // namespace tedge::container

@@ -1,0 +1,187 @@
+#include "container/puller.hpp"
+
+#include <algorithm>
+
+namespace tedge::container {
+
+// Per-layer pull state within one image pull.
+enum class LayerPhase {
+    kPending,      // not yet requested
+    kCached,       // already in the store (or arrived via another pull)
+    kAwaitShared,  // another job is downloading it; waiting
+    kDownloading,
+    kDownloaded,   // bytes local, not yet extracted
+    kExtracting,
+    kDone,
+};
+
+struct Puller::PullJob {
+    ImageRef ref;
+    Registry* registry = nullptr;
+    Image image;                  // manifest, once fetched
+    std::vector<LayerPhase> phase;
+    std::size_t next_to_extract = 0;
+    std::size_t downloads_active = 0;
+    bool extracting = false;
+    PullTiming timing;
+};
+
+Puller::Puller(sim::Simulation& sim, ImageStore& store, PullerConfig config)
+    : sim_(sim), store_(store), config_(config) {}
+
+void Puller::pull(const ImageRef& ref, Registry& registry, Callback done) {
+    const std::string key = ref.full();
+
+    if (store_.has_image(ref)) {
+        // Fast path: local image inspect only.
+        sim_.schedule(config_.local_hit_latency,
+                      [this, done = std::move(done)] {
+                          PullTiming t;
+                          t.started = sim_.now() - config_.local_hit_latency;
+                          t.finished = sim_.now();
+                          done(true, t);
+                      });
+        return;
+    }
+
+    auto [it, inserted] = image_waiters_.try_emplace(key);
+    it->second.push_back(std::move(done));
+    if (!inserted) return; // an identical pull is already in flight
+    start_job(ref, registry);
+}
+
+void Puller::start_job(const ImageRef& ref, Registry& registry) {
+    auto job = std::make_shared<PullJob>();
+    job->ref = ref;
+    job->registry = &registry;
+    job->timing.started = sim_.now();
+
+    registry.fetch_manifest(ref, [this, job](const Image* image) {
+        if (image == nullptr) {
+            job_finish(job, false);
+            return;
+        }
+        job->image = *image;
+        // Normalize the manifest's ref to the requested one so tagging under
+        // the local name works even when pulling through a mirror.
+        job->image.ref = job->ref;
+        job->phase.assign(job->image.layers.size(), LayerPhase::kPending);
+        for (std::size_t i = 0; i < job->image.layers.size(); ++i) {
+            if (store_.has_layer(job->image.layers[i].digest)) {
+                job->phase[i] = LayerPhase::kCached;
+                ++job->timing.layers_cached;
+            }
+        }
+        job_fetch_next(job);
+        job_try_extract(job);
+    });
+}
+
+void Puller::job_fetch_next(const std::shared_ptr<PullJob>& job) {
+    for (std::size_t i = 0; i < job->phase.size() &&
+                            job->downloads_active < config_.max_parallel_layers;
+         ++i) {
+        if (job->phase[i] != LayerPhase::kPending) continue;
+        const Layer& layer = job->image.layers[i];
+
+        if (store_.has_layer(layer.digest)) {
+            job->phase[i] = LayerPhase::kCached;
+            continue;
+        }
+
+        // Another job downloading the same digest? Await it without
+        // consuming one of our download slots (no bytes move for us).
+        if (auto w = layer_waiters_.find(layer.digest); w != layer_waiters_.end()) {
+            job->phase[i] = LayerPhase::kAwaitShared;
+            ++job->timing.layers_shared;
+            w->second.push_back([this, job, i] {
+                job->phase[i] = LayerPhase::kCached;
+                job_try_extract(job);
+            });
+            continue;
+        }
+
+        job->phase[i] = LayerPhase::kDownloading;
+        ++job->downloads_active;
+        layer_waiters_.try_emplace(layer.digest); // mark in flight
+        job->registry->fetch_layer(layer, [this, job, i] {
+            job_layer_downloaded(job, i);
+        });
+    }
+}
+
+void Puller::job_layer_downloaded(const std::shared_ptr<PullJob>& job,
+                                  std::size_t index) {
+    job->phase[index] = LayerPhase::kDownloaded;
+    --job->downloads_active;
+    job->timing.bytes_downloaded += job->image.layers[index].size;
+    ++job->timing.layers_downloaded;
+    job_fetch_next(job);
+    job_try_extract(job);
+}
+
+void Puller::job_try_extract(const std::shared_ptr<PullJob>& job) {
+    if (job->extracting) return;
+
+    // Skip over layers that need no extraction work by us.
+    while (job->next_to_extract < job->phase.size() &&
+           job->phase[job->next_to_extract] == LayerPhase::kCached) {
+        job->phase[job->next_to_extract] = LayerPhase::kDone;
+        ++job->next_to_extract;
+    }
+
+    if (job->next_to_extract >= job->phase.size()) {
+        job_finish(job, true);
+        return;
+    }
+
+    const std::size_t i = job->next_to_extract;
+    if (job->phase[i] != LayerPhase::kDownloaded) return; // still in flight
+
+    job->phase[i] = LayerPhase::kExtracting;
+    job->extracting = true;
+    const Layer& layer = job->image.layers[i];
+    const sim::SimTime extract_time =
+        config_.extract_rate.transfer_time(layer.size) +
+        config_.per_layer_extract_overhead;
+    sim_.schedule(extract_time, [this, job, i] {
+        const Layer& done_layer = job->image.layers[i];
+        store_.add_layer(done_layer);
+        job->phase[i] = LayerPhase::kDone;
+        ++job->next_to_extract;
+        job->extracting = false;
+        notify_layer_available(done_layer.digest);
+        job_fetch_next(job);
+        job_try_extract(job);
+    });
+}
+
+void Puller::notify_layer_available(const std::string& digest) {
+    const auto it = layer_waiters_.find(digest);
+    if (it == layer_waiters_.end()) return;
+    auto waiters = std::move(it->second);
+    layer_waiters_.erase(it);
+    for (auto& cb : waiters) cb();
+}
+
+void Puller::job_finish(const std::shared_ptr<PullJob>& job, bool ok) {
+    if (ok) {
+        store_.tag_image(job->image);
+    } else {
+        // Release any in-flight markers we own that never completed.
+        for (std::size_t i = 0; i < job->phase.size(); ++i) {
+            if (job->phase[i] == LayerPhase::kDownloading) {
+                layer_waiters_.erase(job->image.layers[i].digest);
+            }
+        }
+    }
+    job->timing.finished = sim_.now();
+
+    const auto it = image_waiters_.find(job->ref.full());
+    if (it == image_waiters_.end()) return;
+    auto callbacks = std::move(it->second);
+    image_waiters_.erase(it);
+    for (auto& cb : callbacks) cb(ok, job->timing);
+}
+
+} // namespace tedge::container

@@ -1,0 +1,70 @@
+// Image pull engine (the paper's Pull phase, fig. 4).
+//
+// Mirrors docker/containerd behaviour: layers download in parallel (bounded
+// window) through the registry's shared channel, but are verified/extracted
+// sequentially in image order; layers already present locally -- or being
+// downloaded by a concurrent pull -- are not downloaded twice.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/image_store.hpp"
+#include "container/registry.hpp"
+#include "simcore/simulation.hpp"
+
+namespace tedge::container {
+
+struct PullTiming {
+    sim::SimTime started;
+    sim::SimTime finished;
+    sim::Bytes bytes_downloaded = 0;
+    std::size_t layers_downloaded = 0;
+    std::size_t layers_cached = 0;     ///< present locally before the pull
+    std::size_t layers_shared = 0;     ///< awaited from a concurrent pull
+
+    [[nodiscard]] sim::SimTime duration() const { return finished - started; }
+};
+
+struct PullerConfig {
+    std::size_t max_parallel_layers = 3;            ///< docker default
+    sim::DataRate extract_rate = sim::DataRate{150LL * 8 * 1024 * 1024}; ///< ~150 MiB/s
+    sim::SimTime per_layer_extract_overhead = sim::milliseconds(20);
+    sim::SimTime local_hit_latency = sim::milliseconds(5); ///< image inspect cost
+};
+
+class Puller {
+public:
+    using Callback = std::function<void(bool ok, const PullTiming&)>;
+
+    Puller(sim::Simulation& sim, ImageStore& store, PullerConfig config = {});
+
+    /// Ensure `ref` is available in the local store, pulling from `registry`
+    /// if needed. Concurrent pulls of the same reference coalesce.
+    void pull(const ImageRef& ref, Registry& registry, Callback done);
+
+    [[nodiscard]] std::size_t inflight_pulls() const { return image_waiters_.size(); }
+
+private:
+    struct PullJob;
+
+    void start_job(const ImageRef& ref, Registry& registry);
+    void job_fetch_next(const std::shared_ptr<PullJob>& job);
+    void job_layer_downloaded(const std::shared_ptr<PullJob>& job, std::size_t index);
+    void job_try_extract(const std::shared_ptr<PullJob>& job);
+    void job_finish(const std::shared_ptr<PullJob>& job, bool ok);
+    void notify_layer_available(const std::string& digest);
+
+    sim::Simulation& sim_;
+    ImageStore& store_;
+    PullerConfig config_;
+    /// full-ref -> callbacks awaiting that image
+    std::map<std::string, std::vector<Callback>> image_waiters_;
+    /// digest -> callbacks of jobs awaiting a layer another job is fetching
+    std::map<std::string, std::vector<std::function<void()>>> layer_waiters_;
+};
+
+} // namespace tedge::container

@@ -1,0 +1,32 @@
+#include "container/registry.hpp"
+
+namespace tedge::container {
+
+Registry::Registry(sim::Simulation& sim, RegistryProfile profile)
+    : sim_(sim), profile_(std::move(profile)), link_(sim, profile_.bandwidth) {}
+
+void Registry::put(const Image& image) {
+    catalog_[key(image.ref)] = image;
+}
+
+const Image* Registry::find(const ImageRef& ref) const {
+    const auto it = catalog_.find(key(ref));
+    return it == catalog_.end() ? nullptr : &it->second;
+}
+
+void Registry::fetch_manifest(const ImageRef& ref,
+                              std::function<void(const Image*)> done) {
+    const sim::SimTime delay = profile_.rtt + profile_.manifest_overhead;
+    sim_.schedule(delay, [this, ref, done = std::move(done)] {
+        done(outage_ ? nullptr : find(ref));
+    });
+}
+
+void Registry::fetch_layer(const Layer& layer, std::function<void()> done) {
+    const sim::SimTime preamble = profile_.rtt + profile_.per_layer_overhead;
+    sim_.schedule(preamble, [this, layer, done = std::move(done)]() mutable {
+        link_.start_transfer(layer.size, std::move(done));
+    });
+}
+
+} // namespace tedge::container

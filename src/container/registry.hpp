@@ -1,0 +1,73 @@
+// Container registries (Docker Hub, Google Container Registry, and a
+// private in-network registry). Each registry has its own RTT and a shared
+// download channel, so concurrent pulls contend for bandwidth -- the paper's
+// fig. 13 compares public registries against a private registry in the same
+// network (1.5-2 s faster per image).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "container/image.hpp"
+#include "net/link.hpp"
+#include "simcore/simulation.hpp"
+
+namespace tedge::container {
+
+struct RegistryProfile {
+    std::string host;                       ///< e.g. "docker.io"
+    sim::SimTime rtt = sim::milliseconds(30);
+    sim::DataRate bandwidth = sim::mbit_per_sec(400);
+    /// Auth/token + manifest round trips before the first byte.
+    sim::SimTime manifest_overhead = sim::milliseconds(300);
+    /// HTTP round trips + checksum start cost per layer request.
+    sim::SimTime per_layer_overhead = sim::milliseconds(120);
+};
+
+class Registry {
+public:
+    Registry(sim::Simulation& sim, RegistryProfile profile);
+
+    [[nodiscard]] const RegistryProfile& profile() const { return profile_; }
+    [[nodiscard]] const std::string& host() const { return profile_.host; }
+
+    /// Publish an image so clients can pull it. Keyed by repository:tag (the
+    /// registry host in the ref is ignored; it names *this* registry).
+    void put(const Image& image);
+
+    /// Synchronous catalog lookup (used by tests and the puller after the
+    /// manifest round trip).
+    [[nodiscard]] const Image* find(const ImageRef& ref) const;
+
+    /// Fetch the manifest: one RTT + manifest overhead, then yields the
+    /// image description or nullptr if unknown (or during an outage).
+    void fetch_manifest(const ImageRef& ref,
+                        std::function<void(const Image*)> done);
+
+    /// Failure injection: while in outage, manifest fetches fail (after the
+    /// usual round trip, like a 5xx), making pulls -- and with them
+    /// on-demand deployments -- fail cleanly.
+    void set_outage(bool down) { outage_ = down; }
+    [[nodiscard]] bool in_outage() const { return outage_; }
+
+    /// Download one layer blob through the shared channel: RTT + per-layer
+    /// overhead + fair-share transfer time.
+    void fetch_layer(const Layer& layer, std::function<void()> done);
+
+    [[nodiscard]] net::SharedLink& link() { return link_; }
+
+private:
+    static std::string key(const ImageRef& ref) {
+        return ref.repository + ":" + ref.tag;
+    }
+
+    sim::Simulation& sim_;
+    RegistryProfile profile_;
+    net::SharedLink link_;
+    std::map<std::string, Image> catalog_;
+    bool outage_ = false;
+};
+
+} // namespace tedge::container

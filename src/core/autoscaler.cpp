@@ -1,0 +1,65 @@
+#include "core/autoscaler.hpp"
+
+#include <cmath>
+
+namespace tedge::core {
+
+ReplicaAutoscaler::ReplicaAutoscaler(sim::Simulation& sim, DeploymentEngine& engine,
+                                     orchestrator::Cluster& cluster,
+                                     sdn::FlowMemory& flows,
+                                     const sdn::ServiceRegistry& registry,
+                                     AutoscalerConfig config)
+    : sim_(sim), engine_(engine), cluster_(cluster), flows_(flows),
+      registry_(registry), config_(config), log_(sim, "autoscaler") {
+    ticker_ = sim_.schedule_periodic(config_.period, [this] { evaluate(); });
+}
+
+ReplicaAutoscaler::~ReplicaAutoscaler() {
+    ticker_.cancel();
+}
+
+int ReplicaAutoscaler::current_replicas(const std::string& service) const {
+    return static_cast<int>(cluster_.instances(service).size());
+}
+
+void ReplicaAutoscaler::evaluate() {
+    for (const auto& address : registry_.addresses()) {
+        const auto* service = registry_.lookup(address);
+        if (service == nullptr) continue;
+        const std::string& name = service->spec.name;
+        const int have = current_replicas(name);
+        if (have == 0) continue; // on-demand deployment owns the 0 -> 1 step
+
+        const std::size_t load = flows_.flows_for_service(name);
+        const int want = std::min<int>(
+            config_.max_replicas,
+            static_cast<int>(std::ceil(
+                static_cast<double>(load) /
+                static_cast<double>(config_.flows_per_replica))));
+
+        auto& state = states_[name];
+        if (want > have) {
+            state.below_target_count = 0;
+            ++ups_;
+            log_.info("scaling up " + name + " to " + std::to_string(have + 1) +
+                      " replicas (load " + std::to_string(load) + ")");
+            // One replica per period: gradual, like the HPA's behaviour.
+            // (The engine's ensure() would short-circuit on the existing
+            // ready replica, so the N -> N+1 step goes to the cluster
+            // directly.)
+            cluster_.scale_up(name, [](bool) {});
+        } else if (want < have) {
+            if (++state.below_target_count >= config_.scale_down_patience) {
+                state.below_target_count = 0;
+                ++downs_;
+                log_.info("scaling down " + name + " (load " +
+                          std::to_string(load) + ")");
+                engine_.scale_down(cluster_, name, [](bool) {});
+            }
+        } else {
+            state.below_target_count = 0;
+        }
+    }
+}
+
+} // namespace tedge::core

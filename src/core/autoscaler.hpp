@@ -1,0 +1,67 @@
+// Replica autoscaler.
+//
+// The paper's controller scales *down* idle services when their memorized
+// flows expire (§V); related work it cites (Fahs et al., Voilà [18]) scales
+// replicas *up* under load. This component closes the loop: it uses the
+// number of live memorized flows per service as the load signal and keeps
+//   replicas ~= ceil(flows / flows_per_replica)
+// within [0, max_replicas], scaling through the DeploymentEngine so the
+// usual Pull/Create/ScaleUp phases apply.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "sdn/flow_memory.hpp"
+#include "sdn/service_registry.hpp"
+#include "simcore/logging.hpp"
+
+namespace tedge::core {
+
+struct AutoscalerConfig {
+    sim::SimTime period = sim::seconds(15);
+    /// Flows one replica is expected to serve.
+    std::size_t flows_per_replica = 8;
+    int max_replicas = 4;
+    /// Hysteresis: only scale down when the target has been lower for this
+    /// many consecutive evaluations.
+    int scale_down_patience = 2;
+};
+
+class ReplicaAutoscaler {
+public:
+    ReplicaAutoscaler(sim::Simulation& sim, DeploymentEngine& engine,
+                      orchestrator::Cluster& cluster, sdn::FlowMemory& flows,
+                      const sdn::ServiceRegistry& registry,
+                      AutoscalerConfig config = {});
+    ~ReplicaAutoscaler();
+
+    /// Evaluate all registered services once (also runs periodically).
+    void evaluate();
+
+    [[nodiscard]] std::uint64_t scale_ups() const { return ups_; }
+    [[nodiscard]] std::uint64_t scale_downs() const { return downs_; }
+    [[nodiscard]] int current_replicas(const std::string& service) const;
+
+private:
+    struct State {
+        int below_target_count = 0;
+    };
+
+    sim::Simulation& sim_;
+    DeploymentEngine& engine_;
+    orchestrator::Cluster& cluster_;
+    sdn::FlowMemory& flows_;
+    const sdn::ServiceRegistry& registry_;
+    AutoscalerConfig config_;
+    sim::Logger log_;
+    std::map<std::string, State> states_;
+    sim::Simulation::PeriodicHandle ticker_;
+    std::uint64_t ups_ = 0;
+    std::uint64_t downs_ = 0;
+};
+
+} // namespace tedge::core

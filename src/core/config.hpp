@@ -1,0 +1,36 @@
+// Controller configuration parsing: the controller's scheduler choice,
+// FlowMemory timeouts, and dispatcher parameters are defined in a YAML
+// config file (paper §IV-B: "the concrete scheduler implementation can be
+// defined in the controller's configuration and will be dynamically
+// loaded").
+#pragma once
+
+#include <string>
+
+#include "sdn/controller.hpp"
+
+namespace tedge::core {
+
+/// Parse a controller configuration document:
+///
+///   scheduler:
+///     name: proximity
+///     params:
+///       wait: true
+///   flow_memory:
+///     idle_timeout_s: 60
+///     scan_period_s: 5
+///   dispatcher:
+///     flow_priority: 200
+///     switch_idle_timeout_s: 10
+///     install_cloud_flows: true
+///   scale_down_idle: true
+///
+/// Missing keys keep their defaults. Throws on malformed YAML or an unknown
+/// scheduler name.
+[[nodiscard]] sdn::ControllerConfig parse_controller_config(const std::string& yaml_text);
+
+/// Render a configuration back to YAML (round-trip support for tooling).
+[[nodiscard]] std::string emit_controller_config(const sdn::ControllerConfig& config);
+
+} // namespace tedge::core

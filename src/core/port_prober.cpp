@@ -1,0 +1,35 @@
+#include "core/port_prober.hpp"
+
+namespace tedge::core {
+
+PortProber::PortProber(net::TcpNet& net, net::NodeId from, PortProberConfig config)
+    : net_(net), from_(from), config_(config) {}
+
+void PortProber::wait_ready(net::NodeId host, std::uint16_t port,
+                            std::function<void(bool, sim::SimTime)> done) {
+    probe_once(host, port, net_.simulation().now(), std::move(done));
+}
+
+void PortProber::probe_once(net::NodeId host, std::uint16_t port,
+                            sim::SimTime started,
+                            std::function<void(bool, sim::SimTime)> done) {
+    ++probes_;
+    net_.probe(from_, host, port,
+               [this, host, port, started, done = std::move(done)](bool open) {
+        auto& sim = net_.simulation();
+        const sim::SimTime waited = sim.now() - started;
+        if (open) {
+            done(true, waited);
+            return;
+        }
+        if (waited >= config_.timeout) {
+            done(false, waited);
+            return;
+        }
+        sim.schedule(config_.interval, [this, host, port, started, done] {
+            probe_once(host, port, started, done);
+        });
+    });
+}
+
+} // namespace tedge::core

@@ -1,0 +1,41 @@
+// Port-probing readiness check (paper §VI): after scaling up, the SDN
+// controller continuously tests whether the service port is open before
+// installing flows -- otherwise the server would reject the client's
+// request that is being held.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/tcp.hpp"
+
+namespace tedge::core {
+
+struct PortProberConfig {
+    sim::SimTime interval = sim::milliseconds(25);  ///< probe period
+    sim::SimTime timeout = sim::seconds(120);       ///< give-up deadline
+};
+
+class PortProber {
+public:
+    /// Probes originate from `from` (the controller's host).
+    PortProber(net::TcpNet& net, net::NodeId from, PortProberConfig config = {});
+
+    /// Probe (host, port) until it accepts or the deadline passes.
+    /// `done(ok, waited)` reports success and the total time spent waiting.
+    void wait_ready(net::NodeId host, std::uint16_t port,
+                    std::function<void(bool ok, sim::SimTime waited)> done);
+
+    [[nodiscard]] std::uint64_t probes_sent() const { return probes_; }
+
+private:
+    void probe_once(net::NodeId host, std::uint16_t port, sim::SimTime started,
+                    std::function<void(bool, sim::SimTime)> done);
+
+    net::TcpNet& net_;
+    net::NodeId from_;
+    PortProberConfig config_;
+    std::uint64_t probes_ = 0;
+};
+
+} // namespace tedge::core

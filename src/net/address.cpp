@@ -1,0 +1,86 @@
+#include "net/address.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace tedge::net {
+namespace {
+
+bool parse_u16(std::string_view text, std::uint16_t& out) {
+    std::uint32_t v = 0;
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc{} || ptr != text.data() + text.size() || v > 0xffff) return false;
+    out = static_cast<std::uint16_t>(v);
+    return true;
+}
+
+} // namespace
+
+std::optional<Ipv4> Ipv4::parse(const std::string& text) {
+    std::uint32_t parts[4];
+    std::size_t pos = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (pos >= text.size()) return std::nullopt;
+        std::uint32_t v = 0;
+        const char* begin = text.data() + pos;
+        const char* end = text.data() + text.size();
+        const auto [ptr, ec] = std::from_chars(begin, end, v);
+        if (ec != std::errc{} || ptr == begin || v > 255) return std::nullopt;
+        parts[i] = v;
+        pos = static_cast<std::size_t>(ptr - text.data());
+        if (i < 3) {
+            if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+            ++pos;
+        }
+    }
+    if (pos != text.size()) return std::nullopt;
+    return Ipv4{static_cast<std::uint8_t>(parts[0]), static_cast<std::uint8_t>(parts[1]),
+                static_cast<std::uint8_t>(parts[2]), static_cast<std::uint8_t>(parts[3])};
+}
+
+std::string Ipv4::str() const {
+    std::ostringstream os;
+    os << ((value_ >> 24) & 0xff) << '.' << ((value_ >> 16) & 0xff) << '.'
+       << ((value_ >> 8) & 0xff) << '.' << (value_ & 0xff);
+    return os.str();
+}
+
+const char* to_string(Proto proto) {
+    switch (proto) {
+        case Proto::kTcp: return "tcp";
+        case Proto::kUdp: return "udp";
+    }
+    return "?";
+}
+
+std::string ServiceAddress::str() const {
+    std::ostringstream os;
+    os << ip.str() << ':' << port;
+    if (proto != Proto::kTcp) os << '/' << to_string(proto);
+    return os.str();
+}
+
+std::optional<ServiceAddress> ServiceAddress::parse(const std::string& text) {
+    const auto colon = text.rfind(':');
+    if (colon == std::string::npos) return std::nullopt;
+    const auto ip = Ipv4::parse(text.substr(0, colon));
+    if (!ip) return std::nullopt;
+
+    std::string rest = text.substr(colon + 1);
+    Proto proto = Proto::kTcp;
+    const auto slash = rest.find('/');
+    if (slash != std::string::npos) {
+        const std::string proto_text = rest.substr(slash + 1);
+        if (proto_text == "udp") {
+            proto = Proto::kUdp;
+        } else if (proto_text != "tcp") {
+            return std::nullopt;
+        }
+        rest = rest.substr(0, slash);
+    }
+    std::uint16_t port = 0;
+    if (!parse_u16(rest, port)) return std::nullopt;
+    return ServiceAddress{*ip, port, proto};
+}
+
+} // namespace tedge::net

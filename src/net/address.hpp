@@ -1,0 +1,73 @@
+// Network addressing primitives: IPv4 addresses and (IP, port, proto)
+// service addresses -- the unit by which edge services are registered with
+// the platform provider (paper §II).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace tedge::net {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4 {
+public:
+    constexpr Ipv4() = default;
+    constexpr explicit Ipv4(std::uint32_t value) : value_(value) {}
+    constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+        : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                 (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+    [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+    [[nodiscard]] constexpr bool is_unspecified() const { return value_ == 0; }
+
+    /// Parse dotted-quad notation; returns nullopt on malformed input.
+    [[nodiscard]] static std::optional<Ipv4> parse(const std::string& text);
+
+    [[nodiscard]] std::string str() const;
+
+    constexpr auto operator<=>(const Ipv4&) const = default;
+
+private:
+    std::uint32_t value_ = 0;
+};
+
+enum class Proto : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+[[nodiscard]] const char* to_string(Proto proto);
+
+/// The registered-service identity: unique combination of IP address and
+/// port number (plus protocol), per the paper's transparent-access design.
+struct ServiceAddress {
+    Ipv4 ip;
+    std::uint16_t port = 0;
+    Proto proto = Proto::kTcp;
+
+    [[nodiscard]] std::string str() const;
+
+    /// Parse "1.2.3.4:80" (TCP assumed) or "1.2.3.4:80/udp".
+    [[nodiscard]] static std::optional<ServiceAddress> parse(const std::string& text);
+
+    auto operator<=>(const ServiceAddress&) const = default;
+};
+
+} // namespace tedge::net
+
+template <>
+struct std::hash<tedge::net::Ipv4> {
+    std::size_t operator()(const tedge::net::Ipv4& ip) const noexcept {
+        return std::hash<std::uint32_t>{}(ip.value());
+    }
+};
+
+template <>
+struct std::hash<tedge::net::ServiceAddress> {
+    std::size_t operator()(const tedge::net::ServiceAddress& a) const noexcept {
+        const std::uint64_t k = (std::uint64_t{a.ip.value()} << 24) ^
+                                (std::uint64_t{a.port} << 8) ^
+                                static_cast<std::uint64_t>(a.proto);
+        return std::hash<std::uint64_t>{}(k);
+    }
+};

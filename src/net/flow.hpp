@@ -1,0 +1,81 @@
+// OpenFlow-style flow matches, actions, and entries (paper fig. 2: the
+// switch rewrites the destination of packets addressed to registered
+// services so the redirection stays transparent to the client).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+#include "simcore/time.hpp"
+
+namespace tedge::net {
+
+/// Wildcard-able match over the fields our pipeline uses. An unset optional
+/// matches any value (OpenFlow wildcard).
+struct FlowMatch {
+    std::optional<Ipv4> src_ip;
+    std::optional<Ipv4> dst_ip;
+    std::optional<std::uint16_t> dst_port;
+    std::optional<Proto> proto;
+
+    [[nodiscard]] bool matches(const Packet& p) const {
+        if (src_ip && *src_ip != p.src_ip) return false;
+        if (dst_ip && *dst_ip != p.dst_ip) return false;
+        if (dst_port && *dst_port != p.dst_port) return false;
+        if (proto && *proto != p.proto) return false;
+        return true;
+    }
+
+    /// Number of concrete (non-wildcard) fields; used as a specificity
+    /// tiebreaker between equal priorities.
+    [[nodiscard]] int specificity() const {
+        return int(src_ip.has_value()) + int(dst_ip.has_value()) +
+               int(dst_port.has_value()) + int(proto.has_value());
+    }
+
+    [[nodiscard]] std::string str() const;
+
+    bool operator==(const FlowMatch&) const = default;
+};
+
+/// Rewrite-and-forward action set. The destination rewrite implements the
+/// transparent cloud-to-edge redirection; `forward_to` names the host that
+/// should receive the packet (the chosen edge service instance's node).
+struct FlowAction {
+    std::optional<Ipv4> set_dst_ip;
+    std::optional<std::uint16_t> set_dst_port;
+    NodeId forward_to;       ///< invalid() means "forward toward original dst"
+    bool to_controller = false;
+
+    bool operator==(const FlowAction&) const = default;
+};
+
+struct FlowEntry {
+    FlowMatch match;
+    FlowAction action;
+    std::uint16_t priority = 100;
+    sim::SimTime idle_timeout = sim::SimTime::zero();  ///< zero = no idle expiry
+    sim::SimTime hard_timeout = sim::SimTime::zero();  ///< zero = no hard expiry
+    std::uint64_t cookie = 0;  ///< controller-assigned tag (service id etc.)
+
+    // Runtime state maintained by the FlowTable.
+    sim::SimTime installed_at = sim::SimTime::zero();
+    sim::SimTime last_used = sim::SimTime::zero();
+    std::uint64_t packet_count = 0;
+
+    [[nodiscard]] bool expired(sim::SimTime now) const {
+        if (hard_timeout > sim::SimTime::zero() &&
+            now - installed_at >= hard_timeout) {
+            return true;
+        }
+        if (idle_timeout > sim::SimTime::zero() && now - last_used >= idle_timeout) {
+            return true;
+        }
+        return false;
+    }
+};
+
+} // namespace tedge::net

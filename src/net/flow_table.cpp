@@ -1,0 +1,104 @@
+#include "net/flow_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tedge::net {
+
+std::string FlowMatch::str() const {
+    std::ostringstream os;
+    os << "{";
+    os << "src=" << (src_ip ? src_ip->str() : "*");
+    os << " dst=" << (dst_ip ? dst_ip->str() : "*");
+    os << ":" << (dst_port ? std::to_string(*dst_port) : "*");
+    os << " proto=" << (proto ? to_string(*proto) : "*");
+    os << "}";
+    return os.str();
+}
+
+bool FlowTable::install(FlowEntry entry, sim::SimTime now) {
+    entry.installed_at = now;
+    entry.last_used = now;
+    entry.packet_count = 0;
+    const auto it = std::find_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
+        return e.match == entry.match && e.priority == entry.priority;
+    });
+    if (it != entries_.end()) {
+        *it = std::move(entry);
+        return true;
+    }
+    entries_.push_back(std::move(entry));
+    return false;
+}
+
+std::vector<FlowEntry>::iterator FlowTable::find_best(const Packet& packet,
+                                                      sim::SimTime now) {
+    auto best = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->expired(now) || !it->match.matches(packet)) continue;
+        if (best == entries_.end() || it->priority > best->priority ||
+            (it->priority == best->priority &&
+             it->match.specificity() > best->match.specificity())) {
+            best = it;
+        }
+    }
+    return best;
+}
+
+std::optional<FlowEntry> FlowTable::lookup(const Packet& packet, sim::SimTime now) {
+    expire(now);
+    const auto best = find_best(packet, now);
+    if (best == entries_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    best->last_used = now;
+    ++best->packet_count;
+    ++hits_;
+    return *best;
+}
+
+const FlowEntry* FlowTable::peek(const Packet& packet, sim::SimTime now) const {
+    const FlowEntry* best = nullptr;
+    for (const auto& e : entries_) {
+        if (e.expired(now) || !e.match.matches(packet)) continue;
+        if (!best || e.priority > best->priority ||
+            (e.priority == best->priority &&
+             e.match.specificity() > best->match.specificity())) {
+            best = &e;
+        }
+    }
+    return best;
+}
+
+std::size_t FlowTable::remove(const FlowMatch& match) {
+    const auto before = entries_.size();
+    std::erase_if(entries_, [&](const FlowEntry& e) { return e.match == match; });
+    return before - entries_.size();
+}
+
+std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
+    const auto before = entries_.size();
+    std::erase_if(entries_, [&](const FlowEntry& e) { return e.cookie == cookie; });
+    return before - entries_.size();
+}
+
+std::size_t FlowTable::expire(sim::SimTime now) {
+    std::size_t removed = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->expired(now)) {
+            if (removed_cb_) {
+                const bool idle = !(it->hard_timeout > sim::SimTime::zero() &&
+                                    now - it->installed_at >= it->hard_timeout);
+                removed_cb_(*it, idle);
+            }
+            it = entries_.erase(it);
+            ++removed;
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+} // namespace tedge::net

@@ -1,0 +1,58 @@
+// Priority-ordered flow table with idle/hard timeouts, as installed into the
+// OVS switch by the SDN controller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace tedge::net {
+
+class FlowTable {
+public:
+    using RemovedCallback =
+        std::function<void(const FlowEntry&, bool idle /*vs hard*/)>;
+
+    /// Install (or overwrite, if an entry with identical match+priority
+    /// exists) a flow entry. Returns true if an existing entry was replaced.
+    bool install(FlowEntry entry, sim::SimTime now);
+
+    /// Highest-priority matching live entry; touches its idle timer and
+    /// counters. Expired entries encountered on the way are removed.
+    std::optional<FlowEntry> lookup(const Packet& packet, sim::SimTime now);
+
+    /// Read-only match without touching counters/timers.
+    [[nodiscard]] const FlowEntry* peek(const Packet& packet, sim::SimTime now) const;
+
+    /// Remove all entries whose match equals `match`. Returns removed count.
+    std::size_t remove(const FlowMatch& match);
+
+    /// Remove all entries carrying `cookie`. Returns removed count.
+    std::size_t remove_by_cookie(std::uint64_t cookie);
+
+    /// Expire timed-out entries; invokes the removed-callback for each.
+    std::size_t expire(sim::SimTime now);
+
+    void set_removed_callback(RemovedCallback cb) { removed_cb_ = std::move(cb); }
+
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] const std::vector<FlowEntry>& entries() const { return entries_; }
+    void clear() { entries_.clear(); }
+
+    /// Total lookups that found no live entry (table misses -> packet-ins).
+    [[nodiscard]] std::uint64_t miss_count() const { return misses_; }
+    [[nodiscard]] std::uint64_t hit_count() const { return hits_; }
+
+private:
+    std::vector<FlowEntry>::iterator find_best(const Packet& packet, sim::SimTime now);
+
+    std::vector<FlowEntry> entries_;
+    RemovedCallback removed_cb_;
+    std::uint64_t misses_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace tedge::net

@@ -1,0 +1,73 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace tedge::net {
+
+SharedLink::SharedLink(sim::Simulation& sim, sim::DataRate capacity)
+    : sim_(sim), capacity_(capacity), last_update_(sim.now()) {
+    if (capacity.bps() <= 0) throw std::invalid_argument("SharedLink: capacity <= 0");
+}
+
+void SharedLink::start_transfer(sim::Bytes size, Callback done) {
+    advance_to_now();
+    const sim::Bytes clamped = std::max<sim::Bytes>(size, 0);
+    flows_.emplace(next_id_++,
+                   Flow{static_cast<double>(clamped), clamped, std::move(done)});
+    reschedule();
+}
+
+void SharedLink::advance_to_now() {
+    const sim::SimTime now = sim_.now();
+    if (now <= last_update_ || flows_.empty()) {
+        last_update_ = now;
+        return;
+    }
+    const double elapsed_s = (now - last_update_).seconds();
+    const double per_flow_rate_Bps =
+        static_cast<double>(capacity_.bps()) / 8.0 / static_cast<double>(flows_.size());
+    const double progressed = per_flow_rate_Bps * elapsed_s;
+    for (auto& [id, f] : flows_) {
+        f.remaining_bytes = std::max(0.0, f.remaining_bytes - progressed);
+    }
+    last_update_ = now;
+}
+
+void SharedLink::complete_due() {
+    advance_to_now();
+    // Collect flows that finished (remaining below half a byte -- tolerance
+    // for floating-point progress accumulation).
+    std::vector<Callback> done;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.remaining_bytes <= 0.5) {
+            bytes_completed_ += it->second.size;
+            done.push_back(std::move(it->second.done));
+            it = flows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    reschedule();
+    for (auto& cb : done) {
+        if (cb) cb();
+    }
+}
+
+void SharedLink::reschedule() {
+    pending_event_.cancel();
+    if (flows_.empty()) return;
+    double min_remaining = std::numeric_limits<double>::max();
+    for (const auto& [id, f] : flows_) {
+        min_remaining = std::min(min_remaining, f.remaining_bytes);
+    }
+    const double per_flow_rate_Bps =
+        static_cast<double>(capacity_.bps()) / 8.0 / static_cast<double>(flows_.size());
+    const double secs = min_remaining <= 0.5 ? 0.0 : min_remaining / per_flow_rate_Bps;
+    pending_event_ = sim_.schedule(sim::from_seconds(secs), [this] { complete_due(); });
+}
+
+} // namespace tedge::net

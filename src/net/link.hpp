@@ -1,0 +1,58 @@
+// SharedLink: a processor-sharing pipe. Concurrent transfers split the
+// capacity fairly (the classical TCP fair-share approximation); each
+// arrival/departure recomputes per-flow rates and reschedules the next
+// completion. Used for registry download channels and cluster NICs, where
+// contention between concurrent image pulls is the first-order effect
+// (paper fig. 10: up to eight deployments per second at trace start).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/units.hpp"
+
+namespace tedge::net {
+
+class SharedLink {
+public:
+    using Callback = std::function<void()>;
+
+    SharedLink(sim::Simulation& sim, sim::DataRate capacity);
+
+    /// Begin transferring `size` bytes; `done` fires when the last byte has
+    /// been pushed through the shared pipe. Zero-size transfers complete on
+    /// the next event (after a zero delay), never synchronously.
+    void start_transfer(sim::Bytes size, Callback done);
+
+    [[nodiscard]] std::size_t active_transfers() const { return flows_.size(); }
+    [[nodiscard]] sim::DataRate capacity() const { return capacity_; }
+
+    /// Total bytes fully transferred so far.
+    [[nodiscard]] sim::Bytes bytes_completed() const { return bytes_completed_; }
+
+private:
+    struct Flow {
+        double remaining_bytes;
+        sim::Bytes size;
+        Callback done;
+    };
+
+    /// Recompute fair-share progress since last update and reschedule the
+    /// next completion event.
+    void reschedule();
+    void advance_to_now();
+    void complete_due();
+
+    sim::Simulation& sim_;
+    sim::DataRate capacity_;
+    std::map<std::uint64_t, Flow> flows_;
+    std::uint64_t next_id_ = 0;
+    sim::SimTime last_update_;
+    sim::EventHandle pending_event_;
+    sim::Bytes bytes_completed_ = 0;
+};
+
+} // namespace tedge::net

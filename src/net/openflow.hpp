@@ -1,0 +1,33 @@
+// OpenFlow control-channel message types exchanged between the OVS switch
+// and the SDN controller (the subset the paper's pipeline needs: packet-in
+// on table miss, flow-mod to install redirect rules, packet-out to release
+// or drop a buffered packet).
+#pragma once
+
+#include <cstdint>
+
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+
+namespace tedge::net {
+
+struct PacketIn {
+    std::uint64_t buffer_id = 0;  ///< switch buffer slot holding the packet
+    Packet packet;
+};
+
+struct FlowMod {
+    FlowEntry entry;
+};
+
+/// Release (forward) or drop a buffered packet. If `use_table` is true the
+/// packet re-enters the flow table (normal case after a FlowMod); otherwise
+/// it is forwarded toward its original destination unchanged (cloud
+/// fallback) or dropped.
+struct PacketOut {
+    std::uint64_t buffer_id = 0;
+    bool use_table = true;
+    bool drop = false;
+};
+
+} // namespace tedge::net

@@ -1,0 +1,41 @@
+// The packet abstraction seen by the OpenFlow pipeline. We only model the
+// packets that matter for control-plane behaviour (TCP SYNs of new flows);
+// bulk data transfer is handled analytically by the TCP model.
+#pragma once
+
+#include <cstdint>
+
+#include "net/address.hpp"
+#include "simcore/units.hpp"
+
+namespace tedge::net {
+
+/// Opaque node identifier within a Topology.
+struct NodeId {
+    std::uint32_t value = UINT32_MAX;
+    [[nodiscard]] constexpr bool valid() const { return value != UINT32_MAX; }
+    constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+struct Packet {
+    NodeId ingress;            ///< node the packet entered the network at
+    Ipv4 src_ip;
+    std::uint16_t src_port = 0;
+    Ipv4 dst_ip;
+    std::uint16_t dst_port = 0;
+    Proto proto = Proto::kTcp;
+    sim::Bytes size = 64;      ///< wire size (SYN-sized by default)
+    bool syn = true;           ///< first packet of a connection
+
+    [[nodiscard]] ServiceAddress dst() const { return {dst_ip, dst_port, proto}; }
+    [[nodiscard]] ServiceAddress src() const { return {src_ip, src_port, proto}; }
+};
+
+} // namespace tedge::net
+
+template <>
+struct std::hash<tedge::net::NodeId> {
+    std::size_t operator()(const tedge::net::NodeId& id) const noexcept {
+        return std::hash<std::uint32_t>{}(id.value);
+    }
+};

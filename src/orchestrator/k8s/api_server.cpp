@@ -1,0 +1,18 @@
+#include "orchestrator/k8s/api_server.hpp"
+
+namespace tedge::orchestrator::k8s {
+
+ApiServer::ApiServer(sim::Simulation& sim, ApiServerConfig config)
+    : sim_(sim), config_(config), deployments_(sim, config_),
+      replicasets_(sim, config_), pods_(sim, config_), services_(sim, config_) {}
+
+void ApiServer::request(std::function<void()> mutation, std::function<void()> done) {
+    ++requests_;
+    sim_.schedule(config_.request_latency,
+                  [mutation = std::move(mutation), done = std::move(done)] {
+                      mutation();
+                      if (done) done();
+                  });
+}
+
+} // namespace tedge::orchestrator::k8s

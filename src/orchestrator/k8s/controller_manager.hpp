@@ -1,0 +1,47 @@
+// kube-controller-manager: the deployment, replicaset, and endpoints
+// control loops. Each loop reacts to watch events after its sync latency and
+// writes desired state back through the API server -- never directly, so
+// every hop pays realistic propagation costs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "orchestrator/k8s/api_server.hpp"
+
+namespace tedge::orchestrator::k8s {
+
+struct ControllerManagerConfig {
+    sim::SimTime deployment_sync = sim::milliseconds(35);
+    sim::SimTime replicaset_sync = sim::milliseconds(35);
+    sim::SimTime endpoints_sync = sim::milliseconds(40);
+    std::uint16_t pod_port_base = 20000;  ///< models per-pod IP:targetPort
+};
+
+class ControllerManager {
+public:
+    ControllerManager(sim::Simulation& sim, ApiServer& api,
+                      ControllerManagerConfig config = {});
+
+    /// Register the watches; call once after construction.
+    void start();
+
+    [[nodiscard]] std::uint64_t deployment_syncs() const { return deployment_syncs_; }
+    [[nodiscard]] std::uint64_t replicaset_syncs() const { return replicaset_syncs_; }
+
+private:
+    void sync_deployment(const std::string& name);
+    void sync_replicaset(const std::string& name);
+    void sync_endpoints();
+
+    sim::Simulation& sim_;
+    ApiServer& api_;
+    ControllerManagerConfig config_;
+    std::uint64_t pod_counter_ = 0;
+    std::uint16_t next_pod_port_;
+    std::uint64_t deployment_syncs_ = 0;
+    std::uint64_t replicaset_syncs_ = 0;
+    bool started_ = false;
+};
+
+} // namespace tedge::orchestrator::k8s

@@ -1,0 +1,72 @@
+#include "orchestrator/k8s/kube_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tedge::orchestrator::k8s {
+
+std::optional<net::NodeId>
+LeastPodsPolicy::pick(const PodObj& /*pod*/, const std::vector<net::NodeId>& nodes,
+                      const ApiServer& api) {
+    if (nodes.empty()) return std::nullopt;
+    std::optional<net::NodeId> best;
+    std::size_t best_count = std::numeric_limits<std::size_t>::max();
+    for (const auto node : nodes) {
+        std::size_t count = 0;
+        for (const auto& [name, pod] : api.pods().items()) {
+            if (pod.node == node && pod.phase != PodPhase::kTerminating) ++count;
+        }
+        if (count < best_count) {
+            best_count = count;
+            best = node;
+        }
+    }
+    return best;
+}
+
+KubeScheduler::KubeScheduler(sim::Simulation& sim, ApiServer& api,
+                             std::vector<net::NodeId> nodes,
+                             KubeSchedulerConfig config)
+    : sim_(sim), api_(api), nodes_(std::move(nodes)), config_(config) {}
+
+void KubeScheduler::register_policy(const std::string& name,
+                                    std::unique_ptr<PodPlacementPolicy> policy) {
+    policies_[name] = std::move(policy);
+}
+
+void KubeScheduler::start() {
+    if (started_) return;
+    started_ = true;
+    api_.pods().watch([this](const WatchEvent& event) {
+        if (event.type == WatchEventType::kDeleted) return;
+        sim_.schedule(config_.scheduling_latency,
+                      [this, name = event.name] { try_schedule(name); });
+    });
+}
+
+void KubeScheduler::try_schedule(const std::string& pod_name) {
+    const auto* pod = api_.pods().get(pod_name);
+    if (pod == nullptr || pod->node.valid() || pod->phase != PodPhase::kPending) {
+        return;
+    }
+    PodPlacementPolicy* policy = &default_policy_;
+    if (!pod->scheduler_name.empty()) {
+        const auto it = policies_.find(pod->scheduler_name);
+        if (it != policies_.end()) policy = it->second.get();
+    }
+    const auto node = policy->pick(*pod, nodes_, api_);
+    if (!node) return; // unschedulable; a real scheduler would retry/backoff
+
+    PodObj updated = *pod;
+    updated.node = *node;
+    api_.request([this, updated] {
+        // Re-check the pod still exists (it may have been terminated while
+        // the binding request was in flight).
+        if (api_.pods().get(updated.name) != nullptr) {
+            api_.pods().upsert(updated.name, updated);
+            ++scheduled_;
+        }
+    });
+}
+
+} // namespace tedge::orchestrator::k8s

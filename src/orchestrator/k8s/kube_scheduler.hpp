@@ -1,0 +1,66 @@
+// kube-scheduler: binds pending pods to nodes. The placement policy is
+// pluggable -- the paper's Local Scheduler (fig. 6) maps onto a named
+// PodPlacementPolicy registered here and selected per pod via the
+// schedulerName annotation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orchestrator/k8s/api_server.hpp"
+
+namespace tedge::orchestrator::k8s {
+
+/// Chooses a node for a pod among the feasible candidates.
+class PodPlacementPolicy {
+public:
+    virtual ~PodPlacementPolicy() = default;
+    [[nodiscard]] virtual std::optional<net::NodeId>
+    pick(const PodObj& pod, const std::vector<net::NodeId>& nodes,
+         const ApiServer& api) = 0;
+};
+
+/// Default policy: the node with the fewest bound pods (LeastAllocated).
+class LeastPodsPolicy final : public PodPlacementPolicy {
+public:
+    [[nodiscard]] std::optional<net::NodeId>
+    pick(const PodObj& pod, const std::vector<net::NodeId>& nodes,
+         const ApiServer& api) override;
+};
+
+struct KubeSchedulerConfig {
+    /// Queue wait + scheduling cycle + binding preparation.
+    sim::SimTime scheduling_latency = sim::milliseconds(60);
+};
+
+class KubeScheduler {
+public:
+    KubeScheduler(sim::Simulation& sim, ApiServer& api,
+                  std::vector<net::NodeId> nodes, KubeSchedulerConfig config = {});
+
+    /// Register a named policy (the paper's Local Scheduler). The default
+    /// policy handles pods without a schedulerName.
+    void register_policy(const std::string& name,
+                         std::unique_ptr<PodPlacementPolicy> policy);
+
+    void start();
+
+    [[nodiscard]] std::uint64_t pods_scheduled() const { return scheduled_; }
+
+private:
+    void try_schedule(const std::string& pod_name);
+
+    sim::Simulation& sim_;
+    ApiServer& api_;
+    std::vector<net::NodeId> nodes_;
+    KubeSchedulerConfig config_;
+    LeastPodsPolicy default_policy_;
+    std::map<std::string, std::unique_ptr<PodPlacementPolicy>> policies_;
+    std::uint64_t scheduled_ = 0;
+    bool started_ = false;
+};
+
+} // namespace tedge::orchestrator::k8s

@@ -1,0 +1,175 @@
+#include "orchestrator/k8s/kubelet.hpp"
+
+#include <memory>
+#include <set>
+
+namespace tedge::orchestrator::k8s {
+
+Kubelet::Kubelet(sim::Simulation& sim, ApiServer& api, net::NodeId node,
+                 container::ContainerRuntime& runtime, container::Puller& puller,
+                 RegistryDirectory& registries, sim::Rng rng, KubeletConfig config)
+    : sim_(sim), api_(api), node_(node), runtime_(runtime), puller_(puller),
+      registries_(registries), rng_(rng), config_(config),
+      log_(sim, "kubelet/" + std::to_string(node.value)) {}
+
+void Kubelet::start() {
+    if (started_) return;
+    started_ = true;
+    api_.pods().watch([this](const WatchEvent& event) {
+        if (event.type == WatchEventType::kDeleted) return;
+        sim_.schedule(config_.sync_latency,
+                      [this, name = event.name] { sync_pod(name); });
+    });
+}
+
+void Kubelet::sync_pod(const std::string& pod_name) {
+    const auto* pod = api_.pods().get(pod_name);
+    if (pod == nullptr || pod->node != node_) return;
+
+    if (pod->phase == PodPhase::kPending && !starting_.contains(pod_name)) {
+        starting_.insert(pod_name);
+        start_pod(pod_name);
+    } else if (pod->phase == PodPhase::kTerminating) {
+        teardown_pod(pod_name);
+    }
+}
+
+void Kubelet::pull_images(const ServiceSpec& spec, std::function<void(bool)> done) {
+    std::set<std::string> seen;
+    std::vector<container::ImageRef> images;
+    for (const auto& c : spec.containers) {
+        if (seen.insert(c.image.full()).second) images.push_back(c.image);
+    }
+    struct Progress {
+        std::size_t remaining;
+        bool ok = true;
+        std::function<void(bool)> done;
+    };
+    auto progress = std::make_shared<Progress>();
+    progress->remaining = images.size();
+    progress->done = std::move(done);
+    if (images.empty()) {
+        sim_.schedule(sim::SimTime::zero(), [progress] { progress->done(true); });
+        return;
+    }
+    for (const auto& ref : images) {
+        auto* registry = registries_.resolve(ref);
+        if (registry == nullptr) {
+            progress->ok = false;
+            if (--progress->remaining == 0) progress->done(false);
+            continue;
+        }
+        puller_.pull(ref, *registry,
+                     [progress](bool ok, const container::PullTiming&) {
+            progress->ok = progress->ok && ok;
+            if (--progress->remaining == 0) progress->done(progress->ok);
+        });
+    }
+}
+
+void Kubelet::start_pod(const std::string& pod_name) {
+    const auto* pod = api_.pods().get(pod_name);
+    if (pod == nullptr) { starting_.erase(pod_name); return; }
+    const ServiceSpec spec = pod->spec;
+    const std::uint16_t pod_port = pod->pod_port;
+
+    // Move the pod to Creating (containers not yet up).
+    {
+        PodObj updated = *pod;
+        updated.phase = PodPhase::kCreating;
+        updated.phase_since = sim_.now();
+        api_.request([this, updated] {
+            if (api_.pods().get(updated.name) != nullptr) {
+                api_.pods().upsert(updated.name, updated);
+            }
+        });
+    }
+
+    // 1. Image pull (IfNotPresent -- a no-op when cached).
+    pull_images(spec, [this, pod_name, spec, pod_port](bool ok) {
+        if (!ok) {
+            log_.warn("image pull failed for pod " + pod_name);
+            starting_.erase(pod_name);
+            return;
+        }
+        // 2. Pod sandbox: pause container, network namespace via CNI,
+        //    cgroup hierarchy. The dominant fixed cost of a K8s pod start.
+        const sim::SimTime sandbox = sim::from_seconds(rng_.lognormal_median(
+            config_.sandbox_median.seconds(), config_.sandbox_sigma));
+        sim_.schedule(sandbox, [this, pod_name, spec, pod_port] {
+            // 3. Create + start each container inside the sandbox.
+            auto remaining = std::make_shared<std::size_t>(spec.containers.size());
+            for (const auto& tmpl : spec.containers) {
+                container::ContainerConfig config;
+                config.name = pod_name + "." + tmpl.name;
+                config.image = tmpl.image;
+                config.app = tmpl.app;
+                config.volumes = tmpl.volumes;
+                config.env = tmpl.env;
+                config.labels = spec.labels;
+                config.labels["io.kubernetes.pod.name"] = pod_name;
+                const std::uint16_t host_port =
+                    (tmpl.container_port != 0 && tmpl.container_port == spec.target_port)
+                        ? pod_port
+                        : 0;
+                runtime_.create(std::move(config),
+                                [this, pod_name, host_port,
+                                 remaining](container::ContainerId id) {
+                    work_[pod_name].containers.push_back(id);
+                    runtime_.start(id, host_port, [this, pod_name, remaining] {
+                        if (--*remaining > 0) return;
+                        // 4. All containers running: report status. Without a
+                        // readinessProbe, Kubernetes marks the pod Ready as
+                        // soon as its containers are running.
+                        sim_.schedule(config_.status_update, [this, pod_name] {
+                            const auto* p = api_.pods().get(pod_name);
+                            if (p == nullptr || p->phase == PodPhase::kTerminating) {
+                                return;
+                            }
+                            PodObj updated = *p;
+                            updated.phase = PodPhase::kRunning;
+                            updated.ready = true;
+                            updated.phase_since = sim_.now();
+                            api_.request([this, updated] {
+                                if (api_.pods().get(updated.name) != nullptr) {
+                                    api_.pods().upsert(updated.name, updated);
+                                }
+                            });
+                            ++pods_started_;
+                            starting_.erase(pod_name);
+                        });
+                    });
+                });
+            }
+        });
+    });
+}
+
+void Kubelet::teardown_pod(const std::string& pod_name) {
+    auto& work = work_[pod_name];
+    if (work.tearing_down) return;
+    work.tearing_down = true;
+
+    auto containers = work.containers;
+    auto remaining = std::make_shared<std::size_t>(containers.size());
+    auto finish = [this, pod_name] {
+        work_.erase(pod_name);
+        starting_.erase(pod_name);
+        api_.request([this, pod_name] { api_.pods().erase(pod_name); });
+    };
+    if (containers.empty()) {
+        sim_.schedule(config_.teardown_grace, finish);
+        return;
+    }
+    sim_.schedule(config_.teardown_grace, [this, containers, remaining, finish] {
+        for (const auto id : containers) {
+            runtime_.stop(id, [this, id, remaining, finish] {
+                runtime_.remove(id, [remaining, finish] {
+                    if (--*remaining == 0) finish();
+                });
+            });
+        }
+    });
+}
+
+} // namespace tedge::orchestrator::k8s

@@ -1,0 +1,68 @@
+// kubelet: the per-node agent. Reacts to pod bindings, pulls missing
+// images, builds the pod sandbox (pause container + CNI network namespace --
+// the dominant fixed cost of a Kubernetes pod start), creates and starts the
+// containers through the node's container runtime, and reports status back
+// through the API server.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "container/puller.hpp"
+#include "container/runtime.hpp"
+#include "orchestrator/cluster.hpp"
+#include "orchestrator/k8s/api_server.hpp"
+#include "simcore/logging.hpp"
+#include "simcore/random.hpp"
+
+namespace tedge::orchestrator::k8s {
+
+struct KubeletConfig {
+    sim::SimTime sync_latency = sim::milliseconds(80);    ///< reaction to binding
+    sim::SimTime sandbox_median = sim::milliseconds(1400); ///< pause + CNI + cgroups
+    double sandbox_sigma = 0.12;
+    sim::SimTime status_update = sim::milliseconds(10);
+    sim::SimTime teardown_grace = sim::milliseconds(100);
+};
+
+class Kubelet {
+public:
+    Kubelet(sim::Simulation& sim, ApiServer& api, net::NodeId node,
+            container::ContainerRuntime& runtime, container::Puller& puller,
+            RegistryDirectory& registries, sim::Rng rng, KubeletConfig config = {});
+
+    void start();
+
+    [[nodiscard]] net::NodeId node() const { return node_; }
+    [[nodiscard]] std::uint64_t pods_started() const { return pods_started_; }
+
+private:
+    struct PodWork {
+        std::vector<container::ContainerId> containers;
+        bool tearing_down = false;
+    };
+
+    void sync_pod(const std::string& pod_name);
+    void start_pod(const std::string& pod_name);
+    void teardown_pod(const std::string& pod_name);
+    void pull_images(const ServiceSpec& spec, std::function<void(bool)> done);
+
+    sim::Simulation& sim_;
+    ApiServer& api_;
+    net::NodeId node_;
+    container::ContainerRuntime& runtime_;
+    container::Puller& puller_;
+    RegistryDirectory& registries_;
+    sim::Rng rng_;
+    KubeletConfig config_;
+    sim::Logger log_;
+    std::map<std::string, PodWork> work_;
+    std::set<std::string> starting_;  ///< pods whose startup is in flight
+    std::uint64_t pods_started_ = 0;
+    bool started_ = false;
+};
+
+} // namespace tedge::orchestrator::k8s

@@ -1,0 +1,82 @@
+// Kubernetes API object model (the subset the paper's pipeline touches):
+// Deployments, ReplicaSets, Pods, and Services with endpoints.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "orchestrator/cluster.hpp"
+#include "simcore/time.hpp"
+
+namespace tedge::orchestrator::k8s {
+
+struct DeploymentObj {
+    std::string name;
+    ServiceSpec spec;
+    int replicas = 0;
+    std::uint64_t generation = 0;
+};
+
+struct ReplicaSetObj {
+    std::string name;
+    std::string owner;  ///< owning Deployment
+    ServiceSpec spec;
+    int replicas = 0;
+};
+
+enum class PodPhase {
+    kPending,      ///< created, possibly not yet bound to a node
+    kCreating,     ///< kubelet building sandbox + containers
+    kRunning,      ///< all containers started
+    kTerminating,
+};
+
+[[nodiscard]] inline const char* to_string(PodPhase phase) {
+    switch (phase) {
+        case PodPhase::kPending: return "Pending";
+        case PodPhase::kCreating: return "Creating";
+        case PodPhase::kRunning: return "Running";
+        case PodPhase::kTerminating: return "Terminating";
+    }
+    return "?";
+}
+
+struct PodObj {
+    std::string name;
+    std::string owner_rs;
+    ServiceSpec spec;
+    std::string scheduler_name;    ///< empty -> default scheduler
+    net::NodeId node;              ///< invalid until bound
+    PodPhase phase = PodPhase::kPending;
+    bool ready = false;            ///< containers running (no probes defined)
+    std::uint16_t pod_port = 0;    ///< models the pod IP:targetPort endpoint
+    sim::SimTime phase_since;
+};
+
+struct EndpointEntry {
+    std::string pod;
+    net::NodeId node;
+    std::uint16_t pod_port = 0;
+    bool operator==(const EndpointEntry&) const = default;
+};
+
+struct ServiceObj {
+    std::string name;
+    std::uint16_t expose_port = 0;   ///< the Service's declared port
+    std::uint16_t node_port = 0;     ///< NodePort where traffic enters the node
+    std::uint16_t target_port = 0;
+    std::map<std::string, std::string> selector;
+    std::vector<EndpointEntry> endpoints;  ///< maintained by endpoints controller
+};
+
+enum class WatchEventType { kAdded, kModified, kDeleted };
+
+struct WatchEvent {
+    WatchEventType type;
+    std::string name;
+};
+
+} // namespace tedge::orchestrator::k8s

@@ -1,0 +1,226 @@
+#include "sdn/annotator.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "yamlite/emitter.hpp"
+#include "yamlite/parser.hpp"
+
+namespace tedge::sdn {
+namespace {
+
+std::string sanitize(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        } else if (!out.empty() && out.back() != '-') {
+            out += '-';
+        }
+    }
+    while (!out.empty() && out.back() == '-') out.pop_back();
+    return out;
+}
+
+const yamlite::Node* find_doc_of_kind(const std::vector<yamlite::Node>& docs,
+                                      const std::string& kind) {
+    for (const auto& doc : docs) {
+        const auto* k = doc.find("kind");
+        if (k != nullptr && k->as_str() == kind) return &doc;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+std::string AnnotatedService::yaml() const {
+    return yamlite::emit_all({deployment, service});
+}
+
+Annotator::Annotator(AppProfileResolver resolver, AnnotatorConfig config)
+    : resolver_(std::move(resolver)), config_(std::move(config)) {}
+
+std::string Annotator::unique_name(const net::ServiceAddress& address) const {
+    std::ostringstream os;
+    os << config_.name_prefix << "-" << sanitize(address.ip.str()) << "-"
+       << address.port;
+    return os.str();
+}
+
+AnnotatedService Annotator::annotate(const std::string& yaml_text,
+                                     const net::ServiceAddress& address) const {
+    const auto docs = yamlite::parse_all(yaml_text);
+    if (docs.empty()) throw std::invalid_argument("empty service definition");
+
+    // Locate the Deployment (a document without `kind` is treated as one --
+    // the file may be nothing but an image name under the template).
+    const yamlite::Node* deployment_in = find_doc_of_kind(docs, "Deployment");
+    if (deployment_in == nullptr) {
+        for (const auto& doc : docs) {
+            if (doc.find("kind") == nullptr) {
+                deployment_in = &doc;
+                break;
+            }
+        }
+    }
+    if (deployment_in == nullptr) {
+        throw std::invalid_argument("service definition lacks a Deployment");
+    }
+    const yamlite::Node* service_in = find_doc_of_kind(docs, "Service");
+
+    AnnotatedService out;
+    yamlite::Node d = *deployment_in;
+    const std::string name = unique_name(address);
+
+    // --- Deployment annotations ---------------------------------------
+    d["apiVersion"] = yamlite::Node{"apps/v1"};
+    d["kind"] = yamlite::Node{"Deployment"};
+    d["metadata"]["name"] = yamlite::Node{name};
+    d["metadata"]["labels"]["app"] = yamlite::Node{name};
+    d["metadata"]["labels"]["edge.service"] = yamlite::Node{name};
+    d["spec"]["replicas"] = yamlite::Node{0};  // scale to zero by default
+    d["spec"]["selector"]["matchLabels"]["app"] = yamlite::Node{name};
+    d["spec"]["selector"]["matchLabels"]["edge.service"] = yamlite::Node{name};
+    d["spec"]["template"]["metadata"]["labels"]["app"] = yamlite::Node{name};
+    d["spec"]["template"]["metadata"]["labels"]["edge.service"] = yamlite::Node{name};
+    if (!config_.local_scheduler.empty()) {
+        d["spec"]["template"]["spec"]["schedulerName"] =
+            yamlite::Node{config_.local_scheduler};
+    }
+
+    const auto* containers =
+        d.find_path("spec.template.spec.containers");
+    if (containers == nullptr || !containers->is_seq() || containers->seq().empty()) {
+        throw std::invalid_argument("service definition has no containers");
+    }
+
+    // --- Build the machine-usable spec ---------------------------------
+    out.spec.name = name;
+    out.spec.cloud_address = address;
+    out.spec.labels = {{"app", name}, {"edge.service", name}};
+    out.spec.replicas = 0;
+    out.spec.scheduler_name = config_.local_scheduler;
+
+    // Named hostPath volumes, for volume mounts (supported for Docker too).
+    std::map<std::string, std::string> host_paths;
+    if (const auto* volumes = d.find_path("spec.template.spec.volumes");
+        volumes != nullptr && volumes->is_seq()) {
+        for (const auto& v : volumes->seq()) {
+            const auto* vol_name = v.find("name");
+            const auto* host = v.find_path("hostPath.path");
+            if (vol_name != nullptr && host != nullptr) {
+                host_paths[vol_name->as_str()] = host->as_str();
+            }
+        }
+    }
+
+    std::uint16_t first_container_port = 0;
+    for (const auto& c : containers->seq()) {
+        orchestrator::ContainerTemplate tmpl;
+        const auto* image_node = c.find("image");
+        if (image_node == nullptr) {
+            throw std::invalid_argument("container without an image (the only "
+                                        "mandatory field)");
+        }
+        const auto ref = container::ImageRef::parse(image_node->as_str());
+        if (!ref) {
+            throw std::invalid_argument("malformed image reference: " +
+                                        image_node->as_str());
+        }
+        tmpl.image = *ref;
+        tmpl.name = c.find("name") != nullptr && !c.find("name")->as_str().empty()
+                        ? c.find("name")->as_str()
+                        : sanitize(ref->repository);
+        if (const auto* ports = c.find("ports"); ports != nullptr && ports->is_seq()) {
+            for (const auto& p : ports->seq()) {
+                if (const auto* cp = p.find("containerPort")) {
+                    if (const auto v = cp->as_int(); v && *v > 0 && *v <= 0xffff) {
+                        tmpl.container_port = static_cast<std::uint16_t>(*v);
+                        if (first_container_port == 0) {
+                            first_container_port = tmpl.container_port;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if (const auto* mounts = c.find("volumeMounts");
+            mounts != nullptr && mounts->is_seq()) {
+            for (const auto& m : mounts->seq()) {
+                const auto* mount_name = m.find("name");
+                const auto* mount_path = m.find("mountPath");
+                if (mount_name == nullptr || mount_path == nullptr) continue;
+                const auto it = host_paths.find(mount_name->as_str());
+                if (it != host_paths.end()) {
+                    tmpl.volumes.push_back(
+                        container::VolumeMount{it->second, mount_path->as_str()});
+                }
+            }
+        }
+        if (const auto* env = c.find("env"); env != nullptr && env->is_seq()) {
+            for (const auto& e : env->seq()) {
+                const auto* env_name = e.find("name");
+                const auto* env_value = e.find("value");
+                if (env_name != nullptr && env_value != nullptr) {
+                    tmpl.env[env_name->as_str()] = env_value->as_str();
+                }
+            }
+        }
+        tmpl.app = resolver_ ? resolver_(tmpl.image) : nullptr;
+        out.spec.containers.push_back(std::move(tmpl));
+    }
+
+    // --- Service document (generate unless provided) -------------------
+    std::uint16_t expose_port = address.port;
+    std::uint16_t target_port =
+        first_container_port != 0 ? first_container_port : address.port;
+
+    yamlite::Node s;
+    if (service_in != nullptr) {
+        s = *service_in;
+        if (const auto* ports = s.find_path("spec.ports");
+            ports != nullptr && ports->is_seq() && !ports->seq().empty()) {
+            const auto& p0 = ports->seq().front();
+            if (const auto* port = p0.find("port")) {
+                if (const auto v = port->as_int(); v && *v > 0 && *v <= 0xffff) {
+                    expose_port = static_cast<std::uint16_t>(*v);
+                }
+            }
+            if (const auto* tp = p0.find("targetPort")) {
+                if (const auto v = tp->as_int(); v && *v > 0 && *v <= 0xffff) {
+                    target_port = static_cast<std::uint16_t>(*v);
+                }
+            }
+        }
+    } else {
+        yamlite::Node port_entry = yamlite::Node::make_map();
+        port_entry.set("port", yamlite::Node{static_cast<std::int64_t>(expose_port)});
+        port_entry.set("targetPort",
+                       yamlite::Node{static_cast<std::int64_t>(target_port)});
+        port_entry.set("protocol", yamlite::Node{"TCP"});
+        s["spec"]["ports"] = yamlite::Node::make_seq();
+        s["spec"]["ports"].push_back(std::move(port_entry));
+    }
+    s["apiVersion"] = yamlite::Node{"v1"};
+    s["kind"] = yamlite::Node{"Service"};
+    s["metadata"]["name"] = yamlite::Node{name};
+    s["metadata"]["labels"]["app"] = yamlite::Node{name};
+    s["metadata"]["labels"]["edge.service"] = yamlite::Node{name};
+    s["spec"]["selector"]["edge.service"] = yamlite::Node{name};
+
+    out.spec.expose_port = expose_port;
+    out.spec.target_port = target_port;
+    out.deployment = std::move(d);
+    out.service = std::move(s);
+
+    if (!out.spec.valid()) {
+        throw std::invalid_argument("annotation produced an invalid spec for " +
+                                    address.str());
+    }
+    return out;
+}
+
+} // namespace tedge::sdn

@@ -1,0 +1,64 @@
+// Automatic annotation of service definition files (paper §V).
+//
+// Developers write a plain Kubernetes Deployment YAML where only the image
+// name is mandatory. The Annotator then:
+//  - assigns a unique worldwide service name,
+//  - adds the matchLabels Kubernetes requires plus an `edge.service` label
+//    so edge services can be addressed and queried distinctly,
+//  - sets replicas to 0 ("scale to zero"),
+//  - sets schedulerName when a Local Scheduler is configured, and
+//  - generates the Kubernetes Service definition (exposed port, target
+//    port, TCP) unless the developer already included one.
+// The same annotated definition drives both Docker and Kubernetes clusters.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "container/app_profile.hpp"
+#include "container/image.hpp"
+#include "net/address.hpp"
+#include "orchestrator/cluster.hpp"
+#include "yamlite/value.hpp"
+
+namespace tedge::sdn {
+
+/// Resolves the behavioural profile for an image (the service catalog).
+using AppProfileResolver =
+    std::function<const container::AppProfile*(const container::ImageRef&)>;
+
+struct AnnotatorConfig {
+    /// Local Scheduler to set as schedulerName ("" = cluster default).
+    std::string local_scheduler;
+    /// Prefix for generated unique worldwide names.
+    std::string name_prefix = "edge";
+};
+
+/// The annotation result: machine-usable spec plus the annotated documents.
+struct AnnotatedService {
+    orchestrator::ServiceSpec spec;
+    yamlite::Node deployment;
+    yamlite::Node service;
+
+    /// Both documents as a multi-document YAML stream.
+    [[nodiscard]] std::string yaml() const;
+};
+
+class Annotator {
+public:
+    explicit Annotator(AppProfileResolver resolver, AnnotatorConfig config = {});
+
+    /// Annotate a service definition registered under `address`.
+    /// Throws std::invalid_argument / yamlite::ParseError on malformed input.
+    [[nodiscard]] AnnotatedService annotate(const std::string& yaml_text,
+                                            const net::ServiceAddress& address) const;
+
+    /// The unique worldwide name assigned to a service at this address.
+    [[nodiscard]] std::string unique_name(const net::ServiceAddress& address) const;
+
+private:
+    AppProfileResolver resolver_;
+    AnnotatorConfig config_;
+};
+
+} // namespace tedge::sdn

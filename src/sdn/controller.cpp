@@ -1,0 +1,54 @@
+#include "sdn/controller.hpp"
+
+namespace tedge::sdn {
+
+Controller::Controller(sim::Simulation& sim, net::Topology& topo,
+                       net::OvsSwitch& ingress, ServiceRegistry& registry,
+                       core::DeploymentEngine& engine,
+                       std::vector<orchestrator::Cluster*> clusters,
+                       ControllerConfig config)
+    : sim_(sim), ingress_(ingress), engine_(engine), clusters_(clusters),
+      config_(std::move(config)), flow_memory_(sim, config_.flow_memory),
+      scheduler_(SchedulerRegistry::instance().create(config_.scheduler,
+                                                      config_.scheduler_params)),
+      log_(sim, "controller") {
+    dispatcher_ = std::make_unique<Dispatcher>(sim, topo, ingress, registry,
+                                               flow_memory_, engine, *scheduler_,
+                                               std::move(clusters),
+                                               config_.dispatcher);
+    if (config_.scale_down_idle) {
+        flow_memory_.set_idle_service_callback(
+            [this](const std::string& service, const std::string& cluster) {
+                on_idle_service(service, cluster);
+            });
+    }
+}
+
+void Controller::start() {
+    if (started_) return;
+    started_ = true;
+    ingress_.set_controller([this](const net::PacketIn& event) {
+        dispatcher_->handle_packet_in(event);
+    });
+}
+
+void Controller::attach(net::OvsSwitch& ingress) {
+    dispatcher_->add_switch(ingress);
+    ingress.set_controller([this, &ingress](const net::PacketIn& event) {
+        dispatcher_->handle_packet_in(ingress, event);
+    });
+}
+
+void Controller::on_idle_service(const std::string& service,
+                                 const std::string& cluster) {
+    for (auto* c : clusters_) {
+        if (c->name() != cluster) continue;
+        if (c->instances(service).empty()) return; // nothing running
+        ++idle_scale_downs_;
+        log_.info("scaling down idle service " + service + " on " + cluster);
+        engine_.scale_down(*c, service, [](bool) {});
+        return;
+    }
+}
+
+} // namespace tedge::sdn

@@ -1,0 +1,207 @@
+#include "sdn/dispatcher.hpp"
+
+#include <functional>
+
+namespace tedge::sdn {
+
+Dispatcher::Dispatcher(sim::Simulation& sim, net::Topology& topo,
+                       net::OvsSwitch& ingress, ServiceRegistry& registry,
+                       FlowMemory& memory, core::DeploymentEngine& engine,
+                       GlobalScheduler& scheduler,
+                       std::vector<orchestrator::Cluster*> clusters,
+                       DispatcherConfig config)
+    : sim_(sim), topo_(topo), ingress_(ingress), registry_(registry),
+      memory_(memory), engine_(engine), scheduler_(scheduler),
+      clusters_(std::move(clusters)), config_(config) {
+    switches_.push_back(&ingress_);
+}
+
+void Dispatcher::add_switch(net::OvsSwitch& ingress) {
+    for (auto* existing : switches_) {
+        if (existing == &ingress) return;
+    }
+    switches_.push_back(&ingress);
+}
+
+std::uint64_t Dispatcher::cookie_for(const std::string& service) {
+    // Non-zero cookie so flow eviction by service works; 0 marks cloud flows.
+    const auto h = std::hash<std::string>{}(service);
+    return h == 0 ? 1 : h;
+}
+
+std::optional<net::NodeId> Dispatcher::client_location(net::Ipv4 client) const {
+    const auto it = client_locations_.find(client.value());
+    return it == client_locations_.end() ? std::nullopt : std::optional{it->second};
+}
+
+ScheduleContext Dispatcher::build_context(const net::PacketIn& event,
+                                          const orchestrator::ServiceSpec& spec) const {
+    ScheduleContext ctx;
+    ctx.client = event.packet.ingress;
+    ctx.spec = &spec;
+    ctx.topo = &topo_;
+    for (auto* cluster : clusters_) {
+        ScheduleContext::ClusterState state;
+        state.cluster = cluster;
+        state.instances = cluster->instances(spec.name);
+        state.has_image = cluster->has_image(spec);
+        state.has_service = cluster->has_service(spec.name);
+        ctx.states.push_back(std::move(state));
+    }
+    return ctx;
+}
+
+void Dispatcher::install_and_release(net::OvsSwitch& source,
+                                     const net::PacketIn& event,
+                                     const orchestrator::ServiceSpec& spec,
+                                     const orchestrator::InstanceInfo& instance,
+                                     const std::string& cluster_name) {
+    net::FlowEntry entry;
+    entry.match.src_ip = event.packet.src_ip;
+    entry.match.dst_ip = event.packet.dst_ip;
+    entry.match.dst_port = event.packet.dst_port;
+    entry.match.proto = event.packet.proto;
+    entry.action.set_dst_ip = topo_.node(instance.node).ip;
+    entry.action.set_dst_port = instance.port;
+    entry.action.forward_to = instance.node;
+    entry.priority = config_.flow_priority;
+    entry.idle_timeout = config_.switch_idle_timeout;
+    entry.cookie = cookie_for(spec.name);
+
+    MemorizedFlow flow;
+    flow.client_ip = event.packet.src_ip;
+    flow.service_address = event.packet.dst();
+    flow.service_name = spec.name;
+    flow.instance_node = instance.node;
+    flow.instance_port = instance.port;
+    flow.cluster = cluster_name;
+    memory_.memorize(flow);
+
+    source.flow_mod(net::FlowMod{entry});
+    source.packet_out(net::PacketOut{event.buffer_id, /*use_table=*/true,
+                                     /*drop=*/false});
+}
+
+void Dispatcher::release_to_cloud(net::OvsSwitch& source,
+                                  const net::PacketIn& event, bool install_flow) {
+    ++stats_.cloud_fallbacks;
+    if (install_flow && config_.install_cloud_flows) {
+        net::FlowEntry entry;
+        entry.match.src_ip = event.packet.src_ip;
+        entry.match.dst_ip = event.packet.dst_ip;
+        entry.match.dst_port = event.packet.dst_port;
+        entry.match.proto = event.packet.proto;
+        // No rewrite, no pinned node: forward toward the original (cloud)
+        // destination.
+        entry.priority = config_.flow_priority;
+        entry.idle_timeout = config_.switch_idle_timeout;
+        entry.cookie = 0;
+        source.flow_mod(net::FlowMod{entry});
+    }
+    source.packet_out(net::PacketOut{event.buffer_id, /*use_table=*/false,
+                                     /*drop=*/false});
+}
+
+void Dispatcher::handle_packet_in(const net::PacketIn& event) {
+    handle_packet_in(ingress_, event);
+}
+
+void Dispatcher::handle_packet_in(net::OvsSwitch& source,
+                                  const net::PacketIn& event) {
+    ++stats_.packet_ins;
+    // Location tracking: the client is wherever its packets enter the
+    // network -- the source switch (its current gNB).
+    client_locations_[event.packet.src_ip.value()] = source.node();
+
+    const auto dst = event.packet.dst();
+
+    // 1. FlowMemory: a previously-installed flow can be restored instantly
+    //    -- provided the instance still accepts traffic.
+    if (const auto remembered = memory_.recall(event.packet.src_ip, dst)) {
+        if (topo_.port_open(remembered->instance_node, remembered->instance_port)) {
+            ++stats_.memory_hits;
+            const auto* svc = registry_.lookup(dst);
+            if (svc != nullptr) {
+                orchestrator::InstanceInfo instance;
+                instance.service = remembered->service_name;
+                instance.node = remembered->instance_node;
+                instance.port = remembered->instance_port;
+                instance.ready = true;
+                install_and_release(source, event, svc->spec, instance,
+                                    remembered->cluster);
+                return;
+            }
+        }
+        // Instance vanished or service unregistered: fall through.
+        memory_.forget_service(remembered->service_name);
+    }
+
+    // 2. Only registered services are redirected.
+    const auto* svc = registry_.lookup(dst);
+    if (svc == nullptr) {
+        ++stats_.unregistered;
+        source.packet_out(net::PacketOut{event.buffer_id, /*use_table=*/false,
+                                         /*drop=*/false});
+        return;
+    }
+    const orchestrator::ServiceSpec& spec = svc->spec;
+
+    // 3./4. Gather system state, ask the Global Scheduler.
+    const auto ctx = build_context(event, spec);
+    const ScheduleResult result = scheduler_.decide(ctx);
+
+    // 5. BEST: deploy for future requests in the background (on-demand
+    //    deployment WITHOUT waiting for this request).
+    if (result.best && result.best->cluster != nullptr) {
+        ++stats_.deployed_background;
+        auto* best_cluster = result.best->cluster;
+        core::DeployOptions options;
+        options.wait_ready = true;
+        engine_.ensure(*best_cluster, spec, options,
+                       [this, spec](bool ok, const orchestrator::InstanceInfo&) {
+            if (ok) on_best_ready(spec);
+        });
+    }
+
+    // 6. FAST: where does the *current* request go?
+    if (!result.fast || result.fast->cluster == nullptr) {
+        release_to_cloud(source, event, /*install_flow=*/true);
+        return;
+    }
+    auto* fast_cluster = result.fast->cluster;
+    const std::string cluster_name = fast_cluster->name();
+
+    if (result.fast->instance && result.fast->instance->ready) {
+        ++stats_.redirected_ready;
+        install_and_release(source, event, spec, *result.fast->instance,
+                            cluster_name);
+        return;
+    }
+
+    // With waiting: hold the buffered packet while the instance deploys.
+    ++stats_.deployed_waiting;
+    core::DeployOptions options;
+    options.wait_ready = true;
+    engine_.ensure(*fast_cluster, spec, options,
+                   [this, &source, event, spec, cluster_name](
+                       bool ok, const orchestrator::InstanceInfo& instance) {
+        if (!ok) {
+            ++stats_.failures;
+            release_to_cloud(source, event, /*install_flow=*/false);
+            return;
+        }
+        install_and_release(source, event, spec, instance, cluster_name);
+    });
+}
+
+void Dispatcher::on_best_ready(const orchestrator::ServiceSpec& spec) {
+    // Invalidate existing flows so the next packets re-dispatch to the newly
+    // deployed optimal instance (paper fig. 3: "as soon as the new instance
+    // is running, requests are redirected to this optimal location").
+    for (auto* ingress : switches_) {
+        ingress->remove_flows_by_cookie(cookie_for(spec.name));
+    }
+    memory_.forget_service(spec.name);
+}
+
+} // namespace tedge::sdn

@@ -1,0 +1,106 @@
+// The Dispatcher (paper fig. 6/7): feeds the Global Scheduler with the
+// current system state, checks and triggers deployment of edge services,
+// tracks the clients' locations, and answers packet-ins:
+//
+//   packet-in -> FlowMemory hit? -> install flow, release packet
+//             -> registered service? no -> release toward the cloud
+//             -> gather instances -> Scheduler {FAST, BEST}
+//             -> BEST non-empty -> deploy there in the background
+//             -> FAST instance ready -> redirect now
+//             -> FAST needs deployment -> deploy, hold the packet, probe the
+//                port, then redirect (on-demand deployment WITH waiting)
+//             -> FAST empty -> release toward the cloud
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "net/ovs_switch.hpp"
+#include "sdn/flow_memory.hpp"
+#include "sdn/scheduler.hpp"
+#include "sdn/service_registry.hpp"
+
+namespace tedge::sdn {
+
+struct DispatcherConfig {
+    std::uint16_t flow_priority = 200;
+    /// Idle timeout for switch entries; kept low because FlowMemory can
+    /// restore flows cheaply (paper §V).
+    sim::SimTime switch_idle_timeout = sim::seconds(10);
+    /// Install a redirect-to-cloud entry when no edge location exists, so
+    /// follow-up packets do not hit the controller again.
+    bool install_cloud_flows = true;
+};
+
+struct DispatcherStats {
+    std::uint64_t packet_ins = 0;
+    std::uint64_t memory_hits = 0;
+    std::uint64_t unregistered = 0;
+    std::uint64_t redirected_ready = 0;   ///< served by an existing instance
+    std::uint64_t deployed_waiting = 0;   ///< with-waiting deployments
+    std::uint64_t deployed_background = 0;///< without-waiting (BEST) deployments
+    std::uint64_t cloud_fallbacks = 0;
+    std::uint64_t failures = 0;
+};
+
+class Dispatcher {
+public:
+    Dispatcher(sim::Simulation& sim, net::Topology& topo, net::OvsSwitch& ingress,
+               ServiceRegistry& registry, FlowMemory& memory,
+               core::DeploymentEngine& engine, GlobalScheduler& scheduler,
+               std::vector<orchestrator::Cluster*> clusters,
+               DispatcherConfig config = {});
+
+    /// Handle a packet-in from the primary ingress switch.
+    void handle_packet_in(const net::PacketIn& event);
+
+    /// Handle a packet-in from a specific switch (multi-gNB deployments).
+    void handle_packet_in(net::OvsSwitch& source, const net::PacketIn& event);
+
+    /// Register an additional ingress switch so service-wide flow eviction
+    /// reaches it. The primary switch is registered automatically.
+    void add_switch(net::OvsSwitch& ingress);
+
+    /// Called when a background (BEST) deployment became ready: invalidate
+    /// flows of the service (on every attached switch) so new requests
+    /// re-dispatch to the new optimal instance.
+    void on_best_ready(const orchestrator::ServiceSpec& spec);
+
+    /// Last known attachment point of a client -- the ingress switch it most
+    /// recently entered through (the paper's location tracking). With
+    /// several gNBs this changes as the client moves.
+    [[nodiscard]] std::optional<net::NodeId> client_location(net::Ipv4 client) const;
+
+    [[nodiscard]] const DispatcherStats& stats() const { return stats_; }
+    [[nodiscard]] const std::vector<orchestrator::Cluster*>& clusters() const {
+        return clusters_;
+    }
+
+private:
+    void install_and_release(net::OvsSwitch& source, const net::PacketIn& event,
+                             const orchestrator::ServiceSpec& spec,
+                             const orchestrator::InstanceInfo& instance,
+                             const std::string& cluster_name);
+    void release_to_cloud(net::OvsSwitch& source, const net::PacketIn& event,
+                          bool install_flow);
+    ScheduleContext build_context(const net::PacketIn& event,
+                                  const orchestrator::ServiceSpec& spec) const;
+    static std::uint64_t cookie_for(const std::string& service);
+
+    sim::Simulation& sim_;
+    net::Topology& topo_;
+    net::OvsSwitch& ingress_;
+    std::vector<net::OvsSwitch*> switches_;  ///< all attached ingresses
+    ServiceRegistry& registry_;
+    FlowMemory& memory_;
+    core::DeploymentEngine& engine_;
+    GlobalScheduler& scheduler_;
+    std::vector<orchestrator::Cluster*> clusters_;
+    DispatcherConfig config_;
+    DispatcherStats stats_;
+    std::map<std::uint32_t, net::NodeId> client_locations_;
+};
+
+} // namespace tedge::sdn

@@ -1,0 +1,90 @@
+#include "sdn/flow_memory.hpp"
+
+#include <set>
+
+namespace tedge::sdn {
+
+FlowMemory::FlowMemory(sim::Simulation& sim, Config config)
+    : sim_(sim), config_(config) {
+    scan_ = sim_.schedule_periodic(config_.scan_period, [this] { expire(); });
+}
+
+FlowMemory::~FlowMemory() {
+    scan_.cancel();
+}
+
+void FlowMemory::memorize(const MemorizedFlow& flow) {
+    MemorizedFlow stored = flow;
+    if (stored.created == sim::SimTime::zero()) stored.created = sim_.now();
+    stored.last_used = sim_.now();
+    flows_[Key{flow.client_ip.value(), flow.service_address}] = stored;
+}
+
+std::optional<MemorizedFlow>
+FlowMemory::recall(net::Ipv4 client_ip, const net::ServiceAddress& service) {
+    const auto it = flows_.find(Key{client_ip.value(), service});
+    if (it == flows_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    if (sim_.now() - it->second.last_used >= config_.idle_timeout) {
+        ++misses_;
+        return std::nullopt; // stale; the scan will collect it
+    }
+    it->second.last_used = sim_.now();
+    ++hits_;
+    return it->second;
+}
+
+const MemorizedFlow*
+FlowMemory::peek(net::Ipv4 client_ip, const net::ServiceAddress& service) const {
+    const auto it = flows_.find(Key{client_ip.value(), service});
+    return it == flows_.end() ? nullptr : &it->second;
+}
+
+std::size_t FlowMemory::forget_service(const std::string& service_name) {
+    std::size_t removed = 0;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.service_name == service_name) {
+            it = flows_.erase(it);
+            ++removed;
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+std::size_t FlowMemory::flows_for_service(const std::string& service_name) const {
+    std::size_t count = 0;
+    for (const auto& [key, flow] : flows_) {
+        if (flow.service_name == service_name) ++count;
+    }
+    return count;
+}
+
+std::size_t FlowMemory::expire() {
+    const sim::SimTime now = sim_.now();
+    std::vector<std::pair<std::string, std::string>> expired_services;
+    std::size_t removed = 0;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (now - it->second.last_used >= config_.idle_timeout) {
+            expired_services.emplace_back(it->second.service_name, it->second.cluster);
+            it = flows_.erase(it);
+            ++removed;
+        } else {
+            ++it;
+        }
+    }
+    if (idle_cb_) {
+        // Report services whose *last* flow just expired.
+        std::set<std::pair<std::string, std::string>> seen;
+        for (const auto& [service, cluster] : expired_services) {
+            if (!seen.insert({service, cluster}).second) continue;
+            if (flows_for_service(service) == 0) idle_cb_(service, cluster);
+        }
+    }
+    return removed;
+}
+
+} // namespace tedge::sdn

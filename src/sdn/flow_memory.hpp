@@ -1,0 +1,89 @@
+// FlowMemory (paper §V): the controller memorizes every flow it installs.
+//
+// This lets the switch run with *low* idle timeouts (keeping its TCAM small)
+// while the controller can still answer re-appearing flows instantly from
+// memory. Memorized flows carry their own, longer idle timeout; expiry both
+// drops stale entries and signals which edge services have gone idle so the
+// controller may scale them down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+#include "simcore/simulation.hpp"
+
+namespace tedge::sdn {
+
+struct MemorizedFlow {
+    net::Ipv4 client_ip;
+    net::ServiceAddress service_address;   ///< the registered (cloud) address
+    std::string service_name;
+    net::NodeId instance_node;
+    std::uint16_t instance_port = 0;
+    std::string cluster;                   ///< cluster serving the flow
+    sim::SimTime created;
+    sim::SimTime last_used;
+};
+
+class FlowMemory {
+public:
+    using IdleServiceCallback =
+        std::function<void(const std::string& service_name, const std::string& cluster)>;
+
+    struct Config {
+        sim::SimTime idle_timeout = sim::seconds(60);
+        sim::SimTime scan_period = sim::seconds(5);
+    };
+
+    FlowMemory(sim::Simulation& sim, Config config);
+    ~FlowMemory();
+
+    /// Record (or refresh) a flow.
+    void memorize(const MemorizedFlow& flow);
+
+    /// Look up a live flow and touch its idle timer.
+    [[nodiscard]] std::optional<MemorizedFlow>
+    recall(net::Ipv4 client_ip, const net::ServiceAddress& service);
+
+    /// Look up without touching (for inspection).
+    [[nodiscard]] const MemorizedFlow*
+    peek(net::Ipv4 client_ip, const net::ServiceAddress& service) const;
+
+    /// Drop all flows towards a service instance (e.g. after scale-down).
+    std::size_t forget_service(const std::string& service_name);
+
+    /// Number of live memorized flows.
+    [[nodiscard]] std::size_t size() const { return flows_.size(); }
+
+    /// Live flows currently referencing `service_name`.
+    [[nodiscard]] std::size_t flows_for_service(const std::string& service_name) const;
+
+    /// Fired when the last flow of a service expires -- the hook the
+    /// controller uses to scale idle services down.
+    void set_idle_service_callback(IdleServiceCallback cb) { idle_cb_ = std::move(cb); }
+
+    /// Expire stale flows now (also runs periodically). Returns expired count.
+    std::size_t expire();
+
+    [[nodiscard]] std::uint64_t hits() const { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+private:
+    using Key = std::pair<std::uint32_t, net::ServiceAddress>;
+
+    sim::Simulation& sim_;
+    Config config_;
+    std::map<Key, MemorizedFlow> flows_;
+    IdleServiceCallback idle_cb_;
+    sim::Simulation::PeriodicHandle scan_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace tedge::sdn

@@ -1,0 +1,58 @@
+#include "sdn/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace tedge::sdn {
+
+namespace detail {
+// Defined in sdn/schedulers/*.cpp. Called once on first registry access so
+// the built-ins are present even when the library is linked statically (a
+// plain static-initializer registration would be dead-stripped).
+void register_proximity(SchedulerRegistry& registry);
+void register_round_robin(SchedulerRegistry& registry);
+void register_least_loaded(SchedulerRegistry& registry);
+void register_hierarchical(SchedulerRegistry& registry);
+} // namespace detail
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+    static SchedulerRegistry registry = [] {
+        SchedulerRegistry r;
+        detail::register_proximity(r);
+        detail::register_round_robin(r);
+        detail::register_least_loaded(r);
+        detail::register_hierarchical(r);
+        return r;
+    }();
+    return registry;
+}
+
+void SchedulerRegistry::register_factory(const std::string& name, Factory factory) {
+    factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<GlobalScheduler>
+SchedulerRegistry::create(const std::string& name, const yamlite::Node& params) const {
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+        throw std::invalid_argument("unknown scheduler: " + name);
+    }
+    return it->second(params);
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) out.push_back(name);
+    return out;
+}
+
+bool SchedulerRegistry::contains(const std::string& name) const {
+    return factories_.contains(name);
+}
+
+SchedulerRegistration::SchedulerRegistration(const std::string& name,
+                                             SchedulerRegistry::Factory factory) {
+    SchedulerRegistry::instance().register_factory(name, std::move(factory));
+}
+
+} // namespace tedge::sdn

@@ -1,0 +1,103 @@
+// Global scheduler interface (paper fig. 6/7).
+//
+// The Global Scheduler chooses the edge cluster and returns two results:
+//   FAST -- the fastest location for the *current* request, and
+//   BEST -- the best location for *future* requests.
+// BEST is empty when equal to FAST; when non-empty we have "on-demand
+// deployment without waiting". An empty FAST forwards the request toward
+// the cloud. Concrete schedulers are created by name through a registry,
+// mirroring the paper's dynamically-loaded scheduler classes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "orchestrator/cluster.hpp"
+#include "yamlite/value.hpp"
+
+namespace tedge::sdn {
+
+/// Everything the Dispatcher gathered for one scheduling decision.
+struct ScheduleContext {
+    net::NodeId client;                 ///< client's current location
+    const orchestrator::ServiceSpec* spec = nullptr;
+    const net::Topology* topo = nullptr;
+
+    struct ClusterState {
+        orchestrator::Cluster* cluster = nullptr;
+        std::vector<orchestrator::InstanceInfo> instances;
+        bool has_image = false;
+        bool has_service = false;
+
+        [[nodiscard]] bool any_ready() const {
+            for (const auto& i : instances) {
+                if (i.ready) return true;
+            }
+            return false;
+        }
+        [[nodiscard]] std::optional<orchestrator::InstanceInfo> first_ready() const {
+            for (const auto& i : instances) {
+                if (i.ready) return i;
+            }
+            return std::nullopt;
+        }
+    };
+    std::vector<ClusterState> states;
+};
+
+/// One scheduling choice: a cluster, optionally pinned to a known instance.
+struct Choice {
+    orchestrator::Cluster* cluster = nullptr;
+    std::optional<orchestrator::InstanceInfo> instance;
+};
+
+struct ScheduleResult {
+    std::optional<Choice> fast;  ///< empty -> forward toward the cloud
+    std::optional<Choice> best;  ///< empty -> equal to fast
+};
+
+class GlobalScheduler {
+public:
+    virtual ~GlobalScheduler() = default;
+    [[nodiscard]] virtual const std::string& name() const = 0;
+    [[nodiscard]] virtual ScheduleResult decide(const ScheduleContext& ctx) = 0;
+};
+
+/// Factory registry: schedulers are instantiated by name from the controller
+/// configuration ("dynamic loading"). Factories receive the scheduler's
+/// parameter block from the config file.
+class SchedulerRegistry {
+public:
+    using Factory =
+        std::function<std::unique_ptr<GlobalScheduler>(const yamlite::Node& params)>;
+
+    static SchedulerRegistry& instance();
+
+    void register_factory(const std::string& name, Factory factory);
+    [[nodiscard]] std::unique_ptr<GlobalScheduler>
+    create(const std::string& name, const yamlite::Node& params = {}) const;
+    [[nodiscard]] std::vector<std::string> names() const;
+    [[nodiscard]] bool contains(const std::string& name) const;
+
+private:
+    std::map<std::string, Factory> factories_;
+};
+
+/// Helper for static registration of built-in schedulers.
+struct SchedulerRegistration {
+    SchedulerRegistration(const std::string& name, SchedulerRegistry::Factory factory);
+};
+
+// Built-in scheduler names (registered in sdn/schedulers/*.cpp).
+inline constexpr const char* kProximityScheduler = "proximity";
+inline constexpr const char* kRoundRobinScheduler = "round_robin";
+inline constexpr const char* kLeastLoadedScheduler = "least_loaded";
+inline constexpr const char* kHierarchicalScheduler = "hierarchical";
+inline constexpr const char* kCloudOnlyScheduler = "cloud_only";
+
+} // namespace tedge::sdn

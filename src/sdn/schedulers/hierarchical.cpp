@@ -1,0 +1,88 @@
+#include "sdn/schedulers/hierarchical.hpp"
+
+#include <algorithm>
+
+namespace tedge::sdn {
+
+ScheduleResult HierarchicalScheduler::decide(const ScheduleContext& ctx) {
+    ScheduleResult result;
+
+    std::vector<std::pair<double, const ScheduleContext::ClusterState*>> scored;
+    for (const auto& state : ctx.states) {
+        const auto path = ctx.topo->path(ctx.client, state.cluster->location());
+        if (!path) continue;
+        scored.emplace_back(path->latency.ms(), &state);
+    }
+    if (scored.empty()) return result;
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    // BEST: nearest, but allow a cached cluster to win within the bonus.
+    const ScheduleContext::ClusterState* best = scored.front().second;
+    const double best_latency = scored.front().first;
+    if (!best->has_image) {
+        for (const auto& [latency, state] : scored) {
+            if (state->has_image && latency <= best_latency + cache_bonus_ms_) {
+                best = state;
+                break;
+            }
+        }
+    }
+
+    // FAST: nearest ready instance anywhere.
+    for (const auto& [latency, state] : scored) {
+        if (state->any_ready()) {
+            result.fast = Choice{state->cluster, state->first_ready()};
+            break;
+        }
+    }
+
+    if (result.fast && result.fast->cluster == best->cluster) {
+        return result; // BEST equals FAST -> leave BEST empty
+    }
+    if (!result.fast) {
+        if (wait_ || !best->instances.empty()) {
+            // Nothing running anywhere: wait on BEST (or it is starting).
+            result.fast = Choice{best->cluster, std::nullopt};
+            return result;
+        }
+        // Forward to the cloud, deploy at BEST in the background.
+    }
+    result.best = Choice{best->cluster, std::nullopt};
+    return result;
+}
+
+namespace {
+
+/// cloud_only: never redirect; every request goes to the cloud (baseline).
+class CloudOnlyScheduler final : public GlobalScheduler {
+public:
+    [[nodiscard]] const std::string& name() const override { return name_; }
+    [[nodiscard]] ScheduleResult decide(const ScheduleContext&) override {
+        return {};
+    }
+
+private:
+    std::string name_ = kCloudOnlyScheduler;
+};
+
+} // namespace
+
+namespace detail {
+void register_hierarchical(SchedulerRegistry& registry) {
+    registry.register_factory(kHierarchicalScheduler, [](const yamlite::Node& params) {
+        double bonus = 5.0;
+        bool wait = false;
+        if (const auto* b = params.find("cache_bonus_ms")) {
+            if (const auto v = b->as_int()) bonus = static_cast<double>(*v);
+        }
+        if (const auto* w = params.find("wait")) wait = w->as_bool().value_or(false);
+        return std::make_unique<HierarchicalScheduler>(bonus, wait);
+    });
+    registry.register_factory(kCloudOnlyScheduler, [](const yamlite::Node&) {
+        return std::make_unique<CloudOnlyScheduler>();
+    });
+}
+} // namespace detail
+
+} // namespace tedge::sdn

@@ -1,0 +1,31 @@
+// Hierarchical scheduler: exploits the paper's observation (§IV-A2) that
+// edge clusters are organised hierarchically -- clusters further away
+// (toward the cloud) are bigger and much more likely to have the requested
+// image cached or the service already running. FAST prefers, in order:
+// ready instance nearby, then a ready instance anywhere on the route;
+// BEST prefers the nearest cluster, but an image-cache hit at a modestly
+// farther cluster beats a cold nearest cluster (one pull avoided outweighs a
+// small latency delta).
+#pragma once
+
+#include "sdn/scheduler.hpp"
+
+namespace tedge::sdn {
+
+class HierarchicalScheduler final : public GlobalScheduler {
+public:
+    /// `cache_bonus` is the extra one-way latency (in ms) a cluster may cost
+    /// and still be preferred over a nearer cluster without the image.
+    explicit HierarchicalScheduler(double cache_bonus_ms = 5.0, bool wait = false)
+        : cache_bonus_ms_(cache_bonus_ms), wait_(wait) {}
+
+    [[nodiscard]] const std::string& name() const override { return name_; }
+    [[nodiscard]] ScheduleResult decide(const ScheduleContext& ctx) override;
+
+private:
+    double cache_bonus_ms_;
+    bool wait_;
+    std::string name_ = kHierarchicalScheduler;
+};
+
+} // namespace tedge::sdn

@@ -1,0 +1,46 @@
+#include "sdn/schedulers/least_loaded.hpp"
+
+#include <limits>
+
+namespace tedge::sdn {
+
+ScheduleResult LeastLoadedScheduler::decide(const ScheduleContext& ctx) {
+    ScheduleResult result;
+    if (ctx.states.empty()) return result;
+
+    const ScheduleContext::ClusterState* least = nullptr;
+    std::size_t least_load = std::numeric_limits<std::size_t>::max();
+    for (const auto& state : ctx.states) {
+        const std::size_t load = state.cluster->total_instances();
+        if (load < least_load) {
+            least_load = load;
+            least = &state;
+        }
+    }
+
+    for (const auto& state : ctx.states) {
+        if (state.any_ready()) {
+            result.fast = Choice{state.cluster, state.first_ready()};
+            if (least != nullptr && least->cluster != state.cluster &&
+                !least->any_ready() && least->instances.empty()) {
+                result.best = Choice{least->cluster, std::nullopt};
+            }
+            return result;
+        }
+    }
+
+    if (least != nullptr) {
+        result.fast = Choice{least->cluster, std::nullopt};
+    }
+    return result;
+}
+
+namespace detail {
+void register_least_loaded(SchedulerRegistry& registry) {
+    registry.register_factory(kLeastLoadedScheduler, [](const yamlite::Node&) {
+        return std::make_unique<LeastLoadedScheduler>();
+    });
+}
+} // namespace detail
+
+} // namespace tedge::sdn

@@ -1,0 +1,19 @@
+// Least-loaded scheduler: BEST is the cluster with the fewest placed
+// instances; FAST prefers a ready instance, then falls back to waiting on
+// the least-loaded cluster.
+#pragma once
+
+#include "sdn/scheduler.hpp"
+
+namespace tedge::sdn {
+
+class LeastLoadedScheduler final : public GlobalScheduler {
+public:
+    [[nodiscard]] const std::string& name() const override { return name_; }
+    [[nodiscard]] ScheduleResult decide(const ScheduleContext& ctx) override;
+
+private:
+    std::string name_ = kLeastLoadedScheduler;
+};
+
+} // namespace tedge::sdn

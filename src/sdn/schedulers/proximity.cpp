@@ -1,0 +1,76 @@
+#include "sdn/schedulers/proximity.hpp"
+
+#include <algorithm>
+
+namespace tedge::sdn {
+namespace {
+
+/// States sorted by client->cluster latency (ascending); unreachable
+/// clusters are dropped.
+std::vector<const ScheduleContext::ClusterState*>
+sorted_by_latency(const ScheduleContext& ctx) {
+    std::vector<std::pair<sim::SimTime, const ScheduleContext::ClusterState*>> scored;
+    for (const auto& state : ctx.states) {
+        const auto path = ctx.topo->path(ctx.client, state.cluster->location());
+        if (!path) continue;
+        scored.emplace_back(path->latency, &state);
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<const ScheduleContext::ClusterState*> out;
+    out.reserve(scored.size());
+    for (const auto& [latency, state] : scored) out.push_back(state);
+    return out;
+}
+
+} // namespace
+
+ScheduleResult ProximityScheduler::decide(const ScheduleContext& ctx) {
+    ScheduleResult result;
+    const auto ordered = sorted_by_latency(ctx);
+    if (ordered.empty()) return result; // no reachable edge -> cloud
+
+    const auto* optimal = ordered.front();
+
+    // Instance already running (or starting) in the optimal edge: FAST=BEST.
+    if (const auto ready = optimal->first_ready()) {
+        result.fast = Choice{optimal->cluster, ready};
+        return result;
+    }
+    if (!optimal->instances.empty()) {
+        // An instance is starting there; the request waits for it.
+        result.fast = Choice{optimal->cluster, std::nullopt};
+        return result;
+    }
+
+    if (wait_) {
+        // With waiting: hold the request while deploying in the optimal edge.
+        result.fast = Choice{optimal->cluster, std::nullopt};
+        return result;
+    }
+
+    // Without waiting: serve the request from the nearest ready instance
+    // (or the cloud) while deploying in the optimal edge in parallel.
+    for (const auto* state : ordered) {
+        if (const auto ready = state->first_ready()) {
+            result.fast = Choice{state->cluster, ready};
+            break;
+        }
+    }
+    result.best = Choice{optimal->cluster, std::nullopt};
+    return result;
+}
+
+namespace detail {
+void register_proximity(SchedulerRegistry& registry) {
+    registry.register_factory(kProximityScheduler, [](const yamlite::Node& params) {
+        bool wait = true;
+        if (const auto* w = params.find("wait")) {
+            wait = w->as_bool().value_or(true);
+        }
+        return std::make_unique<ProximityScheduler>(wait);
+    });
+}
+} // namespace detail
+
+} // namespace tedge::sdn

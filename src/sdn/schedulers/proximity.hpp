@@ -1,0 +1,31 @@
+// Proximity scheduler: the paper's default policy.
+//
+// BEST is always the lowest-latency cluster from the client's current
+// location. FAST depends on the waiting policy:
+//  - wait=true  (on-demand deployment *with* waiting): FAST = BEST even when
+//    no instance runs there yet; the request is held during deployment.
+//  - wait=false (*without* waiting): FAST = the nearest cluster with a ready
+//    instance (possibly further away), or empty (forward to the cloud);
+//    BEST is deployed to in parallel.
+#pragma once
+
+#include "sdn/scheduler.hpp"
+
+namespace tedge::sdn {
+
+class ProximityScheduler final : public GlobalScheduler {
+public:
+    explicit ProximityScheduler(bool wait_for_deployment = true)
+        : wait_(wait_for_deployment) {}
+
+    [[nodiscard]] const std::string& name() const override { return name_; }
+    [[nodiscard]] ScheduleResult decide(const ScheduleContext& ctx) override;
+
+    [[nodiscard]] bool waits() const { return wait_; }
+
+private:
+    bool wait_;
+    std::string name_ = kProximityScheduler;
+};
+
+} // namespace tedge::sdn

@@ -1,0 +1,42 @@
+#include "sdn/schedulers/round_robin.hpp"
+
+namespace tedge::sdn {
+
+ScheduleResult RoundRobinScheduler::decide(const ScheduleContext& ctx) {
+    ScheduleResult result;
+    if (ctx.states.empty()) return result;
+
+    // A ready instance anywhere wins for the current request.
+    const ScheduleContext::ClusterState* ready_state = nullptr;
+    for (const auto& state : ctx.states) {
+        if (state.any_ready()) {
+            ready_state = &state;
+            break;
+        }
+    }
+
+    const auto& target = ctx.states[cursor_ % ctx.states.size()];
+    ++cursor_;
+
+    if (ready_state != nullptr) {
+        result.fast = Choice{ready_state->cluster, ready_state->first_ready()};
+        if (ready_state->cluster != target.cluster && !target.any_ready()) {
+            result.best = Choice{target.cluster, std::nullopt};
+        }
+        return result;
+    }
+
+    // Nothing running: deploy at the rotation target and wait there.
+    result.fast = Choice{target.cluster, std::nullopt};
+    return result;
+}
+
+namespace detail {
+void register_round_robin(SchedulerRegistry& registry) {
+    registry.register_factory(kRoundRobinScheduler, [](const yamlite::Node&) {
+        return std::make_unique<RoundRobinScheduler>();
+    });
+}
+} // namespace detail
+
+} // namespace tedge::sdn

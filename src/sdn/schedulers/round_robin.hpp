@@ -1,0 +1,21 @@
+// Round-robin scheduler: spreads deployments evenly across clusters; FAST
+// follows any ready instance, otherwise the rotation target (with waiting).
+#pragma once
+
+#include <cstddef>
+
+#include "sdn/scheduler.hpp"
+
+namespace tedge::sdn {
+
+class RoundRobinScheduler final : public GlobalScheduler {
+public:
+    [[nodiscard]] const std::string& name() const override { return name_; }
+    [[nodiscard]] ScheduleResult decide(const ScheduleContext& ctx) override;
+
+private:
+    std::size_t cursor_ = 0;
+    std::string name_ = kRoundRobinScheduler;
+};
+
+} // namespace tedge::sdn

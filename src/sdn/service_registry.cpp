@@ -1,0 +1,46 @@
+#include "sdn/service_registry.hpp"
+
+namespace tedge::sdn {
+
+void ServiceRegistry::register_service(const net::ServiceAddress& address,
+                                       AnnotatedService service) {
+    services_[address] = std::move(service);
+}
+
+const AnnotatedService&
+ServiceRegistry::register_yaml(const net::ServiceAddress& address,
+                               const std::string& yaml_text,
+                               const Annotator& annotator) {
+    services_[address] = annotator.annotate(yaml_text, address);
+    return services_[address];
+}
+
+const AnnotatedService*
+ServiceRegistry::lookup(const net::ServiceAddress& address) const {
+    const auto it = services_.find(address);
+    return it == services_.end() ? nullptr : &it->second;
+}
+
+const AnnotatedService* ServiceRegistry::find_by_name(const std::string& name) const {
+    for (const auto& [address, service] : services_) {
+        if (service.spec.name == name) return &service;
+    }
+    return nullptr;
+}
+
+bool ServiceRegistry::contains(const net::ServiceAddress& address) const {
+    return services_.contains(address);
+}
+
+bool ServiceRegistry::unregister(const net::ServiceAddress& address) {
+    return services_.erase(address) > 0;
+}
+
+std::vector<net::ServiceAddress> ServiceRegistry::addresses() const {
+    std::vector<net::ServiceAddress> out;
+    out.reserve(services_.size());
+    for (const auto& [address, service] : services_) out.push_back(address);
+    return out;
+}
+
+} // namespace tedge::sdn

@@ -1,0 +1,40 @@
+// Registry of edge services. Services are registered with the mobile edge
+// platform provider by their unique combination of domain IP address and
+// port number (paper §II); the SDN controller intercepts exactly these
+// addresses at the network ingress.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sdn/annotator.hpp"
+
+namespace tedge::sdn {
+
+class ServiceRegistry {
+public:
+    /// Register (or replace) a service under its cloud address.
+    void register_service(const net::ServiceAddress& address,
+                          AnnotatedService service);
+
+    /// Convenience: annotate `yaml_text` with `annotator` and register it.
+    const AnnotatedService& register_yaml(const net::ServiceAddress& address,
+                                          const std::string& yaml_text,
+                                          const Annotator& annotator);
+
+    [[nodiscard]] const AnnotatedService* lookup(const net::ServiceAddress& address) const;
+    [[nodiscard]] const AnnotatedService* find_by_name(const std::string& name) const;
+    [[nodiscard]] bool contains(const net::ServiceAddress& address) const;
+    bool unregister(const net::ServiceAddress& address);
+
+    [[nodiscard]] std::size_t size() const { return services_.size(); }
+    [[nodiscard]] std::vector<net::ServiceAddress> addresses() const;
+
+private:
+    std::unordered_map<net::ServiceAddress, AnnotatedService> services_;
+};
+
+} // namespace tedge::sdn

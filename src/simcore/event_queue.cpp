@@ -1,0 +1,57 @@
+#include "simcore/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tedge::sim {
+
+void EventHandle::cancel() {
+    if (alive_) *alive_ = false;
+}
+
+bool EventHandle::pending() const {
+    return alive_ && *alive_;
+}
+
+EventHandle EventQueue::push(SimTime at, Callback cb) {
+    auto alive = std::make_shared<bool>(true);
+    heap_.push(Entry{at, seq_++, std::move(cb), alive});
+    return EventHandle{std::move(alive)};
+}
+
+void EventQueue::drop_dead() const {
+    while (!heap_.empty() && !*heap_.top().alive) {
+        heap_.pop();
+    }
+}
+
+bool EventQueue::empty() const {
+    drop_dead();
+    return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+    drop_dead();
+    if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+    return heap_.top().at;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+    drop_dead();
+    if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+    // priority_queue::top() is const; the entry is about to be destroyed, so
+    // moving out of it is safe.
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    *e.alive = false; // handle now reports "not pending"
+    return {e.at, std::move(e.cb)};
+}
+
+void EventQueue::clear() {
+    while (!heap_.empty()) {
+        *heap_.top().alive = false;
+        heap_.pop();
+    }
+}
+
+} // namespace tedge::sim

@@ -1,0 +1,84 @@
+// Priority event queue for the discrete-event kernel.
+//
+// Events are ordered by (timestamp, insertion sequence) which makes execution
+// order fully deterministic: two events scheduled for the same instant run in
+// the order they were scheduled. Cancellation is O(1) via a shared tombstone
+// flag; dead events are dropped lazily when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace tedge::sim {
+
+/// Handle to a scheduled event; allows cancellation before it fires.
+class EventHandle {
+public:
+    EventHandle() = default;
+
+    /// Cancel the event. Safe to call multiple times or on an empty handle.
+    void cancel();
+
+    /// True if the handle refers to an event that has neither fired nor been
+    /// cancelled yet.
+    [[nodiscard]] bool pending() const;
+
+private:
+    friend class EventQueue;
+    explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+    std::shared_ptr<bool> alive_;
+};
+
+/// Min-heap of timestamped callbacks.
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    /// Schedule `cb` to fire at absolute time `at`.
+    EventHandle push(SimTime at, Callback cb);
+
+    /// True when no live events remain. May lazily discard cancelled events.
+    [[nodiscard]] bool empty() const;
+
+    /// Number of events currently stored, including not-yet-collected
+    /// cancelled ones (an upper bound on live events).
+    [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+    /// Timestamp of the earliest live event. Requires !empty().
+    [[nodiscard]] SimTime next_time() const;
+
+    /// Remove and return the earliest live event. Requires !empty().
+    std::pair<SimTime, Callback> pop();
+
+    /// Drop all events.
+    void clear();
+
+    /// Total number of events ever scheduled (for diagnostics/determinism checks).
+    [[nodiscard]] std::uint64_t total_scheduled() const { return seq_; }
+
+private:
+    struct Entry {
+        SimTime at;
+        std::uint64_t seq = 0;
+        Callback cb;
+        std::shared_ptr<bool> alive;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    void drop_dead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace tedge::sim

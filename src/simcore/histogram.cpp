@@ -1,0 +1,90 @@
+#include "simcore/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tedge::sim {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+    if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+    if (bins == 0) throw std::invalid_argument("Histogram: zero bins");
+    counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+    ++total_;
+    if (x < lo_) { ++underflow_; return; }
+    if (x >= hi_) { ++overflow_; return; }
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+    return bin_lo(i + 1);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+    std::uint64_t peak = 1;
+    for (auto c : counts_) peak = std::max(peak, c);
+    std::ostringstream os;
+    os.precision(2);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar = static_cast<std::size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        os << std::fixed << "[" << bin_lo(i) << "," << bin_hi(i) << ") "
+           << std::string(bar, '#') << " " << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+TimeSeriesBins::TimeSeriesBins(SimTime horizon, SimTime bin_width)
+    : bin_width_(bin_width) {
+    if (bin_width <= SimTime::zero()) throw std::invalid_argument("bin_width <= 0");
+    if (horizon <= SimTime::zero()) throw std::invalid_argument("horizon <= 0");
+    const auto n = (horizon.ns() + bin_width.ns() - 1) / bin_width.ns();
+    counts_.assign(static_cast<std::size_t>(n), 0);
+}
+
+void TimeSeriesBins::add(SimTime t, std::uint64_t weight) {
+    auto idx = t < SimTime::zero()
+                   ? std::size_t{0}
+                   : static_cast<std::size_t>(t.ns() / bin_width_.ns());
+    idx = std::min(idx, counts_.size() - 1);
+    counts_[idx] += weight;
+    total_ += weight;
+}
+
+SimTime TimeSeriesBins::bin_start(std::size_t i) const {
+    return SimTime{bin_width_.ns() * static_cast<std::int64_t>(i)};
+}
+
+std::uint64_t TimeSeriesBins::max_bin() const {
+    std::uint64_t peak = 0;
+    for (auto c : counts_) peak = std::max(peak, c);
+    return peak;
+}
+
+std::string TimeSeriesBins::ascii(std::size_t width) const {
+    const std::uint64_t peak = std::max<std::uint64_t>(max_bin(), 1);
+    std::ostringstream os;
+    os.precision(0);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar = static_cast<std::size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        os << std::fixed << bin_start(i).seconds() << "s "
+           << std::string(bar, '#') << " " << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+} // namespace tedge::sim

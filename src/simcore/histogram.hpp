@@ -1,0 +1,72 @@
+// Histograms: fixed-width value histograms and time-binned event series.
+//
+// TimeSeriesBins reproduces the paper's figs. 9/10 (events per time bucket
+// over the five-minute trace); Histogram supports value distributions.
+// Both can render a compact ASCII bar chart for the bench harness output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace tedge::sim {
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples land in
+/// saturating under/overflow bins.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+    [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+    [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+    [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+    [[nodiscard]] std::uint64_t total() const { return total_; }
+    [[nodiscard]] double bin_lo(std::size_t i) const;
+    [[nodiscard]] double bin_hi(std::size_t i) const;
+
+    /// Multi-line ASCII rendering, one row per bin.
+    [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/// Events bucketed by simulation time; bucket width is fixed.
+class TimeSeriesBins {
+public:
+    TimeSeriesBins(SimTime horizon, SimTime bin_width);
+
+    /// Record one event at time `t` (events past the horizon are clamped to
+    /// the last bin so totals stay exact).
+    void add(SimTime t, std::uint64_t weight = 1);
+
+    [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+    [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+    [[nodiscard]] SimTime bin_start(std::size_t i) const;
+    [[nodiscard]] SimTime bin_width() const { return bin_width_; }
+    [[nodiscard]] std::uint64_t total() const { return total_; }
+    [[nodiscard]] std::uint64_t max_bin() const;
+
+    /// Per-bin counts (for tests / plotting).
+    [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+    /// ASCII rendering with seconds on the left axis.
+    [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+private:
+    SimTime bin_width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace tedge::sim

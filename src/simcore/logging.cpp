@@ -1,0 +1,56 @@
+#include "simcore/logging.hpp"
+
+#include <iostream>
+
+#include "simcore/simulation.hpp"
+
+namespace tedge::sim {
+
+const char* to_string(LogLevel level) {
+    switch (level) {
+        case LogLevel::kTrace: return "TRACE";
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+
+std::string SimTime::str() const {
+    std::ostringstream os;
+    os.precision(3);
+    const double abs_ns = static_cast<double>(ns_ < 0 ? -ns_ : ns_);
+    if (abs_ns < 1e3) {
+        os << ns_ << "ns";
+    } else if (abs_ns < 1e6) {
+        os << std::fixed << us() << "us";
+    } else if (abs_ns < 1e9) {
+        os << std::fixed << ms() << "ms";
+    } else {
+        os << std::fixed << seconds() << "s";
+    }
+    return os.str();
+}
+
+Logger::Logger(const Simulation& sim, std::string component, LogLevel level)
+    : sim_(&sim), component_(std::move(component)), level_(level) {}
+
+Logger Logger::child(const std::string& sub) const {
+    Logger c{*sim_, component_ + "/" + sub, level_};
+    c.sink_ = sink_;
+    return c;
+}
+
+void Logger::log(LogLevel level, const std::string& message) const {
+    if (level < level_) return;
+    if (sink_) {
+        sink_(level, sim_->now(), component_, message);
+        return;
+    }
+    std::cerr << "[" << sim_->now().str() << "] " << to_string(level) << " "
+              << component_ << ": " << message << "\n";
+}
+
+} // namespace tedge::sim

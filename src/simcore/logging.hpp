@@ -1,0 +1,54 @@
+// Minimal structured logger with simulation timestamps.
+//
+// Components log through a Logger bound to the Simulation clock; the global
+// level filter keeps benches quiet by default while tests can raise
+// verbosity. Not thread-safe across simulations by design: each replica
+// carries its own Logger, and the sink is only shared when explicitly set.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+#include "simcore/time.hpp"
+
+namespace tedge::sim {
+
+class Simulation;
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+class Logger {
+public:
+    using Sink = std::function<void(LogLevel, SimTime, const std::string& component,
+                                    const std::string& message)>;
+
+    Logger(const Simulation& sim, std::string component,
+           LogLevel level = LogLevel::kWarn);
+
+    [[nodiscard]] LogLevel level() const { return level_; }
+    void set_level(LogLevel level) { level_ = level; }
+    void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+    /// Create a child logger for a subcomponent, sharing sink and level.
+    [[nodiscard]] Logger child(const std::string& sub) const;
+
+    void log(LogLevel level, const std::string& message) const;
+
+    void trace(const std::string& m) const { log(LogLevel::kTrace, m); }
+    void debug(const std::string& m) const { log(LogLevel::kDebug, m); }
+    void info(const std::string& m) const { log(LogLevel::kInfo, m); }
+    void warn(const std::string& m) const { log(LogLevel::kWarn, m); }
+    void error(const std::string& m) const { log(LogLevel::kError, m); }
+
+private:
+    const Simulation* sim_;
+    std::string component_;
+    LogLevel level_;
+    Sink sink_; // empty -> stderr
+};
+
+} // namespace tedge::sim

@@ -1,0 +1,63 @@
+#include "simcore/simulation.hpp"
+
+#include <stdexcept>
+
+namespace tedge::sim {
+
+EventHandle Simulation::schedule(SimTime delay, EventQueue::Callback cb) {
+    if (delay < SimTime::zero()) throw std::invalid_argument("negative delay");
+    return queue_.push(now_ + delay, std::move(cb));
+}
+
+EventHandle Simulation::schedule_at(SimTime at, EventQueue::Callback cb) {
+    if (at < now_) throw std::invalid_argument("schedule_at in the past");
+    return queue_.push(at, std::move(cb));
+}
+
+Simulation::PeriodicHandle Simulation::schedule_periodic(SimTime period,
+                                                         EventQueue::Callback cb) {
+    if (period <= SimTime::zero()) throw std::invalid_argument("non-positive period");
+    PeriodicHandle handle;
+    handle.stop_ = std::make_shared<bool>(false);
+    auto stop = handle.stop_;
+    // Self-rescheduling closure; captures the kernel by pointer (kernel is
+    // pinned: non-movable, outlives all events).
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [this, period, cb = std::move(cb), stop, tick]() {
+        if (*stop) return;
+        cb();
+        if (*stop) return;
+        schedule(period, *tick);
+    };
+    schedule(period, *tick);
+    return handle;
+}
+
+std::uint64_t Simulation::run() {
+    stop_requested_ = false;
+    std::uint64_t n = 0;
+    while (!queue_.empty() && !stop_requested_) {
+        auto [at, cb] = queue_.pop();
+        now_ = at;
+        cb();
+        ++n;
+        ++executed_;
+    }
+    return n;
+}
+
+std::uint64_t Simulation::run_until(SimTime deadline) {
+    stop_requested_ = false;
+    std::uint64_t n = 0;
+    while (!queue_.empty() && !stop_requested_ && queue_.next_time() <= deadline) {
+        auto [at, cb] = queue_.pop();
+        now_ = at;
+        cb();
+        ++n;
+        ++executed_;
+    }
+    if (!stop_requested_ && now_ < deadline) now_ = deadline;
+    return n;
+}
+
+} // namespace tedge::sim

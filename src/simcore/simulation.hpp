@@ -1,0 +1,73 @@
+// The discrete-event simulation kernel.
+//
+// A Simulation owns the virtual clock and the event queue. Components
+// schedule callbacks at relative delays or absolute times; run() drains the
+// queue in deterministic order. There is exactly one Simulation per
+// experiment; components hold a reference to it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/time.hpp"
+
+namespace tedge::sim {
+
+class Simulation {
+public:
+    Simulation() = default;
+
+    // The kernel is referenced by every component; it must not move.
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    /// Current virtual time.
+    [[nodiscard]] SimTime now() const { return now_; }
+
+    /// Schedule `cb` to run `delay` after the current time.
+    EventHandle schedule(SimTime delay, EventQueue::Callback cb);
+
+    /// Schedule `cb` at absolute time `at` (must be >= now()).
+    EventHandle schedule_at(SimTime at, EventQueue::Callback cb);
+
+    /// Schedule a callback that re-arms itself every `period` until the
+    /// returned handle is cancelled. The first firing is after `period`.
+    /// The callback receives no arguments; cancel via the shared handle.
+    class PeriodicHandle {
+    public:
+        void cancel() { if (stop_) *stop_ = true; }
+        [[nodiscard]] bool active() const { return stop_ && !*stop_; }
+    private:
+        friend class Simulation;
+        std::shared_ptr<bool> stop_;
+    };
+    PeriodicHandle schedule_periodic(SimTime period, EventQueue::Callback cb);
+
+    /// Run until the queue is empty or a stop was requested.
+    /// Returns the number of events executed.
+    std::uint64_t run();
+
+    /// Run until virtual time reaches `deadline` (events at exactly the
+    /// deadline still execute). The clock is advanced to `deadline` if the
+    /// queue drains earlier. Returns the number of events executed.
+    std::uint64_t run_until(SimTime deadline);
+
+    /// Request that run()/run_until() return after the current event.
+    void stop() { stop_requested_ = true; }
+
+    /// True if any events remain.
+    [[nodiscard]] bool has_pending_events() const { return !queue_.empty(); }
+
+    /// Number of events executed so far in this simulation's lifetime.
+    [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+private:
+    SimTime now_ = SimTime::zero();
+    EventQueue queue_;
+    bool stop_requested_ = false;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace tedge::sim

@@ -1,0 +1,105 @@
+#include "simcore/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace tedge::sim {
+
+void OnlineStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const {
+    return std::sqrt(variance());
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) { *this = other; return; }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(n_);
+    const auto n2 = static_cast<double>(other.n_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double SampleSet::quantile(double p) const {
+    if (samples_.empty()) throw std::logic_error("quantile of empty SampleSet");
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("quantile p out of [0,1]");
+    ensure_sorted();
+    const double h = p * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const auto hi = static_cast<std::size_t>(std::ceil(h));
+    const double frac = h - std::floor(h);
+    return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
+}
+
+double SampleSet::min() const {
+    if (samples_.empty()) throw std::logic_error("min of empty SampleSet");
+    ensure_sorted();
+    return samples_.front();
+}
+
+double SampleSet::max() const {
+    if (samples_.empty()) throw std::logic_error("max of empty SampleSet");
+    ensure_sorted();
+    return samples_.back();
+}
+
+double SampleSet::mean() const {
+    if (samples_.empty()) throw std::logic_error("mean of empty SampleSet");
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+void SampleSet::merge(const SampleSet& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+}
+
+std::string SampleSet::summary(const std::string& unit) const {
+    std::ostringstream os;
+    if (samples_.empty()) {
+        os << "n=0";
+        return os.str();
+    }
+    os.precision(1);
+    os << std::fixed << "median=" << median() << unit
+       << " iqr=[" << p25() << "," << p75() << "]"
+       << " n=" << count();
+    return os.str();
+}
+
+} // namespace tedge::sim

@@ -1,0 +1,76 @@
+// Statistics collectors used throughout the evaluation harness.
+//
+// The paper reports medians (box plots) over 42 deployments / 1708 requests,
+// so sample sets are small; we simply keep all samples and compute exact
+// order statistics. OnlineStats (Welford) is provided for long-running
+// counters where storing samples would be wasteful.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace tedge::sim {
+
+/// Streaming mean/variance via Welford's algorithm. O(1) memory.
+class OnlineStats {
+public:
+    void add(double x);
+
+    [[nodiscard]] std::size_t count() const { return n_; }
+    [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+    [[nodiscard]] double variance() const;       ///< sample variance (n-1)
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+    /// Merge another collector into this one (parallel reduction).
+    void merge(const OnlineStats& other);
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Exact order statistics over a retained sample set.
+class SampleSet {
+public:
+    void add(double x);
+    void add_time(SimTime t) { add(t.ms()); } ///< convenience: record in ms
+
+    [[nodiscard]] std::size_t count() const { return samples_.size(); }
+    [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+    /// Exact p-quantile in [0,1] via linear interpolation between order
+    /// statistics (type-7, the numpy/R default). Requires non-empty set.
+    [[nodiscard]] double quantile(double p) const;
+
+    [[nodiscard]] double median() const { return quantile(0.5); }
+    [[nodiscard]] double p25() const { return quantile(0.25); }
+    [[nodiscard]] double p75() const { return quantile(0.75); }
+    [[nodiscard]] double p95() const { return quantile(0.95); }
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double mean() const;
+
+    [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+    void merge(const SampleSet& other);
+    void clear() { samples_.clear(); sorted_ = true; }
+
+    /// "median=12.3 iqr=[10.1,14.2] n=42" -- the figure caption format used
+    /// by the bench harness.
+    [[nodiscard]] std::string summary(const std::string& unit = "ms") const;
+
+private:
+    void ensure_sorted() const;
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+} // namespace tedge::sim

@@ -1,0 +1,57 @@
+// Work-stealing-free, queue-based thread pool used to run independent
+// simulation replicas in parallel (one Simulation per task; the kernel itself
+// is single-threaded and deterministic, so parallelism lives *across* runs).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tedge::sim {
+
+class ThreadPool {
+public:
+    /// Create a pool with `threads` workers (0 -> hardware_concurrency).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+    /// Enqueue a task; the returned future reports its result/exception.
+    template <typename F>
+    auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+        auto fut = task->get_future();
+        {
+            std::lock_guard lock(mu_);
+            if (stopping_) throw std::runtime_error("ThreadPool is stopping");
+            queue_.emplace([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+    /// Exceptions from tasks are rethrown (the first one encountered).
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace tedge::sim

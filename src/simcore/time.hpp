@@ -1,0 +1,61 @@
+// Simulation time: a strong 64-bit nanosecond tick type.
+//
+// All latencies, bandwidth-induced delays and timestamps in the simulator are
+// expressed as SimTime. The type is deliberately narrow (integral nanoseconds)
+// so that event ordering is exact and runs are bit-reproducible across
+// platforms -- no floating-point clock drift.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace tedge::sim {
+
+/// A point in (or duration of) simulated time, in integer nanoseconds.
+class SimTime {
+public:
+    constexpr SimTime() = default;
+    constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+    [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+    [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+    [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+    [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+    [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+    [[nodiscard]] static constexpr SimTime max() {
+        return SimTime{std::numeric_limits<std::int64_t>::max()};
+    }
+
+    constexpr auto operator<=>(const SimTime&) const = default;
+
+    constexpr SimTime& operator+=(SimTime rhs) { ns_ += rhs.ns_; return *this; }
+    constexpr SimTime& operator-=(SimTime rhs) { ns_ -= rhs.ns_; return *this; }
+
+    friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.ns_ + b.ns_}; }
+    friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.ns_ - b.ns_}; }
+    friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.ns_ * k}; }
+    friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return SimTime{a.ns_ * k}; }
+
+    /// Human-readable rendering with an adaptive unit (ns/us/ms/s).
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::int64_t ns_ = 0;
+};
+
+[[nodiscard]] constexpr SimTime nanoseconds(std::int64_t v) { return SimTime{v}; }
+[[nodiscard]] constexpr SimTime microseconds(std::int64_t v) { return SimTime{v * 1'000}; }
+[[nodiscard]] constexpr SimTime milliseconds(std::int64_t v) { return SimTime{v * 1'000'000}; }
+[[nodiscard]] constexpr SimTime seconds(std::int64_t v) { return SimTime{v * 1'000'000'000}; }
+
+/// Convert a floating-point duration in seconds to SimTime (round to nearest ns).
+[[nodiscard]] constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+}
+[[nodiscard]] constexpr SimTime from_ms(double ms) { return from_seconds(ms / 1e3); }
+[[nodiscard]] constexpr SimTime from_us(double us) { return from_seconds(us / 1e6); }
+
+} // namespace tedge::sim

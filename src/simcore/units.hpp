@@ -1,0 +1,43 @@
+// Data-size and data-rate units used by the network and container substrates.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/time.hpp"
+
+namespace tedge::sim {
+
+/// A size in bytes. Plain integer alias; helpers below give readable literals.
+using Bytes = std::int64_t;
+
+[[nodiscard]] constexpr Bytes kib(double v) { return static_cast<Bytes>(v * 1024.0); }
+[[nodiscard]] constexpr Bytes mib(double v) { return static_cast<Bytes>(v * 1024.0 * 1024.0); }
+[[nodiscard]] constexpr Bytes gib(double v) { return static_cast<Bytes>(v * 1024.0 * 1024.0 * 1024.0); }
+
+/// A data rate in bits per second.
+class DataRate {
+public:
+    constexpr DataRate() = default;
+    constexpr explicit DataRate(std::int64_t bits_per_sec) : bps_(bits_per_sec) {}
+
+    [[nodiscard]] constexpr std::int64_t bps() const { return bps_; }
+    [[nodiscard]] constexpr double mbps() const { return static_cast<double>(bps_) / 1e6; }
+
+    /// Time needed to serialize `size` bytes at this rate. A zero rate means
+    /// "infinitely fast" (useful for loopback links) and yields zero time.
+    [[nodiscard]] constexpr SimTime transfer_time(Bytes size) const {
+        if (bps_ <= 0 || size <= 0) return SimTime::zero();
+        const double secs = static_cast<double>(size) * 8.0 / static_cast<double>(bps_);
+        return from_seconds(secs);
+    }
+
+    constexpr auto operator<=>(const DataRate&) const = default;
+
+private:
+    std::int64_t bps_ = 0;
+};
+
+[[nodiscard]] constexpr DataRate mbit_per_sec(std::int64_t v) { return DataRate{v * 1'000'000}; }
+[[nodiscard]] constexpr DataRate gbit_per_sec(std::int64_t v) { return DataRate{v * 1'000'000'000}; }
+
+} // namespace tedge::sim

@@ -1,0 +1,229 @@
+#include "testbed/services.hpp"
+
+#include <stdexcept>
+
+namespace tedge::testbed {
+namespace {
+
+// Image sizes and layer counts from Table I.
+container::Image asm_image() {
+    container::Image image;
+    image.ref = *container::ImageRef::parse("josefhammer/web-asm:amd64");
+    image.layers = container::make_layers("web-asm", sim::kib(6.18), 1);
+    return image;
+}
+
+container::Image nginx_image() {
+    container::Image image;
+    image.ref = *container::ImageRef::parse("nginx:1.23.2");
+    image.layers = container::make_layers("nginx-1.23.2", sim::mib(135), 6);
+    return image;
+}
+
+container::Image resnet_image() {
+    container::Image image;
+    image.ref = *container::ImageRef::parse("gcr.io/tensorflow-serving/resnet:latest");
+    image.layers = container::make_layers("tf-serving-resnet", sim::mib(308), 9);
+    return image;
+}
+
+// Nginx+Py totals 181 MiB / 7 layers = nginx (135/6) + the Python writer
+// (46 MiB / 1 layer). The nginx layers are the *same* blobs, so pulling
+// Nginx+Py after Nginx only fetches the Python layer (layer sharing).
+container::Image envwriter_image() {
+    container::Image image;
+    image.ref = *container::ImageRef::parse("josefhammer/env-writer-py:latest");
+    image.layers = container::make_layers("env-writer-py", sim::mib(46), 1);
+    return image;
+}
+
+std::vector<TestService> build_catalog() {
+    std::vector<TestService> catalog;
+
+    {
+        TestService s;
+        s.key = "asm";
+        s.display_name = "Asm";
+        s.address = {net::Ipv4{203, 0, 113, 10}, 80};
+        s.request_size = 120;
+        s.http_method = "GET";
+        s.images = {asm_image()};
+        s.yaml = R"(# asmttpd -- web server written in amd64 assembly
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - name: web-asm
+          image: josefhammer/web-asm:amd64
+          ports:
+            - containerPort: 80
+)";
+        catalog.push_back(std::move(s));
+    }
+    {
+        TestService s;
+        s.key = "nginx";
+        s.display_name = "Nginx";
+        s.address = {net::Ipv4{203, 0, 113, 11}, 80};
+        s.request_size = 120;
+        s.http_method = "GET";
+        s.images = {nginx_image()};
+        s.yaml = R"(kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - name: nginx
+          image: nginx:1.23.2
+          ports:
+            - containerPort: 80
+)";
+        catalog.push_back(std::move(s));
+    }
+    {
+        TestService s;
+        s.key = "resnet";
+        s.display_name = "ResNet";
+        s.address = {net::Ipv4{203, 0, 113, 12}, 8501};
+        s.request_size = sim::kib(83);  // the cat picture (83 KiB payload)
+        s.http_method = "POST";
+        s.images = {resnet_image()};
+        s.yaml = R"(kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - name: resnet
+          image: gcr.io/tensorflow-serving/resnet:latest
+          ports:
+            - containerPort: 8501
+)";
+        catalog.push_back(std::move(s));
+    }
+    {
+        TestService s;
+        s.key = "nginx_py";
+        s.display_name = "Nginx+Py";
+        s.address = {net::Ipv4{203, 0, 113, 13}, 80};
+        s.request_size = 120;
+        s.http_method = "GET";
+        s.images = {nginx_image(), envwriter_image()};
+        s.yaml = R"(kind: Deployment
+spec:
+  template:
+    spec:
+      volumes:
+        - name: shared-html
+          hostPath:
+            path: /srv/edge/html
+      containers:
+        - name: nginx
+          image: nginx:1.23.2
+          ports:
+            - containerPort: 80
+          volumeMounts:
+            - name: shared-html
+              mountPath: /usr/share/nginx/html
+        - name: env-writer
+          image: josefhammer/env-writer-py:latest
+          env:
+            - name: WRITE_INTERVAL
+              value: "1"
+          volumeMounts:
+            - name: shared-html
+              mountPath: /out
+)";
+        catalog.push_back(std::move(s));
+    }
+    return catalog;
+}
+
+} // namespace
+
+const std::vector<TestService>& table1_services() {
+    static const std::vector<TestService> catalog = build_catalog();
+    return catalog;
+}
+
+const TestService& service_by_key(const std::string& key) {
+    for (const auto& s : table1_services()) {
+        if (s.key == key) return s;
+    }
+    throw std::invalid_argument("unknown test service: " + key);
+}
+
+void install_services(core::EdgePlatform& platform, container::Registry& hub,
+                      container::Registry& gcr, container::Registry* mirror) {
+    // --- behavioural profiles (startup / request handling) -------------
+    {
+        // asmttpd: "negligible launch time" -- measures pure container
+        // overhead. Serves a short plain-text file.
+        container::AppProfile p;
+        p.name = "web-asm";
+        p.init_median = sim::milliseconds(3);
+        p.init_sigma = 0.2;
+        p.service_median = sim::microseconds(120);
+        p.service_sigma = 0.2;
+        p.response_size = 256;
+        p.concurrency = 8;
+        p.port = 80;
+        platform.add_app_profile("josefhammer/web-asm:amd64", p);
+    }
+    {
+        // nginx: config parse + workers before listening.
+        container::AppProfile p;
+        p.name = "nginx";
+        p.init_median = sim::milliseconds(45);
+        p.init_sigma = 0.15;
+        p.service_median = sim::microseconds(180);
+        p.service_sigma = 0.2;
+        p.response_size = 512;
+        p.concurrency = 64;
+        p.port = 80;
+        platform.add_app_profile("nginx:1.23.2", p);
+    }
+    {
+        // TensorFlow Serving with the built-in ResNet50: loading the model
+        // takes time (paper: "we expect a higher startup time"), and
+        // inference dominates the per-request latency (fig. 16).
+        container::AppProfile p;
+        p.name = "tf-serving-resnet";
+        p.init_median = sim::milliseconds(1600);
+        p.init_sigma = 0.30;
+        p.service_median = sim::milliseconds(140);
+        p.service_sigma = 0.25;
+        p.response_size = sim::kib(2);
+        p.concurrency = 2;
+        p.port = 8501;
+        platform.add_app_profile("gcr.io/tensorflow-serving/resnet:latest", p);
+    }
+    {
+        // Python env-writer: interpreter startup, then writes index.html
+        // once per second; no port of its own.
+        container::AppProfile p;
+        p.name = "env-writer-py";
+        p.init_median = sim::milliseconds(260);
+        p.init_sigma = 0.18;
+        p.service_median = sim::milliseconds(1);
+        p.service_sigma = 0.2;
+        p.response_size = 0;
+        p.concurrency = 1;
+        p.port = 0;
+        platform.add_app_profile("josefhammer/env-writer-py:latest", p);
+    }
+
+    // --- publish images -------------------------------------------------
+    for (const auto& service : table1_services()) {
+        for (const auto& image : service.images) {
+            if (image.ref.registry == "gcr.io") {
+                gcr.put(image);
+            } else {
+                hub.put(image);
+            }
+            if (mirror != nullptr) mirror->put(image);
+        }
+    }
+}
+
+} // namespace tedge::testbed

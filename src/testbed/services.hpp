@@ -1,0 +1,45 @@
+// The four edge services of the paper's Table I:
+//
+//   Asm       asmttpd web server        6.18 KiB / 1 layer   1 container  GET
+//   Nginx     nginx:1.23.2              135 MiB  / 6 layers  1 container  GET
+//   ResNet    TF Serving + ResNet50     308 MiB  / 9 layers  1 container  POST
+//   Nginx+Py  nginx + env-writer-py     181 MiB  / 7 layers  2 containers GET
+//
+// Each entry carries the registered cloud address, the developer-written
+// service definition YAML, the request payload, and the image content for
+// the registries; install() wires profiles and images into a platform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "container/image.hpp"
+#include "container/registry.hpp"
+#include "core/edge_platform.hpp"
+#include "net/address.hpp"
+
+namespace tedge::testbed {
+
+struct TestService {
+    std::string key;               ///< "asm", "nginx", "resnet", "nginx_py"
+    std::string display_name;      ///< Table I name
+    net::ServiceAddress address;   ///< registered cloud address
+    std::string yaml;              ///< developer-written definition
+    sim::Bytes request_size;       ///< GET ~ 100 B; ResNet POST = 83 KiB
+    std::string http_method;
+    std::vector<container::Image> images;  ///< content served by registries
+};
+
+/// The full Table I catalog.
+[[nodiscard]] const std::vector<TestService>& table1_services();
+
+[[nodiscard]] const TestService& service_by_key(const std::string& key);
+
+/// Register the catalog's app profiles with a platform and publish its
+/// images into the given registries (hub also serves the docker.io images;
+/// gcr serves the ResNet image; the mirror, if non-null, serves everything).
+void install_services(core::EdgePlatform& platform, container::Registry& hub,
+                      container::Registry& gcr,
+                      container::Registry* mirror = nullptr);
+
+} // namespace tedge::testbed

@@ -1,0 +1,33 @@
+// Synthetic bigFlows-like trace generator.
+//
+// The paper extracted all TCP conversations to public port-80 addresses
+// from the five-minute bigFlows.pcap capture and kept destinations with at
+// least 20 requests: 42 services, 1708 requests (fig. 9), with service
+// deployments bursting to eight per second at the start (fig. 10). We
+// regenerate traces matching those published marginals: Zipf-skewed
+// service popularity with a floor, Poisson-ish arrivals over the horizon.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/random.hpp"
+#include "workload/trace.hpp"
+
+namespace tedge::workload {
+
+struct BigFlowsOptions {
+    std::uint32_t services = 42;
+    std::size_t requests = 1708;
+    sim::SimTime horizon = sim::seconds(300);
+    std::uint32_t clients = 20;
+    double zipf_s = 0.9;            ///< popularity skew
+    std::size_t min_requests = 20;  ///< the paper's >= 20 requests filter
+    std::uint64_t seed = 1;
+};
+
+/// Generate a trace with the given marginals. Deterministic per seed.
+/// Guarantees: exactly `requests` events, every service receives at least
+/// `min_requests`, all events within [0, horizon).
+[[nodiscard]] Trace synthesize_bigflows(const BigFlowsOptions& options = {});
+
+} // namespace tedge::workload

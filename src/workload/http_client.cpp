@@ -1,0 +1,31 @@
+#include "workload/http_client.hpp"
+
+namespace tedge::workload {
+
+HttpClient::HttpClient(net::TcpNet& net, MetricsCollector& metrics)
+    : net_(net), metrics_(metrics) {}
+
+void HttpClient::request(net::NodeId client_node, std::uint32_t client_index,
+                         const net::ServiceAddress& address,
+                         sim::Bytes request_size, const std::string& tag,
+                         std::function<void(const net::HttpResult&)> done) {
+    ++inflight_;
+    const sim::SimTime sent = net_.simulation().now();
+    net_.http_request(client_node, address, request_size,
+                      [this, client_index, sent, tag,
+                       done = std::move(done)](const net::HttpResult& result) {
+        --inflight_;
+        RequestRecord record;
+        record.service = tag;
+        record.client = client_index;
+        record.sent = sent;
+        record.ok = result.ok;
+        record.time_total = result.time_total;
+        record.served_by = result.server_node;
+        metrics_.add(record);
+        if (result.ok) metrics_.series(tag).add_time(result.time_total);
+        if (done) done(result);
+    });
+}
+
+} // namespace tedge::workload

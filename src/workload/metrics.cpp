@@ -1,0 +1,73 @@
+#include "workload/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace tedge::workload {
+
+void MetricsCollector::add(RequestRecord record) {
+    if (!record.ok) ++failures_;
+    records_.push_back(std::move(record));
+}
+
+const sim::SampleSet* MetricsCollector::find_series(const std::string& tag) const {
+    const auto it = series_.find(tag);
+    return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MetricsCollector::tags() const {
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto& [tag, set] : series_) out.push_back(tag);
+    return out;
+}
+
+void MetricsCollector::clear() {
+    records_.clear();
+    series_.clear();
+    failures_ = 0;
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string TextTable::str() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c == 0) {
+                os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+            } else {
+                os << "  " << std::right << std::setw(static_cast<int>(widths[c]))
+                   << row[c];
+            }
+        }
+        os << "\n";
+    };
+    emit_row(header_);
+    std::size_t total = 0;
+    for (const auto w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto& row : rows_) emit_row(row);
+    return os.str();
+}
+
+} // namespace tedge::workload

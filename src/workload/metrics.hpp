@@ -1,0 +1,66 @@
+// Measurement collection and table rendering for the bench harness.
+//
+// RequestRecord mirrors what the paper's timecurl.sh script captures per
+// request (curl's time_total: from starting the TCP connection until the
+// full HTTP response); MetricsCollector aggregates per-tag SampleSets; and
+// TextTable renders the paper-vs-measured comparison tables the benches
+// print.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "simcore/stats.hpp"
+
+namespace tedge::workload {
+
+struct RequestRecord {
+    std::string service;     ///< service key or name
+    std::uint32_t client = 0;
+    sim::SimTime sent;
+    bool ok = false;
+    sim::SimTime time_total; ///< curl time_total equivalent
+    net::NodeId served_by;   ///< node that answered
+};
+
+class MetricsCollector {
+public:
+    void add(RequestRecord record);
+
+    [[nodiscard]] const std::vector<RequestRecord>& records() const { return records_; }
+    [[nodiscard]] std::size_t count() const { return records_.size(); }
+    [[nodiscard]] std::size_t failures() const { return failures_; }
+
+    /// Per-tag sample series (milliseconds), keyed by caller-defined tags.
+    sim::SampleSet& series(const std::string& tag) { return series_[tag]; }
+    [[nodiscard]] const sim::SampleSet* find_series(const std::string& tag) const;
+    [[nodiscard]] std::vector<std::string> tags() const;
+
+    void clear();
+
+private:
+    std::vector<RequestRecord> records_;
+    std::map<std::string, sim::SampleSet> series_;
+    std::size_t failures_ = 0;
+};
+
+/// Fixed-width ASCII table (first column left-aligned, rest right-aligned).
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format a double with the given precision.
+    [[nodiscard]] static std::string num(double value, int precision = 1);
+
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tedge::workload

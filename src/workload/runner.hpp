@@ -1,0 +1,56 @@
+// Experiment runner: replays a trace against a platform and collects
+// per-request metrics; also provides a thread-pooled replica runner so
+// benches can average independent simulations across CPU cores (the
+// simulation kernel itself stays single-threaded and deterministic).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/edge_platform.hpp"
+#include "simcore/thread_pool.hpp"
+#include "workload/http_client.hpp"
+#include "workload/trace.hpp"
+
+namespace tedge::workload {
+
+struct TraceReplayOptions {
+    /// Registered address per trace service index.
+    std::vector<net::ServiceAddress> addresses;
+    /// Request payload per service index (single entry = shared by all).
+    std::vector<sim::Bytes> request_sizes = {120};
+    /// Extra simulated time after the last event before giving up.
+    sim::SimTime drain_slack = sim::seconds(180);
+};
+
+class TraceRunner {
+public:
+    TraceRunner(core::EdgePlatform& platform, std::vector<net::NodeId> client_nodes);
+
+    /// Replay the trace; returns when every request completed (or the drain
+    /// deadline passed). The collector holds one record per request.
+    MetricsCollector& replay(const Trace& trace, const TraceReplayOptions& options);
+
+    [[nodiscard]] MetricsCollector& metrics() { return metrics_; }
+
+private:
+    core::EdgePlatform& platform_;
+    std::vector<net::NodeId> clients_;
+    MetricsCollector metrics_;
+};
+
+/// Run `fn(seed)` for `replicas` different seeds on a thread pool and
+/// collect the results in seed order.
+template <typename R>
+std::vector<R> run_replicas(std::size_t replicas,
+                            const std::function<R(std::uint64_t seed)>& fn,
+                            std::uint64_t base_seed = 1, std::size_t threads = 0) {
+    std::vector<R> results(replicas);
+    sim::ThreadPool pool(threads == 0 ? std::min<std::size_t>(replicas, 16) : threads);
+    pool.parallel_for(replicas, [&](std::size_t i) {
+        results[i] = fn(base_seed + i);
+    });
+    return results;
+}
+
+} // namespace tedge::workload

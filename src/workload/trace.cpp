@@ -1,0 +1,95 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace tedge::workload {
+
+void Trace::add(TraceEvent event) {
+    events_.push_back(event);
+}
+
+void Trace::finalize() {
+    std::sort(events_.begin(), events_.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  if (a.at != b.at) return a.at < b.at;
+                  if (a.client != b.client) return a.client < b.client;
+                  return a.service < b.service;
+              });
+}
+
+std::uint32_t Trace::service_count() const {
+    std::uint32_t max_index = 0;
+    bool any = false;
+    for (const auto& e : events_) {
+        max_index = std::max(max_index, e.service);
+        any = true;
+    }
+    return any ? max_index + 1 : 0;
+}
+
+std::uint32_t Trace::client_count() const {
+    std::uint32_t max_index = 0;
+    bool any = false;
+    for (const auto& e : events_) {
+        max_index = std::max(max_index, e.client);
+        any = true;
+    }
+    return any ? max_index + 1 : 0;
+}
+
+sim::SimTime Trace::horizon() const {
+    sim::SimTime last = sim::SimTime::zero();
+    for (const auto& e : events_) last = std::max(last, e.at);
+    return last;
+}
+
+std::vector<std::size_t> Trace::requests_per_service() const {
+    std::vector<std::size_t> counts(service_count(), 0);
+    for (const auto& e : events_) ++counts[e.service];
+    return counts;
+}
+
+std::string Trace::to_csv() const {
+    std::ostringstream os;
+    os << "time_ms,client,service\n";
+    os.precision(6);
+    for (const auto& e : events_) {
+        os << std::fixed << e.at.ms() << "," << e.client << "," << e.service << "\n";
+    }
+    return os.str();
+}
+
+Trace Trace::from_csv(const std::string& text) {
+    Trace trace;
+    std::istringstream is(text);
+    std::string line;
+    bool first = true;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        if (first) {
+            first = false;
+            if (line.rfind("time_ms", 0) == 0) continue; // header
+        }
+        std::istringstream ls(line);
+        std::string time_text, client_text, service_text;
+        if (!std::getline(ls, time_text, ',') || !std::getline(ls, client_text, ',') ||
+            !std::getline(ls, service_text)) {
+            throw std::invalid_argument("trace csv: malformed line " +
+                                        std::to_string(line_no));
+        }
+        TraceEvent event;
+        event.at = sim::from_ms(std::stod(time_text));
+        event.client = static_cast<std::uint32_t>(std::stoul(client_text));
+        event.service = static_cast<std::uint32_t>(std::stoul(service_text));
+        trace.add(event);
+    }
+    trace.finalize();
+    return trace;
+}
+
+} // namespace tedge::workload

@@ -1,0 +1,162 @@
+#include "yamlite/emitter.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace tedge::yamlite {
+namespace {
+
+bool needs_quotes(const std::string& s) {
+    if (s.empty()) return true;
+    if (s == "null" || s == "~" || s == "true" || s == "false" || s == "yes" ||
+        s == "no" || s == "{}" || s == "[]") {
+        return true;
+    }
+    if (std::isspace(static_cast<unsigned char>(s.front())) ||
+        std::isspace(static_cast<unsigned char>(s.back()))) {
+        return true;
+    }
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c == '#' || c == '\n' || c == '"' || c == '\'') return true;
+        if (c == ':' && (i + 1 == s.size() || s[i + 1] == ' ')) return true;
+        if (i == 0 && (c == '-' || c == '[' || c == ']' || c == '{' || c == '}' ||
+                       c == '&' || c == '*' || c == '!' || c == '|' || c == '>' ||
+                       c == '%' || c == '@')) {
+            // A leading dash is fine unless followed by a space.
+            if (!(c == '-' && s.size() > 1 && s[1] != ' ')) return true;
+        }
+    }
+    return false;
+}
+
+std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string scalar_text(const std::string& s) {
+    return needs_quotes(s) ? quote(s) : s;
+}
+
+void emit_node(std::ostringstream& os, const Node& node, int indent);
+
+void emit_map(std::ostringstream& os, const Node& node, int indent) {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    for (const auto& [key, value] : node.map()) {
+        os << pad << scalar_text(key) << ":";
+        switch (value.kind()) {
+            case Kind::kNull:
+                os << " null\n";
+                break;
+            case Kind::kScalar:
+                os << " " << scalar_text(value.scalar()) << "\n";
+                break;
+            case Kind::kMap:
+                if (value.map().empty()) {
+                    os << " {}\n";
+                } else {
+                    os << "\n";
+                    emit_node(os, value, indent + 2);
+                }
+                break;
+            case Kind::kSeq:
+                if (value.seq().empty()) {
+                    os << " []\n";
+                } else {
+                    os << "\n";
+                    emit_node(os, value, indent + 2);
+                }
+                break;
+        }
+    }
+}
+
+void emit_seq(std::ostringstream& os, const Node& node, int indent) {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    for (const auto& item : node.seq()) {
+        switch (item.kind()) {
+            case Kind::kNull:
+                os << pad << "- null\n";
+                break;
+            case Kind::kScalar:
+                os << pad << "- " << scalar_text(item.scalar()) << "\n";
+                break;
+            case Kind::kMap: {
+                if (item.map().empty()) {
+                    os << pad << "- {}\n";
+                    break;
+                }
+                // First key inline after the dash, the rest indented +2.
+                std::ostringstream sub;
+                emit_map(sub, item, indent + 2);
+                std::string body = sub.str();
+                // Replace the first line's indentation with "<pad>- ".
+                os << pad << "- " << body.substr(static_cast<std::size_t>(indent) + 2);
+                break;
+            }
+            case Kind::kSeq:
+                if (item.seq().empty()) {
+                    os << pad << "- []\n";
+                } else {
+                    os << pad << "-\n";
+                    emit_node(os, item, indent + 2);
+                }
+                break;
+        }
+    }
+}
+
+void emit_node(std::ostringstream& os, const Node& node, int indent) {
+    switch (node.kind()) {
+        case Kind::kNull:
+            os << "null\n";
+            break;
+        case Kind::kScalar:
+            os << scalar_text(node.scalar()) << "\n";
+            break;
+        case Kind::kMap:
+            if (node.map().empty()) {
+                os << "{}\n";
+            } else {
+                emit_map(os, node, indent);
+            }
+            break;
+        case Kind::kSeq:
+            if (node.seq().empty()) {
+                os << "[]\n";
+            } else {
+                emit_seq(os, node, indent);
+            }
+            break;
+    }
+}
+
+} // namespace
+
+std::string emit(const Node& node) {
+    std::ostringstream os;
+    emit_node(os, node, 0);
+    return os.str();
+}
+
+std::string emit_all(const std::vector<Node>& docs) {
+    std::string out;
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+        if (i > 0) out += "---\n";
+        out += emit(docs[i]);
+    }
+    return out;
+}
+
+} // namespace tedge::yamlite

@@ -1,0 +1,17 @@
+// yamlite emitter: renders a Node tree back to block-style YAML.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "yamlite/value.hpp"
+
+namespace tedge::yamlite {
+
+/// Emit a single document (no leading "---").
+[[nodiscard]] std::string emit(const Node& node);
+
+/// Emit a multi-document stream with "---" separators.
+[[nodiscard]] std::string emit_all(const std::vector<Node>& docs);
+
+} // namespace tedge::yamlite

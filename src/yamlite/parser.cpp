@@ -1,0 +1,302 @@
+#include "yamlite/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tedge::yamlite {
+namespace {
+
+struct Line {
+    std::size_t number;  ///< 1-based source line
+    int indent;
+    std::string content; ///< trimmed, comment-stripped, non-empty
+};
+
+// Remove a trailing comment that is not inside quotes.
+std::string strip_comment(const std::string& s) {
+    char quote = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (quote != 0) {
+            if (c == quote) quote = 0;
+            continue;
+        }
+        if (c == '\'' || c == '"') {
+            quote = c;
+        } else if (c == '#' && (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+            return s.substr(0, i);
+        }
+    }
+    return s;
+}
+
+std::string rtrim(std::string s) {
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+        s.pop_back();
+    }
+    return s;
+}
+
+std::string trim(std::string s) {
+    s = rtrim(std::move(s));
+    std::size_t i = 0;
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    return s.substr(i);
+}
+
+std::vector<std::vector<Line>> split_documents(const std::string& text) {
+    std::vector<std::vector<Line>> docs;
+    docs.emplace_back();
+    std::size_t pos = 0;
+    std::size_t line_no = 0;
+    while (pos <= text.size()) {
+        const auto nl = text.find('\n', pos);
+        std::string raw = text.substr(
+            pos, nl == std::string::npos ? std::string::npos : nl - pos);
+        ++line_no;
+        pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+
+        raw = rtrim(strip_comment(raw));
+        const std::string trimmed = trim(raw);
+        if (trimmed == "---") {
+            docs.emplace_back();
+            continue;
+        }
+        if (trimmed.empty() || trimmed == "...") continue;
+        if (raw.find('\t') != std::string::npos) {
+            throw ParseError(line_no, "tabs are not allowed for indentation");
+        }
+        int indent = 0;
+        while (static_cast<std::size_t>(indent) < raw.size() && raw[indent] == ' ') {
+            ++indent;
+        }
+        docs.back().push_back(Line{line_no, indent, trimmed});
+    }
+    return docs;
+}
+
+class BlockParser {
+public:
+    explicit BlockParser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+    Node parse_document() {
+        if (lines_.empty()) return Node{};
+        Node result = parse_block(0, lines_.front().indent);
+        if (pos_ != lines_.size()) {
+            throw ParseError(lines_[pos_].number, "unexpected de-indented content");
+        }
+        return result;
+    }
+
+private:
+    // Parse a scalar token, handling quotes and flow collections.
+    static Node parse_value(const std::string& token, std::size_t line_no) {
+        if (token.empty() || token == "~" || token == "null") return Node{};
+        if (token.front() == '"' || token.front() == '\'') {
+            const char q = token.front();
+            if (token.size() < 2 || token.back() != q) {
+                throw ParseError(line_no, "unterminated quoted scalar");
+            }
+            std::string inner = token.substr(1, token.size() - 2);
+            if (q == '"') {
+                std::string out;
+                out.reserve(inner.size());
+                for (std::size_t i = 0; i < inner.size(); ++i) {
+                    if (inner[i] == '\\' && i + 1 < inner.size()) {
+                        ++i;
+                        switch (inner[i]) {
+                            case 'n': out += '\n'; break;
+                            case 't': out += '\t'; break;
+                            case '"': out += '"'; break;
+                            case '\\': out += '\\'; break;
+                            default: out += inner[i];
+                        }
+                    } else {
+                        out += inner[i];
+                    }
+                }
+                inner = out;
+            }
+            return Node{inner};
+        }
+        if (token == "{}") return Node::make_map();
+        if (token == "[]") return Node::make_seq();
+        if (token.front() == '[') {
+            if (token.back() != ']') throw ParseError(line_no, "unterminated flow seq");
+            Node seq = Node::make_seq();
+            for (const auto& item : split_flow(token.substr(1, token.size() - 2))) {
+                seq.push_back(parse_value(trim(item), line_no));
+            }
+            return seq;
+        }
+        if (token.front() == '{') {
+            if (token.back() != '}') throw ParseError(line_no, "unterminated flow map");
+            Node map = Node::make_map();
+            for (const auto& item : split_flow(token.substr(1, token.size() - 2))) {
+                const auto colon = find_key_colon(item);
+                if (colon == std::string::npos) {
+                    throw ParseError(line_no, "flow map entry without ':'");
+                }
+                map.set(trim(item.substr(0, colon)),
+                        parse_value(trim(item.substr(colon + 1)), line_no));
+            }
+            return map;
+        }
+        return Node{token};
+    }
+
+    // Split a flow-collection body at top-level commas (quote-aware).
+    static std::vector<std::string> split_flow(const std::string& body) {
+        std::vector<std::string> parts;
+        if (trim(body).empty()) return parts;
+        char quote = 0;
+        int depth = 0;
+        std::string cur;
+        for (const char c : body) {
+            if (quote != 0) {
+                cur += c;
+                if (c == quote) quote = 0;
+                continue;
+            }
+            if (c == '\'' || c == '"') {
+                quote = c;
+                cur += c;
+            } else if (c == '[' || c == '{') {
+                ++depth;
+                cur += c;
+            } else if (c == ']' || c == '}') {
+                --depth;
+                cur += c;
+            } else if (c == ',' && depth == 0) {
+                parts.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        parts.push_back(cur);
+        return parts;
+    }
+
+    /// Position of the colon ending a mapping key (quote-aware; the colon
+    /// must be followed by space/EOL).
+    static std::size_t find_key_colon(const std::string& s) {
+        char quote = 0;
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            const char c = s[i];
+            if (quote != 0) {
+                if (c == quote) quote = 0;
+                continue;
+            }
+            if (c == '\'' || c == '"') {
+                quote = c;
+            } else if (c == ':' && (i + 1 == s.size() || s[i + 1] == ' ')) {
+                return i;
+            }
+        }
+        return std::string::npos;
+    }
+
+    Node parse_block(std::size_t from, int indent) {
+        pos_ = from;
+        if (pos_ >= lines_.size()) return Node{};
+        const bool is_seq = lines_[pos_].content.rfind("- ", 0) == 0 ||
+                            lines_[pos_].content == "-";
+        return is_seq ? parse_seq(indent) : parse_map(indent);
+    }
+
+    Node parse_map(int indent) {
+        Node map = Node::make_map();
+        while (pos_ < lines_.size() && lines_[pos_].indent == indent) {
+            const Line line = lines_[pos_];
+            if (line.content.rfind("- ", 0) == 0 || line.content == "-") {
+                throw ParseError(line.number, "sequence item in mapping context");
+            }
+            const auto colon = find_key_colon(line.content);
+            if (colon == std::string::npos) {
+                throw ParseError(line.number, "expected 'key:' mapping entry");
+            }
+            std::string key = trim(line.content.substr(0, colon));
+            if (!key.empty() && (key.front() == '"' || key.front() == '\'')) {
+                key = parse_value(key, line.number).as_str();
+            }
+            const std::string rest = trim(line.content.substr(colon + 1));
+            ++pos_;
+            if (!rest.empty()) {
+                map.set(key, parse_value(rest, line.number));
+            } else if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+                map.set(key, parse_block(pos_, lines_[pos_].indent));
+            } else if (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+                       (lines_[pos_].content.rfind("- ", 0) == 0 ||
+                        lines_[pos_].content == "-")) {
+                // YAML permits a sequence aligned with its parent key.
+                map.set(key, parse_seq(indent));
+            } else {
+                map.set(key, Node{});
+            }
+        }
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+            throw ParseError(lines_[pos_].number, "unexpected indentation");
+        }
+        return map;
+    }
+
+    Node parse_seq(int indent) {
+        Node seq = Node::make_seq();
+        while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+               (lines_[pos_].content.rfind("- ", 0) == 0 || lines_[pos_].content == "-")) {
+            const Line line = lines_[pos_];
+            const std::string inline_part =
+                line.content == "-" ? "" : trim(line.content.substr(2));
+
+            if (inline_part.empty()) {
+                ++pos_;
+                if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+                    seq.push_back(parse_block(pos_, lines_[pos_].indent));
+                } else {
+                    seq.push_back(Node{});
+                }
+                continue;
+            }
+
+            // "- key: value" starts an inline map whose further keys continue
+            // on following lines indented past the dash. We virtually re-home
+            // the first entry at column indent+2.
+            const auto colon = find_key_colon(inline_part);
+            if (colon != std::string::npos) {
+                const int item_indent = indent + 2;
+                // Temporarily rewrite the current line and parse a map block.
+                lines_[pos_].indent = item_indent;
+                lines_[pos_].content = inline_part;
+                seq.push_back(parse_block(pos_, item_indent));
+                continue;
+            }
+
+            seq.push_back(parse_value(inline_part, line.number));
+            ++pos_;
+        }
+        return seq;
+    }
+
+    std::vector<Line> lines_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Node parse(const std::string& text) {
+    const auto docs = parse_all(text);
+    return docs.empty() ? Node{} : docs.front();
+}
+
+std::vector<Node> parse_all(const std::string& text) {
+    std::vector<Node> out;
+    for (auto& doc_lines : split_documents(text)) {
+        if (doc_lines.empty()) continue;
+        BlockParser parser(std::move(doc_lines));
+        out.push_back(parser.parse_document());
+    }
+    return out;
+}
+
+} // namespace tedge::yamlite

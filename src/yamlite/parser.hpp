@@ -1,0 +1,33 @@
+// yamlite parser: block-style YAML subset with multi-document support.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "yamlite/value.hpp"
+
+namespace tedge::yamlite {
+
+class ParseError : public std::runtime_error {
+public:
+    ParseError(std::size_t line, const std::string& message)
+        : std::runtime_error("yaml parse error at line " + std::to_string(line) +
+                             ": " + message),
+          line_(line) {}
+    [[nodiscard]] std::size_t line() const { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+/// Parse a single-document string (the first document of a stream).
+/// Empty input yields a null node.
+[[nodiscard]] Node parse(const std::string& text);
+
+/// Parse a multi-document stream ("---" separators); empty documents are
+/// skipped. Kubernetes service definition files commonly hold a Deployment
+/// plus a Service in one file.
+[[nodiscard]] std::vector<Node> parse_all(const std::string& text);
+
+} // namespace tedge::yamlite

@@ -1,0 +1,133 @@
+#include "yamlite/value.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace tedge::yamlite {
+
+const std::string& Node::scalar() const {
+    if (kind_ != Kind::kScalar) throw std::logic_error("yamlite: not a scalar");
+    return scalar_;
+}
+
+std::optional<std::int64_t> Node::as_int() const {
+    if (kind_ != Kind::kScalar) return std::nullopt;
+    std::int64_t v = 0;
+    const auto* begin = scalar_.data();
+    const auto* end = scalar_.data() + scalar_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{} || ptr != end) return std::nullopt;
+    return v;
+}
+
+std::optional<bool> Node::as_bool() const {
+    if (kind_ != Kind::kScalar) return std::nullopt;
+    if (scalar_ == "true" || scalar_ == "True" || scalar_ == "yes") return true;
+    if (scalar_ == "false" || scalar_ == "False" || scalar_ == "no") return false;
+    return std::nullopt;
+}
+
+std::string Node::as_str(const std::string& fallback) const {
+    return kind_ == Kind::kScalar ? scalar_ : fallback;
+}
+
+const Node* Node::find(const std::string& key) const {
+    if (kind_ != Kind::kMap) return nullptr;
+    for (const auto& [k, v] : map_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+Node* Node::find(const std::string& key) {
+    return const_cast<Node*>(static_cast<const Node*>(this)->find(key));
+}
+
+const Node* Node::find_path(const std::string& dotted) const {
+    const Node* cur = this;
+    std::size_t pos = 0;
+    while (pos <= dotted.size()) {
+        const auto dot = dotted.find('.', pos);
+        const std::string key =
+            dotted.substr(pos, dot == std::string::npos ? std::string::npos : dot - pos);
+        cur = cur->find(key);
+        if (cur == nullptr) return nullptr;
+        if (dot == std::string::npos) break;
+        pos = dot + 1;
+    }
+    return cur;
+}
+
+Node& Node::operator[](const std::string& key) {
+    if (kind_ == Kind::kNull) kind_ = Kind::kMap;
+    if (kind_ != Kind::kMap) throw std::logic_error("yamlite: not a map");
+    for (auto& [k, v] : map_) {
+        if (k == key) return v;
+    }
+    map_.emplace_back(key, Node{});
+    return map_.back().second;
+}
+
+void Node::set(const std::string& key, Node value) {
+    (*this)[key] = std::move(value);
+}
+
+bool Node::erase(const std::string& key) {
+    if (kind_ != Kind::kMap) return false;
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+        if (it->first == key) {
+            map_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+const Map& Node::map() const {
+    if (kind_ != Kind::kMap) throw std::logic_error("yamlite: not a map");
+    return map_;
+}
+
+Map& Node::map() {
+    if (kind_ == Kind::kNull) kind_ = Kind::kMap;
+    if (kind_ != Kind::kMap) throw std::logic_error("yamlite: not a map");
+    return map_;
+}
+
+const Seq& Node::seq() const {
+    if (kind_ != Kind::kSeq) throw std::logic_error("yamlite: not a sequence");
+    return seq_;
+}
+
+Seq& Node::seq() {
+    if (kind_ == Kind::kNull) kind_ = Kind::kSeq;
+    if (kind_ != Kind::kSeq) throw std::logic_error("yamlite: not a sequence");
+    return seq_;
+}
+
+void Node::push_back(Node value) {
+    seq().push_back(std::move(value));
+}
+
+std::size_t Node::size() const {
+    switch (kind_) {
+        case Kind::kMap: return map_.size();
+        case Kind::kSeq: return seq_.size();
+        case Kind::kScalar: return 1;
+        case Kind::kNull: return 0;
+    }
+    return 0;
+}
+
+bool Node::operator==(const Node& other) const {
+    if (kind_ != other.kind_) return false;
+    switch (kind_) {
+        case Kind::kNull: return true;
+        case Kind::kScalar: return scalar_ == other.scalar_;
+        case Kind::kSeq: return seq_ == other.seq_;
+        case Kind::kMap: return map_ == other.map_;
+    }
+    return false;
+}
+
+} // namespace tedge::yamlite

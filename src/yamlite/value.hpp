@@ -1,0 +1,87 @@
+// yamlite: a small YAML subset sufficient for Kubernetes Deployment/Service
+// definition files (block maps and sequences, "- key: value" inline map
+// items, quoted scalars, comments, multi-document streams, simple flow
+// collections).
+//
+// Node is a value type; maps preserve insertion order (like the YAML text a
+// developer wrote, so the Annotator emits stable, diff-friendly output).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tedge::yamlite {
+
+class Node;
+
+using Map = std::vector<std::pair<std::string, Node>>;
+using Seq = std::vector<Node>;
+
+enum class Kind { kNull, kScalar, kSeq, kMap };
+
+class Node {
+public:
+    Node() = default; // null
+    Node(std::string scalar) : kind_(Kind::kScalar), scalar_(std::move(scalar)) {}
+    Node(const char* scalar) : Node(std::string(scalar)) {}
+    Node(std::int64_t value) : Node(std::to_string(value)) {}
+    Node(int value) : Node(static_cast<std::int64_t>(value)) {}
+    Node(bool value) : Node(std::string(value ? "true" : "false")) {}
+
+    [[nodiscard]] static Node make_map() { Node n; n.kind_ = Kind::kMap; return n; }
+    [[nodiscard]] static Node make_seq() { Node n; n.kind_ = Kind::kSeq; return n; }
+
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+    [[nodiscard]] bool is_scalar() const { return kind_ == Kind::kScalar; }
+    [[nodiscard]] bool is_seq() const { return kind_ == Kind::kSeq; }
+    [[nodiscard]] bool is_map() const { return kind_ == Kind::kMap; }
+
+    // --- scalar access ----------------------------------------------------
+    [[nodiscard]] const std::string& scalar() const;
+    [[nodiscard]] std::optional<std::int64_t> as_int() const;
+    [[nodiscard]] std::optional<bool> as_bool() const;
+    /// Scalar value or `fallback` when null/absent-typed.
+    [[nodiscard]] std::string as_str(const std::string& fallback = "") const;
+
+    // --- map access ---------------------------------------------------
+    /// Lookup; returns nullptr when missing or not a map.
+    [[nodiscard]] const Node* find(const std::string& key) const;
+    [[nodiscard]] Node* find(const std::string& key);
+
+    /// Lookup a dotted path ("spec.template.metadata"); nullptr if absent.
+    [[nodiscard]] const Node* find_path(const std::string& dotted) const;
+
+    /// Get-or-insert: turns a null node into a map on first use.
+    Node& operator[](const std::string& key);
+
+    /// Set (insert or overwrite) a key.
+    void set(const std::string& key, Node value);
+
+    /// Remove a key; returns true if present.
+    bool erase(const std::string& key);
+
+    [[nodiscard]] const Map& map() const;
+    [[nodiscard]] Map& map();
+
+    // --- sequence access ----------------------------------------------
+    [[nodiscard]] const Seq& seq() const;
+    [[nodiscard]] Seq& seq();
+    void push_back(Node value);
+
+    [[nodiscard]] std::size_t size() const;
+
+    bool operator==(const Node& other) const;
+
+private:
+    Kind kind_ = Kind::kNull;
+    std::string scalar_;
+    Map map_;
+    Seq seq_;
+};
+
+} // namespace tedge::yamlite

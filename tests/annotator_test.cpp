@@ -1,0 +1,250 @@
+// Annotator tests: the paper's automatic annotation of service definition
+// files (§V) -- unique names, labels, scale-to-zero, schedulerName, and the
+// generated Kubernetes Service.
+#include <gtest/gtest.h>
+
+#include "sdn/annotator.hpp"
+#include "sdn/service_registry.hpp"
+#include "yamlite/parser.hpp"
+
+namespace tedge::sdn {
+namespace {
+
+const container::AppProfile kProfile{.name = "web",
+                                     .init_median = sim::milliseconds(10),
+                                     .init_sigma = 0.1,
+                                     .service_median = sim::microseconds(100),
+                                     .service_sigma = 0.1,
+                                     .response_size = 100,
+                                     .concurrency = 4,
+                                     .port = 80};
+
+AppProfileResolver resolver() {
+    return [](const container::ImageRef&) { return &kProfile; };
+}
+
+constexpr const char* kMinimalYaml = R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - image: nginx:1.23.2
+          ports:
+            - containerPort: 80
+)";
+
+const net::ServiceAddress kAddress{net::Ipv4{203, 0, 113, 5}, 80};
+
+TEST(Annotator, AssignsUniqueWorldwideName) {
+    Annotator annotator(resolver());
+    const auto annotated = annotator.annotate(kMinimalYaml, kAddress);
+    EXPECT_EQ(annotated.spec.name, "edge-203-0-113-5-80");
+    EXPECT_EQ(annotated.deployment.find_path("metadata.name")->as_str(),
+              annotated.spec.name);
+    // Different addresses produce different names.
+    const net::ServiceAddress other{net::Ipv4{203, 0, 113, 5}, 81};
+    EXPECT_NE(annotator.unique_name(other), annotated.spec.name);
+}
+
+TEST(Annotator, AddsMatchLabelsAndEdgeServiceLabel) {
+    Annotator annotator(resolver());
+    const auto annotated = annotator.annotate(kMinimalYaml, kAddress);
+    const auto& d = annotated.deployment;
+    const std::string name = annotated.spec.name;
+    EXPECT_EQ(d.find_path("spec.selector.matchLabels.app")->as_str(), name);
+    // "edge.service" is a literal key containing a dot -- navigate manually.
+    const auto* match_labels = d.find_path("spec.selector.matchLabels");
+    ASSERT_NE(match_labels, nullptr);
+    ASSERT_NE(match_labels->find("edge.service"), nullptr);
+    EXPECT_EQ(match_labels->find("edge.service")->as_str(), name);
+    const auto* pod_labels = d.find_path("spec.template.metadata.labels");
+    ASSERT_NE(pod_labels, nullptr);
+    ASSERT_NE(pod_labels->find("edge.service"), nullptr);
+    EXPECT_EQ(pod_labels->find("edge.service")->as_str(), name);
+    EXPECT_EQ(annotated.spec.labels.at("edge.service"), name);
+}
+
+TEST(Annotator, ScaleToZeroByDefault) {
+    Annotator annotator(resolver());
+    const auto annotated = annotator.annotate(kMinimalYaml, kAddress);
+    EXPECT_EQ(annotated.deployment.find_path("spec.replicas")->as_int(), 0);
+    EXPECT_EQ(annotated.spec.replicas, 0);
+}
+
+TEST(Annotator, SetsSchedulerNameWhenConfigured) {
+    AnnotatorConfig config;
+    config.local_scheduler = "my-local-sched";
+    Annotator annotator(resolver(), config);
+    const auto annotated = annotator.annotate(kMinimalYaml, kAddress);
+    EXPECT_EQ(annotated.deployment.find_path("spec.template.spec.schedulerName")
+                  ->as_str(),
+              "my-local-sched");
+    EXPECT_EQ(annotated.spec.scheduler_name, "my-local-sched");
+
+    // Without configuration the key stays absent.
+    Annotator plain(resolver());
+    const auto unannotated = plain.annotate(kMinimalYaml, kAddress);
+    EXPECT_EQ(unannotated.deployment.find_path("spec.template.spec.schedulerName"),
+              nullptr);
+}
+
+TEST(Annotator, GeneratesServiceDefinitionUnlessProvided) {
+    Annotator annotator(resolver());
+    const auto annotated = annotator.annotate(kMinimalYaml, kAddress);
+    const auto& s = annotated.service;
+    EXPECT_EQ(s.find("kind")->as_str(), "Service");
+    EXPECT_EQ(s.find_path("metadata.name")->as_str(), annotated.spec.name);
+    const auto& port = s.find_path("spec.ports")->seq().front();
+    EXPECT_EQ(port.find("port")->as_int(), 80);         // exposed = cloud port
+    EXPECT_EQ(port.find("targetPort")->as_int(), 80);   // container port
+    EXPECT_EQ(port.find("protocol")->as_str(), "TCP");  // TCP by default
+    EXPECT_EQ(annotated.spec.expose_port, 80);
+    EXPECT_EQ(annotated.spec.target_port, 80);
+}
+
+TEST(Annotator, RespectsDeveloperProvidedService) {
+    const std::string yaml = std::string(kMinimalYaml) + R"(
+---
+kind: Service
+spec:
+  ports:
+    - port: 9090
+      targetPort: 8080
+)";
+    Annotator annotator(resolver());
+    const auto annotated = annotator.annotate(yaml, kAddress);
+    EXPECT_EQ(annotated.spec.expose_port, 9090);
+    EXPECT_EQ(annotated.spec.target_port, 8080);
+    // Name/labels are still normalized on the provided Service.
+    EXPECT_EQ(annotated.service.find_path("metadata.name")->as_str(),
+              annotated.spec.name);
+}
+
+TEST(Annotator, OnlyTheImageIsMandatory) {
+    // Name omitted; derived from the repository.
+    Annotator annotator(resolver());
+    const auto annotated = annotator.annotate(R"(
+spec:
+  template:
+    spec:
+      containers:
+        - image: nginx:1.23.2
+          ports:
+            - containerPort: 80
+)",
+                                              kAddress);
+    EXPECT_EQ(annotated.spec.containers[0].name, "library-nginx");
+    EXPECT_EQ(annotated.spec.containers[0].image.str(), "nginx:1.23.2");
+    EXPECT_EQ(annotated.spec.containers[0].app, &kProfile);
+}
+
+TEST(Annotator, ParsesVolumesAndEnvForDocker) {
+    Annotator annotator(resolver());
+    const auto annotated = annotator.annotate(R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      volumes:
+        - name: html
+          hostPath:
+            path: /srv/html
+      containers:
+        - name: web
+          image: nginx:1.23.2
+          ports:
+            - containerPort: 80
+          volumeMounts:
+            - name: html
+              mountPath: /usr/share/nginx/html
+          env:
+            - name: MODE
+              value: edge
+)",
+                                              kAddress);
+    const auto& tmpl = annotated.spec.containers[0];
+    ASSERT_EQ(tmpl.volumes.size(), 1u);
+    EXPECT_EQ(tmpl.volumes[0].host_path, "/srv/html");
+    EXPECT_EQ(tmpl.volumes[0].container_path, "/usr/share/nginx/html");
+    EXPECT_EQ(tmpl.env.at("MODE"), "edge");
+}
+
+TEST(Annotator, MultiContainerServices) {
+    Annotator annotator(resolver());
+    const auto annotated = annotator.annotate(R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - name: web
+          image: nginx:1.23.2
+          ports:
+            - containerPort: 80
+        - name: writer
+          image: busybox:latest
+)",
+                                              kAddress);
+    ASSERT_EQ(annotated.spec.containers.size(), 2u);
+    EXPECT_EQ(annotated.spec.containers[0].container_port, 80);
+    EXPECT_EQ(annotated.spec.containers[1].container_port, 0);
+    EXPECT_EQ(annotated.spec.target_port, 80); // first container port wins
+}
+
+TEST(Annotator, AnnotationIsIdempotent) {
+    Annotator annotator(resolver());
+    const auto first = annotator.annotate(kMinimalYaml, kAddress);
+    const auto second = annotator.annotate(first.yaml(), kAddress);
+    EXPECT_EQ(first.spec.name, second.spec.name);
+    EXPECT_EQ(first.spec.expose_port, second.spec.expose_port);
+    EXPECT_EQ(first.spec.target_port, second.spec.target_port);
+    EXPECT_EQ(first.deployment, second.deployment);
+    EXPECT_EQ(first.service, second.service);
+}
+
+TEST(Annotator, ErrorCases) {
+    Annotator annotator(resolver());
+    EXPECT_THROW(annotator.annotate("", kAddress), std::invalid_argument);
+    EXPECT_THROW(annotator.annotate("kind: Service\nspec: {}\n", kAddress),
+                 std::invalid_argument);
+    EXPECT_THROW(annotator.annotate(R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - name: noimage
+)",
+                                    kAddress),
+                 std::invalid_argument);
+    EXPECT_THROW(annotator.annotate(R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - image: ":::"
+)",
+                                    kAddress),
+                 std::invalid_argument);
+}
+
+TEST(ServiceRegistry, RegisterLookupUnregister) {
+    Annotator annotator(resolver());
+    ServiceRegistry registry;
+    const auto& registered = registry.register_yaml(kAddress, kMinimalYaml, annotator);
+    EXPECT_TRUE(registry.contains(kAddress));
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_EQ(registry.lookup(kAddress)->spec.name, registered.spec.name);
+    EXPECT_NE(registry.find_by_name(registered.spec.name), nullptr);
+    EXPECT_EQ(registry.find_by_name("nope"), nullptr);
+    EXPECT_EQ(registry.lookup({net::Ipv4{1, 1, 1, 1}, 80}), nullptr);
+    EXPECT_EQ(registry.addresses().size(), 1u);
+    EXPECT_TRUE(registry.unregister(kAddress));
+    EXPECT_FALSE(registry.unregister(kAddress));
+    EXPECT_EQ(registry.size(), 0u);
+}
+
+} // namespace
+} // namespace tedge::sdn

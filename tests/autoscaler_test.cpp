@@ -1,0 +1,120 @@
+// ReplicaAutoscaler tests: flow-driven scale up, hysteresis-guarded scale
+// down, and interaction with the controller's FlowMemory on the C3 testbed.
+#include <gtest/gtest.h>
+
+#include "core/autoscaler.hpp"
+#include "testbed/c3.hpp"
+
+namespace tedge::core {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+struct AutoscalerFixture : ::testing::Test {
+    void SetUp() override {
+        testbed::C3Options options;
+        options.with_docker = false; // K8s supports multiple replicas
+        options.controller.flow_memory.idle_timeout = seconds(40);
+        options.controller.flow_memory.scan_period = seconds(5);
+        options.controller.dispatcher.switch_idle_timeout = seconds(40);
+        options.controller.scale_down_idle = false; // autoscaler owns scaling
+        testbed = testbed::build_c3(options);
+        testbed->register_table1_services();
+
+        AutoscalerConfig config;
+        config.period = seconds(10);
+        config.flows_per_replica = 4;
+        config.max_replicas = 3;
+        config.scale_down_patience = 2;
+        autoscaler = std::make_unique<ReplicaAutoscaler>(
+            testbed->platform.simulation(), testbed->platform.deployment_engine(),
+            *testbed->k8s, testbed->platform.controller().flow_memory(),
+            testbed->platform.service_registry(), config);
+    }
+
+    /// Issue one request per distinct client (building distinct flows).
+    void fan_in(const net::ServiceAddress& address, std::size_t clients) {
+        auto& platform = testbed->platform;
+        auto remaining = std::make_shared<std::size_t>(clients);
+        for (std::size_t i = 0; i < clients; ++i) {
+            platform.http_request(testbed->clients[i], address, 120,
+                                  [remaining](const net::HttpResult& r) {
+                                      ASSERT_TRUE(r.ok) << r.error;
+                                      --*remaining;
+                                  });
+        }
+        while (*remaining > 0) {
+            platform.simulation().run_until(platform.simulation().now() +
+                                            seconds(1));
+        }
+    }
+
+    std::unique_ptr<testbed::C3Testbed> testbed;
+    std::unique_ptr<ReplicaAutoscaler> autoscaler;
+};
+
+TEST_F(AutoscalerFixture, ScalesUpUnderManyFlows) {
+    const auto& nginx = testbed::service_by_key("nginx");
+    const auto* annotated =
+        testbed->platform.service_registry().lookup(nginx.address);
+    fan_in(nginx.address, 12); // 12 flows / 4 per replica -> target 3
+
+    auto& sim = testbed->platform.simulation();
+    // Keep the flows warm while the autoscaler reacts (one replica per
+    // period).
+    for (int round = 0; round < 4; ++round) {
+        sim.run_until(sim.now() + seconds(10));
+        fan_in(nginx.address, 12);
+    }
+    EXPECT_GE(autoscaler->scale_ups(), 2u);
+    EXPECT_GE(autoscaler->current_replicas(annotated->spec.name), 2);
+    EXPECT_LE(autoscaler->current_replicas(annotated->spec.name), 3);
+}
+
+TEST_F(AutoscalerFixture, ScalesBackDownAfterFlowsExpire) {
+    const auto& nginx = testbed::service_by_key("nginx");
+    const auto* annotated =
+        testbed->platform.service_registry().lookup(nginx.address);
+    fan_in(nginx.address, 12);
+    auto& sim = testbed->platform.simulation();
+    for (int round = 0; round < 3; ++round) {
+        sim.run_until(sim.now() + seconds(10));
+        fan_in(nginx.address, 12);
+    }
+    const int peak = autoscaler->current_replicas(annotated->spec.name);
+    ASSERT_GE(peak, 2);
+
+    // Silence: flows expire (40 s idle), the autoscaler waits out its
+    // patience and sheds replicas one per period.
+    sim.run_until(sim.now() + seconds(180));
+    EXPECT_GE(autoscaler->scale_downs(), 1u);
+    EXPECT_LT(autoscaler->current_replicas(annotated->spec.name), peak);
+}
+
+TEST_F(AutoscalerFixture, LeavesColdServicesAlone) {
+    const auto& resnet = testbed::service_by_key("resnet");
+    const auto* annotated =
+        testbed->platform.service_registry().lookup(resnet.address);
+    testbed->platform.simulation().run_until(seconds(60));
+    EXPECT_EQ(autoscaler->current_replicas(annotated->spec.name), 0);
+    EXPECT_EQ(autoscaler->scale_ups(), 0u);
+    EXPECT_EQ(autoscaler->scale_downs(), 0u);
+}
+
+TEST_F(AutoscalerFixture, FewFlowsKeepOneReplica) {
+    const auto& asm_svc = testbed::service_by_key("asm");
+    const auto* annotated =
+        testbed->platform.service_registry().lookup(asm_svc.address);
+    fan_in(asm_svc.address, 2); // well under flows_per_replica
+    auto& sim = testbed->platform.simulation();
+    for (int round = 0; round < 3; ++round) {
+        sim.run_until(sim.now() + seconds(10));
+        fan_in(asm_svc.address, 2);
+    }
+    EXPECT_EQ(autoscaler->current_replicas(annotated->spec.name), 1);
+    EXPECT_EQ(autoscaler->scale_ups(), 0u);
+}
+
+} // namespace
+} // namespace tedge::core

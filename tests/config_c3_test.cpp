@@ -1,0 +1,208 @@
+// Controller configuration parsing and C3 testbed construction tests, plus
+// whole-system determinism properties.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "testbed/c3.hpp"
+#include "workload/bigflows.hpp"
+#include "workload/runner.hpp"
+
+namespace tedge {
+namespace {
+
+// ------------------------------------------------------------------ config
+
+TEST(ControllerConfig, DefaultsWhenEmpty) {
+    const auto config = core::parse_controller_config("");
+    EXPECT_EQ(config.scheduler, sdn::kProximityScheduler);
+    EXPECT_EQ(config.flow_memory.idle_timeout, sim::seconds(60));
+    EXPECT_TRUE(config.scale_down_idle);
+}
+
+TEST(ControllerConfig, ParsesAllKeys) {
+    const auto config = core::parse_controller_config(R"(
+scheduler:
+  name: round_robin
+flow_memory:
+  idle_timeout_s: 120
+  scan_period_s: 10
+dispatcher:
+  flow_priority: 321
+  switch_idle_timeout_s: 7
+  install_cloud_flows: false
+scale_down_idle: false
+)");
+    EXPECT_EQ(config.scheduler, sdn::kRoundRobinScheduler);
+    EXPECT_EQ(config.flow_memory.idle_timeout, sim::seconds(120));
+    EXPECT_EQ(config.flow_memory.scan_period, sim::seconds(10));
+    EXPECT_EQ(config.dispatcher.flow_priority, 321);
+    EXPECT_EQ(config.dispatcher.switch_idle_timeout, sim::seconds(7));
+    EXPECT_FALSE(config.dispatcher.install_cloud_flows);
+    EXPECT_FALSE(config.scale_down_idle);
+}
+
+TEST(ControllerConfig, SchedulerParamsArePassedThrough) {
+    const auto config = core::parse_controller_config(R"(
+scheduler:
+  name: proximity
+  params:
+    wait: false
+)");
+    const auto* wait = config.scheduler_params.find("wait");
+    ASSERT_NE(wait, nullptr);
+    EXPECT_EQ(wait->as_bool(), false);
+}
+
+TEST(ControllerConfig, UnknownSchedulerThrows) {
+    EXPECT_THROW(core::parse_controller_config("scheduler:\n  name: bogus\n"),
+                 std::invalid_argument);
+}
+
+TEST(ControllerConfig, EmitParseRoundTrip) {
+    sdn::ControllerConfig config;
+    config.scheduler = sdn::kHierarchicalScheduler;
+    config.flow_memory.idle_timeout = sim::seconds(45);
+    config.dispatcher.flow_priority = 555;
+    config.scale_down_idle = false;
+    const auto reparsed =
+        core::parse_controller_config(core::emit_controller_config(config));
+    EXPECT_EQ(reparsed.scheduler, config.scheduler);
+    EXPECT_EQ(reparsed.flow_memory.idle_timeout, config.flow_memory.idle_timeout);
+    EXPECT_EQ(reparsed.dispatcher.flow_priority, config.dispatcher.flow_priority);
+    EXPECT_EQ(reparsed.scale_down_idle, config.scale_down_idle);
+}
+
+// ----------------------------------------------------------------- testbed
+
+TEST(C3Testbed, TopologyMatchesFig8) {
+    const auto testbed = testbed::build_c3({});
+    auto& topo = testbed->platform.topology();
+    EXPECT_EQ(testbed->clients.size(), 20u); // 20 Raspberry Pis
+    EXPECT_EQ(topo.node(testbed->egs_docker).cpu_cores, 12u);
+    EXPECT_EQ(topo.node(testbed->egs_k8s).cpu_cores, 12u);
+    ASSERT_NE(testbed->docker, nullptr);
+    ASSERT_NE(testbed->k8s, nullptr);
+    EXPECT_EQ(testbed->platform.clusters().size(), 2u);
+
+    // The edge is much closer to clients than the cloud.
+    const auto to_edge =
+        topo.latency(testbed->clients[0], testbed->egs_docker);
+    const auto to_cloud =
+        topo.latency(testbed->clients[0], testbed->platform.cloud_node());
+    EXPECT_LT(to_edge * 10, to_cloud);
+}
+
+TEST(C3Testbed, RegistriesServeTable1Images) {
+    const auto testbed = testbed::build_c3({});
+    for (const auto& service : testbed::table1_services()) {
+        for (const auto& image : service.images) {
+            auto* home = image.ref.registry == "gcr.io"
+                             ? testbed->gcr
+                             : testbed->docker_hub;
+            EXPECT_NE(home->find(image.ref), nullptr) << image.ref.full();
+            EXPECT_NE(testbed->private_registry->find(image.ref), nullptr);
+        }
+    }
+}
+
+TEST(C3Testbed, Table1CatalogMatchesPaper) {
+    const auto& catalog = testbed::table1_services();
+    ASSERT_EQ(catalog.size(), 4u);
+    const auto& asm_svc = testbed::service_by_key("asm");
+    EXPECT_EQ(asm_svc.images[0].total_size(), sim::kib(6.18));
+    EXPECT_EQ(asm_svc.images[0].layer_count(), 1u);
+    const auto& nginx = testbed::service_by_key("nginx");
+    EXPECT_EQ(nginx.images[0].total_size(), sim::mib(135));
+    EXPECT_EQ(nginx.images[0].layer_count(), 6u);
+    const auto& resnet = testbed::service_by_key("resnet");
+    EXPECT_EQ(resnet.images[0].total_size(), sim::mib(308));
+    EXPECT_EQ(resnet.images[0].layer_count(), 9u);
+    EXPECT_EQ(resnet.http_method, "POST");
+    EXPECT_EQ(resnet.request_size, sim::kib(83));
+    const auto& nginx_py = testbed::service_by_key("nginx_py");
+    ASSERT_EQ(nginx_py.images.size(), 2u);
+    sim::Bytes total = 0;
+    std::size_t layers = 0;
+    for (const auto& image : nginx_py.images) {
+        total += image.total_size();
+        layers += image.layer_count();
+    }
+    EXPECT_EQ(total, sim::mib(135) + sim::mib(46)); // 181 MiB
+    EXPECT_EQ(layers, 7u);
+    EXPECT_THROW(static_cast<void>(testbed::service_by_key("nope")), std::invalid_argument);
+    // Nginx+Py shares the nginx layers (same digests).
+    EXPECT_EQ(nginx_py.images[0].layers[0].digest,
+              nginx.images[0].layers[0].digest);
+}
+
+TEST(C3Testbed, ServicesAnnotateAndResolveProfiles) {
+    const auto testbed = testbed::build_c3({});
+    testbed->register_table1_services();
+    auto& registry = testbed->platform.service_registry();
+    EXPECT_EQ(registry.size(), 4u);
+    for (const auto& service : testbed::table1_services()) {
+        const auto* annotated = registry.lookup(service.address);
+        ASSERT_NE(annotated, nullptr) << service.key;
+        for (const auto& container : annotated->spec.containers) {
+            EXPECT_NE(container.app, nullptr)
+                << service.key << "/" << container.name;
+        }
+    }
+}
+
+TEST(C3Testbed, PrivateMirrorOptionRoutesAllPulls) {
+    testbed::C3Options options;
+    options.with_k8s = false;
+    options.use_private_registry_mirror = true;
+    const auto testbed = testbed::build_c3(options);
+    const auto ref = *container::ImageRef::parse("nginx:1.23.2");
+    EXPECT_EQ(testbed->platform.registries().resolve(ref),
+              testbed->private_registry);
+}
+
+// ------------------------------------------------------------ determinism
+
+double run_experiment_median(std::uint64_t seed) {
+    testbed::C3Options options;
+    options.seed = seed;
+    options.with_k8s = false;
+    options.controller.scale_down_idle = false;
+    auto testbed = testbed::build_c3(options);
+    auto& platform = testbed->platform;
+    testbed->register_table1_services();
+
+    workload::BigFlowsOptions trace_options;
+    trace_options.services = 4;
+    trace_options.requests = 120;
+    trace_options.horizon = sim::seconds(60);
+    trace_options.clients = 20;
+    trace_options.seed = seed;
+    const auto trace = workload::synthesize_bigflows(trace_options);
+
+    std::vector<net::ServiceAddress> addresses;
+    for (const auto& service : testbed::table1_services()) {
+        addresses.push_back(service.address);
+    }
+    workload::TraceRunner runner(platform, testbed->clients);
+    workload::TraceReplayOptions replay;
+    replay.addresses = addresses;
+    replay.request_sizes = {120};
+    auto& metrics = runner.replay(trace, replay);
+
+    sim::SampleSet all;
+    for (const auto& record : metrics.records()) {
+        if (record.ok) all.add_time(record.time_total);
+    }
+    return all.median();
+}
+
+TEST(Determinism, SameSeedSameResult) {
+    EXPECT_DOUBLE_EQ(run_experiment_median(7), run_experiment_median(7));
+}
+
+TEST(Determinism, DifferentSeedDifferentResult) {
+    EXPECT_NE(run_experiment_median(7), run_experiment_median(8));
+}
+
+} // namespace
+} // namespace tedge

@@ -1,0 +1,138 @@
+// Controller-under-load tests: packet-in storms from many clients, switch
+// flow expiry behaviour with the controller attached, and bookkeeping
+// consistency after hundreds of requests.
+#include <gtest/gtest.h>
+
+#include "testbed/c3.hpp"
+#include "workload/bigflows.hpp"
+#include "workload/runner.hpp"
+
+namespace tedge {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+TEST(ControllerLoad, BurstOfClientsSharesOneDeploymentPerService) {
+    testbed::C3Options options;
+    options.with_k8s = false;
+    options.controller.scale_down_idle = false;
+    auto testbed = testbed::build_c3(options);
+    auto& platform = testbed->platform;
+    testbed->register_table1_services();
+
+    // All 20 clients hit both web services at t=0.
+    const auto& asm_svc = testbed::service_by_key("asm");
+    const auto& nginx = testbed::service_by_key("nginx");
+    int completed = 0;
+    for (const auto client : testbed->clients) {
+        for (const auto* service : {&asm_svc, &nginx}) {
+            platform.http_request(client, service->address, 120,
+                                  [&](const net::HttpResult& r) {
+                                      ASSERT_TRUE(r.ok) << r.error;
+                                      ++completed;
+                                  });
+        }
+    }
+    platform.simulation().run_until(seconds(120));
+    EXPECT_EQ(completed, 40);
+    // 40 packet-ins, but exactly 2 deployments (engine coalescing).
+    const auto& stats = platform.controller().dispatcher().stats();
+    EXPECT_EQ(stats.packet_ins, 40u);
+    EXPECT_EQ(platform.deployment_engine().records().size(), 2u);
+    // One switch entry per (client, service) pair.
+    EXPECT_EQ(platform.ingress().table().size(), 40u);
+    EXPECT_EQ(platform.controller().flow_memory().size(), 40u);
+}
+
+TEST(ControllerLoad, TraceReplayBookkeepingIsConsistent) {
+    testbed::C3Options options;
+    options.with_k8s = false;
+    options.controller.flow_memory.idle_timeout = seconds(900);
+    options.controller.dispatcher.switch_idle_timeout = seconds(900);
+    options.controller.scale_down_idle = false;
+    auto testbed = testbed::build_c3(options);
+    auto& platform = testbed->platform;
+
+    const auto& service = testbed::service_by_key("asm");
+    std::vector<net::ServiceAddress> addresses;
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        net::ServiceAddress address{
+            net::Ipv4{static_cast<std::uint32_t>(net::Ipv4{203, 0, 124, 10}.value() + i)},
+            service.address.port};
+        platform.register_service(address, service.yaml);
+        addresses.push_back(address);
+    }
+
+    workload::BigFlowsOptions trace_options;
+    trace_options.services = 10;
+    trace_options.requests = 400;
+    trace_options.horizon = seconds(120);
+    trace_options.clients = 20;
+    trace_options.seed = 2;
+    const auto trace = workload::synthesize_bigflows(trace_options);
+
+    workload::TraceRunner runner(platform, testbed->clients);
+    workload::TraceReplayOptions replay;
+    replay.addresses = addresses;
+    replay.request_sizes = {service.request_size};
+    auto& metrics = runner.replay(trace, replay);
+
+    // Every request completed and succeeded.
+    EXPECT_EQ(metrics.count(), trace.size());
+    EXPECT_EQ(metrics.failures(), 0u);
+    // Deployments: exactly one per service (nothing expired mid-run).
+    EXPECT_EQ(platform.deployment_engine().records().size(), 10u);
+    for (const auto& record : platform.deployment_engine().records()) {
+        EXPECT_TRUE(record.ok);
+    }
+    // Controller accounting: every packet-in was either a memory hit, a
+    // ready redirect, a waiting deployment, a cloud fallback, or
+    // unregistered.
+    const auto& stats = platform.controller().dispatcher().stats();
+    EXPECT_EQ(stats.packet_ins,
+              stats.memory_hits + stats.redirected_ready + stats.deployed_waiting +
+                  stats.cloud_fallbacks + stats.unregistered);
+    EXPECT_EQ(stats.unregistered, 0u);
+    EXPECT_EQ(stats.cloud_fallbacks, 0u);
+    // No lingering in-flight work.
+    EXPECT_EQ(platform.deployment_engine().inflight(), 0u);
+    EXPECT_EQ(platform.ingress().buffered_packets(), 0u);
+}
+
+TEST(ControllerLoad, ShortSwitchTimeoutsKeepTablesSmall) {
+    testbed::C3Options options;
+    options.with_k8s = false;
+    options.controller.dispatcher.switch_idle_timeout = seconds(2);
+    options.controller.flow_memory.idle_timeout = seconds(900);
+    options.controller.scale_down_idle = false;
+    auto testbed = testbed::build_c3(options);
+    auto& platform = testbed->platform;
+    testbed->register_table1_services();
+    const auto& asm_svc = testbed::service_by_key("asm");
+
+    // Ten clients, one request each, spaced 3 s apart: every flow expires
+    // before the next arrives.
+    int completed = 0;
+    for (std::size_t i = 0; i < 10; ++i) {
+        platform.simulation().schedule(seconds(static_cast<std::int64_t>(3 * i)),
+                                       [&, i] {
+            platform.http_request(testbed->clients[i], asm_svc.address, 120,
+                                  [&](const net::HttpResult& r) {
+                                      ASSERT_TRUE(r.ok) << r.error;
+                                      ++completed;
+                                  });
+        });
+    }
+    platform.simulation().run_until(seconds(60));
+    EXPECT_EQ(completed, 10);
+    // The switch table stayed small the whole time; FlowMemory carries the
+    // knowledge instead (paper §V).
+    platform.ingress().table().expire(platform.simulation().now());
+    EXPECT_LE(platform.ingress().table().size(), 1u);
+    EXPECT_EQ(platform.controller().flow_memory().size(), 10u);
+    EXPECT_EQ(platform.deployment_engine().records().size(), 1u);
+}
+
+} // namespace
+} // namespace tedge

@@ -1,0 +1,261 @@
+// DeploymentEngine + PortProber tests: three-phase execution, phase
+// skipping, coalescing, failure handling, and probe timing -- against fake
+// clusters and a tiny real network for the prober.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "core/port_prober.hpp"
+#include "test_util.hpp"
+
+namespace tedge::core {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+using testutil::FakeCluster;
+
+struct EngineFixture : ::testing::Test {
+    EngineFixture() {
+        client = topo.add_host("ctl", net::Ipv4{10, 0, 0, 4});
+        edge = topo.add_host("edge", net::Ipv4{10, 0, 0, 2});
+        const auto sw = topo.add_switch("sw");
+        topo.add_link(client, sw, sim::microseconds(100), sim::gbit_per_sec(1));
+        topo.add_link(edge, sw, sim::microseconds(100), sim::gbit_per_sec(10));
+        ovs = std::make_unique<net::OvsSwitch>(simulation, topo, sw);
+        net = std::make_unique<net::TcpNet>(simulation, topo, *ovs, endpoints);
+        prober = std::make_unique<PortProber>(*net, client,
+                                              PortProberConfig{milliseconds(25),
+                                                               seconds(5)});
+        engine = std::make_unique<DeploymentEngine>(simulation, *prober);
+        cluster = std::make_unique<FakeCluster>("edge", edge);
+        spec.name = "svc";
+        spec.cloud_address = {net::Ipv4{203, 0, 113, 1}, 80};
+        spec.expose_port = 8080;
+        spec.target_port = 80;
+        spec.containers.resize(1);
+    }
+
+    /// Make the fake cluster "start" the instance: instance appears now,
+    /// port opens after `ready_after`.
+    void arm_instance(sim::SimTime ready_after) {
+        cluster->add_instance(spec.name, false, 8080);
+        simulation.schedule(ready_after, [this] {
+            topo.open_port(edge, 8080);
+            cluster->instance_list.front().ready = true;
+        });
+    }
+
+    sim::Simulation simulation;
+    net::Topology topo;
+    net::EndpointDirectory endpoints;
+    net::NodeId client, edge;
+    std::unique_ptr<net::OvsSwitch> ovs;
+    std::unique_ptr<net::TcpNet> net;
+    std::unique_ptr<PortProber> prober;
+    std::unique_ptr<DeploymentEngine> engine;
+    std::unique_ptr<FakeCluster> cluster;
+    orchestrator::ServiceSpec spec;
+};
+
+TEST_F(EngineFixture, RunsAllThreePhasesWhenNothingExists) {
+    bool done = false;
+    // The fake cluster "starts" the instance when scale_up is called; model
+    // that by arming the instance at scale-up time.
+    simulation.schedule(milliseconds(1), [this] { arm_instance(milliseconds(300)); });
+    engine->ensure(*cluster, spec, {}, [&](bool ok, const orchestrator::InstanceInfo& i) {
+        EXPECT_TRUE(ok);
+        EXPECT_EQ(i.node, edge);
+        EXPECT_EQ(i.port, 8080);
+        done = true;
+    });
+    simulation.run_until(seconds(30));
+    ASSERT_TRUE(done);
+    EXPECT_EQ(cluster->pulls, 1);
+    EXPECT_EQ(cluster->creates, 1);
+    EXPECT_EQ(cluster->scale_ups, 1);
+    ASSERT_EQ(engine->records().size(), 1u);
+    const auto& record = engine->records().front();
+    EXPECT_TRUE(record.ok);
+    EXPECT_TRUE(record.phases.pulled);
+    EXPECT_TRUE(record.phases.created);
+    EXPECT_TRUE(record.phases.scaled);
+    EXPECT_GE(record.phases.wait_ready, milliseconds(250));
+}
+
+TEST_F(EngineFixture, SkipsPullWhenImageCached) {
+    cluster->image_cached = true;
+    arm_instance(milliseconds(50));
+    bool done = false;
+    engine->ensure(*cluster, spec, {}, [&](bool ok, const orchestrator::InstanceInfo&) {
+        EXPECT_TRUE(ok);
+        done = true;
+    });
+    simulation.run_until(seconds(30));
+    ASSERT_TRUE(done);
+    EXPECT_EQ(cluster->pulls, 0);
+    EXPECT_FALSE(engine->records().front().phases.pulled);
+}
+
+TEST_F(EngineFixture, SkipsCreateWhenServiceExists) {
+    cluster->image_cached = true;
+    cluster->created_services.push_back("svc");
+    arm_instance(milliseconds(50));
+    bool done = false;
+    engine->ensure(*cluster, spec, {}, [&](bool ok, const orchestrator::InstanceInfo&) {
+        EXPECT_TRUE(ok);
+        done = true;
+    });
+    simulation.run_until(seconds(30));
+    ASSERT_TRUE(done);
+    EXPECT_EQ(cluster->creates, 0);
+    EXPECT_FALSE(engine->records().front().phases.created);
+}
+
+TEST_F(EngineFixture, ReadyInstanceReturnsImmediatelyWithoutRecord) {
+    cluster->add_instance(spec.name, true, 8080);
+    topo.open_port(edge, 8080);
+    bool done = false;
+    engine->ensure(*cluster, spec, {}, [&](bool ok, const orchestrator::InstanceInfo& i) {
+        EXPECT_TRUE(ok);
+        EXPECT_TRUE(i.ready);
+        done = true;
+    });
+    simulation.run();
+    ASSERT_TRUE(done);
+    EXPECT_EQ(cluster->scale_ups, 0);
+    EXPECT_TRUE(engine->records().empty());
+}
+
+TEST_F(EngineFixture, StartingInstanceSkipsScaleUpCommand) {
+    cluster->image_cached = true;
+    cluster->created_services.push_back("svc");
+    arm_instance(milliseconds(200)); // already starting (not ready yet)
+    bool done = false;
+    engine->ensure(*cluster, spec, {}, [&](bool ok, const orchestrator::InstanceInfo&) {
+        EXPECT_TRUE(ok);
+        done = true;
+    });
+    simulation.run_until(seconds(30));
+    ASSERT_TRUE(done);
+    EXPECT_EQ(cluster->scale_ups, 0); // joined the in-flight start
+    EXPECT_FALSE(engine->records().front().phases.scaled);
+}
+
+TEST_F(EngineFixture, ConcurrentEnsuresCoalesce) {
+    simulation.schedule(milliseconds(1), [this] { arm_instance(milliseconds(100)); });
+    int completions = 0;
+    for (int i = 0; i < 5; ++i) {
+        engine->ensure(*cluster, spec, {},
+                       [&](bool ok, const orchestrator::InstanceInfo&) {
+                           EXPECT_TRUE(ok);
+                           ++completions;
+                       });
+    }
+    EXPECT_EQ(engine->inflight(), 1u);
+    simulation.run_until(seconds(30));
+    EXPECT_EQ(completions, 5);
+    EXPECT_EQ(cluster->pulls, 1);      // one shared deployment
+    EXPECT_EQ(cluster->scale_ups, 1);
+    EXPECT_EQ(engine->records().size(), 1u);
+}
+
+TEST_F(EngineFixture, PullFailureAborts) {
+    cluster->fail_pull = true;
+    bool done = false;
+    engine->ensure(*cluster, spec, {}, [&](bool ok, const orchestrator::InstanceInfo&) {
+        EXPECT_FALSE(ok);
+        done = true;
+    });
+    simulation.run_until(seconds(10));
+    ASSERT_TRUE(done);
+    EXPECT_EQ(cluster->creates, 0);
+    EXPECT_FALSE(engine->records().front().ok);
+}
+
+TEST_F(EngineFixture, CreateFailureAborts) {
+    cluster->image_cached = true;
+    cluster->fail_create = true;
+    bool done = false;
+    engine->ensure(*cluster, spec, {}, [&](bool ok, const orchestrator::InstanceInfo&) {
+        EXPECT_FALSE(ok);
+        done = true;
+    });
+    simulation.run_until(seconds(10));
+    ASSERT_TRUE(done);
+    EXPECT_EQ(cluster->scale_ups, 0);
+}
+
+TEST_F(EngineFixture, NoWaitOptionSkipsProbe) {
+    cluster->image_cached = true;
+    arm_instance(seconds(2)); // port opens late
+    DeployOptions options;
+    options.wait_ready = false;
+    bool done = false;
+    sim::SimTime finished;
+    engine->ensure(*cluster, spec, options,
+                   [&](bool ok, const orchestrator::InstanceInfo& i) {
+                       EXPECT_TRUE(ok);
+                       EXPECT_FALSE(i.ready); // reported as handed over, not ready
+                       finished = simulation.now();
+                       done = true;
+                   });
+    simulation.run_until(seconds(30));
+    ASSERT_TRUE(done);
+    EXPECT_LT(finished, seconds(1)); // did not wait for the port
+}
+
+TEST_F(EngineFixture, ScaleDownAndRemoveDelegate) {
+    bool down = false;
+    engine->scale_down(*cluster, "svc", [&](bool ok) { down = ok; });
+    bool removed = false;
+    engine->remove(*cluster, "svc", [&](bool ok) { removed = ok; });
+    simulation.run();
+    EXPECT_TRUE(down);
+    EXPECT_TRUE(removed);
+    EXPECT_EQ(cluster->scale_downs, 1);
+    EXPECT_EQ(cluster->removes, 1);
+}
+
+// ------------------------------------------------------------- PortProber
+
+TEST_F(EngineFixture, ProberWaitsUntilPortOpens) {
+    simulation.schedule(milliseconds(400), [this] { topo.open_port(edge, 9000); });
+    bool ok = false;
+    sim::SimTime waited;
+    prober->wait_ready(edge, 9000, [&](bool success, sim::SimTime w) {
+        ok = success;
+        waited = w;
+    });
+    simulation.run_until(seconds(10));
+    EXPECT_TRUE(ok);
+    EXPECT_GE(waited, milliseconds(400));
+    EXPECT_LT(waited, milliseconds(500)); // a few probe periods at most
+    EXPECT_GE(prober->probes_sent(), 2u);
+}
+
+TEST_F(EngineFixture, ProberGivesUpAfterTimeout) {
+    bool called = false;
+    prober->wait_ready(edge, 9001, [&](bool success, sim::SimTime waited) {
+        EXPECT_FALSE(success);
+        EXPECT_GE(waited, seconds(5));
+        called = true;
+    });
+    simulation.run_until(seconds(30));
+    EXPECT_TRUE(called);
+}
+
+TEST_F(EngineFixture, ProberImmediateSuccessOnOpenPort) {
+    topo.open_port(edge, 9002, net::Proto::kTcp);
+    bool ok = false;
+    sim::SimTime waited;
+    prober->wait_ready(edge, 9002, [&](bool success, sim::SimTime w) {
+        ok = success;
+        waited = w;
+    });
+    simulation.run();
+    EXPECT_TRUE(ok);
+    EXPECT_LT(waited, milliseconds(1)); // one probe RTT only
+}
+
+} // namespace
+} // namespace tedge::core

@@ -1,0 +1,202 @@
+// Dispatcher and Controller unit tests on a small real platform: packet-in
+// handling paths, FlowMemory fast path, cookie-based flow invalidation, and
+// cloud flows.
+#include <gtest/gtest.h>
+
+#include "core/edge_platform.hpp"
+
+namespace tedge::sdn {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+struct DispatcherFixture : ::testing::Test {
+    DispatcherFixture() {
+        client = platform.add_client("client", net::Ipv4{10, 0, 1, 1});
+        edge = platform.add_edge_host("edge", net::Ipv4{10, 0, 0, 2}, 12);
+        platform.add_cloud();
+
+        auto& registry = platform.add_registry({.host = "docker.io"});
+        container::Image image;
+        image.ref = *container::ImageRef::parse("web:1");
+        image.layers = container::make_layers("web", sim::mib(10), 2);
+        registry.put(image);
+
+        container::AppProfile app;
+        app.name = "web";
+        app.init_median = milliseconds(20);
+        app.service_median = sim::microseconds(200);
+        app.port = 80;
+        platform.add_app_profile("web:1", app);
+
+        platform.add_docker_cluster("edge", edge);
+        address = {net::Ipv4{203, 0, 113, 9}, 80};
+        platform.register_service(address, R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - name: web
+          image: web:1
+          ports:
+            - containerPort: 80
+)");
+    }
+
+    void start(ControllerConfig config = {}) {
+        platform.start_controller(edge, std::move(config));
+    }
+
+    net::HttpResult request_and_wait(net::NodeId from,
+                                     const net::ServiceAddress& to) {
+        net::HttpResult result;
+        bool done = false;
+        platform.http_request(from, to, 100, [&](const net::HttpResult& r) {
+            result = r;
+            done = true;
+        });
+        while (!done) {
+            platform.simulation().run_until(platform.simulation().now() + seconds(1));
+        }
+        return result;
+    }
+
+    core::EdgePlatform platform;
+    net::NodeId client, edge;
+    net::ServiceAddress address;
+};
+
+TEST_F(DispatcherFixture, FirstRequestDeploysAndInstallsFlow) {
+    start();
+    const auto result = request_and_wait(client, address);
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.server_node, edge);
+    const auto& stats = platform.controller().dispatcher().stats();
+    EXPECT_EQ(stats.packet_ins, 1u);
+    EXPECT_EQ(stats.deployed_waiting, 1u);
+    EXPECT_EQ(platform.controller().flow_memory().size(), 1u);
+    EXPECT_EQ(platform.ingress().table().size(), 1u);
+}
+
+TEST_F(DispatcherFixture, ClientLocationIsTracked) {
+    start();
+    request_and_wait(client, address);
+    // Location = the ingress switch the client's packets entered through.
+    const auto location =
+        platform.controller().dispatcher().client_location(net::Ipv4{10, 0, 1, 1});
+    ASSERT_TRUE(location);
+    EXPECT_EQ(*location, platform.ingress_node());
+    EXPECT_FALSE(platform.controller().dispatcher().client_location(
+        net::Ipv4{10, 0, 1, 99}));
+}
+
+TEST_F(DispatcherFixture, FlowMemoryFastPathSkipsScheduling) {
+    ControllerConfig config;
+    config.dispatcher.switch_idle_timeout = seconds(1); // switch forgets fast
+    config.flow_memory.idle_timeout = seconds(300);     // memory keeps it
+    config.scale_down_idle = false;
+    start(config);
+
+    request_and_wait(client, address);
+    // Let the *switch* entry expire while the memorized flow stays valid.
+    platform.simulation().run_until(platform.simulation().now() + seconds(5));
+    EXPECT_EQ(platform.ingress().table().expire(platform.simulation().now()), 1u);
+
+    const auto result = request_and_wait(client, address);
+    EXPECT_TRUE(result.ok);
+    const auto& stats = platform.controller().dispatcher().stats();
+    EXPECT_EQ(stats.packet_ins, 2u);
+    EXPECT_EQ(stats.memory_hits, 1u);       // answered from FlowMemory
+    EXPECT_EQ(stats.deployed_waiting, 1u);  // no second deployment
+    // The memory-hit answer is quick: no scheduling, no deployment.
+    EXPECT_LT(result.time_total, milliseconds(10));
+}
+
+TEST_F(DispatcherFixture, StaleMemoryFallsBackToFullDispatch) {
+    ControllerConfig config;
+    config.flow_memory.idle_timeout = seconds(300);
+    config.scale_down_idle = false;
+    start(config);
+    request_and_wait(client, address);
+
+    // Kill the instance behind FlowMemory's back.
+    bool down = false;
+    platform.cluster("edge")->scale_down(
+        platform.service_registry().lookup(address)->spec.name,
+        [&](bool ok) { down = ok; });
+    platform.simulation().run_until(platform.simulation().now() + seconds(2));
+    ASSERT_TRUE(down);
+    // Also clear the stale switch entry (as its idle timeout would).
+    platform.ingress().table().clear();
+
+    const auto result = request_and_wait(client, address);
+    EXPECT_TRUE(result.ok) << result.error; // redeployed on demand
+    const auto& stats = platform.controller().dispatcher().stats();
+    EXPECT_EQ(stats.memory_hits, 0u); // stale entry was not trusted
+    EXPECT_EQ(stats.deployed_waiting, 2u);
+}
+
+TEST_F(DispatcherFixture, UnregisteredAddressInstallsNoFlow) {
+    start();
+    const net::ServiceAddress unknown{net::Ipv4{198, 51, 100, 50}, 80};
+    platform.topology().add_ip_alias(platform.cloud_node(), unknown.ip);
+    platform.topology().open_port(platform.cloud_node(), unknown.port);
+    platform.endpoints().bind(platform.cloud_node(), unknown.port,
+                              [](sim::Bytes, net::EndpointDirectory::ReplyFn reply) {
+                                  reply(128);
+                              });
+    const auto result = request_and_wait(client, unknown);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.server_node, platform.cloud_node());
+    EXPECT_EQ(platform.controller().dispatcher().stats().unregistered, 1u);
+    EXPECT_EQ(platform.ingress().table().size(), 0u);
+    EXPECT_EQ(platform.controller().flow_memory().size(), 0u);
+}
+
+TEST_F(DispatcherFixture, CloudOnlySchedulerInstallsCloudFlow) {
+    ControllerConfig config;
+    config.scheduler = kCloudOnlyScheduler;
+    start(config);
+    const auto result = request_and_wait(client, address);
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.server_node, platform.cloud_node());
+    const auto& stats = platform.controller().dispatcher().stats();
+    EXPECT_EQ(stats.cloud_fallbacks, 1u);
+    EXPECT_EQ(stats.deployed_waiting, 0u);
+    // A redirect-to-cloud flow keeps follow-ups off the controller.
+    EXPECT_EQ(platform.ingress().table().size(), 1u);
+    request_and_wait(client, address);
+    EXPECT_EQ(platform.controller().dispatcher().stats().packet_ins, 1u);
+}
+
+TEST_F(DispatcherFixture, OnBestReadyEvictsFlowsByCookie) {
+    start();
+    request_and_wait(client, address);
+    ASSERT_EQ(platform.ingress().table().size(), 1u);
+    const auto* annotated = platform.service_registry().lookup(address);
+    platform.controller().dispatcher().on_best_ready(annotated->spec);
+    platform.simulation().run_until(platform.simulation().now() + seconds(1));
+    EXPECT_EQ(platform.ingress().table().size(), 0u);
+    EXPECT_EQ(platform.controller().flow_memory().size(), 0u);
+}
+
+TEST_F(DispatcherFixture, ConcurrentFirstRequestsShareOneDeployment) {
+    start();
+    int done = 0;
+    for (int i = 0; i < 6; ++i) {
+        platform.http_request(client, address, 100, [&](const net::HttpResult& r) {
+            EXPECT_TRUE(r.ok) << r.error;
+            ++done;
+        });
+    }
+    platform.simulation().run_until(seconds(60));
+    EXPECT_EQ(done, 6);
+    EXPECT_EQ(platform.deployment_engine().records().size(), 1u);
+    const auto& stats = platform.controller().dispatcher().stats();
+    EXPECT_EQ(stats.packet_ins, 6u);
+}
+
+} // namespace
+} // namespace tedge::sdn

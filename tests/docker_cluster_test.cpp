@@ -1,0 +1,248 @@
+// DockerCluster tests: the full Pull / Create / Scale Up / Scale Down /
+// Remove / Delete lifecycle on the single-host Docker "cluster".
+#include <gtest/gtest.h>
+
+#include "orchestrator/docker_cluster.hpp"
+
+namespace tedge::orchestrator {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+struct DockerFixture : ::testing::Test {
+    DockerFixture() {
+        node = topo.add_host("egs", net::Ipv4{10, 0, 0, 2}, 12);
+        registry = std::make_unique<container::Registry>(
+            simulation, container::RegistryProfile{.host = "docker.io"});
+        registries.add(*registry);
+        cluster = std::make_unique<DockerCluster>(
+            "docker", simulation, topo, node, endpoints, registries, sim::Rng{1});
+
+        app.name = "web";
+        app.init_median = milliseconds(20);
+        app.service_median = milliseconds(1);
+        app.port = 80;
+
+        image.ref = *container::ImageRef::parse("web:1");
+        image.layers = container::make_layers("web", sim::mib(30), 3);
+        registry->put(image);
+
+        spec.name = "svc";
+        spec.cloud_address = {net::Ipv4{203, 0, 113, 1}, 80};
+        spec.expose_port = 80;
+        spec.target_port = 80;
+        ContainerTemplate tmpl;
+        tmpl.name = "web";
+        tmpl.image = image.ref;
+        tmpl.app = &app;
+        tmpl.container_port = 80;
+        spec.containers.push_back(tmpl);
+    }
+
+    void pull() {
+        bool ok = false;
+        cluster->ensure_image(spec, [&](bool success, const container::PullTiming&) {
+            ok = success;
+        });
+        simulation.run();
+        ASSERT_TRUE(ok);
+    }
+
+    void create() {
+        bool ok = false;
+        cluster->create_service(spec, [&](bool success) { ok = success; });
+        simulation.run();
+        ASSERT_TRUE(ok);
+    }
+
+    void scale_up() {
+        bool ok = false;
+        cluster->scale_up(spec.name, [&](bool success) { ok = success; });
+        simulation.run();
+        ASSERT_TRUE(ok);
+    }
+
+    sim::Simulation simulation;
+    net::Topology topo;
+    net::EndpointDirectory endpoints;
+    net::NodeId node;
+    RegistryDirectory registries;
+    std::unique_ptr<container::Registry> registry;
+    std::unique_ptr<DockerCluster> cluster;
+    container::AppProfile app;
+    container::Image image;
+    ServiceSpec spec;
+};
+
+TEST_F(DockerFixture, PullMakesImageAvailable) {
+    EXPECT_FALSE(cluster->has_image(spec));
+    pull();
+    EXPECT_TRUE(cluster->has_image(spec));
+    // Second ensure is a cheap cache hit.
+    const auto before = simulation.now();
+    bool ok = false;
+    container::PullTiming timing;
+    cluster->ensure_image(spec, [&](bool success, const container::PullTiming& t) {
+        ok = success;
+        timing = t;
+    });
+    simulation.run();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(timing.layers_downloaded, 0u);
+    EXPECT_LT(simulation.now() - before, milliseconds(50));
+}
+
+TEST_F(DockerFixture, CreateRequiresLocalImage) {
+    bool ok = true;
+    cluster->create_service(spec, [&](bool success) { ok = success; });
+    simulation.run();
+    EXPECT_FALSE(ok); // docker create fails without the image
+    pull();
+    create();
+    EXPECT_TRUE(cluster->has_service("svc"));
+}
+
+TEST_F(DockerFixture, CreateIsIdempotent) {
+    pull();
+    create();
+    bool ok = false;
+    cluster->create_service(spec, [&](bool success) { ok = success; });
+    simulation.run();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(cluster->runtime().list().size(), 1u); // still one container
+}
+
+TEST_F(DockerFixture, ScaleUpOpensPortAndListsReadyInstance) {
+    pull();
+    create();
+    EXPECT_TRUE(cluster->instances("svc").empty()); // created != running
+    scale_up();
+    // The app opens its port shortly after start.
+    simulation.run_until(simulation.now() + seconds(2));
+    const auto instances = cluster->instances("svc");
+    ASSERT_EQ(instances.size(), 1u);
+    EXPECT_TRUE(instances[0].ready);
+    EXPECT_EQ(instances[0].node, node);
+    EXPECT_EQ(instances[0].port, 80);
+    EXPECT_TRUE(topo.port_open(node, 80));
+    EXPECT_EQ(cluster->total_instances(), 1u);
+}
+
+TEST_F(DockerFixture, ScaleUpWhenRunningIsNoOp) {
+    pull();
+    create();
+    scale_up();
+    simulation.run_until(simulation.now() + seconds(2));
+    scale_up(); // no-op, still one instance
+    EXPECT_EQ(cluster->instances("svc").size(), 1u);
+}
+
+TEST_F(DockerFixture, ScaleUpUnknownServiceFails) {
+    bool ok = true;
+    cluster->scale_up("ghost", [&](bool success) { ok = success; });
+    simulation.run();
+    EXPECT_FALSE(ok);
+}
+
+TEST_F(DockerFixture, ScaleDownClosesPortAndAllowsRestart) {
+    pull();
+    create();
+    scale_up();
+    simulation.run_until(simulation.now() + seconds(2));
+
+    bool down = false;
+    cluster->scale_down(spec.name, [&](bool ok) { down = ok; });
+    simulation.run();
+    EXPECT_TRUE(down);
+    EXPECT_FALSE(topo.port_open(node, 80));
+    EXPECT_TRUE(cluster->instances("svc").empty());
+    EXPECT_EQ(cluster->total_instances(), 0u);
+
+    // Scale up again: containers restart (no re-create needed).
+    scale_up();
+    simulation.run_until(simulation.now() + seconds(2));
+    EXPECT_TRUE(topo.port_open(node, 80));
+}
+
+TEST_F(DockerFixture, RemoveServiceCleansUpEverything) {
+    pull();
+    create();
+    scale_up();
+    simulation.run_until(simulation.now() + seconds(2));
+    bool removed = false;
+    cluster->remove_service(spec.name, [&](bool ok) { removed = ok; });
+    simulation.run_until(simulation.now() + seconds(2));
+    EXPECT_TRUE(removed);
+    EXPECT_FALSE(cluster->has_service("svc"));
+    EXPECT_FALSE(topo.port_open(node, 80));
+    EXPECT_TRUE(cluster->runtime().list().empty());
+    // The image stays cached until Delete.
+    EXPECT_TRUE(cluster->has_image(spec));
+    cluster->delete_image(spec);
+    EXPECT_FALSE(cluster->has_image(spec));
+    EXPECT_EQ(cluster->image_store().disk_usage(), 0);
+}
+
+TEST_F(DockerFixture, ManyServicesGetDistinctHostPorts) {
+    pull();
+    std::vector<ServiceSpec> specs;
+    for (int i = 0; i < 10; ++i) {
+        ServiceSpec s = spec;
+        s.name = "svc" + std::to_string(i);
+        specs.push_back(s);
+    }
+    for (auto& s : specs) {
+        cluster->create_service(s, [](bool ok) { ASSERT_TRUE(ok); });
+    }
+    simulation.run();
+    for (auto& s : specs) {
+        cluster->scale_up(s.name, [](bool ok) { ASSERT_TRUE(ok); });
+    }
+    simulation.run_until(simulation.now() + seconds(5));
+
+    std::set<std::uint16_t> ports;
+    for (const auto& s : specs) {
+        const auto instances = cluster->instances(s.name);
+        ASSERT_EQ(instances.size(), 1u) << s.name;
+        EXPECT_TRUE(instances[0].ready) << s.name;
+        EXPECT_TRUE(ports.insert(instances[0].port).second)
+            << "duplicate port " << instances[0].port;
+    }
+    EXPECT_EQ(ports.size(), 10u);
+    EXPECT_TRUE(ports.contains(80)); // first one got the preferred port
+}
+
+TEST_F(DockerFixture, MultiContainerServiceStartsAllContainers) {
+    container::AppProfile sidecar_app;
+    sidecar_app.name = "sidecar";
+    sidecar_app.init_median = milliseconds(100);
+    sidecar_app.port = 0;
+
+    container::Image sidecar_image;
+    sidecar_image.ref = *container::ImageRef::parse("sidecar:1");
+    sidecar_image.layers = container::make_layers("sidecar", sim::mib(5), 1);
+    registry->put(sidecar_image);
+
+    ContainerTemplate sidecar;
+    sidecar.name = "writer";
+    sidecar.image = sidecar_image.ref;
+    sidecar.app = &sidecar_app;
+    spec.containers.push_back(sidecar);
+
+    pull();
+    create();
+    EXPECT_EQ(cluster->runtime().list().size(), 2u);
+    scale_up();
+    simulation.run_until(simulation.now() + seconds(2));
+    const auto instances = cluster->instances("svc");
+    ASSERT_EQ(instances.size(), 1u); // one service instance, two containers
+    EXPECT_TRUE(instances[0].ready);
+    for (const auto id : cluster->runtime().list()) {
+        EXPECT_EQ(cluster->runtime().info(id).state,
+                  container::ContainerState::kRunning);
+    }
+}
+
+} // namespace
+} // namespace tedge::orchestrator

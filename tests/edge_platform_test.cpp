@@ -1,0 +1,124 @@
+// EdgePlatform facade tests: topology building, cloud provisioning,
+// registries, cluster management, and error paths.
+#include <gtest/gtest.h>
+
+#include "core/edge_platform.hpp"
+
+namespace tedge::core {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+TEST(EdgePlatform, BuildsIngressSwitchUpFront) {
+    EdgePlatform platform;
+    EXPECT_TRUE(platform.ingress_node().valid());
+    EXPECT_EQ(platform.topology().node(platform.ingress_node()).kind,
+              net::NodeKind::kSwitch);
+}
+
+TEST(EdgePlatform, ClientAndEdgeHostsAreLinkedToIngress) {
+    EdgePlatform platform;
+    const auto client = platform.add_client("c", net::Ipv4{10, 0, 1, 1});
+    const auto edge = platform.add_edge_host("e", net::Ipv4{10, 0, 0, 2}, 8);
+    const auto path = platform.topology().path(client, edge);
+    ASSERT_TRUE(path);
+    EXPECT_EQ(path->hops, 2); // via the switch
+    EXPECT_EQ(platform.topology().node(edge).cpu_cores, 8u);
+}
+
+TEST(EdgePlatform, CloudCanOnlyBeAddedOnce) {
+    EdgePlatform platform;
+    platform.add_cloud();
+    EXPECT_THROW(platform.add_cloud(), std::logic_error);
+}
+
+TEST(EdgePlatform, RegisterServiceProvisionsCloudInstance) {
+    EdgePlatform platform;
+    platform.add_client("c", net::Ipv4{10, 0, 1, 1});
+    platform.add_cloud();
+    platform.add_registry({.host = "docker.io"});
+
+    container::AppProfile app;
+    app.name = "web";
+    app.service_median = milliseconds(1);
+    app.response_size = 128;
+    app.port = 80;
+    platform.add_app_profile("web:1", app);
+
+    const net::ServiceAddress address{net::Ipv4{203, 0, 113, 40}, 80};
+    platform.register_service(address, R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - name: web
+          image: web:1
+          ports:
+            - containerPort: 80
+)");
+    // The cloud answers for the registered address without any controller.
+    EXPECT_EQ(platform.topology().find_by_ip(address.ip), platform.cloud_node());
+    EXPECT_TRUE(platform.topology().port_open(platform.cloud_node(), address.port));
+
+    net::HttpResult result;
+    bool done = false;
+    platform.http_request(*platform.topology().find_by_name("c"), address, 100,
+                          [&](const net::HttpResult& r) {
+                              result = r;
+                              done = true;
+                          });
+    platform.simulation().run_until(seconds(10));
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.server_node, platform.cloud_node());
+}
+
+TEST(EdgePlatform, AppProfileCatalogResolvesByFullRef) {
+    EdgePlatform platform;
+    container::AppProfile app;
+    app.name = "x";
+    platform.add_app_profile("nginx:1.23.2", app);
+    const auto ref = *container::ImageRef::parse("nginx:1.23.2");
+    EXPECT_NE(platform.profile_for(ref), nullptr);
+    const auto other = *container::ImageRef::parse("nginx:other");
+    EXPECT_EQ(platform.profile_for(other), nullptr);
+    EXPECT_THROW(platform.add_app_profile("", app), std::invalid_argument);
+}
+
+TEST(EdgePlatform, ClusterLookupByName) {
+    EdgePlatform platform;
+    const auto edge = platform.add_edge_host("e", net::Ipv4{10, 0, 0, 2}, 8);
+    platform.add_docker_cluster("alpha", edge);
+    platform.add_faas_cluster("beta", edge);
+    EXPECT_NE(platform.cluster("alpha"), nullptr);
+    EXPECT_NE(platform.cluster("beta"), nullptr);
+    EXPECT_EQ(platform.cluster("gamma"), nullptr);
+    EXPECT_EQ(platform.clusters().size(), 2u);
+}
+
+TEST(EdgePlatform, ControllerCanOnlyStartOnce) {
+    EdgePlatform platform;
+    const auto edge = platform.add_edge_host("e", net::Ipv4{10, 0, 0, 2}, 8);
+    platform.add_docker_cluster("alpha", edge);
+    platform.start_controller(edge);
+    EXPECT_THROW(platform.start_controller(edge), std::logic_error);
+}
+
+TEST(EdgePlatform, RegistryMirrorRouting) {
+    EdgePlatform platform;
+    auto& hub = platform.add_registry({.host = "docker.io"});
+    auto& mirror = platform.add_registry({.host = "registry.local"});
+    const auto ref = *container::ImageRef::parse("nginx:1");
+    EXPECT_EQ(platform.registries().resolve(ref), &hub);
+    platform.registries().set_mirror(&mirror);
+    EXPECT_EQ(platform.registries().resolve(ref), &mirror);
+    platform.registries().set_mirror(nullptr);
+    EXPECT_EQ(platform.registries().resolve(ref), &hub);
+    const auto unknown = *container::ImageRef::parse("quay.io/foo/bar:1");
+    EXPECT_EQ(platform.registries().resolve(unknown), nullptr);
+}
+
+} // namespace
+} // namespace tedge::core

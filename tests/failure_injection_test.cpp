@@ -1,0 +1,135 @@
+// Failure-injection tests: registry outages, deployment failures, and the
+// controller's cloud fallback under adverse conditions.
+#include <gtest/gtest.h>
+
+#include "testbed/c3.hpp"
+
+namespace tedge {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+struct FailureFixture : ::testing::Test {
+    void SetUp() override {
+        testbed::C3Options options;
+        options.with_k8s = false;
+        options.controller.scale_down_idle = false;
+        testbed = testbed::build_c3(options);
+        testbed->register_table1_services();
+    }
+
+    net::HttpResult request_and_wait(const net::ServiceAddress& address) {
+        auto& platform = testbed->platform;
+        net::HttpResult result;
+        bool done = false;
+        platform.http_request(testbed->clients[0], address, 120,
+                              [&](const net::HttpResult& r) {
+                                  result = r;
+                                  done = true;
+                              });
+        while (!done) {
+            platform.simulation().run_until(platform.simulation().now() +
+                                            seconds(1));
+        }
+        return result;
+    }
+
+    std::unique_ptr<testbed::C3Testbed> testbed;
+};
+
+TEST_F(FailureFixture, RegistryOutageFallsBackToCloud) {
+    testbed->docker_hub->set_outage(true);
+    const auto& nginx = testbed::service_by_key("nginx");
+
+    const auto result = request_and_wait(nginx.address);
+    // The pull fails, the deployment aborts, and the request is still
+    // answered -- from the cloud.
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.server_node, testbed->platform.cloud_node());
+    const auto& stats = testbed->platform.controller().dispatcher().stats();
+    EXPECT_EQ(stats.failures, 1u);
+    EXPECT_EQ(stats.cloud_fallbacks, 1u);
+    const auto& records = testbed->platform.deployment_engine().records();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_FALSE(records[0].ok);
+}
+
+TEST_F(FailureFixture, RecoveryAfterOutageDeploysNormally) {
+    testbed->docker_hub->set_outage(true);
+    const auto& nginx = testbed::service_by_key("nginx");
+    request_and_wait(nginx.address); // fails to the cloud
+
+    testbed->docker_hub->set_outage(false);
+    const auto result = request_and_wait(nginx.address);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.server_node, testbed->egs_docker); // edge again
+}
+
+TEST_F(FailureFixture, PrivateMirrorSurvivesPublicRegistryOutage) {
+    // With the pull-through mirror configured, a Docker Hub outage is
+    // irrelevant -- exactly the operational case for an in-network registry.
+    testbed::C3Options options;
+    options.with_k8s = false;
+    options.use_private_registry_mirror = true;
+    options.controller.scale_down_idle = false;
+    auto mirrored = testbed::build_c3(options);
+    mirrored->register_table1_services();
+    mirrored->docker_hub->set_outage(true);
+
+    auto& platform = mirrored->platform;
+    const auto& nginx = testbed::service_by_key("nginx");
+    net::HttpResult result;
+    bool done = false;
+    platform.http_request(mirrored->clients[0], nginx.address, 120,
+                          [&](const net::HttpResult& r) {
+                              result = r;
+                              done = true;
+                          });
+    platform.simulation().run_until(seconds(60));
+    ASSERT_TRUE(done);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.server_node, mirrored->egs_docker);
+}
+
+TEST_F(FailureFixture, UnknownImageDeploymentFailsToCloud) {
+    // Register a service whose image no registry serves.
+    auto& platform = testbed->platform;
+    container::AppProfile app;
+    app.name = "ghost";
+    app.port = 80;
+    platform.add_app_profile("ghost:1", app);
+    const net::ServiceAddress address{net::Ipv4{203, 0, 113, 77}, 80};
+    platform.register_service(address, R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - name: ghost
+          image: ghost:1
+          ports:
+            - containerPort: 80
+)");
+    const auto result = request_and_wait(address);
+    ASSERT_TRUE(result.ok) << result.error; // cloud still answers
+    EXPECT_EQ(result.server_node, platform.cloud_node());
+    EXPECT_EQ(platform.controller().dispatcher().stats().failures, 1u);
+}
+
+TEST_F(FailureFixture, RepeatedFailuresDoNotWedgeTheDispatcher) {
+    testbed->docker_hub->set_outage(true);
+    const auto& asm_svc = testbed::service_by_key("asm");
+    for (int i = 0; i < 3; ++i) {
+        const auto result = request_and_wait(asm_svc.address);
+        ASSERT_TRUE(result.ok) << result.error;
+        EXPECT_EQ(result.server_node, testbed->platform.cloud_node());
+    }
+    EXPECT_EQ(testbed->platform.deployment_engine().inflight(), 0u);
+    testbed->docker_hub->set_outage(false);
+    const auto result = request_and_wait(asm_svc.address);
+    EXPECT_EQ(result.server_node, testbed->egs_docker);
+}
+
+} // namespace
+} // namespace tedge

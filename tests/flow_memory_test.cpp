@@ -1,0 +1,136 @@
+// FlowMemory tests: memorize/recall with idle timeouts, expiry scanning,
+// and the idle-service callback that drives scale-down.
+#include <gtest/gtest.h>
+
+#include "sdn/flow_memory.hpp"
+
+namespace tedge::sdn {
+namespace {
+
+using sim::seconds;
+
+MemorizedFlow make_flow(const std::string& service, std::uint32_t client_octet,
+                        const std::string& cluster = "edge") {
+    MemorizedFlow flow;
+    flow.client_ip = net::Ipv4{10, 0, 1, static_cast<std::uint8_t>(client_octet)};
+    flow.service_address = {net::Ipv4{203, 0, 113, 1}, 80};
+    flow.service_name = service;
+    flow.instance_node = net::NodeId{1};
+    flow.instance_port = 8080;
+    flow.cluster = cluster;
+    return flow;
+}
+
+struct FlowMemoryFixture : ::testing::Test {
+    FlowMemoryFixture()
+        : memory(simulation, {.idle_timeout = seconds(60), .scan_period = seconds(5)}) {}
+
+    sim::Simulation simulation;
+    FlowMemory memory;
+};
+
+TEST_F(FlowMemoryFixture, RecallReturnsMemorizedFlow) {
+    memory.memorize(make_flow("svc", 1));
+    const auto recalled =
+        memory.recall(net::Ipv4{10, 0, 1, 1}, {net::Ipv4{203, 0, 113, 1}, 80});
+    ASSERT_TRUE(recalled);
+    EXPECT_EQ(recalled->service_name, "svc");
+    EXPECT_EQ(recalled->instance_port, 8080);
+    EXPECT_EQ(memory.hits(), 1u);
+}
+
+TEST_F(FlowMemoryFixture, RecallMissesUnknownOrDifferentClient) {
+    memory.memorize(make_flow("svc", 1));
+    EXPECT_FALSE(
+        memory.recall(net::Ipv4{10, 0, 1, 2}, {net::Ipv4{203, 0, 113, 1}, 80}));
+    EXPECT_FALSE(
+        memory.recall(net::Ipv4{10, 0, 1, 1}, {net::Ipv4{203, 0, 113, 9}, 80}));
+    EXPECT_EQ(memory.misses(), 2u);
+}
+
+TEST_F(FlowMemoryFixture, RecallTouchesIdleTimer) {
+    memory.memorize(make_flow("svc", 1));
+    // Touch at t=50s keeps it alive until 110s.
+    simulation.run_until(seconds(50));
+    EXPECT_TRUE(memory.recall(net::Ipv4{10, 0, 1, 1}, {net::Ipv4{203, 0, 113, 1}, 80}));
+    simulation.run_until(seconds(100));
+    EXPECT_TRUE(memory.recall(net::Ipv4{10, 0, 1, 1}, {net::Ipv4{203, 0, 113, 1}, 80}));
+    simulation.run_until(seconds(170));
+    EXPECT_FALSE(
+        memory.recall(net::Ipv4{10, 0, 1, 1}, {net::Ipv4{203, 0, 113, 1}, 80}));
+}
+
+TEST_F(FlowMemoryFixture, PeriodicScanExpiresStaleFlows) {
+    memory.memorize(make_flow("svc", 1));
+    EXPECT_EQ(memory.size(), 1u);
+    simulation.run_until(seconds(70)); // the 5 s scans run automatically
+    EXPECT_EQ(memory.size(), 0u);
+}
+
+TEST_F(FlowMemoryFixture, IdleCallbackFiresOncePerService) {
+    std::vector<std::pair<std::string, std::string>> idle;
+    memory.set_idle_service_callback(
+        [&](const std::string& service, const std::string& cluster) {
+            idle.emplace_back(service, cluster);
+        });
+    memory.memorize(make_flow("svc", 1));
+    memory.memorize(make_flow("svc", 2));
+    memory.memorize(make_flow("other", 3, "k8s"));
+    simulation.run_until(seconds(100));
+    ASSERT_EQ(idle.size(), 2u); // one per service despite two svc flows
+    EXPECT_EQ(idle[0].second == "edge" ? idle[0].first : idle[1].first, "svc");
+}
+
+TEST_F(FlowMemoryFixture, IdleCallbackNotFiredWhileOtherFlowsAlive) {
+    std::vector<std::string> idle;
+    memory.set_idle_service_callback(
+        [&](const std::string& service, const std::string&) {
+            idle.push_back(service);
+        });
+    memory.memorize(make_flow("svc", 1));
+    // Keep one flow of the same service alive by touching it regularly.
+    auto keepalive = simulation.schedule_periodic(seconds(20), [&] {
+        memory.memorize(make_flow("svc", 2));
+    });
+    simulation.run_until(seconds(100));
+    EXPECT_TRUE(idle.empty());
+    keepalive.cancel();
+    simulation.run_until(seconds(200));
+    EXPECT_EQ(idle.size(), 1u);
+}
+
+TEST_F(FlowMemoryFixture, ForgetServiceDropsAllItsFlows) {
+    memory.memorize(make_flow("svc", 1));
+    memory.memorize(make_flow("svc", 2));
+    memory.memorize(make_flow("other", 3));
+    EXPECT_EQ(memory.flows_for_service("svc"), 2u);
+    EXPECT_EQ(memory.forget_service("svc"), 2u);
+    EXPECT_EQ(memory.flows_for_service("svc"), 0u);
+    EXPECT_EQ(memory.size(), 1u);
+}
+
+TEST_F(FlowMemoryFixture, MemorizeRefreshesExistingEntry) {
+    memory.memorize(make_flow("svc", 1));
+    auto updated = make_flow("svc", 1);
+    updated.instance_port = 9999;
+    simulation.run_until(seconds(30));
+    memory.memorize(updated);
+    const auto recalled =
+        memory.recall(net::Ipv4{10, 0, 1, 1}, {net::Ipv4{203, 0, 113, 1}, 80});
+    ASSERT_TRUE(recalled);
+    EXPECT_EQ(recalled->instance_port, 9999);
+    EXPECT_EQ(memory.size(), 1u);
+}
+
+TEST_F(FlowMemoryFixture, PeekDoesNotTouch) {
+    memory.memorize(make_flow("svc", 1));
+    simulation.run_until(seconds(50));
+    EXPECT_NE(memory.peek(net::Ipv4{10, 0, 1, 1}, {net::Ipv4{203, 0, 113, 1}, 80}),
+              nullptr);
+    simulation.run_until(seconds(70)); // 60 s after memorize: expired
+    EXPECT_FALSE(
+        memory.recall(net::Ipv4{10, 0, 1, 1}, {net::Ipv4{203, 0, 113, 1}, 80}));
+}
+
+} // namespace
+} // namespace tedge::sdn

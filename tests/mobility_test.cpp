@@ -1,0 +1,154 @@
+// Multi-ingress (multi-gNB) and client-mobility tests: the dispatcher
+// tracks the clients' current attachment point, installs flows on the
+// switch the packet actually entered through, and FlowMemory makes the
+// re-dispatch after a handover instant (no new scheduling, no new
+// deployment) -- the transparent-access analogue of Follow-Me-Cloud-style
+// continuity (paper §III related work; §IV-B location tracking).
+#include <gtest/gtest.h>
+
+#include "core/edge_platform.hpp"
+
+namespace tedge::sdn {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+struct MobilityFixture : ::testing::Test {
+    MobilityFixture() {
+        client = platform.add_client("ue", net::Ipv4{10, 0, 1, 1});
+        edge = platform.add_edge_host("edge", net::Ipv4{10, 0, 0, 2}, 12);
+        platform.add_cloud();
+        gnb2 = &platform.add_ingress("gnb2", sim::microseconds(250));
+
+        auto& hub = platform.add_registry({.host = "docker.io"});
+        container::Image image;
+        image.ref = *container::ImageRef::parse("web:1");
+        image.layers = container::make_layers("web", sim::mib(8), 2);
+        hub.put(image);
+
+        container::AppProfile app;
+        app.name = "web";
+        app.init_median = milliseconds(15);
+        app.service_median = sim::microseconds(150);
+        app.port = 80;
+        platform.add_app_profile("web:1", app);
+
+        platform.add_docker_cluster("edge", edge);
+        address = {net::Ipv4{203, 0, 113, 90}, 80};
+        platform.register_service(address, R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - name: web
+          image: web:1
+          ports:
+            - containerPort: 80
+)");
+        sdn::ControllerConfig config;
+        config.scale_down_idle = false;
+        config.flow_memory.idle_timeout = seconds(300);
+        platform.start_controller(edge, config);
+    }
+
+    net::HttpResult request_and_wait() {
+        net::HttpResult result;
+        bool done = false;
+        platform.http_request(client, address, 100, [&](const net::HttpResult& r) {
+            result = r;
+            done = true;
+        });
+        while (!done) {
+            platform.simulation().run_until(platform.simulation().now() +
+                                            seconds(1));
+        }
+        return result;
+    }
+
+    core::EdgePlatform platform;
+    net::NodeId client, edge;
+    net::OvsSwitch* gnb2 = nullptr;
+    net::ServiceAddress address;
+};
+
+TEST_F(MobilityFixture, SecondIngressIsServedByTheSameController) {
+    // Attach the client to gNB2 from the start.
+    platform.connect_client_to_ingress(client, *gnb2, sim::microseconds(300));
+    const auto result = request_and_wait();
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.server_node, edge);
+    // The flow landed in gNB2's table, not the primary's.
+    EXPECT_EQ(gnb2->table().size(), 1u);
+    EXPECT_EQ(platform.ingress().table().size(), 0u);
+    // Location tracking points at gNB2.
+    const auto location =
+        platform.controller().dispatcher().client_location(net::Ipv4{10, 0, 1, 1});
+    ASSERT_TRUE(location);
+    EXPECT_EQ(*location, gnb2->node());
+}
+
+TEST_F(MobilityFixture, HandoverReusesFlowMemoryWithoutRedeploying) {
+    // First request through the primary gNB: deploys on demand.
+    const auto first = request_and_wait();
+    ASSERT_TRUE(first.ok) << first.error;
+    ASSERT_EQ(platform.deployment_engine().records().size(), 1u);
+    const auto packet_ins_before =
+        platform.controller().dispatcher().stats().packet_ins;
+
+    // Handover: the client moves into gNB2's cell.
+    platform.connect_client_to_ingress(client, *gnb2, sim::microseconds(300));
+
+    // Next request enters at gNB2 -> table miss there -> packet-in -> but
+    // FlowMemory answers instantly; no scheduling pass, no deployment.
+    const auto after = request_and_wait();
+    ASSERT_TRUE(after.ok) << after.error;
+    EXPECT_EQ(after.server_node, edge);
+    EXPECT_LT(after.time_total, milliseconds(10));
+    const auto& stats = platform.controller().dispatcher().stats();
+    EXPECT_EQ(stats.packet_ins, packet_ins_before + 1);
+    EXPECT_EQ(stats.memory_hits, 1u);
+    EXPECT_EQ(platform.deployment_engine().records().size(), 1u); // unchanged
+    EXPECT_EQ(gnb2->table().size(), 1u);
+    // Location updated to the new cell.
+    EXPECT_EQ(*platform.controller().dispatcher().client_location(
+                  net::Ipv4{10, 0, 1, 1}),
+              gnb2->node());
+}
+
+TEST_F(MobilityFixture, EvictionReachesAllSwitches) {
+    // Flows on both switches, then a service-wide eviction.
+    request_and_wait();
+    platform.connect_client_to_ingress(client, *gnb2, sim::microseconds(300));
+    request_and_wait();
+    ASSERT_EQ(platform.ingress().table().size(), 1u);
+    ASSERT_EQ(gnb2->table().size(), 1u);
+
+    const auto* annotated = platform.service_registry().lookup(address);
+    platform.controller().dispatcher().on_best_ready(annotated->spec);
+    platform.simulation().run_until(platform.simulation().now() + seconds(1));
+    EXPECT_EQ(platform.ingress().table().size(), 0u);
+    EXPECT_EQ(gnb2->table().size(), 0u);
+}
+
+TEST_F(MobilityFixture, HandoverBackAndForthStaysConsistent) {
+    request_and_wait(); // deploy via primary
+    for (int i = 0; i < 3; ++i) {
+        if (i == 0) {
+            platform.connect_client_to_ingress(client, *gnb2,
+                                               sim::microseconds(300));
+        } else {
+            platform.handover_client(client,
+                                     i % 2 == 0 ? *gnb2 : platform.ingress());
+        }
+        const auto result = request_and_wait();
+        ASSERT_TRUE(result.ok) << result.error;
+        EXPECT_EQ(result.server_node, edge);
+    }
+    // No extra deployments through all the moves.
+    EXPECT_EQ(platform.deployment_engine().records().size(), 1u);
+}
+
+} // namespace
+} // namespace tedge::sdn

@@ -1,0 +1,260 @@
+// Global scheduler tests: the registry ("dynamic loading") and the FAST/BEST
+// contract of every built-in policy, exercised against scriptable fake
+// clusters.
+#include <gtest/gtest.h>
+
+#include "sdn/schedulers/hierarchical.hpp"
+#include "sdn/schedulers/least_loaded.hpp"
+#include "sdn/schedulers/proximity.hpp"
+#include "sdn/schedulers/round_robin.hpp"
+#include "test_util.hpp"
+
+namespace tedge::sdn {
+namespace {
+
+using testutil::FakeCluster;
+
+struct SchedulerFixture : ::testing::Test {
+    SchedulerFixture() {
+        client = topo.add_host("client", net::Ipv4{10, 0, 1, 1});
+        near_node = topo.add_host("near", net::Ipv4{10, 0, 0, 2}, 12);
+        far_node = topo.add_host("far", net::Ipv4{10, 0, 0, 3}, 24);
+        const auto sw = topo.add_switch("sw");
+        topo.add_link(client, sw, sim::microseconds(100), sim::gbit_per_sec(1));
+        topo.add_link(near_node, sw, sim::microseconds(100), sim::gbit_per_sec(10));
+        topo.add_link(far_node, sw, sim::milliseconds(5), sim::gbit_per_sec(10));
+
+        near = std::make_unique<FakeCluster>("near", near_node);
+        far = std::make_unique<FakeCluster>("far", far_node);
+
+        spec.name = "svc";
+        spec.cloud_address = {net::Ipv4{203, 0, 113, 1}, 80};
+        spec.expose_port = 80;
+        spec.target_port = 80;
+        spec.containers.resize(1);
+    }
+
+    ScheduleContext context() {
+        ScheduleContext ctx;
+        ctx.client = client;
+        ctx.spec = &spec;
+        ctx.topo = &topo;
+        for (auto* cluster : {near.get(), far.get()}) {
+            ScheduleContext::ClusterState state;
+            state.cluster = cluster;
+            state.instances = cluster->instances(spec.name);
+            state.has_image = cluster->image_cached;
+            state.has_service = cluster->has_service(spec.name);
+            ctx.states.push_back(std::move(state));
+        }
+        return ctx;
+    }
+
+    net::Topology topo;
+    net::NodeId client, near_node, far_node;
+    std::unique_ptr<FakeCluster> near;
+    std::unique_ptr<FakeCluster> far;
+    orchestrator::ServiceSpec spec;
+};
+
+// ---------------------------------------------------------------- registry
+
+TEST(SchedulerRegistry, CreatesBuiltinsByName) {
+    auto& registry = SchedulerRegistry::instance();
+    for (const auto* name : {kProximityScheduler, kRoundRobinScheduler,
+                             kLeastLoadedScheduler, kHierarchicalScheduler,
+                             kCloudOnlyScheduler}) {
+        EXPECT_TRUE(registry.contains(name)) << name;
+        const auto scheduler = registry.create(name);
+        ASSERT_NE(scheduler, nullptr);
+        EXPECT_EQ(scheduler->name(), name);
+    }
+    EXPECT_THROW(registry.create("no-such-scheduler"), std::invalid_argument);
+}
+
+TEST(SchedulerRegistry, FactoryReceivesParams) {
+    yamlite::Node params;
+    params["wait"] = yamlite::Node{false};
+    const auto scheduler =
+        SchedulerRegistry::instance().create(kProximityScheduler, params);
+    const auto* proximity = dynamic_cast<ProximityScheduler*>(scheduler.get());
+    ASSERT_NE(proximity, nullptr);
+    EXPECT_FALSE(proximity->waits());
+}
+
+// --------------------------------------------------------------- proximity
+
+TEST_F(SchedulerFixture, ProximityPicksReadyInstanceInNearestCluster) {
+    near->add_instance("svc", /*ready=*/true);
+    ProximityScheduler scheduler(/*wait=*/true);
+    const auto result = scheduler.decide(context());
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, near.get());
+    ASSERT_TRUE(result.fast->instance);
+    EXPECT_TRUE(result.fast->instance->ready);
+    EXPECT_FALSE(result.best); // BEST empty iff equal to FAST
+}
+
+TEST_F(SchedulerFixture, ProximityWithWaitingDeploysNearby) {
+    far->add_instance("svc", /*ready=*/true); // farther instance exists
+    ProximityScheduler scheduler(/*wait=*/true);
+    const auto result = scheduler.decide(context());
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, near.get()); // wait for the optimal edge
+    EXPECT_FALSE(result.fast->instance);
+    EXPECT_FALSE(result.best);
+}
+
+TEST_F(SchedulerFixture, ProximityWithoutWaitingUsesFarInstanceAndDeploysNear) {
+    far->add_instance("svc", /*ready=*/true);
+    ProximityScheduler scheduler(/*wait=*/false);
+    const auto result = scheduler.decide(context());
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, far.get());
+    ASSERT_TRUE(result.best);
+    EXPECT_EQ(result.best->cluster, near.get());
+}
+
+TEST_F(SchedulerFixture, ProximityWithoutWaitingNoInstanceAnywhereGoesToCloud) {
+    ProximityScheduler scheduler(/*wait=*/false);
+    const auto result = scheduler.decide(context());
+    EXPECT_FALSE(result.fast); // forward toward the cloud
+    ASSERT_TRUE(result.best);  // but deploy nearby in the background
+    EXPECT_EQ(result.best->cluster, near.get());
+}
+
+TEST_F(SchedulerFixture, ProximityWaitsOnStartingInstance) {
+    near->add_instance("svc", /*ready=*/false); // scaling up right now
+    ProximityScheduler scheduler(/*wait=*/false);
+    const auto result = scheduler.decide(context());
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, near.get());
+    EXPECT_FALSE(result.fast->instance);
+    EXPECT_FALSE(result.best);
+}
+
+TEST_F(SchedulerFixture, ProximityEmptyContextGoesToCloud) {
+    ProximityScheduler scheduler(true);
+    ScheduleContext ctx;
+    ctx.client = client;
+    ctx.spec = &spec;
+    ctx.topo = &topo;
+    const auto result = scheduler.decide(ctx);
+    EXPECT_FALSE(result.fast);
+    EXPECT_FALSE(result.best);
+}
+
+// -------------------------------------------------------------- round robin
+
+TEST_F(SchedulerFixture, RoundRobinRotatesDeployTargets) {
+    RoundRobinScheduler scheduler;
+    const auto first = scheduler.decide(context());
+    const auto second = scheduler.decide(context());
+    ASSERT_TRUE(first.fast);
+    ASSERT_TRUE(second.fast);
+    EXPECT_NE(first.fast->cluster, second.fast->cluster);
+    const auto third = scheduler.decide(context());
+    EXPECT_EQ(first.fast->cluster, third.fast->cluster);
+}
+
+TEST_F(SchedulerFixture, RoundRobinPrefersReadyInstanceForFast) {
+    near->add_instance("svc", true);
+    RoundRobinScheduler scheduler;
+    const auto result = scheduler.decide(context());
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, near.get());
+    EXPECT_TRUE(result.fast->instance);
+}
+
+// -------------------------------------------------------------- least loaded
+
+TEST_F(SchedulerFixture, LeastLoadedPicksEmptiestCluster) {
+    near->add_instance("other1", true);
+    near->add_instance("other2", true);
+    // near has 2 instances, far has 0 -> far is least loaded.
+    LeastLoadedScheduler scheduler;
+    const auto result = scheduler.decide(context());
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, far.get());
+    EXPECT_FALSE(result.best);
+}
+
+TEST_F(SchedulerFixture, LeastLoadedServesReadyAndRebalances) {
+    near->add_instance("svc", true);
+    near->add_instance("other", true);
+    LeastLoadedScheduler scheduler;
+    const auto result = scheduler.decide(context());
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, near.get()); // ready instance wins FAST
+    ASSERT_TRUE(result.best);                    // but BEST goes to the empty far
+    EXPECT_EQ(result.best->cluster, far.get());
+}
+
+// -------------------------------------------------------------- hierarchical
+
+TEST_F(SchedulerFixture, HierarchicalPrefersCachedClusterWithinBonus) {
+    far->image_cached = true; // the big cluster up the hierarchy has the image
+    HierarchicalScheduler scheduler(/*cache_bonus_ms=*/10.0, /*wait=*/true);
+    const auto result = scheduler.decide(context());
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, far.get()); // cache beats 5 ms proximity
+}
+
+TEST_F(SchedulerFixture, HierarchicalIgnoresCacheBeyondBonus) {
+    far->image_cached = true;
+    HierarchicalScheduler scheduler(/*cache_bonus_ms=*/1.0, /*wait=*/true);
+    const auto result = scheduler.decide(context());
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, near.get()); // 5 ms > 1 ms bonus
+}
+
+TEST_F(SchedulerFixture, HierarchicalWithoutWaitForwardsToCloudAndDeploysBest) {
+    HierarchicalScheduler scheduler(/*cache_bonus_ms=*/5.0, /*wait=*/false);
+    const auto result = scheduler.decide(context());
+    EXPECT_FALSE(result.fast);
+    ASSERT_TRUE(result.best);
+    EXPECT_EQ(result.best->cluster, near.get());
+}
+
+// ---------------------------------------------------------------- cloud only
+
+TEST_F(SchedulerFixture, CloudOnlyNeverRedirects) {
+    const auto scheduler = SchedulerRegistry::instance().create(kCloudOnlyScheduler);
+    near->add_instance("svc", true);
+    const auto result = scheduler->decide(context());
+    EXPECT_FALSE(result.fast);
+    EXPECT_FALSE(result.best);
+}
+
+// ------------------------------------------------------ contract properties
+
+class AllSchedulers : public SchedulerFixture,
+                      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(AllSchedulers, BestNeverEqualsFastCluster) {
+    // Contract: BEST is "returned empty if equal to the FAST choice".
+    const auto scheduler = SchedulerRegistry::instance().create(GetParam());
+    for (int scenario = 0; scenario < 4; ++scenario) {
+        near->instance_list.clear();
+        far->instance_list.clear();
+        if (scenario & 1) near->add_instance("svc", true);
+        if (scenario & 2) far->add_instance("svc", true);
+        const auto result = scheduler->decide(context());
+        if (result.fast && result.best) {
+            EXPECT_NE(result.fast->cluster, result.best->cluster)
+                << GetParam() << " scenario " << scenario;
+        }
+        if (result.fast && result.fast->instance) {
+            EXPECT_TRUE(result.fast->instance->ready);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Builtins, AllSchedulers,
+                         ::testing::Values(kProximityScheduler, kRoundRobinScheduler,
+                                           kLeastLoadedScheduler,
+                                           kHierarchicalScheduler,
+                                           kCloudOnlyScheduler));
+
+} // namespace
+} // namespace tedge::sdn

@@ -1,0 +1,220 @@
+// Unit tests for the simulation kernel: time type, event queue, simulation
+// loop, and periodic events.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/time.hpp"
+#include "simcore/units.hpp"
+
+namespace tedge::sim {
+namespace {
+
+TEST(SimTime, ConversionsAreExact) {
+    EXPECT_EQ(milliseconds(1).ns(), 1'000'000);
+    EXPECT_EQ(seconds(2).ns(), 2'000'000'000);
+    EXPECT_EQ(microseconds(5).ns(), 5'000);
+    EXPECT_DOUBLE_EQ(milliseconds(1500).seconds(), 1.5);
+    EXPECT_DOUBLE_EQ(seconds(3).ms(), 3000.0);
+}
+
+TEST(SimTime, FromSecondsRoundsToNearestNanosecond) {
+    EXPECT_EQ(from_seconds(1e-9).ns(), 1);
+    EXPECT_EQ(from_seconds(0.5).ns(), 500'000'000);
+    EXPECT_EQ(from_ms(1.5).ns(), 1'500'000);
+    EXPECT_EQ(from_us(2.0).ns(), 2'000);
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+    const SimTime a = milliseconds(10);
+    const SimTime b = milliseconds(3);
+    EXPECT_EQ((a + b).ns(), milliseconds(13).ns());
+    EXPECT_EQ((a - b).ns(), milliseconds(7).ns());
+    EXPECT_EQ((a * 3).ns(), milliseconds(30).ns());
+    EXPECT_LT(b, a);
+    EXPECT_GE(a, a);
+    SimTime c = a;
+    c += b;
+    EXPECT_EQ(c, milliseconds(13));
+}
+
+TEST(SimTime, HumanReadableString) {
+    EXPECT_EQ(nanoseconds(5).str(), "5ns");
+    EXPECT_NE(microseconds(12).str().find("us"), std::string::npos);
+    EXPECT_NE(milliseconds(12).str().find("ms"), std::string::npos);
+    EXPECT_NE(seconds(2).str().find("s"), std::string::npos);
+}
+
+TEST(Units, TransferTime) {
+    // 1 MB at 8 Mbit/s = 1 second.
+    EXPECT_EQ(mbit_per_sec(8).transfer_time(1'000'000).ns(), seconds(1).ns());
+    EXPECT_EQ(DataRate{}.transfer_time(12345), SimTime::zero());
+    EXPECT_EQ(gbit_per_sec(1).transfer_time(0), SimTime::zero());
+}
+
+TEST(Units, SizeHelpers) {
+    EXPECT_EQ(kib(1), 1024);
+    EXPECT_EQ(mib(1), 1024 * 1024);
+    EXPECT_EQ(gib(1), 1024LL * 1024 * 1024);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+    EventQueue queue;
+    std::vector<int> order;
+    queue.push(milliseconds(30), [&] { order.push_back(3); });
+    queue.push(milliseconds(10), [&] { order.push_back(1); });
+    queue.push(milliseconds(20), [&] { order.push_back(2); });
+    while (!queue.empty()) {
+        auto [at, cb] = queue.pop();
+        cb();
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimestampIsFifo) {
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        queue.push(milliseconds(5), [&order, i] { order.push_back(i); });
+    }
+    while (!queue.empty()) queue.pop().second();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelledEventsDoNotFire) {
+    EventQueue queue;
+    int fired = 0;
+    auto handle = queue.push(milliseconds(1), [&] { ++fired; });
+    queue.push(milliseconds(2), [&] { ++fired; });
+    EXPECT_TRUE(handle.pending());
+    handle.cancel();
+    EXPECT_FALSE(handle.pending());
+    while (!queue.empty()) queue.pop().second();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAllLeavesEmptyQueue) {
+    EventQueue queue;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 5; ++i) {
+        handles.push_back(queue.push(milliseconds(i), [] {}));
+    }
+    for (auto& handle : handles) handle.cancel();
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+    EventQueue queue;
+    EXPECT_THROW(queue.pop(), std::logic_error);
+    EXPECT_THROW(static_cast<void>(queue.next_time()), std::logic_error);
+}
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+    Simulation sim;
+    SimTime seen;
+    sim.schedule(milliseconds(42), [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, milliseconds(42));
+    EXPECT_EQ(sim.now(), milliseconds(42));
+}
+
+TEST(Simulation, NestedSchedulingWorks) {
+    Simulation sim;
+    std::vector<std::int64_t> times;
+    sim.schedule(milliseconds(10), [&] {
+        times.push_back(sim.now().ns());
+        sim.schedule(milliseconds(5), [&] { times.push_back(sim.now().ns()); });
+    });
+    sim.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[1], milliseconds(15).ns());
+}
+
+TEST(Simulation, RunUntilStopsAtDeadlineAndAdvancesClock) {
+    Simulation sim;
+    int fired = 0;
+    sim.schedule(milliseconds(10), [&] { ++fired; });
+    sim.schedule(milliseconds(100), [&] { ++fired; });
+    sim.run_until(milliseconds(50));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), milliseconds(50));
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventAtExactDeadlineRuns) {
+    Simulation sim;
+    bool fired = false;
+    sim.schedule(milliseconds(50), [&] { fired = true; });
+    sim.run_until(milliseconds(50));
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, StopHaltsRun) {
+    Simulation sim;
+    int fired = 0;
+    sim.schedule(milliseconds(1), [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.schedule(milliseconds(2), [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sim.has_pending_events());
+}
+
+TEST(Simulation, NegativeDelayThrows) {
+    Simulation sim;
+    EXPECT_THROW(sim.schedule(milliseconds(-1), [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, ScheduleAtInThePastThrows) {
+    Simulation sim;
+    sim.schedule(milliseconds(10), [] {});
+    sim.run();
+    EXPECT_THROW(sim.schedule_at(milliseconds(5), [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, PeriodicFiresUntilCancelled) {
+    Simulation sim;
+    int ticks = 0;
+    auto handle = sim.schedule_periodic(milliseconds(10), [&] {
+        if (++ticks == 5) sim.stop();
+    });
+    sim.run();
+    EXPECT_EQ(ticks, 5);
+    EXPECT_EQ(sim.now(), milliseconds(50));
+    handle.cancel();
+    sim.run();
+    EXPECT_EQ(ticks, 5);
+}
+
+TEST(Simulation, PeriodicCancelFromInsideCallback) {
+    Simulation sim;
+    int ticks = 0;
+    Simulation::PeriodicHandle handle;
+    handle = sim.schedule_periodic(milliseconds(1), [&] {
+        if (++ticks == 3) handle.cancel();
+    });
+    sim.run_until(seconds(1));
+    EXPECT_EQ(ticks, 3);
+}
+
+TEST(Simulation, DeterministicExecutionCount) {
+    auto run_once = [] {
+        Simulation sim;
+        for (int i = 0; i < 100; ++i) {
+            sim.schedule(milliseconds(i % 7), [&sim] {
+                sim.schedule(milliseconds(1), [] {});
+            });
+        }
+        sim.run();
+        return sim.events_executed();
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace tedge::sim

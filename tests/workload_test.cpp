@@ -1,0 +1,177 @@
+// Workload tests: trace model, bigFlows synthesis marginals, metrics
+// collection, and table rendering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/bigflows.hpp"
+#include "workload/metrics.hpp"
+#include "workload/trace.hpp"
+
+namespace tedge::workload {
+namespace {
+
+TEST(Trace, FinalizeSortsByTime) {
+    Trace trace;
+    trace.add({sim::seconds(5), 0, 1});
+    trace.add({sim::seconds(1), 2, 0});
+    trace.add({sim::seconds(3), 1, 2});
+    trace.finalize();
+    EXPECT_EQ(trace.events()[0].at, sim::seconds(1));
+    EXPECT_EQ(trace.events()[2].at, sim::seconds(5));
+    EXPECT_EQ(trace.service_count(), 3u);
+    EXPECT_EQ(trace.client_count(), 3u);
+    EXPECT_EQ(trace.horizon(), sim::seconds(5));
+}
+
+TEST(Trace, CsvRoundTrip) {
+    Trace trace;
+    trace.add({sim::milliseconds(1500), 3, 7});
+    trace.add({sim::milliseconds(200), 1, 2});
+    trace.finalize();
+    const auto csv = trace.to_csv();
+    EXPECT_NE(csv.find("time_ms,client,service"), std::string::npos);
+    const auto parsed = Trace::from_csv(csv);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed.events()[0].at, sim::milliseconds(200));
+    EXPECT_EQ(parsed.events()[0].client, 1u);
+    EXPECT_EQ(parsed.events()[1].service, 7u);
+}
+
+TEST(Trace, FromCsvRejectsGarbage) {
+    EXPECT_THROW(Trace::from_csv("time_ms,client,service\n1.0,2\n"),
+                 std::invalid_argument);
+}
+
+TEST(Trace, EmptyTraceBehaviour) {
+    Trace trace;
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.service_count(), 0u);
+    EXPECT_EQ(trace.horizon(), sim::SimTime::zero());
+    EXPECT_TRUE(trace.requests_per_service().empty());
+}
+
+// --------------------------------------------------------------- bigflows
+
+class BigFlowsSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigFlowsSweep, PublishedMarginalsHold) {
+    BigFlowsOptions options;
+    options.seed = GetParam();
+    const auto trace = synthesize_bigflows(options);
+
+    // Paper fig. 9: 1708 requests, 42 services, five minutes, >= 20 each.
+    EXPECT_EQ(trace.size(), 1708u);
+    EXPECT_EQ(trace.service_count(), 42u);
+    EXPECT_LE(trace.horizon(), sim::seconds(300));
+    const auto per_service = trace.requests_per_service();
+    for (const auto count : per_service) EXPECT_GE(count, 20u);
+    // Heavy-tailed: the most popular service clearly exceeds the floor.
+    EXPECT_GE(*std::max_element(per_service.begin(), per_service.end()), 60u);
+    // Clients are within range.
+    EXPECT_LE(trace.client_count(), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigFlowsSweep, ::testing::Values(1, 2, 3, 17, 42));
+
+TEST(BigFlows, DeterministicPerSeed) {
+    BigFlowsOptions options;
+    options.seed = 9;
+    const auto a = synthesize_bigflows(options);
+    const auto b = synthesize_bigflows(options);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+        EXPECT_EQ(a.events()[i].client, b.events()[i].client);
+        EXPECT_EQ(a.events()[i].service, b.events()[i].service);
+    }
+}
+
+TEST(BigFlows, DifferentSeedsDiffer) {
+    BigFlowsOptions a_options;
+    a_options.seed = 1;
+    BigFlowsOptions b_options;
+    b_options.seed = 2;
+    const auto a = synthesize_bigflows(a_options);
+    const auto b = synthesize_bigflows(b_options);
+    bool any_difference = false;
+    for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+        if (a.events()[i].at != b.events()[i].at) {
+            any_difference = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(BigFlows, RejectsImpossibleOptions) {
+    BigFlowsOptions options;
+    options.services = 42;
+    options.requests = 100; // < 42 * 20
+    EXPECT_THROW(synthesize_bigflows(options), std::invalid_argument);
+    options.services = 0;
+    EXPECT_THROW(synthesize_bigflows(options), std::invalid_argument);
+}
+
+TEST(BigFlows, CustomShapes) {
+    BigFlowsOptions options;
+    options.services = 5;
+    options.requests = 200;
+    options.horizon = sim::seconds(60);
+    options.clients = 3;
+    options.min_requests = 10;
+    options.seed = 4;
+    const auto trace = synthesize_bigflows(options);
+    EXPECT_EQ(trace.size(), 200u);
+    EXPECT_EQ(trace.service_count(), 5u);
+    EXPECT_LE(trace.client_count(), 3u);
+    EXPECT_LE(trace.horizon(), sim::seconds(60));
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsCollector, RecordsAndSeries) {
+    MetricsCollector metrics;
+    RequestRecord ok_record;
+    ok_record.service = "svc0";
+    ok_record.ok = true;
+    ok_record.time_total = sim::milliseconds(10);
+    metrics.add(ok_record);
+    metrics.series("svc0").add_time(ok_record.time_total);
+
+    RequestRecord failed;
+    failed.service = "svc0";
+    failed.ok = false;
+    metrics.add(failed);
+
+    EXPECT_EQ(metrics.count(), 2u);
+    EXPECT_EQ(metrics.failures(), 1u);
+    ASSERT_NE(metrics.find_series("svc0"), nullptr);
+    EXPECT_DOUBLE_EQ(metrics.find_series("svc0")->median(), 10.0);
+    EXPECT_EQ(metrics.find_series("nope"), nullptr);
+    EXPECT_EQ(metrics.tags().size(), 1u);
+    metrics.clear();
+    EXPECT_EQ(metrics.count(), 0u);
+}
+
+TEST(TextTable, AlignsColumns) {
+    TextTable table({"Name", "value"});
+    table.add_row({"a", "1"});
+    table.add_row({"longer-name", "123456"});
+    table.add_row({"short"}); // missing cells padded
+    const auto text = table.str();
+    EXPECT_NE(text.find("Name"), std::string::npos);
+    EXPECT_NE(text.find("longer-name"), std::string::npos);
+    EXPECT_NE(text.find("------"), std::string::npos);
+    // Every line has the same length (fixed-width table).
+    std::size_t first_line_len = text.find('\n');
+    EXPECT_GT(first_line_len, 0u);
+}
+
+TEST(TextTable, NumFormatting) {
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(1000.0, 0), "1000");
+}
+
+} // namespace
+} // namespace tedge::workload

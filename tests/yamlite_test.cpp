@@ -1,0 +1,252 @@
+// yamlite parser/emitter tests, including Kubernetes-style documents and
+// round-trip properties.
+#include <gtest/gtest.h>
+
+#include "yamlite/emitter.hpp"
+#include "yamlite/parser.hpp"
+
+namespace tedge::yamlite {
+namespace {
+
+TEST(Parser, ScalarsAndTypes) {
+    const auto doc = parse("a: 1\nb: hello\nc: true\nd: null\ne: \"42\"\n");
+    ASSERT_TRUE(doc.is_map());
+    EXPECT_EQ(doc.find("a")->as_int(), 1);
+    EXPECT_EQ(doc.find("b")->as_str(), "hello");
+    EXPECT_EQ(doc.find("c")->as_bool(), true);
+    EXPECT_TRUE(doc.find("d")->is_null());
+    EXPECT_EQ(doc.find("e")->as_str(), "42");
+    EXPECT_EQ(doc.find("e")->as_int(), 42); // typed access parses on demand
+    EXPECT_EQ(doc.find("zz"), nullptr);
+}
+
+TEST(Parser, NestedMaps) {
+    const auto doc = parse(R"(
+metadata:
+  name: demo
+  labels:
+    app: demo
+    tier: web
+spec:
+  replicas: 3
+)");
+    EXPECT_EQ(doc.find_path("metadata.name")->as_str(), "demo");
+    EXPECT_EQ(doc.find_path("metadata.labels.tier")->as_str(), "web");
+    EXPECT_EQ(doc.find_path("spec.replicas")->as_int(), 3);
+    EXPECT_EQ(doc.find_path("spec.missing.deep"), nullptr);
+}
+
+TEST(Parser, SequencesOfScalarsAndMaps) {
+    const auto doc = parse(R"(
+items:
+  - one
+  - two
+containers:
+  - name: nginx
+    image: nginx:1.23.2
+    ports:
+      - containerPort: 80
+  - name: sidecar
+    image: busybox
+)");
+    const auto* items = doc.find("items");
+    ASSERT_TRUE(items->is_seq());
+    EXPECT_EQ(items->seq()[0].as_str(), "one");
+    const auto* containers = doc.find("containers");
+    ASSERT_TRUE(containers->is_seq());
+    ASSERT_EQ(containers->size(), 2u);
+    EXPECT_EQ(containers->seq()[0].find("image")->as_str(), "nginx:1.23.2");
+    EXPECT_EQ(containers->seq()[0].find_path("ports")->seq()[0]
+                  .find("containerPort")->as_int(),
+              80);
+    EXPECT_EQ(containers->seq()[1].find("name")->as_str(), "sidecar");
+}
+
+TEST(Parser, SequenceAlignedWithParentKey) {
+    // YAML allows the dash at the same indent as the key.
+    const auto doc = parse("ports:\n- 80\n- 443\nname: x\n");
+    ASSERT_TRUE(doc.find("ports")->is_seq());
+    EXPECT_EQ(doc.find("ports")->size(), 2u);
+    EXPECT_EQ(doc.find("name")->as_str(), "x");
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+    const auto doc = parse(R"(
+# leading comment
+a: 1  # trailing comment
+
+b: "text # not a comment"
+)");
+    EXPECT_EQ(doc.find("a")->as_int(), 1);
+    EXPECT_EQ(doc.find("b")->as_str(), "text # not a comment");
+}
+
+TEST(Parser, QuotedScalarsWithEscapes) {
+    const auto doc = parse("a: \"line\\nbreak\"\nb: 'single \"quoted\"'\n");
+    EXPECT_EQ(doc.find("a")->as_str(), "line\nbreak");
+    EXPECT_EQ(doc.find("b")->as_str(), "single \"quoted\"");
+}
+
+TEST(Parser, FlowCollections) {
+    const auto doc = parse("args: [--port=80, \"--foo, bar\"]\nempty: []\nmap: {a: 1, b: x}\nnone: {}\n");
+    const auto* args = doc.find("args");
+    ASSERT_TRUE(args->is_seq());
+    EXPECT_EQ(args->seq()[0].as_str(), "--port=80");
+    EXPECT_EQ(args->seq()[1].as_str(), "--foo, bar");
+    EXPECT_TRUE(doc.find("empty")->is_seq());
+    EXPECT_EQ(doc.find("empty")->size(), 0u);
+    EXPECT_EQ(doc.find_path("map.a")->as_int(), 1);
+    EXPECT_TRUE(doc.find("none")->is_map());
+    EXPECT_EQ(doc.find("none")->size(), 0u);
+}
+
+TEST(Parser, MultiDocumentStream) {
+    const auto docs = parse_all("kind: Deployment\n---\nkind: Service\n---\n");
+    ASSERT_EQ(docs.size(), 2u);
+    EXPECT_EQ(docs[0].find("kind")->as_str(), "Deployment");
+    EXPECT_EQ(docs[1].find("kind")->as_str(), "Service");
+}
+
+TEST(Parser, EmptyInputIsNull) {
+    EXPECT_TRUE(parse("").is_null());
+    EXPECT_TRUE(parse("# only a comment\n").is_null());
+    EXPECT_TRUE(parse_all("").empty());
+}
+
+class BadYaml : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadYaml, ParseThrows) {
+    EXPECT_THROW(parse(GetParam()), ParseError) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, BadYaml,
+                         ::testing::Values("a: [1, 2\n",          // unterminated flow
+                                           "a: \"unterminated\n", // unterminated quote
+                                           "\ta: 1\n",            // tab indent
+                                           "a: 1\n  b: 2\n",      // bad indent
+                                           "just a scalar line\n" // no key
+                                           ));
+
+TEST(Parser, K8sDeploymentDocument) {
+    const auto doc = parse(R"(
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: edge-svc
+spec:
+  replicas: 0
+  selector:
+    matchLabels:
+      app: edge-svc
+  template:
+    metadata:
+      labels:
+        app: edge-svc
+    spec:
+      schedulerName: local-sched
+      volumes:
+        - name: html
+          hostPath:
+            path: /srv/html
+      containers:
+        - name: nginx
+          image: nginx:1.23.2
+          ports:
+            - containerPort: 80
+          volumeMounts:
+            - name: html
+              mountPath: /usr/share/nginx/html
+          env:
+            - name: MODE
+              value: "edge"
+)");
+    EXPECT_EQ(doc.find_path("spec.template.spec.schedulerName")->as_str(),
+              "local-sched");
+    const auto* containers = doc.find_path("spec.template.spec.containers");
+    ASSERT_NE(containers, nullptr);
+    const auto& nginx = containers->seq()[0];
+    EXPECT_EQ(nginx.find_path("env")->seq()[0].find("value")->as_str(), "edge");
+    EXPECT_EQ(doc.find_path("spec.replicas")->as_int(), 0);
+}
+
+TEST(Emitter, RoundTripPreservesStructure) {
+    const std::string text = R"(
+apiVersion: v1
+kind: Service
+metadata:
+  name: svc
+  labels:
+    app: svc
+spec:
+  selector:
+    edge.service: svc
+  ports:
+    - port: 80
+      targetPort: 8080
+      protocol: TCP
+)";
+    const auto doc = parse(text);
+    const auto emitted = emit(doc);
+    const auto reparsed = parse(emitted);
+    EXPECT_EQ(doc, reparsed) << emitted;
+    // Double round trip is a fixed point.
+    EXPECT_EQ(emit(reparsed), emitted);
+}
+
+TEST(Emitter, QuotesWhereNeeded) {
+    Node doc;
+    doc["plain"] = Node{"hello"};
+    doc["number_string"] = Node{"true"};
+    doc["colon"] = Node{"a: b"};
+    doc["hash"] = Node{"a # b"};
+    doc["empty"] = Node{""};
+    const auto reparsed = parse(emit(doc));
+    EXPECT_EQ(reparsed.find("plain")->as_str(), "hello");
+    EXPECT_EQ(reparsed.find("number_string")->as_str(), "true");
+    EXPECT_EQ(reparsed.find("colon")->as_str(), "a: b");
+    EXPECT_EQ(reparsed.find("hash")->as_str(), "a # b");
+    EXPECT_EQ(reparsed.find("empty")->as_str(), "");
+}
+
+TEST(Emitter, MultiDocRoundTrip) {
+    const auto docs = parse_all("kind: A\n---\nkind: B\nx:\n  - 1\n  - 2\n");
+    const auto emitted = emit_all(docs);
+    const auto reparsed = parse_all(emitted);
+    ASSERT_EQ(reparsed.size(), 2u);
+    EXPECT_EQ(docs[0], reparsed[0]);
+    EXPECT_EQ(docs[1], reparsed[1]);
+}
+
+TEST(Node, MutationApi) {
+    Node doc;
+    doc["a"]["b"] = Node{1};
+    doc["list"].push_back(Node{"x"});
+    doc["list"].push_back(Node{"y"});
+    EXPECT_EQ(doc.find_path("a.b")->as_int(), 1);
+    EXPECT_EQ(doc.find("list")->size(), 2u);
+    EXPECT_TRUE(doc.erase("a"));
+    EXPECT_FALSE(doc.erase("a"));
+    EXPECT_EQ(doc.find("a"), nullptr);
+    // Type errors are loud.
+    EXPECT_THROW(doc["list"]["key"], std::logic_error);
+    EXPECT_THROW(static_cast<void>(doc.find("list")->map()), std::logic_error);
+    EXPECT_THROW(static_cast<void>(Node{"scalar"}.seq()), std::logic_error);
+}
+
+TEST(Node, OrderIsPreserved) {
+    Node doc;
+    doc["z"] = Node{1};
+    doc["a"] = Node{2};
+    doc["m"] = Node{3};
+    const auto& map = doc.map();
+    EXPECT_EQ(map[0].first, "z");
+    EXPECT_EQ(map[1].first, "a");
+    EXPECT_EQ(map[2].first, "m");
+    // Overwrite keeps position.
+    doc["a"] = Node{9};
+    EXPECT_EQ(doc.map()[1].first, "a");
+    EXPECT_EQ(doc.map()[1].second.as_int(), 9);
+}
+
+} // namespace
+} // namespace tedge::yamlite
