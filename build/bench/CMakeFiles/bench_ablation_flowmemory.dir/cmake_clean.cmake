@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flowmemory.dir/bench_ablation_flowmemory.cpp.o"
+  "CMakeFiles/bench_ablation_flowmemory.dir/bench_ablation_flowmemory.cpp.o.d"
+  "bench_ablation_flowmemory"
+  "bench_ablation_flowmemory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flowmemory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

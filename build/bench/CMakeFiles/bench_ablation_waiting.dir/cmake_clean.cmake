@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_waiting.dir/bench_ablation_waiting.cpp.o"
+  "CMakeFiles/bench_ablation_waiting.dir/bench_ablation_waiting.cpp.o.d"
+  "bench_ablation_waiting"
+  "bench_ablation_waiting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_waiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_predictive.dir/bench_ext_predictive.cpp.o"
+  "CMakeFiles/bench_ext_predictive.dir/bench_ext_predictive.cpp.o.d"
+  "bench_ext_predictive"
+  "bench_ext_predictive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_predictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_serverless.dir/bench_ext_serverless.cpp.o"
+  "CMakeFiles/bench_ext_serverless.dir/bench_ext_serverless.cpp.o.d"
+  "bench_ext_serverless"
+  "bench_ext_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_deployments.dir/bench_fig10_deployments.cpp.o"
+  "CMakeFiles/bench_fig10_deployments.dir/bench_fig10_deployments.cpp.o.d"
+  "bench_fig10_deployments"
+  "bench_fig10_deployments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_deployments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

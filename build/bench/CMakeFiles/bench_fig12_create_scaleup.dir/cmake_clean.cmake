@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_create_scaleup.dir/bench_fig12_create_scaleup.cpp.o"
+  "CMakeFiles/bench_fig12_create_scaleup.dir/bench_fig12_create_scaleup.cpp.o.d"
+  "bench_fig12_create_scaleup"
+  "bench_fig12_create_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_create_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

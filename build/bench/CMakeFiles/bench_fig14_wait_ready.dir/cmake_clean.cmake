@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_wait_ready.dir/bench_fig14_wait_ready.cpp.o"
+  "CMakeFiles/bench_fig14_wait_ready.dir/bench_fig14_wait_ready.cpp.o.d"
+  "bench_fig14_wait_ready"
+  "bench_fig14_wait_ready.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_wait_ready.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_wait_ready_create.dir/bench_fig15_wait_ready_create.cpp.o"
+  "CMakeFiles/bench_fig15_wait_ready_create.dir/bench_fig15_wait_ready_create.cpp.o.d"
+  "bench_fig15_wait_ready_create"
+  "bench_fig15_wait_ready_create.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_wait_ready_create.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_running.dir/bench_fig16_running.cpp.o"
+  "CMakeFiles/bench_fig16_running.dir/bench_fig16_running.cpp.o.d"
+  "bench_fig16_running"
+  "bench_fig16_running.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_running.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microservice_chain.dir/microservice_chain.cpp.o"
+  "CMakeFiles/microservice_chain.dir/microservice_chain.cpp.o.d"
+  "microservice_chain"
+  "microservice_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microservice_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictive_autoscaling.dir/predictive_autoscaling.cpp.o"
+  "CMakeFiles/predictive_autoscaling.dir/predictive_autoscaling.cpp.o.d"
+  "predictive_autoscaling"
+  "predictive_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictive_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

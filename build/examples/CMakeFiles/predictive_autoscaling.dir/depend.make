@@ -1,0 +1,2 @@
+# Empty dependencies file for predictive_autoscaling.
+# This may be replaced when dependencies are built.

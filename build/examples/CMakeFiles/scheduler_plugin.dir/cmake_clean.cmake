@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_plugin.dir/scheduler_plugin.cpp.o"
+  "CMakeFiles/scheduler_plugin.dir/scheduler_plugin.cpp.o.d"
+  "scheduler_plugin"
+  "scheduler_plugin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

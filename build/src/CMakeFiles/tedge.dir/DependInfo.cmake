@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/container/image.cpp" "src/CMakeFiles/tedge.dir/container/image.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/container/image.cpp.o.d"
+  "/root/repo/src/container/image_store.cpp" "src/CMakeFiles/tedge.dir/container/image_store.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/container/image_store.cpp.o.d"
+  "/root/repo/src/container/puller.cpp" "src/CMakeFiles/tedge.dir/container/puller.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/container/puller.cpp.o.d"
+  "/root/repo/src/container/registry.cpp" "src/CMakeFiles/tedge.dir/container/registry.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/container/registry.cpp.o.d"
+  "/root/repo/src/container/runtime.cpp" "src/CMakeFiles/tedge.dir/container/runtime.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/container/runtime.cpp.o.d"
+  "/root/repo/src/core/autoscaler.cpp" "src/CMakeFiles/tedge.dir/core/autoscaler.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/core/autoscaler.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/tedge.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/CMakeFiles/tedge.dir/core/deployment.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/core/deployment.cpp.o.d"
+  "/root/repo/src/core/edge_platform.cpp" "src/CMakeFiles/tedge.dir/core/edge_platform.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/core/edge_platform.cpp.o.d"
+  "/root/repo/src/core/port_prober.cpp" "src/CMakeFiles/tedge.dir/core/port_prober.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/core/port_prober.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/CMakeFiles/tedge.dir/core/predictor.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/core/predictor.cpp.o.d"
+  "/root/repo/src/net/address.cpp" "src/CMakeFiles/tedge.dir/net/address.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/net/address.cpp.o.d"
+  "/root/repo/src/net/flow_table.cpp" "src/CMakeFiles/tedge.dir/net/flow_table.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/net/flow_table.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/tedge.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/ovs_switch.cpp" "src/CMakeFiles/tedge.dir/net/ovs_switch.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/net/ovs_switch.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/CMakeFiles/tedge.dir/net/tcp.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/net/tcp.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/tedge.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/net/topology.cpp.o.d"
+  "/root/repo/src/orchestrator/docker_cluster.cpp" "src/CMakeFiles/tedge.dir/orchestrator/docker_cluster.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/orchestrator/docker_cluster.cpp.o.d"
+  "/root/repo/src/orchestrator/k8s/api_server.cpp" "src/CMakeFiles/tedge.dir/orchestrator/k8s/api_server.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/orchestrator/k8s/api_server.cpp.o.d"
+  "/root/repo/src/orchestrator/k8s/controller_manager.cpp" "src/CMakeFiles/tedge.dir/orchestrator/k8s/controller_manager.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/orchestrator/k8s/controller_manager.cpp.o.d"
+  "/root/repo/src/orchestrator/k8s/k8s_cluster.cpp" "src/CMakeFiles/tedge.dir/orchestrator/k8s/k8s_cluster.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/orchestrator/k8s/k8s_cluster.cpp.o.d"
+  "/root/repo/src/orchestrator/k8s/kube_scheduler.cpp" "src/CMakeFiles/tedge.dir/orchestrator/k8s/kube_scheduler.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/orchestrator/k8s/kube_scheduler.cpp.o.d"
+  "/root/repo/src/orchestrator/k8s/kubelet.cpp" "src/CMakeFiles/tedge.dir/orchestrator/k8s/kubelet.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/orchestrator/k8s/kubelet.cpp.o.d"
+  "/root/repo/src/sdn/annotator.cpp" "src/CMakeFiles/tedge.dir/sdn/annotator.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/sdn/annotator.cpp.o.d"
+  "/root/repo/src/sdn/controller.cpp" "src/CMakeFiles/tedge.dir/sdn/controller.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/sdn/controller.cpp.o.d"
+  "/root/repo/src/sdn/dispatcher.cpp" "src/CMakeFiles/tedge.dir/sdn/dispatcher.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/sdn/dispatcher.cpp.o.d"
+  "/root/repo/src/sdn/flow_memory.cpp" "src/CMakeFiles/tedge.dir/sdn/flow_memory.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/sdn/flow_memory.cpp.o.d"
+  "/root/repo/src/sdn/scheduler.cpp" "src/CMakeFiles/tedge.dir/sdn/scheduler.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/sdn/scheduler.cpp.o.d"
+  "/root/repo/src/sdn/schedulers/hierarchical.cpp" "src/CMakeFiles/tedge.dir/sdn/schedulers/hierarchical.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/sdn/schedulers/hierarchical.cpp.o.d"
+  "/root/repo/src/sdn/schedulers/least_loaded.cpp" "src/CMakeFiles/tedge.dir/sdn/schedulers/least_loaded.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/sdn/schedulers/least_loaded.cpp.o.d"
+  "/root/repo/src/sdn/schedulers/proximity.cpp" "src/CMakeFiles/tedge.dir/sdn/schedulers/proximity.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/sdn/schedulers/proximity.cpp.o.d"
+  "/root/repo/src/sdn/schedulers/round_robin.cpp" "src/CMakeFiles/tedge.dir/sdn/schedulers/round_robin.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/sdn/schedulers/round_robin.cpp.o.d"
+  "/root/repo/src/sdn/service_registry.cpp" "src/CMakeFiles/tedge.dir/sdn/service_registry.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/sdn/service_registry.cpp.o.d"
+  "/root/repo/src/serverless/faas_cluster.cpp" "src/CMakeFiles/tedge.dir/serverless/faas_cluster.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/serverless/faas_cluster.cpp.o.d"
+  "/root/repo/src/serverless/wasm_runtime.cpp" "src/CMakeFiles/tedge.dir/serverless/wasm_runtime.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/serverless/wasm_runtime.cpp.o.d"
+  "/root/repo/src/simcore/event_queue.cpp" "src/CMakeFiles/tedge.dir/simcore/event_queue.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/simcore/event_queue.cpp.o.d"
+  "/root/repo/src/simcore/histogram.cpp" "src/CMakeFiles/tedge.dir/simcore/histogram.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/simcore/histogram.cpp.o.d"
+  "/root/repo/src/simcore/logging.cpp" "src/CMakeFiles/tedge.dir/simcore/logging.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/simcore/logging.cpp.o.d"
+  "/root/repo/src/simcore/random.cpp" "src/CMakeFiles/tedge.dir/simcore/random.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/simcore/random.cpp.o.d"
+  "/root/repo/src/simcore/simulation.cpp" "src/CMakeFiles/tedge.dir/simcore/simulation.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/simcore/simulation.cpp.o.d"
+  "/root/repo/src/simcore/stats.cpp" "src/CMakeFiles/tedge.dir/simcore/stats.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/simcore/stats.cpp.o.d"
+  "/root/repo/src/simcore/thread_pool.cpp" "src/CMakeFiles/tedge.dir/simcore/thread_pool.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/simcore/thread_pool.cpp.o.d"
+  "/root/repo/src/testbed/c3.cpp" "src/CMakeFiles/tedge.dir/testbed/c3.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/testbed/c3.cpp.o.d"
+  "/root/repo/src/testbed/services.cpp" "src/CMakeFiles/tedge.dir/testbed/services.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/testbed/services.cpp.o.d"
+  "/root/repo/src/workload/bigflows.cpp" "src/CMakeFiles/tedge.dir/workload/bigflows.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/workload/bigflows.cpp.o.d"
+  "/root/repo/src/workload/http_client.cpp" "src/CMakeFiles/tedge.dir/workload/http_client.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/workload/http_client.cpp.o.d"
+  "/root/repo/src/workload/metrics.cpp" "src/CMakeFiles/tedge.dir/workload/metrics.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/workload/metrics.cpp.o.d"
+  "/root/repo/src/workload/runner.cpp" "src/CMakeFiles/tedge.dir/workload/runner.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/workload/runner.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/tedge.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/workload/trace.cpp.o.d"
+  "/root/repo/src/yamlite/emitter.cpp" "src/CMakeFiles/tedge.dir/yamlite/emitter.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/yamlite/emitter.cpp.o.d"
+  "/root/repo/src/yamlite/parser.cpp" "src/CMakeFiles/tedge.dir/yamlite/parser.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/yamlite/parser.cpp.o.d"
+  "/root/repo/src/yamlite/value.cpp" "src/CMakeFiles/tedge.dir/yamlite/value.cpp.o" "gcc" "src/CMakeFiles/tedge.dir/yamlite/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

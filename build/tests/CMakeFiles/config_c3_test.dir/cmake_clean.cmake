@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_c3_test.dir/config_c3_test.cpp.o"
+  "CMakeFiles/config_c3_test.dir/config_c3_test.cpp.o.d"
+  "config_c3_test"
+  "config_c3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_c3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

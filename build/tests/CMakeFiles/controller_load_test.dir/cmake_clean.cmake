@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_load_test.dir/controller_load_test.cpp.o"
+  "CMakeFiles/controller_load_test.dir/controller_load_test.cpp.o.d"
+  "controller_load_test"
+  "controller_load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docker_cluster_test.dir/docker_cluster_test.cpp.o"
+  "CMakeFiles/docker_cluster_test.dir/docker_cluster_test.cpp.o.d"
+  "docker_cluster_test"
+  "docker_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docker_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

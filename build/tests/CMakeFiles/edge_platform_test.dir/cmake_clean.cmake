@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_platform_test.dir/edge_platform_test.cpp.o"
+  "CMakeFiles/edge_platform_test.dir/edge_platform_test.cpp.o.d"
+  "edge_platform_test"
+  "edge_platform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_memory_test.dir/flow_memory_test.cpp.o"
+  "CMakeFiles/flow_memory_test.dir/flow_memory_test.cpp.o.d"
+  "flow_memory_test"
+  "flow_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_stats_test.dir/random_stats_test.cpp.o"
+  "CMakeFiles/random_stats_test.dir/random_stats_test.cpp.o.d"
+  "random_stats_test"
+  "random_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_runtime_test.dir/serverless_runtime_test.cpp.o"
+  "CMakeFiles/serverless_runtime_test.dir/serverless_runtime_test.cpp.o.d"
+  "serverless_runtime_test"
+  "serverless_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
