@@ -37,9 +37,7 @@ HybridResult run_hybrid(std::uint64_t seed) {
                                   --pulls;
                               });
     }
-    while (pulls > 0) {
-        platform.simulation().run_until(platform.simulation().now() + sim::seconds(1));
-    }
+    bench::drain_phase(platform.simulation(), [&] { return pulls == 0; });
 
     HybridResult result;
     const sim::SimTime t0 = platform.simulation().now();
@@ -64,11 +62,12 @@ HybridResult run_hybrid(std::uint64_t seed) {
                               result.first_response_ms = r.time_total.ms();
                               responded = true;
                           });
-    while (!responded || !k8s_ready || !docker_ready) {
-        platform.simulation().run_until(platform.simulation().now() + sim::seconds(1));
-        if (platform.simulation().now() - t0 > sim::seconds(120)) {
-            throw std::runtime_error("hybrid run timed out");
-        }
+    bench::drain_phase(platform.simulation(), [&] {
+        return (responded && k8s_ready && docker_ready) ||
+               platform.simulation().now() - t0 > sim::seconds(120);
+    });
+    if (!responded || !k8s_ready || !docker_ready) {
+        throw std::runtime_error("hybrid run timed out");
     }
     // k8s readiness time: from the deployment engine's record.
     for (const auto& record : platform.deployment_engine().records()) {

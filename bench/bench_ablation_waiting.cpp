@@ -54,16 +54,16 @@ WaitingResult run(bool wait, std::uint64_t seed) {
                                   r.server_node == testbed->far_edge_host;
                               done = true;
                           });
-    while (!done) {
-        platform.simulation().run_until(platform.simulation().now() + sim::seconds(1));
-    }
+    bench::drain_phase(platform.simulation(), [&] { return done; });
     // Wait until the near edge serves (or give up after two minutes).
     const sim::SimTime deadline = t0 + sim::seconds(120);
-    while (platform.simulation().now() < deadline &&
-           testbed->docker->ready_instances(annotated->spec.name).empty()) {
-        platform.simulation().run_until(platform.simulation().now() +
-                                        sim::milliseconds(100));
-    }
+    bench::drain_phase(
+        platform.simulation(),
+        [&] {
+            return platform.simulation().now() >= deadline ||
+                   !testbed->docker->ready_instances(annotated->spec.name).empty();
+        },
+        sim::milliseconds(100));
     result.optimal_ready_s = (platform.simulation().now() - t0).seconds();
     return result;
 }

@@ -99,10 +99,7 @@ spec:
         result.cold_ms = r.time_total.ms();
         done = true;
     });
-    while (!done) {
-        platform.simulation().run_until(platform.simulation().now() +
-                                        sim::seconds(1));
-    }
+    bench::drain_phase(platform.simulation(), [&] { return done; });
     done = false;
     platform.simulation().schedule(sim::seconds(1), [&] {
         platform.http_request(client, address, 100, [&](const net::HttpResult& r) {
@@ -111,10 +108,7 @@ spec:
             done = true;
         });
     });
-    while (!done) {
-        platform.simulation().run_until(platform.simulation().now() +
-                                        sim::seconds(1));
-    }
+    bench::drain_phase(platform.simulation(), [&] { return done; });
     return result;
 }
 

@@ -25,20 +25,26 @@ void print_fig12() {
             // contention between container starts adds +-0.2 s of run-to-run
             // noise, which is exactly why the paper sees "no overhead" for
             // ResNet -- the Create cost drowns in start-time variance.
+            // The six replications (3 seeds x {create, scale-only}) are
+            // independent simulations, so they run across the thread pool
+            // and merge back in seed order.
+            std::vector<bench::DeploymentExperimentOptions> runs;
+            for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+                for (const bool pre_create : {false, true}) {
+                    bench::DeploymentExperimentOptions options;
+                    options.cluster_kind = cluster;
+                    options.service_key = service_key;
+                    options.seed = seed;
+                    options.pre_create = pre_create;
+                    runs.push_back(options);
+                }
+            }
+            const auto results = bench::run_deployment_replications(runs);
             sim::SampleSet with_create_samples;
             sim::SampleSet scale_only_samples;
-            for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-                tedge::bench::DeploymentExperimentOptions options;
-                options.cluster_kind = cluster;
-                options.service_key = service_key;
-                options.seed = seed;
-
-                options.pre_create = false;
-                with_create_samples.merge(
-                    tedge::bench::run_deployment_experiment(options).first_request_ms);
-                options.pre_create = true;
-                scale_only_samples.merge(
-                    tedge::bench::run_deployment_experiment(options).first_request_ms);
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                (runs[i].pre_create ? scale_only_samples : with_create_samples)
+                    .merge(results[i].first_request_ms);
             }
             const double a = with_create_samples.median();
             const double b = scale_only_samples.median();

@@ -2,7 +2,18 @@
 // lookup at realistic table sizes, scheduler decisions, YAML parsing, and
 // statistics. These are real-time benchmarks of the simulator itself (not
 // simulated time) -- they bound how fast experiments run.
+//
+// The BM_Legacy* benchmarks are frozen copies of the pre-optimization
+// implementations (shared_ptr tombstone binary heap; linear-scan flow table)
+// compiled into the same binary, so the speedup ratios in EXPERIMENTS.md are
+// same-machine, same-build comparisons rather than numbers remembered from an
+// older checkout.
 #include <benchmark/benchmark.h>
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
 
 #include "net/flow_table.hpp"
 #include "sdn/schedulers/proximity.hpp"
@@ -16,6 +27,9 @@
 namespace {
 
 using namespace tedge;
+
+// --------------------------------------------------------------------------
+// Event queue: slab 4-ary heap vs. the seed's shared_ptr/priority_queue.
 
 void BM_EventQueuePushPop(benchmark::State& state) {
     sim::EventQueue queue;
@@ -32,6 +46,67 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
 
+/// The event queue as it shipped in the seed: one shared_ptr<bool> tombstone
+/// allocation per event, std::function callbacks, binary priority_queue.
+class LegacyEventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    void push(sim::SimTime at, Callback cb) {
+        auto alive = std::make_shared<bool>(true);
+        heap_.push(Entry{at, seq_++, std::move(cb), std::move(alive)});
+    }
+
+    [[nodiscard]] bool empty() const {
+        drop_dead();
+        return heap_.empty();
+    }
+
+    std::pair<sim::SimTime, Callback> pop() {
+        drop_dead();
+        Entry e = std::move(const_cast<Entry&>(heap_.top()));
+        heap_.pop();
+        *e.alive = false;
+        return {e.at, std::move(e.cb)};
+    }
+
+private:
+    struct Entry {
+        sim::SimTime at;
+        std::uint64_t seq = 0;
+        Callback cb;
+        std::shared_ptr<bool> alive;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    void drop_dead() const {
+        while (!heap_.empty() && !*heap_.top().alive) heap_.pop();
+    }
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t seq_ = 0;
+};
+
+void BM_LegacyEventQueuePushPop(benchmark::State& state) {
+    LegacyEventQueue queue;
+    sim::Rng rng(1);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i) {
+            queue.push(sim::from_seconds(rng.uniform(0, 1)), [] {});
+        }
+        while (!queue.empty()) queue.pop();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LegacyEventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
 void BM_SimulationNestedEvents(benchmark::State& state) {
     for (auto _ : state) {
         sim::Simulation simulation;
@@ -43,29 +118,105 @@ void BM_SimulationNestedEvents(benchmark::State& state) {
         simulation.run();
         benchmark::DoNotOptimize(depth);
     }
+    // 1000 events scheduled and fired through the full Simulation loop.
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
 }
 BENCHMARK(BM_SimulationNestedEvents);
 
-void BM_FlowTableLookup(benchmark::State& state) {
+// --------------------------------------------------------------------------
+// Flow table: exact-match index vs. the seed's linear scan.
+
+/// `n` fully-specified entries (src, dst, port, proto all concrete), the
+/// shape the dispatcher installs per accepted connection.
+net::FlowTable make_exact_table(std::size_t n) {
     net::FlowTable table;
-    sim::Rng rng(2);
-    const auto n = static_cast<std::size_t>(state.range(0));
     for (std::size_t i = 0; i < n; ++i) {
         net::FlowEntry entry;
-        entry.match.src_ip = net::Ipv4{static_cast<std::uint32_t>(rng())};
+        entry.match.src_ip = net::Ipv4{192, 168, static_cast<std::uint8_t>(i >> 8),
+                                       static_cast<std::uint8_t>(i & 0xff)};
         entry.match.dst_ip = net::Ipv4{10, 0, 0, static_cast<std::uint8_t>(i % 250)};
         entry.match.dst_port = 80;
+        entry.match.proto = net::Proto::kTcp;
         entry.cookie = i;
         table.install(entry, sim::SimTime::zero());
     }
+    return table;
+}
+
+net::Packet exact_packet(std::size_t n) {
+    const std::size_t i = n / 2;
     net::Packet packet;
-    packet.dst_ip = net::Ipv4{10, 0, 0, 7};
+    packet.src_ip = net::Ipv4{192, 168, static_cast<std::uint8_t>(i >> 8),
+                              static_cast<std::uint8_t>(i & 0xff)};
+    packet.dst_ip = net::Ipv4{10, 0, 0, static_cast<std::uint8_t>(i % 250)};
     packet.dst_port = 80;
+    packet.proto = net::Proto::kTcp;
+    return packet;
+}
+
+void BM_FlowTableLookup(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    net::FlowTable table = make_exact_table(n);
+    const net::Packet packet = exact_packet(n);
     for (auto _ : state) {
         benchmark::DoNotOptimize(table.lookup(packet, sim::SimTime::zero()));
     }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FlowTableLookup)->Arg(16)->Arg(256)->Arg(2048);
+
+/// Same table shape, but the packet only matches a low-specificity wildcard
+/// entry -- exercises the fallback scan over non-exact rules.
+void BM_FlowTableLookupWildcard(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    net::FlowTable table = make_exact_table(n);
+    net::FlowEntry fallback;
+    fallback.match.dst_port = 8080;
+    fallback.priority = 1;
+    table.install(fallback, sim::SimTime::zero());
+    net::Packet packet;
+    packet.src_ip = net::Ipv4{172, 16, 0, 1};
+    packet.dst_ip = net::Ipv4{10, 0, 0, 7};
+    packet.dst_port = 8080;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.lookup(packet, sim::SimTime::zero()));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlowTableLookupWildcard)->Arg(16)->Arg(256)->Arg(2048);
+
+/// The lookup as it shipped in the seed: expire scan + full-table best-match
+/// scan on every packet.
+void BM_LegacyFlowTableLookup(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<net::FlowEntry> entries;
+    {
+        net::FlowTable seeded = make_exact_table(n);
+        for (const auto& e : seeded.entries()) entries.push_back(e);
+    }
+    const net::Packet packet = exact_packet(n);
+    const sim::SimTime now = sim::SimTime::zero();
+    for (auto _ : state) {
+        for (const auto& e : entries) {
+            benchmark::DoNotOptimize(e.expired(now));
+        }
+        const net::FlowEntry* best = nullptr;
+        for (auto& e : entries) {
+            if (e.expired(now) || !e.match.matches(packet)) continue;
+            if (!best || e.priority > best->priority ||
+                (e.priority == best->priority &&
+                 e.match.specificity() > best->match.specificity())) {
+                best = &e;
+            }
+        }
+        benchmark::DoNotOptimize(best);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LegacyFlowTableLookup)->Arg(16)->Arg(256)->Arg(2048);
+
+// --------------------------------------------------------------------------
+// Everything else.
 
 void BM_YamlParseDeployment(benchmark::State& state) {
     const std::string yaml = R"(

@@ -1,9 +1,11 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <map>
 
+#include "simcore/thread_pool.hpp"
 #include "workload/runner.hpp"
 
 namespace tedge::bench {
@@ -25,6 +27,17 @@ testbed::C3Options base_options(const DeploymentExperimentOptions& options) {
 }
 
 } // namespace
+
+void drain_phase(sim::Simulation& sim, const std::function<bool()>& done,
+                 sim::SimTime slice) {
+    if (done()) return; // the old polling loop would never have entered
+    const sim::SimTime start = sim.now();
+    sim.run_while([&] { return !done(); });
+    const std::int64_t slice_ns = slice.ns();
+    const std::int64_t rel = (sim.now() - start).ns();
+    const std::int64_t slices = std::max<std::int64_t>(1, (rel + slice_ns - 1) / slice_ns);
+    sim.run_until(start + sim::nanoseconds(slices * slice_ns));
+}
 
 DeploymentExperimentResult
 run_deployment_experiment(const DeploymentExperimentOptions& options) {
@@ -59,10 +72,7 @@ run_deployment_experiment(const DeploymentExperimentOptions& options) {
                 --remaining;
             });
         }
-        while (remaining > 0) {
-            platform.simulation().run_until(platform.simulation().now() +
-                                            sim::seconds(1));
-        }
+        drain_phase(platform.simulation(), [&] { return remaining == 0; });
     }
 
     // Create phase up front when measuring Scale Up only (fig. 11).
@@ -74,10 +84,7 @@ run_deployment_experiment(const DeploymentExperimentOptions& options) {
                 --remaining;
             });
         }
-        while (remaining > 0) {
-            platform.simulation().run_until(platform.simulation().now() +
-                                            sim::seconds(1));
-        }
+        drain_phase(platform.simulation(), [&] { return remaining == 0; });
     }
 
     // Replay the bigFlows-like trace.
@@ -122,6 +129,16 @@ run_deployment_experiment(const DeploymentExperimentOptions& options) {
     return result;
 }
 
+std::vector<DeploymentExperimentResult>
+run_deployment_replications(const std::vector<DeploymentExperimentOptions>& options) {
+    std::vector<DeploymentExperimentResult> results(options.size());
+    static sim::ThreadPool pool;
+    pool.parallel_for(options.size(), [&](std::size_t i) {
+        results[i] = run_deployment_experiment(options[i]);
+    });
+    return results;
+}
+
 PullMeasurement measure_pull(const std::string& service_key, bool private_registry,
                              const std::string& pre_cached_service,
                              std::uint64_t seed) {
@@ -147,10 +164,7 @@ PullMeasurement measure_pull(const std::string& service_key, bool private_regist
             m.layers_cached = t.layers_cached;
             done = true;
         });
-        while (!done) {
-            platform.simulation().run_until(platform.simulation().now() +
-                                            sim::seconds(1));
-        }
+        drain_phase(platform.simulation(), [&] { return done; });
         return m;
     };
 
@@ -181,9 +195,7 @@ sim::SampleSet measure_warm_requests(const std::string& cluster_kind,
     platform.deployment_engine().ensure(
         *platform.clusters().front(), annotated.spec, {},
         [&](bool ok, const orchestrator::InstanceInfo&) { ready = ok; });
-    while (!ready) {
-        platform.simulation().run_until(platform.simulation().now() + sim::seconds(1));
-    }
+    drain_phase(platform.simulation(), [&] { return ready; });
 
     sim::SampleSet samples;
     int completed = 0;
@@ -201,9 +213,7 @@ sim::SampleSet measure_warm_requests(const std::string& cluster_kind,
                     });
             });
     }
-    while (completed < requests) {
-        platform.simulation().run_until(platform.simulation().now() + sim::seconds(1));
-    }
+    drain_phase(platform.simulation(), [&] { return completed >= requests; });
     return samples;
 }
 

@@ -6,9 +6,11 @@
 // triggers an on-demand deployment whose phases the DeploymentEngine times.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "simcore/simulation.hpp"
 #include "simcore/stats.hpp"
 #include "testbed/c3.hpp"
 #include "workload/bigflows.hpp"
@@ -40,6 +42,14 @@ struct DeploymentExperimentResult {
 [[nodiscard]] DeploymentExperimentResult
 run_deployment_experiment(const DeploymentExperimentOptions& options);
 
+/// Run one experiment per options entry across a shared ThreadPool -- one
+/// independent Simulation per task, so the kernel stays single-threaded and
+/// deterministic while replications use all cores. Results come back in
+/// input (seed) order, so merging them is reproducible regardless of which
+/// replica finished first.
+[[nodiscard]] std::vector<DeploymentExperimentResult>
+run_deployment_replications(const std::vector<DeploymentExperimentOptions>& options);
+
 /// Fig. 13: time to pull one service's image set onto a cold node, from its
 /// home registry or through the private in-network registry.
 struct PullMeasurement {
@@ -61,5 +71,13 @@ struct PullMeasurement {
 
 /// Bench banner: experiment id, what the paper reports, how we reproduce it.
 void print_header(const std::string& experiment, const std::string& paper_claim);
+
+/// Predicate-driven drain: execute events until `done()` returns true, then
+/// finish the current `slice` so the clock lands where the old
+/// `while (!done) run_until(now + slice)` polling loop left it -- phase
+/// boundaries and downstream trace offsets stay bit-identical while the
+/// drain itself no longer grinds through empty slices.
+void drain_phase(sim::Simulation& sim, const std::function<bool()>& done,
+                 sim::SimTime slice = sim::seconds(1));
 
 } // namespace tedge::bench

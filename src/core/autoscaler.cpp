@@ -11,7 +11,8 @@ ReplicaAutoscaler::ReplicaAutoscaler(sim::Simulation& sim, DeploymentEngine& eng
                                      AutoscalerConfig config)
     : sim_(sim), engine_(engine), cluster_(cluster), flows_(flows),
       registry_(registry), config_(config), log_(sim, "autoscaler") {
-    ticker_ = sim_.schedule_periodic(config_.period, [this] { evaluate(); });
+    ticker_ = sim_.schedule_periodic(config_.period, [this] { evaluate(); },
+                                     /*daemon=*/true);
 }
 
 ReplicaAutoscaler::~ReplicaAutoscaler() {
@@ -41,8 +42,10 @@ void ReplicaAutoscaler::evaluate() {
         if (want > have) {
             state.below_target_count = 0;
             ++ups_;
-            log_.info("scaling up " + name + " to " + std::to_string(have + 1) +
-                      " replicas (load " + std::to_string(load) + ")");
+            log_.info([&] {
+                return "scaling up " + name + " to " + std::to_string(have + 1) +
+                       " replicas (load " + std::to_string(load) + ")";
+            });
             // One replica per period: gradual, like the HPA's behaviour.
             // (The engine's ensure() would short-circuit on the existing
             // ready replica, so the N -> N+1 step goes to the cluster
@@ -52,8 +55,10 @@ void ReplicaAutoscaler::evaluate() {
             if (++state.below_target_count >= config_.scale_down_patience) {
                 state.below_target_count = 0;
                 ++downs_;
-                log_.info("scaling down " + name + " (load " +
-                          std::to_string(load) + ")");
+                log_.info([&] {
+                    return "scaling down " + name + " (load " +
+                           std::to_string(load) + ")";
+                });
                 engine_.scale_down(cluster_, name, [](bool) {});
             }
         } else {

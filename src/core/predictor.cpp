@@ -11,7 +11,8 @@ PredictiveDeployer::PredictiveDeployer(sim::Simulation& sim,
                                        PredictorConfig config)
     : sim_(sim), engine_(engine), target_(target), registry_(registry),
       config_(config), log_(sim, "predictor") {
-    ticker_ = sim_.schedule_periodic(config_.period, [this] { evaluate(); });
+    ticker_ = sim_.schedule_periodic(config_.period, [this] { evaluate(); },
+                                     /*daemon=*/true);
 }
 
 PredictiveDeployer::~PredictiveDeployer() {
@@ -65,7 +66,7 @@ void PredictiveDeployer::evaluate() {
             if (service == nullptr) continue;
             entry.predeployed = true;
             ++deploys_;
-            log_.info("pre-deploying " + entry.service);
+            log_.info([&] { return "pre-deploying " + entry.service; });
             engine_.ensure(target_, service->spec, {},
                            [this, name = entry.service](
                                bool ok, const orchestrator::InstanceInfo&) {
@@ -78,7 +79,7 @@ void PredictiveDeployer::evaluate() {
                    entry.score < config_.min_score) {
             entry.predeployed = false;
             ++downs_;
-            log_.info("scaling down cold " + entry.service);
+            log_.info([&] { return "scaling down cold " + entry.service; });
             engine_.scale_down(target_, entry.service, [](bool) {});
         }
     }

@@ -1,19 +1,60 @@
 #include "net/flow_table.hpp"
 
 #include <algorithm>
-#include <sstream>
 
 namespace tedge::net {
 
 std::string FlowMatch::str() const {
-    std::ostringstream os;
-    os << "{";
-    os << "src=" << (src_ip ? src_ip->str() : "*");
-    os << " dst=" << (dst_ip ? dst_ip->str() : "*");
-    os << ":" << (dst_port ? std::to_string(*dst_port) : "*");
-    os << " proto=" << (proto ? to_string(*proto) : "*");
-    os << "}";
-    return os.str();
+    // Direct append, no ostringstream: this runs on log paths where the
+    // stream's locale/alloc setup dominates the cost of the text itself.
+    std::string out;
+    out.reserve(64);
+    out += "{src=";
+    out += src_ip ? src_ip->str() : "*";
+    out += " dst=";
+    out += dst_ip ? dst_ip->str() : "*";
+    out += ':';
+    if (dst_port) {
+        out += std::to_string(*dst_port);
+    } else {
+        out += '*';
+    }
+    out += " proto=";
+    out += proto ? to_string(*proto) : "*";
+    out += '}';
+    return out;
+}
+
+std::optional<sim::SimTime> FlowTable::expiry_of(const FlowEntry& e) {
+    std::optional<sim::SimTime> t;
+    if (e.hard_timeout > sim::SimTime::zero()) t = e.installed_at + e.hard_timeout;
+    if (e.idle_timeout > sim::SimTime::zero()) {
+        const sim::SimTime idle_at = e.last_used + e.idle_timeout;
+        if (!t || idle_at < *t) t = idle_at;
+    }
+    return t;
+}
+
+void FlowTable::note_expiry(const FlowEntry& e) {
+    const auto t = expiry_of(e);
+    if (t && (!next_expiry_ || *t < *next_expiry_)) next_expiry_ = t;
+}
+
+void FlowTable::reindex() {
+    exact_.clear();
+    wildcard_.clear();
+    for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+        const FlowMatch& m = entries_[i].match;
+        if (fully_specified(m)) {
+            exact_[key_of(m)].push_back(i);
+        } else {
+            wildcard_.push_back(i);
+        }
+    }
+}
+
+void FlowTable::sweep_if_due(sim::SimTime now) {
+    if (next_expiry_ && now >= *next_expiry_) expire(now);
 }
 
 bool FlowTable::install(FlowEntry entry, sim::SimTime now) {
@@ -24,35 +65,55 @@ bool FlowTable::install(FlowEntry entry, sim::SimTime now) {
         return e.match == entry.match && e.priority == entry.priority;
     });
     if (it != entries_.end()) {
+        // Same match -> same index bucket; replace in place.
+        note_expiry(entry);
         *it = std::move(entry);
         return true;
+    }
+    note_expiry(entry);
+    const auto index = static_cast<std::uint32_t>(entries_.size());
+    if (fully_specified(entry.match)) {
+        exact_[key_of(entry.match)].push_back(index);
+    } else {
+        wildcard_.push_back(index);
     }
     entries_.push_back(std::move(entry));
     return false;
 }
 
-std::vector<FlowEntry>::iterator FlowTable::find_best(const Packet& packet,
-                                                      sim::SimTime now) {
-    auto best = entries_.end();
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-        if (it->expired(now) || !it->match.matches(packet)) continue;
-        if (best == entries_.end() || it->priority > best->priority ||
-            (it->priority == best->priority &&
-             it->match.specificity() > best->match.specificity())) {
-            best = it;
+std::optional<FlowEntry> FlowTable::lookup(const Packet& packet, sim::SimTime now) {
+    // After the sweep no entry is expired at `now` (next_expiry_ is a lower
+    // bound), so the match loops below need no per-entry expiry checks.
+    sweep_if_due(now);
+
+    FlowEntry* best = nullptr;
+    if (!exact_.empty()) {
+        const auto it = exact_.find(key_of(packet));
+        if (it != exact_.end()) {
+            for (const std::uint32_t idx : it->second) {
+                FlowEntry& e = entries_[idx];
+                if (best == nullptr || e.priority > best->priority) best = &e;
+            }
         }
     }
-    return best;
-}
+    // Wildcard entries can still outrank an exact hit on priority. On a
+    // priority tie the exact entry wins: its specificity is 4, a wildcard's
+    // is at most 3 -- identical to the old full-scan tiebreak.
+    for (const std::uint32_t idx : wildcard_) {
+        FlowEntry& e = entries_[idx];
+        if (!e.match.matches(packet)) continue;
+        if (best == nullptr || e.priority > best->priority ||
+            (e.priority == best->priority &&
+             e.match.specificity() > best->match.specificity())) {
+            best = &e;
+        }
+    }
 
-std::optional<FlowEntry> FlowTable::lookup(const Packet& packet, sim::SimTime now) {
-    expire(now);
-    const auto best = find_best(packet, now);
-    if (best == entries_.end()) {
+    if (best == nullptr) {
         ++misses_;
         return std::nullopt;
     }
-    best->last_used = now;
+    best->last_used = now; // extends idle expiry; bound stays conservative
     ++best->packet_count;
     ++hits_;
     return *best;
@@ -74,13 +135,17 @@ const FlowEntry* FlowTable::peek(const Packet& packet, sim::SimTime now) const {
 std::size_t FlowTable::remove(const FlowMatch& match) {
     const auto before = entries_.size();
     std::erase_if(entries_, [&](const FlowEntry& e) { return e.match == match; });
-    return before - entries_.size();
+    const std::size_t removed = before - entries_.size();
+    if (removed > 0) reindex();
+    return removed;
 }
 
 std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
     const auto before = entries_.size();
     std::erase_if(entries_, [&](const FlowEntry& e) { return e.cookie == cookie; });
-    return before - entries_.size();
+    const std::size_t removed = before - entries_.size();
+    if (removed > 0) reindex();
+    return removed;
 }
 
 std::size_t FlowTable::expire(sim::SimTime now) {
@@ -98,7 +163,18 @@ std::size_t FlowTable::expire(sim::SimTime now) {
             ++it;
         }
     }
+    // Recompute the exact bound (touches may have left it stale-low).
+    next_expiry_.reset();
+    for (const auto& e : entries_) note_expiry(e);
+    if (removed > 0) reindex();
     return removed;
+}
+
+void FlowTable::clear() {
+    entries_.clear();
+    exact_.clear();
+    wildcard_.clear();
+    next_expiry_.reset();
 }
 
 } // namespace tedge::net

@@ -75,15 +75,20 @@ void ControllerManager::sync_replicaset(const std::string& name) {
     const auto* rs = api_.replicasets().get(name);
     if (rs == nullptr) return;
 
+    // Pods with an in-flight termination request count as already gone;
+    // in-flight creates count as already present. This mirrors the
+    // expectations mechanism in kube-controller-manager and keeps two syncs
+    // racing within one API round-trip from both acting on stale counts.
     std::vector<const PodObj*> owned;
     for (const auto& [pod_name, pod] : api_.pods().items()) {
-        if (pod.owner_rs == name && pod.phase != PodPhase::kTerminating) {
+        if (pod.owner_rs == name && pod.phase != PodPhase::kTerminating &&
+            pending_terminations_.count(pod_name) == 0) {
             owned.push_back(&pod);
         }
     }
 
     const int want = rs->replicas;
-    const int have = static_cast<int>(owned.size());
+    const int have = static_cast<int>(owned.size()) + pending_creates_[name];
 
     if (have < want) {
         for (int i = 0; i < want - have; ++i) {
@@ -98,7 +103,11 @@ void ControllerManager::sync_replicaset(const std::string& name) {
             }
             pod.phase = PodPhase::kPending;
             pod.phase_since = sim_.now();
-            api_.request([this, pod] { api_.pods().upsert(pod.name, pod); });
+            ++pending_creates_[name];
+            api_.request([this, pod, name] {
+                --pending_creates_[name];
+                api_.pods().upsert(pod.name, pod);
+            });
         }
     } else if (have > want) {
         // Terminate the newest pods first (Kubernetes' default preference is
@@ -112,7 +121,11 @@ void ControllerManager::sync_replicaset(const std::string& name) {
             updated.phase = PodPhase::kTerminating;
             updated.ready = false;
             updated.phase_since = sim_.now();
-            api_.request([this, updated] { api_.pods().upsert(updated.name, updated); });
+            pending_terminations_.insert(updated.name);
+            api_.request([this, updated] {
+                pending_terminations_.erase(updated.name);
+                api_.pods().upsert(updated.name, updated);
+            });
         }
     }
 }

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 
 #include "orchestrator/k8s/api_server.hpp"
@@ -37,6 +39,13 @@ private:
     sim::Simulation& sim_;
     ApiServer& api_;
     ControllerManagerConfig config_;
+    // Expectations (as in kube-controller-manager): pod writes requested but
+    // not yet observable through the API server. Without them, two syncs of
+    // the same replicaset racing within one API round-trip both see the old
+    // pod count and both act -- duplicate pods on create, double deletes on
+    // scale-down.
+    std::map<std::string, int> pending_creates_;       ///< rs name -> in-flight pod creates
+    std::set<std::string> pending_terminations_;       ///< pod names being terminated
     std::uint64_t pod_counter_ = 0;
     std::uint16_t next_pod_port_;
     std::uint64_t deployment_syncs_ = 0;

@@ -45,7 +45,7 @@ void Controller::on_idle_service(const std::string& service,
         if (c->name() != cluster) continue;
         if (c->instances(service).empty()) return; // nothing running
         ++idle_scale_downs_;
-        log_.info("scaling down idle service " + service + " on " + cluster);
+        log_.info([&] { return "scaling down idle service " + service + " on " + cluster; });
         engine_.scale_down(*c, service, [](bool) {});
         return;
     }

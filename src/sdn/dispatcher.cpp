@@ -12,7 +12,7 @@ Dispatcher::Dispatcher(sim::Simulation& sim, net::Topology& topo,
                        DispatcherConfig config)
     : sim_(sim), topo_(topo), ingress_(ingress), registry_(registry),
       memory_(memory), engine_(engine), scheduler_(scheduler),
-      clusters_(std::move(clusters)), config_(config) {
+      clusters_(std::move(clusters)), config_(config), log_(sim, "dispatcher") {
     switches_.push_back(&ingress_);
 }
 
@@ -77,6 +77,12 @@ void Dispatcher::install_and_release(net::OvsSwitch& source,
     flow.cluster = cluster_name;
     memory_.memorize(flow);
 
+    // Lazy: FlowMatch::str() runs per packet-in only when debug is on.
+    log_.debug([&] {
+        return "install " + entry.match.str() + " -> " + cluster_name + " node " +
+               std::to_string(instance.node.value) + ":" +
+               std::to_string(instance.port);
+    });
     source.flow_mod(net::FlowMod{entry});
     source.packet_out(net::PacketOut{event.buffer_id, /*use_table=*/true,
                                      /*drop=*/false});
@@ -85,6 +91,7 @@ void Dispatcher::install_and_release(net::OvsSwitch& source,
 void Dispatcher::release_to_cloud(net::OvsSwitch& source,
                                   const net::PacketIn& event, bool install_flow) {
     ++stats_.cloud_fallbacks;
+    log_.debug([&] { return "cloud fallback for " + event.packet.dst().str(); });
     if (install_flow && config_.install_cloud_flows) {
         net::FlowEntry entry;
         entry.match.src_ip = event.packet.src_ip;

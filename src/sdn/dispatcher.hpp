@@ -21,6 +21,7 @@
 #include "sdn/flow_memory.hpp"
 #include "sdn/scheduler.hpp"
 #include "sdn/service_registry.hpp"
+#include "simcore/logging.hpp"
 
 namespace tedge::sdn {
 
@@ -100,6 +101,7 @@ private:
     std::vector<orchestrator::Cluster*> clusters_;
     DispatcherConfig config_;
     DispatcherStats stats_;
+    sim::Logger log_;
     std::map<std::uint32_t, net::NodeId> client_locations_;
 };
 

@@ -6,7 +6,8 @@ namespace tedge::sdn {
 
 FlowMemory::FlowMemory(sim::Simulation& sim, Config config)
     : sim_(sim), config_(config) {
-    scan_ = sim_.schedule_periodic(config_.scan_period, [this] { expire(); });
+    scan_ = sim_.schedule_periodic(config_.scan_period, [this] { expire(); },
+                                   /*daemon=*/true);
 }
 
 FlowMemory::~FlowMemory() {

@@ -9,7 +9,8 @@ WasmRuntime::WasmRuntime(sim::Simulation& sim, net::Topology& topo,
                          sim::Rng rng, WasmRuntimeCosts costs)
     : sim_(sim), topo_(topo), node_(node), endpoints_(endpoints), rng_(rng),
       costs_(costs) {
-    reaper_ = sim_.schedule_periodic(sim::seconds(5), [this] { reap_idle(); });
+    reaper_ = sim_.schedule_periodic(sim::seconds(5), [this] { reap_idle(); },
+                                     /*daemon=*/true);
 }
 
 WasmRuntime::~WasmRuntime() {

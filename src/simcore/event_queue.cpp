@@ -1,57 +1,46 @@
+// Cold-path members of EventQueue. The per-event hot path (push/pop/sift)
+// lives inline in the header; cancellation, handle queries, and clear() are
+// rare enough that an out-of-line definition keeps rebuilds cheap.
 #include "simcore/event_queue.hpp"
-
-#include <stdexcept>
-#include <utility>
 
 namespace tedge::sim {
 
 void EventHandle::cancel() {
-    if (alive_) *alive_ = false;
+    if (queue_) queue_->cancel_slot(slot_, generation_);
 }
 
 bool EventHandle::pending() const {
-    return alive_ && *alive_;
+    return queue_ && queue_->slot_pending(slot_, generation_);
 }
 
-EventHandle EventQueue::push(SimTime at, Callback cb) {
-    auto alive = std::make_shared<bool>(true);
-    heap_.push(Entry{at, seq_++, std::move(cb), alive});
-    return EventHandle{std::move(alive)};
+void EventQueue::cancel_slot(std::uint32_t slot, std::uint32_t generation) {
+    if (slot >= slots_.size()) return;
+    Slot& s = slots_[slot];
+    if (!s.in_use || s.cancelled || s.generation != generation) return;
+    s.cancelled = true;
+    s.cb = nullptr; // release captures eagerly; the heap entry is a tombstone
+    ++dead_;
+    --live_;
+    if (!s.daemon) --live_user_;
 }
 
-void EventQueue::drop_dead() const {
-    while (!heap_.empty() && !*heap_.top().alive) {
-        heap_.pop();
-    }
-}
-
-bool EventQueue::empty() const {
-    drop_dead();
-    return heap_.empty();
-}
-
-SimTime EventQueue::next_time() const {
-    drop_dead();
-    if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
-    return heap_.top().at;
-}
-
-std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
-    drop_dead();
-    if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
-    // priority_queue::top() is const; the entry is about to be destroyed, so
-    // moving out of it is safe.
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    *e.alive = false; // handle now reports "not pending"
-    return {e.at, std::move(e.cb)};
+bool EventQueue::slot_pending(std::uint32_t slot, std::uint32_t generation) const {
+    if (slot >= slots_.size()) return false;
+    const Slot& s = slots_[slot];
+    return s.in_use && !s.cancelled && s.generation == generation;
 }
 
 void EventQueue::clear() {
-    while (!heap_.empty()) {
-        *heap_.top().alive = false;
-        heap_.pop();
+    for (std::size_t i = kRoot; i < heap_.size(); ++i) {
+        Slot& s = slots_[heap_[i].slot];
+        if (s.in_use && !s.cancelled) {
+            --live_;
+            if (!s.daemon) --live_user_;
+        }
+        release_slot(heap_[i].slot);
     }
+    heap_.resize(kRoot); // keep the physical pad before the root
+    dead_ = 0;
 }
 
 } // namespace tedge::sim

@@ -1,27 +1,44 @@
-// Priority event queue for the discrete-event kernel.
+// Slab-allocated priority event queue for the discrete-event kernel.
 //
 // Events are ordered by (timestamp, insertion sequence) which makes execution
 // order fully deterministic: two events scheduled for the same instant run in
-// the order they were scheduled. Cancellation is O(1) via a shared tombstone
-// flag; dead events are dropped lazily when popped.
+// the order they were scheduled.
+//
+// Storage is a slab of reusable slots indexed by a 4-ary min-heap of slot
+// ids. An EventHandle is a (slot, generation) pair: cancellation is O(1) — a
+// generation-checked flag write, no allocation, no shared_ptr traffic — and a
+// handle held across slot reuse can never cancel the wrong event because the
+// generation is bumped when the slot is recycled. Cancelled events stay in
+// the heap and are discarded lazily when they surface.
+//
+// Events may be marked `daemon` (housekeeping periodics such as cache
+// sweeps): they execute normally while user events are pending, but
+// Simulation::run() terminates once only daemon events remain.
+//
+// Lifetime: an EventHandle holds a raw pointer to its queue, so handles must
+// not outlive the EventQueue (in practice the Simulation, which all
+// components already outlive by construction order).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "simcore/time.hpp"
+#include "simcore/unique_function.hpp"
 
 namespace tedge::sim {
+
+class EventQueue;
 
 /// Handle to a scheduled event; allows cancellation before it fires.
 class EventHandle {
 public:
     EventHandle() = default;
 
-    /// Cancel the event. Safe to call multiple times or on an empty handle.
+    /// Cancel the event. Safe to call multiple times, on an empty handle, or
+    /// after the event has fired (the generation check makes it a no-op).
     void cancel();
 
     /// True if the handle refers to an event that has neither fired nor been
@@ -30,24 +47,33 @@ public:
 
 private:
     friend class EventQueue;
-    explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-    std::shared_ptr<bool> alive_;
+    EventHandle(EventQueue* queue, std::uint32_t slot, std::uint32_t generation)
+        : queue_(queue), slot_(slot), generation_(generation) {}
+
+    EventQueue* queue_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t generation_ = 0;
 };
 
-/// Min-heap of timestamped callbacks.
+/// 4-ary min-heap of timestamped callbacks over a reusable slot slab.
 class EventQueue {
 public:
-    using Callback = std::function<void()>;
+    using Callback = UniqueFunction<void()>;
 
-    /// Schedule `cb` to fire at absolute time `at`.
-    EventHandle push(SimTime at, Callback cb);
+    EventQueue() { heap_.resize(kRoot); } // physical pad before the root
+
+    /// Schedule `cb` to fire at absolute time `at`. Daemon events run like
+    /// any other but do not keep Simulation::run() alive on their own.
+    EventHandle push(SimTime at, Callback cb, bool daemon = false);
 
     /// True when no live events remain. May lazily discard cancelled events.
-    [[nodiscard]] bool empty() const;
+    [[nodiscard]] bool empty() const { return live_ == 0; }
 
-    /// Number of events currently stored, including not-yet-collected
-    /// cancelled ones (an upper bound on live events).
-    [[nodiscard]] std::size_t size() const { return heap_.size(); }
+    /// Number of live (scheduled, not cancelled) events.
+    [[nodiscard]] std::size_t size() const { return live_; }
+
+    /// True while at least one live non-daemon event remains.
+    [[nodiscard]] bool has_user_events() const { return live_user_ > 0; }
 
     /// Timestamp of the earliest live event. Requires !empty().
     [[nodiscard]] SimTime next_time() const;
@@ -62,23 +88,165 @@ public:
     [[nodiscard]] std::uint64_t total_scheduled() const { return seq_; }
 
 private:
-    struct Entry {
-        SimTime at;
-        std::uint64_t seq = 0;
+    friend class EventHandle;
+
+    static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+    struct Slot {
         Callback cb;
-        std::shared_ptr<bool> alive;
+        std::uint64_t seq = 0;  ///< insertion sequence; heap tie-break key
+        std::uint32_t generation = 0;
+        std::uint32_t next_free = kInvalid;
+        bool daemon = false;
+        bool cancelled = false;
+        bool in_use = false;
     };
-    struct Later {
-        bool operator()(const Entry& a, const Entry& b) const {
-            if (a.at != b.at) return a.at > b.at;
-            return a.seq > b.seq;
-        }
+    // The timestamp lives in the heap entry itself so sift operations compare
+    // contiguous 16-byte records; the insertion-sequence tie-break is fetched
+    // from the slab only when two timestamps are equal. The heap is rooted at
+    // physical index kRoot = 3 so every 4-child group starts at an index
+    // divisible by 4 -- with 16-byte entries that is one 64-byte cache line
+    // per sift level instead of two.
+    struct HeapEntry {
+        SimTime at;
+        std::uint32_t slot;
     };
+    static constexpr std::size_t kRoot = 3;
+    static std::size_t heap_parent(std::size_t i) { return i / 4 + 2; }
+    static std::size_t heap_child(std::size_t i) { return 4 * i - 8; }
 
-    void drop_dead() const;
+    [[nodiscard]] bool entry_earlier(const HeapEntry& a, const HeapEntry& b) const {
+        if (a.at != b.at) return a.at < b.at;
+        return slots_[a.slot].seq < slots_[b.slot].seq;
+    }
+    [[nodiscard]] bool heap_empty() const { return heap_.size() <= kRoot; }
 
-    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    void cancel_slot(std::uint32_t slot, std::uint32_t generation);
+    [[nodiscard]] bool slot_pending(std::uint32_t slot, std::uint32_t generation) const;
+
+    std::uint32_t acquire_slot();
+    void release_slot(std::uint32_t slot);
+
+    void sift_up(std::size_t i);
+    void sift_down(std::size_t i);
+    // Discard cancelled events that have surfaced at the heap top. Purely
+    // housekeeping: observable state (live counts, next live event) is
+    // unchanged, so const accessors may invoke it via const_cast.
+    void drop_dead();
+    void pop_top();
+
+    std::vector<Slot> slots_;
+    std::vector<HeapEntry> heap_;  ///< physical indices kRoot.. hold entries
+    std::uint32_t free_head_ = kInvalid;
     std::uint64_t seq_ = 0;
+    std::size_t live_ = 0;
+    std::size_t live_user_ = 0;
+    std::size_t dead_ = 0;  ///< cancelled tombstones still in the heap
 };
+
+// ---------------------------------------------------------------------------
+// Hot-path definitions, kept in the header so the simulation loop inlines
+// them: push/pop run once per scheduled event, millions of times per
+// experiment replay.
+
+inline std::uint32_t EventQueue::acquire_slot() {
+    if (free_head_ != kInvalid) {
+        const std::uint32_t slot = free_head_;
+        free_head_ = slots_[slot].next_free;
+        return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+inline void EventQueue::release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.cb = nullptr;
+    s.in_use = false;
+    s.cancelled = false;
+    // Bump the generation so stale handles to the old occupant can neither
+    // cancel nor observe the slot's next tenant.
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = slot;
+}
+
+inline void EventQueue::sift_up(std::size_t i) {
+    const HeapEntry moving = heap_[i];
+    while (i > kRoot) {
+        const std::size_t parent = heap_parent(i);
+        if (!entry_earlier(moving, heap_[parent])) break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = moving;
+}
+
+inline void EventQueue::sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    const HeapEntry moving = heap_[i];
+    for (;;) {
+        const std::size_t first = heap_child(i);
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t last = first + 4 < n ? first + 4 : n;
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (entry_earlier(heap_[c], heap_[best])) best = c;
+        }
+        if (!entry_earlier(heap_[best], moving)) break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = moving;
+}
+
+inline void EventQueue::pop_top() {
+    heap_[kRoot] = heap_.back();
+    heap_.pop_back();
+    if (!heap_empty()) sift_down(kRoot);
+}
+
+inline void EventQueue::drop_dead() {
+    if (dead_ == 0) return; // common case: no tombstones, no slab probe
+    while (!heap_empty() && slots_[heap_[kRoot].slot].cancelled) {
+        release_slot(heap_[kRoot].slot);
+        pop_top();
+        --dead_;
+    }
+}
+
+inline EventHandle EventQueue::push(SimTime at, Callback cb, bool daemon) {
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    s.cb = std::move(cb);
+    s.seq = seq_++;
+    s.daemon = daemon;
+    s.cancelled = false;
+    s.in_use = true;
+    heap_.push_back(HeapEntry{at, slot});
+    sift_up(heap_.size() - 1);
+    ++live_;
+    if (!daemon) ++live_user_;
+    return EventHandle{this, slot, s.generation};
+}
+
+inline std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+    drop_dead();
+    if (heap_empty()) throw std::logic_error("EventQueue::pop on empty queue");
+    const std::uint32_t slot = heap_[kRoot].slot;
+    Slot& s = slots_[slot];
+    std::pair<SimTime, Callback> out{heap_[kRoot].at, std::move(s.cb)};
+    --live_;
+    if (!s.daemon) --live_user_;
+    release_slot(slot); // handle now reports "not pending"
+    pop_top();
+    return out; // NRVO: no extra callback relocation
+}
+
+inline SimTime EventQueue::next_time() const {
+    const_cast<EventQueue*>(this)->drop_dead();
+    if (heap_empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+    return heap_[kRoot].at;
+}
 
 } // namespace tedge::sim

@@ -10,6 +10,7 @@
 #include <iosfwd>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "simcore/time.hpp"
 
@@ -36,13 +37,33 @@ public:
     /// Create a child logger for a subcomponent, sharing sink and level.
     [[nodiscard]] Logger child(const std::string& sub) const;
 
+    /// True when messages at `level` would be emitted. Use to guard log
+    /// sites whose message is expensive to build.
+    [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
     void log(LogLevel level, const std::string& message) const;
+
+    /// Lazy variant: `build` is a callable returning the message, invoked
+    /// only when `level` is enabled. Hot-path log sites (per-packet, per-
+    /// event) use this so disabled levels cost one integer compare.
+    template <typename Builder,
+              typename = decltype(std::string(std::declval<Builder&>()()))>
+    void log(LogLevel level, Builder&& build) const {
+        if (enabled(level)) log(level, std::string(build()));
+    }
 
     void trace(const std::string& m) const { log(LogLevel::kTrace, m); }
     void debug(const std::string& m) const { log(LogLevel::kDebug, m); }
     void info(const std::string& m) const { log(LogLevel::kInfo, m); }
     void warn(const std::string& m) const { log(LogLevel::kWarn, m); }
     void error(const std::string& m) const { log(LogLevel::kError, m); }
+
+    template <typename B, typename = decltype(std::string(std::declval<B&>()()))>
+    void trace(B&& b) const { log(LogLevel::kTrace, std::forward<B>(b)); }
+    template <typename B, typename = decltype(std::string(std::declval<B&>()()))>
+    void debug(B&& b) const { log(LogLevel::kDebug, std::forward<B>(b)); }
+    template <typename B, typename = decltype(std::string(std::declval<B&>()()))>
+    void info(B&& b) const { log(LogLevel::kInfo, std::forward<B>(b)); }
 
 private:
     const Simulation* sim_;

@@ -4,44 +4,64 @@
 
 namespace tedge::sim {
 
-EventHandle Simulation::schedule(SimTime delay, EventQueue::Callback cb) {
+EventHandle Simulation::schedule(SimTime delay, EventQueue::Callback cb, bool daemon) {
     if (delay < SimTime::zero()) throw std::invalid_argument("negative delay");
-    return queue_.push(now_ + delay, std::move(cb));
+    return queue_.push(now_ + delay, std::move(cb), daemon);
 }
 
-EventHandle Simulation::schedule_at(SimTime at, EventQueue::Callback cb) {
+EventHandle Simulation::schedule_at(SimTime at, EventQueue::Callback cb, bool daemon) {
     if (at < now_) throw std::invalid_argument("schedule_at in the past");
-    return queue_.push(at, std::move(cb));
+    return queue_.push(at, std::move(cb), daemon);
 }
 
-Simulation::PeriodicHandle Simulation::schedule_periodic(SimTime period,
-                                                         EventQueue::Callback cb) {
-    if (period <= SimTime::zero()) throw std::invalid_argument("non-positive period");
-    PeriodicHandle handle;
-    handle.stop_ = std::make_shared<bool>(false);
-    auto stop = handle.stop_;
-    // Self-rescheduling closure; captures the kernel by pointer (kernel is
-    // pinned: non-movable, outlives all events).
-    auto tick = std::make_shared<std::function<void()>>();
-    *tick = [this, period, cb = std::move(cb), stop, tick]() {
+namespace {
+
+// Self-rescheduling tick: each firing enqueues a copy of itself. A copyable
+// struct instead of a lambda capturing a shared_ptr to its own std::function
+// -- that classic formulation is a reference cycle and leaks the closure.
+// Captures the kernel by pointer (kernel is pinned: non-movable, outlives
+// all events).
+struct PeriodicTick {
+    Simulation* sim;
+    SimTime period;
+    std::function<void()> cb;
+    std::shared_ptr<bool> stop;
+    bool daemon;
+
+    void operator()() {
         if (*stop) return;
         cb();
         if (*stop) return;
-        schedule(period, *tick);
-    };
-    schedule(period, *tick);
+        sim->schedule(period, PeriodicTick{*this}, daemon);
+    }
+};
+
+} // namespace
+
+Simulation::PeriodicHandle Simulation::schedule_periodic(SimTime period,
+                                                         std::function<void()> cb,
+                                                         bool daemon) {
+    if (period <= SimTime::zero()) throw std::invalid_argument("non-positive period");
+    PeriodicHandle handle;
+    handle.stop_ = std::make_shared<bool>(false);
+    schedule(period, PeriodicTick{this, period, std::move(cb), handle.stop_, daemon},
+             daemon);
     return handle;
+}
+
+void Simulation::execute_next() {
+    auto [at, cb] = queue_.pop();
+    now_ = at;
+    cb();
+    ++executed_;
 }
 
 std::uint64_t Simulation::run() {
     stop_requested_ = false;
     std::uint64_t n = 0;
-    while (!queue_.empty() && !stop_requested_) {
-        auto [at, cb] = queue_.pop();
-        now_ = at;
-        cb();
+    while (queue_.has_user_events() && !stop_requested_) {
+        execute_next();
         ++n;
-        ++executed_;
     }
     return n;
 }
@@ -50,13 +70,34 @@ std::uint64_t Simulation::run_until(SimTime deadline) {
     stop_requested_ = false;
     std::uint64_t n = 0;
     while (!queue_.empty() && !stop_requested_ && queue_.next_time() <= deadline) {
-        auto [at, cb] = queue_.pop();
-        now_ = at;
-        cb();
+        execute_next();
         ++n;
-        ++executed_;
     }
     if (!stop_requested_ && now_ < deadline) now_ = deadline;
+    return n;
+}
+
+std::uint64_t Simulation::run_while(const std::function<bool()>& pred) {
+    stop_requested_ = false;
+    std::uint64_t n = 0;
+    while (!stop_requested_ && queue_.has_user_events() && pred()) {
+        execute_next();
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t Simulation::run_until_idle_or(SimTime deadline) {
+    stop_requested_ = false;
+    std::uint64_t n = 0;
+    while (!stop_requested_ && queue_.has_user_events() &&
+           queue_.next_time() <= deadline) {
+        execute_next();
+        ++n;
+    }
+    if (!stop_requested_ && queue_.has_user_events() && now_ < deadline) {
+        now_ = deadline;
+    }
     return n;
 }
 

@@ -4,10 +4,17 @@
 // schedule callbacks at relative delays or absolute times; run() drains the
 // queue in deterministic order. There is exactly one Simulation per
 // experiment; components hold a reference to it.
+//
+// Events come in two flavours: user events (the default) drive the
+// experiment forward; daemon events are housekeeping periodics (cache
+// sweeps, idle reapers, autoscaler ticks) that execute normally while user
+// events are pending but do not keep run() alive on their own — run()
+// returns once only daemon events remain, exactly like daemon threads.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "simcore/event_queue.hpp"
@@ -27,14 +34,15 @@ public:
     [[nodiscard]] SimTime now() const { return now_; }
 
     /// Schedule `cb` to run `delay` after the current time.
-    EventHandle schedule(SimTime delay, EventQueue::Callback cb);
+    EventHandle schedule(SimTime delay, EventQueue::Callback cb, bool daemon = false);
 
     /// Schedule `cb` at absolute time `at` (must be >= now()).
-    EventHandle schedule_at(SimTime at, EventQueue::Callback cb);
+    EventHandle schedule_at(SimTime at, EventQueue::Callback cb, bool daemon = false);
 
     /// Schedule a callback that re-arms itself every `period` until the
     /// returned handle is cancelled. The first firing is after `period`.
-    /// The callback receives no arguments; cancel via the shared handle.
+    /// Pass daemon=true for housekeeping periodics that should not keep
+    /// run() alive once all user events have drained.
     class PeriodicHandle {
     public:
         void cancel() { if (stop_) *stop_ = true; }
@@ -43,27 +51,54 @@ public:
         friend class Simulation;
         std::shared_ptr<bool> stop_;
     };
-    PeriodicHandle schedule_periodic(SimTime period, EventQueue::Callback cb);
+    PeriodicHandle schedule_periodic(SimTime period, std::function<void()> cb,
+                                     bool daemon = false);
 
-    /// Run until the queue is empty or a stop was requested.
-    /// Returns the number of events executed.
+    /// Run until no user events remain or a stop was requested. Daemon
+    /// events scheduled before the last user event still execute in time
+    /// order. Returns the number of events executed.
     std::uint64_t run();
 
     /// Run until virtual time reaches `deadline` (events at exactly the
-    /// deadline still execute). The clock is advanced to `deadline` if the
-    /// queue drains earlier. Returns the number of events executed.
+    /// deadline still execute, daemon or not). The clock is advanced to
+    /// `deadline` if the queue drains earlier. Returns the number of events
+    /// executed.
     std::uint64_t run_until(SimTime deadline);
+
+    /// Run while `pred()` is true. The predicate is evaluated before each
+    /// event; execution also stops when no user events remain or stop() is
+    /// called. The clock is left at the last executed event. Returns the
+    /// number of events executed. Replaces drain loops of the form
+    /// `while (!cond) run_until(now() + slice)`.
+    std::uint64_t run_while(const std::function<bool()>& pred);
+
+    /// Like run_until(deadline), but returns as soon as no user events
+    /// remain — without advancing the clock to the deadline — instead of
+    /// grinding through remaining daemon housekeeping. If user events are
+    /// still pending beyond the deadline, the clock is advanced to
+    /// `deadline` exactly like run_until.
+    std::uint64_t run_until_idle_or(SimTime deadline);
 
     /// Request that run()/run_until() return after the current event.
     void stop() { stop_requested_ = true; }
 
-    /// True if any events remain.
+    /// True if any events (user or daemon) remain.
     [[nodiscard]] bool has_pending_events() const { return !queue_.empty(); }
+
+    /// True while at least one non-daemon event remains.
+    [[nodiscard]] bool has_user_events() const { return queue_.has_user_events(); }
 
     /// Number of events executed so far in this simulation's lifetime.
     [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
+    /// Total number of events ever scheduled (determinism diagnostics).
+    [[nodiscard]] std::uint64_t total_scheduled() const {
+        return queue_.total_scheduled();
+    }
+
 private:
+    void execute_next();
+
     SimTime now_ = SimTime::zero();
     EventQueue queue_;
     bool stop_requested_ = false;

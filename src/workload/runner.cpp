@@ -1,5 +1,7 @@
 #include "workload/runner.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 namespace tedge::workload {
@@ -37,11 +39,23 @@ MetricsCollector& TraceRunner::replay(const Trace& trace,
         });
     }
 
-    // Drain: periodic controller tasks keep the queue non-empty forever, so
-    // run in slices until every request has completed (or we time out).
+    // Drain: predicate-driven -- execute events exactly until every request
+    // has completed (or the deadline passes) instead of busy-polling in
+    // 1-second slices.
     const sim::SimTime deadline = offset + trace.horizon() + options.drain_slack;
-    while (metrics_.count() < trace.size() && sim.now() < deadline) {
-        sim.run_until(sim.now() + sim::seconds(1));
+    const bool entered = metrics_.count() < trace.size() && sim.now() < deadline;
+    sim.run_while([&] {
+        return metrics_.count() < trace.size() && sim.now() < deadline;
+    });
+    // The old slice loop left the clock on the next whole-second boundary
+    // past the last completion; finish that slice so trailing bookkeeping
+    // (deployment-record finalisation, periodic sweeps) observes identical
+    // timestamps and downstream phases start at the same instant.
+    if (entered) {
+        const std::int64_t slice_ns = sim::seconds(1).ns();
+        const std::int64_t rel = (sim.now() - offset).ns();
+        const std::int64_t slices = std::max<std::int64_t>(1, (rel + slice_ns - 1) / slice_ns);
+        sim.run_until(offset + sim::nanoseconds(slices * slice_ns));
     }
     return metrics_;
 }

@@ -16,6 +16,11 @@ using sim::seconds;
 TEST(ControllerLoad, BurstOfClientsSharesOneDeploymentPerService) {
     testbed::C3Options options;
     options.with_k8s = false;
+    // The final assertions count switch entries and remembered flows at
+    // t=120s; keep both idle timeouts beyond the window so nothing expires
+    // mid-assertion (defaults are 60 s / 30 s).
+    options.controller.flow_memory.idle_timeout = seconds(900);
+    options.controller.dispatcher.switch_idle_timeout = seconds(900);
     options.controller.scale_down_idle = false;
     auto testbed = testbed::build_c3(options);
     auto& platform = testbed->platform;

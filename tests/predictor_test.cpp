@@ -74,7 +74,10 @@ TEST_F(PredictorFixture, PreDeploysTopKByPopularity) {
     for (int i = 0; i < 3; ++i) predictor->observe(addresses[1]);
     predictor->observe(addresses[2]);
 
-    platform.simulation().run_until(seconds(30));
+    // Assert while the lukewarm service is still above min_score: with decay
+    // 0.5 per 5 s period, service 1's score (3) crosses 0.5 at t=15 and the
+    // predictor would legitimately scale it back down.
+    platform.simulation().run_until(seconds(12));
     const auto deployed = predictor->predeployed();
     ASSERT_EQ(deployed.size(), 2u);
     EXPECT_EQ(predictor->deploys_triggered(), 2u);
@@ -112,9 +115,11 @@ TEST_F(PredictorFixture, HotSetFollowsShiftingPopularity) {
     platform.simulation().run_until(seconds(15));
     ASSERT_FALSE(platform.cluster("edge")->ready_instances(name_of(0)).empty());
 
-    // Popularity shifts to services 4 and 5.
+    // Popularity shifts to services 4 and 5, with arrivals spread across the
+    // whole window so their EWMA scores stay above min_score through t=120
+    // while the old favourite decays out.
     for (int round = 0; round < 12; ++round) {
-        platform.simulation().schedule(seconds(round), [this] {
+        platform.simulation().schedule(seconds(round * 10), [this] {
             predictor->observe(addresses[4]);
             predictor->observe(addresses[4]);
             predictor->observe(addresses[5]);
@@ -131,7 +136,9 @@ TEST_F(PredictorFixture, HotSetFollowsShiftingPopularity) {
 
 TEST_F(PredictorFixture, PredictedServiceAnswersFirstRequestFast) {
     for (int i = 0; i < 10; ++i) predictor->observe(addresses[0]);
-    platform.simulation().run_until(seconds(30));
+    // Probe while the score (10, halving every 5 s) is still above
+    // min_score; by t=25 the predictor would have scaled the service down.
+    platform.simulation().run_until(seconds(12));
 
     net::HttpResult result;
     bool done = false;
