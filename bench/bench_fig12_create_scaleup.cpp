@@ -62,6 +62,31 @@ void print_fig12() {
     std::cout << table.str();
 }
 
+// Traced replica of the BM_ scenario: one small create+scale-up run with
+// the lifecycle tracer armed, exported as fig12.trace.json plus the
+// per-phase histograms (phase.pull_ms / create_ms / scale_up_ms /
+// wait_ready_ms / deploy_total_ms) in fig12.metrics.txt.
+void emit_fig12_trace() {
+    using namespace tedge;
+    sim::Tracer tracer;
+    sim::MetricsRegistry metrics;
+    bench::DeploymentExperimentOptions options;
+    options.cluster_kind = "docker";
+    options.service_key = "asm";
+    options.pre_create = false;
+    options.num_services = 6;
+    options.num_requests = 150;
+    options.horizon = sim::seconds(60);
+    options.seed = 70;
+    options.tracer = &tracer;
+    options.metrics = &metrics;
+    const auto result = bench::run_deployment_experiment(options);
+    std::cout << "\ntraced run: " << result.first_request_ms.count()
+              << " cold + " << result.warm_request_ms.count()
+              << " warm requests, " << result.failures << " failures\n";
+    bench::write_trace_artifacts("fig12", tracer, metrics);
+}
+
 void BM_CreateScaleUpDockerAsm(benchmark::State& state) {
     std::uint64_t seed = 70;
     for (auto _ : state) {
@@ -82,7 +107,14 @@ BENCHMARK(BM_CreateScaleUpDockerAsm)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char** argv) {
+    if (tedge::bench::trace_only_mode()) {
+        emit_fig12_trace(); // CI artifact path: skip table + benchmark loops
+        return 0;
+    }
     print_fig12();
+    // Opt-in (TEDGE_TRACE=1): keeps the default output byte-identical
+    // across runs with tracing disabled.
+    if (tedge::bench::trace_requested()) emit_fig12_trace();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 
@@ -46,6 +48,14 @@ run_deployment_experiment(const DeploymentExperimentOptions& options) {
     auto testbed = build_c3(base_options(options));
     auto& platform = testbed->platform;
     auto* cluster = platform.clusters().front();
+
+    if (options.tracer != nullptr) {
+        options.tracer->attach(platform.simulation());
+        options.tracer->enable();
+    }
+    if (options.metrics != nullptr) {
+        platform.simulation().set_metrics(options.metrics);
+    }
 
     const auto& service = testbed::service_by_key(options.service_key);
 
@@ -126,6 +136,10 @@ run_deployment_experiment(const DeploymentExperimentOptions& options) {
         result.deploy_total_ms.add_time(record.total());
         result.deployment_start_times.push_back(record.started);
     }
+
+    // Detach before the testbed (and its Simulation) is destroyed; the
+    // tracer keeps its recorded spans for the caller to export.
+    if (options.tracer != nullptr) options.tracer->detach();
     return result;
 }
 
@@ -215,6 +229,58 @@ sim::SampleSet measure_warm_requests(const std::string& cluster_kind,
     }
     drain_phase(platform.simulation(), [&] { return completed >= requests; });
     return samples;
+}
+
+namespace {
+bool env_flag(const char* name) {
+    const char* v = std::getenv(name);
+    return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+} // namespace
+
+bool trace_only_mode() { return env_flag("TEDGE_TRACE_ONLY"); }
+
+bool trace_requested() {
+    return env_flag("TEDGE_TRACE") || trace_only_mode();
+}
+
+void write_trace_artifacts(const std::string& prefix, const sim::Tracer& tracer,
+                           const sim::MetricsRegistry& metrics) {
+    const std::string trace_path = prefix + ".trace.json";
+    const std::string metrics_path = prefix + ".metrics.txt";
+    {
+        std::ofstream os(trace_path);
+        tracer.write_chrome_trace(os);
+    }
+    {
+        std::ofstream os(metrics_path);
+        metrics.dump(os);
+    }
+
+    // Per-phase summary straight from the spans: count / total / mean per
+    // span name, in name order.
+    struct Agg {
+        std::uint64_t count = 0;
+        double total_ms = 0;
+    };
+    std::map<std::string, Agg> by_name;
+    for (const auto& span : tracer.spans()) {
+        if (span.instant) continue;
+        auto& agg = by_name[span.name];
+        ++agg.count;
+        agg.total_ms += span.duration().ms();
+    }
+    workload::TextTable table({"span", "count", "total [ms]", "mean [ms]"});
+    for (const auto& [name, agg] : by_name) {
+        table.add_row({name, std::to_string(agg.count),
+                       workload::TextTable::num(agg.total_ms, 1),
+                       workload::TextTable::num(
+                           agg.total_ms / static_cast<double>(agg.count), 2)});
+    }
+    std::cout << "\nper-phase spans (" << tracer.spans().size() << " total, "
+              << tracer.dropped() << " dropped):\n"
+              << table.str() << "trace:   " << trace_path << "\n"
+              << "metrics: " << metrics_path << "\n";
 }
 
 void print_header(const std::string& experiment, const std::string& paper_claim) {

@@ -10,8 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "simcore/metrics_registry.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/stats.hpp"
+#include "simcore/tracer.hpp"
 #include "testbed/c3.hpp"
 #include "workload/bigflows.hpp"
 #include "workload/metrics.hpp"
@@ -27,6 +29,12 @@ struct DeploymentExperimentOptions {
     std::size_t num_requests = 1708;
     sim::SimTime horizon = sim::seconds(300);
     std::uint64_t seed = 1;
+    /// Optional observability hooks, attached to the experiment's Simulation
+    /// for the duration of the run (the tracer is detached again before the
+    /// testbed is destroyed, keeping its recorded spans). Only use from
+    /// single-threaded runs -- never with run_deployment_replications.
+    sim::Tracer* tracer = nullptr;
+    sim::MetricsRegistry* metrics = nullptr;
 };
 
 struct DeploymentExperimentResult {
@@ -71,6 +79,23 @@ struct PullMeasurement {
 
 /// Bench banner: experiment id, what the paper reports, how we reproduce it.
 void print_header(const std::string& experiment, const std::string& paper_claim);
+
+/// True when TEDGE_TRACE_ONLY is set in the environment: bench mains skip
+/// the heavy figure tables / google-benchmark loops and only produce the
+/// trace + metrics artifacts (used by CI to upload a trace without paying
+/// for the full table).
+[[nodiscard]] bool trace_only_mode();
+
+/// True when either TEDGE_TRACE or TEDGE_TRACE_ONLY is set: the bench adds
+/// a traced run and writes the artifacts. Off by default so the standard
+/// bench output stays byte-identical with tracing disabled.
+[[nodiscard]] bool trace_requested();
+
+/// Write `<prefix>.trace.json` (Chrome trace_event; load in chrome://tracing
+/// or Perfetto) and `<prefix>.metrics.txt` (flat metrics dump including the
+/// per-phase histograms), then print a per-phase span summary to stdout.
+void write_trace_artifacts(const std::string& prefix, const sim::Tracer& tracer,
+                           const sim::MetricsRegistry& metrics);
 
 /// Predicate-driven drain: execute events until `done()` returns true, then
 /// finish the current `slice` so the clock lands where the old

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "simcore/metrics_registry.hpp"
+#include "simcore/tracer.hpp"
+
 namespace tedge::container {
 
 // Per-layer pull state within one image pull.
@@ -24,6 +27,8 @@ struct Puller::PullJob {
     std::size_t downloads_active = 0;
     bool extracting = false;
     PullTiming timing;
+    sim::TraceContext trace;            ///< the `pull.image` span
+    std::vector<sim::SpanId> dl_span;   ///< open `pull.layer` span per layer
 };
 
 Puller::Puller(sim::Simulation& sim, ImageStore& store, PullerConfig config)
@@ -33,6 +38,8 @@ void Puller::pull(const ImageRef& ref, Registry& registry, Callback done) {
     const std::string key = ref.full();
 
     if (store_.has_image(ref)) {
+        if (auto* tr = sim_.tracer()) tr->instant("pull.cached");
+        if (auto* m = sim_.metrics()) m->counter("container.pull.cached").inc();
         // Fast path: local image inspect only.
         sim_.schedule(config_.local_hit_latency,
                       [this, done = std::move(done)] {
@@ -55,6 +62,11 @@ void Puller::start_job(const ImageRef& ref, Registry& registry) {
     job->ref = ref;
     job->registry = &registry;
     job->timing.started = sim_.now();
+    if (auto* tr = sim_.tracer()) {
+        const sim::SpanId span = tr->begin("pull.image");
+        tr->arg(span, "image", ref.full());
+        job->trace = tr->context_of(span);
+    }
 
     registry.fetch_manifest(ref, [this, job](const Image* image) {
         if (image == nullptr) {
@@ -66,6 +78,7 @@ void Puller::start_job(const ImageRef& ref, Registry& registry) {
         // the local name works even when pulling through a mirror.
         job->image.ref = job->ref;
         job->phase.assign(job->image.layers.size(), LayerPhase::kPending);
+        job->dl_span.assign(job->image.layers.size(), 0);
         for (std::size_t i = 0; i < job->image.layers.size(); ++i) {
             if (store_.has_layer(job->image.layers[i].digest)) {
                 job->phase[i] = LayerPhase::kCached;
@@ -104,6 +117,11 @@ void Puller::job_fetch_next(const std::shared_ptr<PullJob>& job) {
         job->phase[i] = LayerPhase::kDownloading;
         ++job->downloads_active;
         layer_waiters_.try_emplace(layer.digest); // mark in flight
+        if (auto* tr = sim_.tracer()) {
+            const sim::SpanId span = tr->begin("pull.layer", job->trace);
+            tr->arg(span, "digest", layer.digest);
+            job->dl_span[i] = span;
+        }
         job->registry->fetch_layer(layer, [this, job, i] {
             job_layer_downloaded(job, i);
         });
@@ -116,6 +134,14 @@ void Puller::job_layer_downloaded(const std::shared_ptr<PullJob>& job,
     --job->downloads_active;
     job->timing.bytes_downloaded += job->image.layers[index].size;
     ++job->timing.layers_downloaded;
+    if (auto* tr = sim_.tracer()) {
+        if (job->dl_span[index] != 0) tr->end(job->dl_span[index]);
+    }
+    if (auto* m = sim_.metrics()) {
+        m->counter("container.pull.layers").inc();
+        m->counter("container.pull.bytes").inc(
+            static_cast<std::uint64_t>(job->image.layers[index].size));
+    }
     job_fetch_next(job);
     job_try_extract(job);
 }
@@ -144,7 +170,15 @@ void Puller::job_try_extract(const std::shared_ptr<PullJob>& job) {
     const sim::SimTime extract_time =
         config_.extract_rate.transfer_time(layer.size) +
         config_.per_layer_extract_overhead;
-    sim_.schedule(extract_time, [this, job, i] {
+    sim::SpanId extract_span = 0;
+    if (auto* tr = sim_.tracer()) {
+        extract_span = tr->begin("pull.extract", job->trace);
+        tr->arg(extract_span, "digest", layer.digest);
+    }
+    sim_.schedule(extract_time, [this, job, i, extract_span] {
+        if (auto* tr = sim_.tracer()) {
+            if (extract_span != 0) tr->end(extract_span);
+        }
         const Layer& done_layer = job->image.layers[i];
         store_.add_layer(done_layer);
         job->phase[i] = LayerPhase::kDone;
@@ -176,6 +210,15 @@ void Puller::job_finish(const std::shared_ptr<PullJob>& job, bool ok) {
         }
     }
     job->timing.finished = sim_.now();
+    if (auto* tr = sim_.tracer()) {
+        if (job->trace.span != 0) {
+            tr->arg(job->trace.span, "ok", ok ? "true" : "false");
+            tr->end(job->trace.span);
+        }
+    }
+    if (auto* m = sim_.metrics()) {
+        m->counter(ok ? "container.pull.ok" : "container.pull.failed").inc();
+    }
 
     const auto it = image_waiters_.find(job->ref.full());
     if (it == image_waiters_.end()) return;

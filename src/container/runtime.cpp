@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "simcore/metrics_registry.hpp"
+#include "simcore/tracer.hpp"
+
 namespace tedge::container {
 
 const char* to_string(ContainerState state) {
@@ -45,8 +48,16 @@ void ContainerRuntime::create(ContainerConfig config,
         costs_.create_rootfs +
         costs_.create_per_volume *
             static_cast<std::int64_t>(containers_.at(id).config.volumes.size());
-    sim_.schedule(cost, [this, id, done = std::move(done)] {
+    sim::SpanId span = 0;
+    if (auto* tr = sim_.tracer()) {
+        span = tr->begin("container.create");
+        tr->arg(span, "image", containers_.at(id).config.image.full());
+    }
+    sim_.schedule(cost, [this, id, span, done = std::move(done)] {
         containers_.at(id).created_at = sim_.now();
+        if (auto* tr = sim_.tracer()) {
+            if (span != 0) tr->end(span);
+        }
         done(id);
     });
 }
@@ -60,13 +71,22 @@ void ContainerRuntime::start(ContainerId id, std::uint16_t host_port,
     info.state = ContainerState::kStarting;
     info.host_port = host_port;
     ++active_starts_;
+    if (auto* m = sim_.metrics()) m->counter("container.starts").inc();
 
     const sim::SimTime ns_setup = sim::from_seconds(
         rng_.lognormal_median(costs_.ns_setup_median.seconds(), costs_.ns_setup_sigma));
     const sim::SimTime start_cost = contention(ns_setup + costs_.runtime_exec);
 
-    sim_.schedule(start_cost, [this, id, running = std::move(running)] {
+    sim::SpanId span = 0;
+    if (auto* tr = sim_.tracer()) {
+        span = tr->begin("container.start");
+        tr->arg(span, "name", info.config.name);
+    }
+    sim_.schedule(start_cost, [this, id, span, running = std::move(running)] {
         --active_starts_;
+        if (auto* tr = sim_.tracer()) {
+            if (span != 0) tr->end(span); // start ends when the process runs
+        }
         auto& c = containers_.at(id);
         if (c.state != ContainerState::kStarting) return; // stopped meanwhile
         c.state = ContainerState::kRunning;
@@ -78,6 +98,7 @@ void ContainerRuntime::start(ContainerId id, std::uint16_t host_port,
         if (app == nullptr || c.host_port == 0) {
             c.app_ready = true; // nothing to listen on; "ready" immediately
             c.ready_at = sim_.now();
+            if (auto* tr = sim_.tracer()) tr->instant("container.ready");
             return;
         }
         const sim::SimTime init = app->sample_init(rng_);
@@ -86,6 +107,7 @@ void ContainerRuntime::start(ContainerId id, std::uint16_t host_port,
             if (cc.state != ContainerState::kRunning) return;
             cc.app_ready = true;
             cc.ready_at = sim_.now();
+            if (auto* tr = sim_.tracer()) tr->instant("container.ready");
             topo_.open_port(node_, cc.host_port);
             bind_endpoint(id);
         });

@@ -1,5 +1,8 @@
 #include "core/deployment.hpp"
 
+#include "simcore/metrics_registry.hpp"
+#include "simcore/tracer.hpp"
+
 namespace tedge::core {
 
 struct DeploymentEngine::Job {
@@ -8,6 +11,7 @@ struct DeploymentEngine::Job {
     DeployOptions options;
     std::string key;
     DeploymentRecord record;
+    sim::TraceContext trace;  ///< the `deploy` span all phase spans nest under
 };
 
 DeploymentEngine::DeploymentEngine(sim::Simulation& sim, PortProber& prober,
@@ -39,6 +43,12 @@ void DeploymentEngine::ensure(orchestrator::Cluster& cluster,
     job->record.service = spec.name;
     job->record.cluster = cluster.name();
     job->record.started = sim_.now();
+    if (auto* tr = sim_.tracer()) {
+        const sim::SpanId span = tr->begin("deploy");
+        tr->arg(span, "service", spec.name);
+        tr->arg(span, "cluster", cluster.name());
+        job->trace = tr->context_of(span);
+    }
     run_pull(job);
 }
 
@@ -49,9 +59,18 @@ void DeploymentEngine::run_pull(const std::shared_ptr<Job>& job) {
     }
     const sim::SimTime started = sim_.now();
     job->record.phases.pulled = true;
-    job->cluster->ensure_image(job->spec, [this, job, started](
+    sim::Tracer* tr = sim_.tracer();
+    const sim::SpanId span = tr ? tr->begin("deploy.pull", job->trace) : 0;
+    // The scope makes the cluster's scheduled pull work inherit this span.
+    const sim::Tracer::Scope scope(tr, span);
+    job->cluster->ensure_image(job->spec, [this, job, started, span](
                                               bool ok, const container::PullTiming&) {
         job->record.phases.pull = sim_.now() - started;
+        if (auto* t = sim_.tracer()) t->end(span);
+        if (auto* m = sim_.metrics()) {
+            m->histogram("phase.pull_ms", 0, 60'000, 120)
+                .add(job->record.phases.pull.ms());
+        }
         if (!ok) {
             finish(job, false, {});
             return;
@@ -67,8 +86,16 @@ void DeploymentEngine::run_create(const std::shared_ptr<Job>& job) {
     }
     const sim::SimTime started = sim_.now();
     job->record.phases.created = true;
-    job->cluster->create_service(job->spec, [this, job, started](bool ok) {
+    sim::Tracer* tr = sim_.tracer();
+    const sim::SpanId span = tr ? tr->begin("deploy.create", job->trace) : 0;
+    const sim::Tracer::Scope scope(tr, span);
+    job->cluster->create_service(job->spec, [this, job, started, span](bool ok) {
         job->record.phases.create = sim_.now() - started;
+        if (auto* t = sim_.tracer()) t->end(span);
+        if (auto* m = sim_.metrics()) {
+            m->histogram("phase.create_ms", 0, 10'000, 100)
+                .add(job->record.phases.create.ms());
+        }
         if (!ok) {
             finish(job, false, {});
             return;
@@ -86,8 +113,16 @@ void DeploymentEngine::run_scale_up(const std::shared_ptr<Job>& job) {
     }
     const sim::SimTime started = sim_.now();
     job->record.phases.scaled = true;
-    job->cluster->scale_up(job->spec.name, [this, job, started](bool ok) {
+    sim::Tracer* tr = sim_.tracer();
+    const sim::SpanId span = tr ? tr->begin("deploy.scale_up", job->trace) : 0;
+    const sim::Tracer::Scope scope(tr, span);
+    job->cluster->scale_up(job->spec.name, [this, job, started, span](bool ok) {
         job->record.phases.scale_up = sim_.now() - started;
+        if (auto* t = sim_.tracer()) t->end(span);
+        if (auto* m = sim_.metrics()) {
+            m->histogram("phase.scale_up_ms", 0, 10'000, 100)
+                .add(job->record.phases.scale_up.ms());
+        }
         if (!ok) {
             finish(job, false, {});
             return;
@@ -123,9 +158,20 @@ void DeploymentEngine::await_instance(const std::shared_ptr<Job>& job,
 void DeploymentEngine::run_wait_ready(const std::shared_ptr<Job>& job,
                                       const orchestrator::InstanceInfo& instance) {
     const sim::SimTime started = sim_.now();
+    sim::Tracer* tr = sim_.tracer();
+    const sim::SpanId span = tr ? tr->begin("deploy.wait_ready", job->trace) : 0;
+    const sim::Tracer::Scope scope(tr, span);
     prober_.wait_ready(instance.node, instance.port,
-                       [this, job, instance, started](bool ok, sim::SimTime) {
+                       [this, job, instance, started, span](bool ok, sim::SimTime) {
         job->record.phases.wait_ready = sim_.now() - started;
+        if (auto* t = sim_.tracer()) {
+            t->end(span);
+            if (ok) t->instant("ready", job->trace);
+        }
+        if (auto* m = sim_.metrics()) {
+            m->histogram("phase.wait_ready_ms", 0, 10'000, 100)
+                .add(job->record.phases.wait_ready.ms());
+        }
         orchestrator::InstanceInfo ready_instance = instance;
         ready_instance.ready = ok;
         finish(job, ok, ready_instance);
@@ -137,6 +183,15 @@ void DeploymentEngine::finish(const std::shared_ptr<Job>& job, bool ok,
     job->record.finished = sim_.now();
     job->record.ok = ok;
     records_.push_back(job->record);
+    if (auto* tr = sim_.tracer()) {
+        tr->arg(job->trace.span, "ok", ok ? "true" : "false");
+        tr->end(job->trace.span);
+    }
+    if (auto* m = sim_.metrics()) {
+        m->counter(ok ? "core.deploy.ok" : "core.deploy.failed").inc();
+        m->histogram("phase.deploy_total_ms", 0, 60'000, 120)
+            .add(job->record.total().ms());
+    }
 
     const auto it = inflight_.find(job->key);
     if (it == inflight_.end()) return;

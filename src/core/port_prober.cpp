@@ -1,5 +1,10 @@
 #include "core/port_prober.hpp"
 
+#include <algorithm>
+
+#include "simcore/metrics_registry.hpp"
+#include "simcore/tracer.hpp"
+
 namespace tedge::core {
 
 PortProber::PortProber(net::TcpNet& net, net::NodeId from, PortProberConfig config)
@@ -14,6 +19,9 @@ void PortProber::probe_once(net::NodeId host, std::uint16_t port,
                             sim::SimTime started,
                             std::function<void(bool, sim::SimTime)> done) {
     ++probes_;
+    auto& sim = net_.simulation();
+    if (auto* m = sim.metrics()) m->counter("core.prober.probes").inc();
+    if (auto* tr = sim.tracer()) tr->instant("probe.attempt");
     net_.probe(from_, host, port,
                [this, host, port, started, done = std::move(done)](bool open) {
         auto& sim = net_.simulation();
@@ -23,11 +31,20 @@ void PortProber::probe_once(net::NodeId host, std::uint16_t port,
             return;
         }
         if (waited >= config_.timeout) {
-            done(false, waited);
+            // Give up. The last probe's RTT may carry us past the deadline;
+            // report the waiting time capped at the configured timeout so
+            // callers see the budget they asked for, not the overshoot.
+            ++timeouts_;
+            if (auto* m = sim.metrics()) m->counter("core.prober.timeouts").inc();
+            done(false, std::min(waited, config_.timeout));
             return;
         }
-        sim.schedule(config_.interval, [this, host, port, started, done] {
-            probe_once(host, port, started, done);
+        // Clamp the final sleep to the remaining budget: without this the
+        // deadline is only noticed after a whole extra interval + probe RTT,
+        // overshooting config_.timeout by up to interval + RTT.
+        const sim::SimTime delay = std::min(config_.interval, config_.timeout - waited);
+        sim.schedule(delay, [this, host, port, started, done = std::move(done)]() mutable {
+            probe_once(host, port, started, std::move(done));
         });
     });
 }

@@ -21,12 +21,16 @@ public:
     /// Probes originate from `from` (the controller's host).
     PortProber(net::TcpNet& net, net::NodeId from, PortProberConfig config = {});
 
-    /// Probe (host, port) until it accepts or the deadline passes.
-    /// `done(ok, waited)` reports success and the total time spent waiting.
+    /// Probe (host, port) until it accepts or the deadline passes. The
+    /// sleep before the last probe is clamped to the remaining budget, so
+    /// the give-up callback fires within one probe RTT of the deadline.
+    /// `done(ok, waited)` reports success and the total time spent waiting;
+    /// on give-up, `waited` is capped at the configured timeout.
     void wait_ready(net::NodeId host, std::uint16_t port,
                     std::function<void(bool ok, sim::SimTime waited)> done);
 
     [[nodiscard]] std::uint64_t probes_sent() const { return probes_; }
+    [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
 
 private:
     void probe_once(net::NodeId host, std::uint16_t port, sim::SimTime started,
@@ -36,6 +40,7 @@ private:
     net::NodeId from_;
     PortProberConfig config_;
     std::uint64_t probes_ = 0;
+    std::uint64_t timeouts_ = 0;
 };
 
 } // namespace tedge::core

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "simcore/metrics_registry.hpp"
+#include "simcore/tracer.hpp"
+
 namespace tedge::orchestrator::k8s {
 
 std::optional<net::NodeId>
@@ -59,12 +62,22 @@ void KubeScheduler::try_schedule(const std::string& pod_name) {
 
     PodObj updated = *pod;
     updated.node = *node;
-    api_.request([this, updated] {
+    sim::SpanId bind_span = 0;
+    if (auto* tr = sim_.tracer()) {
+        bind_span = tr->begin("k8s.schedule_bind");
+        tr->arg(bind_span, "pod", pod_name);
+        tr->arg(bind_span, "node", std::to_string(node->value));
+    }
+    api_.request([this, updated, bind_span] {
         // Re-check the pod still exists (it may have been terminated while
         // the binding request was in flight).
         if (api_.pods().get(updated.name) != nullptr) {
             api_.pods().upsert(updated.name, updated);
             ++scheduled_;
+            if (auto* m = sim_.metrics()) m->counter("k8s.binds").inc();
+        }
+        if (auto* tr = sim_.tracer()) {
+            if (bind_span != 0) tr->end(bind_span);
         }
     });
 }

@@ -3,6 +3,9 @@
 #include <memory>
 #include <set>
 
+#include "simcore/metrics_registry.hpp"
+#include "simcore/tracer.hpp"
+
 namespace tedge::orchestrator::k8s {
 
 Kubelet::Kubelet(sim::Simulation& sim, ApiServer& api, net::NodeId node,
@@ -25,6 +28,7 @@ void Kubelet::start() {
 void Kubelet::sync_pod(const std::string& pod_name) {
     const auto* pod = api_.pods().get(pod_name);
     if (pod == nullptr || pod->node != node_) return;
+    if (auto* tr = sim_.tracer()) tr->instant("k8s.kubelet_sync");
 
     if (pod->phase == PodPhase::kPending && !starting_.contains(pod_name)) {
         starting_.insert(pod_name);
@@ -73,6 +77,12 @@ void Kubelet::start_pod(const std::string& pod_name) {
     const ServiceSpec spec = pod->spec;
     const std::uint16_t pod_port = pod->pod_port;
 
+    sim::SpanId pod_span = 0;
+    if (auto* tr = sim_.tracer()) {
+        pod_span = tr->begin("k8s.pod_start");
+        tr->arg(pod_span, "pod", pod_name);
+    }
+
     // Move the pod to Creating (containers not yet up).
     {
         PodObj updated = *pod;
@@ -86,17 +96,23 @@ void Kubelet::start_pod(const std::string& pod_name) {
     }
 
     // 1. Image pull (IfNotPresent -- a no-op when cached).
-    pull_images(spec, [this, pod_name, spec, pod_port](bool ok) {
+    pull_images(spec, [this, pod_name, spec, pod_port, pod_span](bool ok) {
         if (!ok) {
             log_.warn("image pull failed for pod " + pod_name);
             starting_.erase(pod_name);
+            if (auto* tr = sim_.tracer()) {
+                if (pod_span != 0) {
+                    tr->arg(pod_span, "ok", "false");
+                    tr->end(pod_span);
+                }
+            }
             return;
         }
         // 2. Pod sandbox: pause container, network namespace via CNI,
         //    cgroup hierarchy. The dominant fixed cost of a K8s pod start.
         const sim::SimTime sandbox = sim::from_seconds(rng_.lognormal_median(
             config_.sandbox_median.seconds(), config_.sandbox_sigma));
-        sim_.schedule(sandbox, [this, pod_name, spec, pod_port] {
+        sim_.schedule(sandbox, [this, pod_name, spec, pod_port, pod_span] {
             // 3. Create + start each container inside the sandbox.
             auto remaining = std::make_shared<std::size_t>(spec.containers.size());
             for (const auto& tmpl : spec.containers) {
@@ -113,17 +129,22 @@ void Kubelet::start_pod(const std::string& pod_name) {
                         ? pod_port
                         : 0;
                 runtime_.create(std::move(config),
-                                [this, pod_name, host_port,
+                                [this, pod_name, host_port, pod_span,
                                  remaining](container::ContainerId id) {
                     work_[pod_name].containers.push_back(id);
-                    runtime_.start(id, host_port, [this, pod_name, remaining] {
+                    runtime_.start(id, host_port,
+                                   [this, pod_name, remaining, pod_span] {
                         if (--*remaining > 0) return;
                         // 4. All containers running: report status. Without a
                         // readinessProbe, Kubernetes marks the pod Ready as
                         // soon as its containers are running.
-                        sim_.schedule(config_.status_update, [this, pod_name] {
+                        sim_.schedule(config_.status_update,
+                                      [this, pod_name, pod_span] {
                             const auto* p = api_.pods().get(pod_name);
                             if (p == nullptr || p->phase == PodPhase::kTerminating) {
+                                if (auto* tr = sim_.tracer()) {
+                                    if (pod_span != 0) tr->end(pod_span);
+                                }
                                 return;
                             }
                             PodObj updated = *p;
@@ -137,6 +158,15 @@ void Kubelet::start_pod(const std::string& pod_name) {
                             });
                             ++pods_started_;
                             starting_.erase(pod_name);
+                            if (auto* tr = sim_.tracer()) {
+                                if (pod_span != 0) {
+                                    tr->arg(pod_span, "ok", "true");
+                                    tr->end(pod_span);
+                                }
+                            }
+                            if (auto* m = sim_.metrics()) {
+                                m->counter("k8s.pods_started").inc();
+                            }
                         });
                     });
                 });

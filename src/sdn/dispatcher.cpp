@@ -2,6 +2,9 @@
 
 #include <functional>
 
+#include "simcore/metrics_registry.hpp"
+#include "simcore/tracer.hpp"
+
 namespace tedge::sdn {
 
 Dispatcher::Dispatcher(sim::Simulation& sim, net::Topology& topo,
@@ -56,6 +59,13 @@ void Dispatcher::install_and_release(net::OvsSwitch& source,
                                      const orchestrator::ServiceSpec& spec,
                                      const orchestrator::InstanceInfo& instance,
                                      const std::string& cluster_name) {
+    if (auto* tr = sim_.tracer()) {
+        const auto span = tr->begin("flow.install");
+        tr->arg(span, "service", spec.name);
+        tr->arg(span, "cluster", cluster_name);
+        tr->end(span);
+    }
+    if (auto* m = sim_.metrics()) m->counter("sdn.flow_installs").inc();
     net::FlowEntry entry;
     entry.match.src_ip = event.packet.src_ip;
     entry.match.dst_ip = event.packet.dst_ip;
@@ -91,6 +101,8 @@ void Dispatcher::install_and_release(net::OvsSwitch& source,
 void Dispatcher::release_to_cloud(net::OvsSwitch& source,
                                   const net::PacketIn& event, bool install_flow) {
     ++stats_.cloud_fallbacks;
+    if (auto* tr = sim_.tracer()) tr->instant("cloud.fallback");
+    if (auto* m = sim_.metrics()) m->counter("sdn.cloud_fallbacks").inc();
     log_.debug([&] { return "cloud fallback for " + event.packet.dst().str(); });
     if (install_flow && config_.install_cloud_flows) {
         net::FlowEntry entry;
@@ -115,6 +127,26 @@ void Dispatcher::handle_packet_in(const net::PacketIn& event) {
 
 void Dispatcher::handle_packet_in(net::OvsSwitch& source,
                                   const net::PacketIn& event) {
+    sim::Tracer* tr = sim_.tracer();
+    sim::SpanId pin_span = 0;
+    if (tr != nullptr) {
+        // A packet-in caused by an already-traced client request stays on
+        // that request's track; a bare packet-in opens a fresh request.
+        sim::TraceContext ctx = tr->current();
+        if (ctx.request == 0) ctx.request = tr->new_request();
+        pin_span = tr->begin("packet_in", ctx);
+        tr->arg(pin_span, "dst", event.packet.dst().str());
+    }
+    // Everything the dispatch schedules (deployment, probes, flow mods)
+    // nests under the packet-in span.
+    const sim::Tracer::Scope scope(tr, pin_span);
+    if (auto* m = sim_.metrics()) m->counter("sdn.packet_ins").inc();
+    dispatch(source, event, pin_span);
+    if (tr != nullptr) tr->end(pin_span);
+}
+
+void Dispatcher::dispatch(net::OvsSwitch& source, const net::PacketIn& event,
+                          sim::SpanId pin_span) {
     ++stats_.packet_ins;
     // Location tracking: the client is wherever its packets enter the
     // network -- the source switch (its current gNB).
@@ -124,7 +156,17 @@ void Dispatcher::handle_packet_in(net::OvsSwitch& source,
 
     // 1. FlowMemory: a previously-installed flow can be restored instantly
     //    -- provided the instance still accepts traffic.
-    if (const auto remembered = memory_.recall(event.packet.src_ip, dst)) {
+    const auto remembered = memory_.recall(event.packet.src_ip, dst);
+    if (auto* tr = sim_.tracer()) {
+        const auto recall = tr->begin("flow_memory.recall");
+        tr->arg(recall, "result", remembered ? "hit" : "miss");
+        tr->end(recall);
+    }
+    if (auto* m = sim_.metrics()) {
+        m->counter(remembered ? "sdn.flow_memory.hits" : "sdn.flow_memory.misses")
+            .inc();
+    }
+    if (remembered) {
         if (topo_.port_open(remembered->instance_node, remembered->instance_port)) {
             ++stats_.memory_hits;
             const auto* svc = registry_.lookup(dst);
@@ -155,7 +197,18 @@ void Dispatcher::handle_packet_in(net::OvsSwitch& source,
 
     // 3./4. Gather system state, ask the Global Scheduler.
     const auto ctx = build_context(event, spec);
+    sim::SpanId decide_span = 0;
+    if (auto* tr = sim_.tracer()) decide_span = tr->begin("schedule.decide");
     const ScheduleResult result = scheduler_.decide(ctx);
+    if (auto* tr = sim_.tracer()) {
+        tr->arg(decide_span, "fast",
+                result.fast && result.fast->cluster ? result.fast->cluster->name()
+                                                    : "cloud");
+        tr->arg(decide_span, "best",
+                result.best && result.best->cluster ? result.best->cluster->name()
+                                                    : "none");
+        tr->end(decide_span);
+    }
 
     // 5. BEST: deploy for future requests in the background (on-demand
     //    deployment WITHOUT waiting for this request).
@@ -190,8 +243,11 @@ void Dispatcher::handle_packet_in(net::OvsSwitch& source,
     core::DeployOptions options;
     options.wait_ready = true;
     engine_.ensure(*fast_cluster, spec, options,
-                   [this, &source, event, spec, cluster_name](
+                   [this, &source, event, spec, cluster_name, pin_span](
                        bool ok, const orchestrator::InstanceInfo& instance) {
+        // Re-anchor on the packet-in span: the callback executes deep in
+        // the deployment chain, but the install belongs to the packet-in.
+        const sim::Tracer::Scope scope(sim_.tracer(), pin_span);
         if (!ok) {
             ++stats_.failures;
             release_to_cloud(source, event, /*install_flow=*/false);

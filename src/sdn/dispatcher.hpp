@@ -22,6 +22,7 @@
 #include "sdn/scheduler.hpp"
 #include "sdn/service_registry.hpp"
 #include "simcore/logging.hpp"
+#include "simcore/tracer.hpp"
 
 namespace tedge::sdn {
 
@@ -80,6 +81,9 @@ public:
     }
 
 private:
+    /// The packet-in decision body; `pin_span` is the enclosing trace span.
+    void dispatch(net::OvsSwitch& source, const net::PacketIn& event,
+                  sim::SpanId pin_span);
     void install_and_release(net::OvsSwitch& source, const net::PacketIn& event,
                              const orchestrator::ServiceSpec& spec,
                              const orchestrator::InstanceInfo& instance,

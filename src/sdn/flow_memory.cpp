@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "simcore/metrics_registry.hpp"
+
 namespace tedge::sdn {
 
 FlowMemory::FlowMemory(sim::Simulation& sim, Config config)
@@ -30,7 +32,12 @@ FlowMemory::recall(net::Ipv4 client_ip, const net::ServiceAddress& service) {
     }
     if (sim_.now() - it->second.last_used >= config_.idle_timeout) {
         ++misses_;
-        return std::nullopt; // stale; the scan will collect it
+        // Erase, don't just miss: a lingering stale entry would donate its
+        // old `created` timestamp to the next memorize() of the same key
+        // (created != zero suppresses the reset), skewing flow-age stats.
+        flows_.erase(it);
+        if (auto* m = sim_.metrics()) m->counter("sdn.flow_memory.stale_recalls").inc();
+        return std::nullopt;
     }
     it->second.last_used = sim_.now();
     ++hits_;
@@ -64,6 +71,15 @@ std::size_t FlowMemory::flows_for_service(const std::string& service_name) const
     return count;
 }
 
+std::size_t FlowMemory::flows_for_service(const std::string& service_name,
+                                          const std::string& cluster) const {
+    std::size_t count = 0;
+    for (const auto& [key, flow] : flows_) {
+        if (flow.service_name == service_name && flow.cluster == cluster) ++count;
+    }
+    return count;
+}
+
 std::size_t FlowMemory::expire() {
     const sim::SimTime now = sim_.now();
     std::vector<std::pair<std::string, std::string>> expired_services;
@@ -78,12 +94,23 @@ std::size_t FlowMemory::expire() {
         }
     }
     if (idle_cb_) {
-        // Report services whose *last* flow just expired.
+        // Report (service, cluster) pairs whose *last* flow just expired.
+        // The count must be per pair: a flow still active on cluster B must
+        // not suppress the idle notification for the expired instance on
+        // cluster A, or A's instance would never be torn down.
         std::set<std::pair<std::string, std::string>> seen;
         for (const auto& [service, cluster] : expired_services) {
             if (!seen.insert({service, cluster}).second) continue;
-            if (flows_for_service(service) == 0) idle_cb_(service, cluster);
+            if (flows_for_service(service, cluster) == 0) {
+                if (auto* m = sim_.metrics()) {
+                    m->counter("sdn.flow_memory.idle_notifications").inc();
+                }
+                idle_cb_(service, cluster);
+            }
         }
+    }
+    if (removed != 0) {
+        if (auto* m = sim_.metrics()) m->counter("sdn.flow_memory.expired").inc(removed);
     }
     return removed;
 }

@@ -61,8 +61,14 @@ public:
     /// Number of live memorized flows.
     [[nodiscard]] std::size_t size() const { return flows_.size(); }
 
-    /// Live flows currently referencing `service_name`.
+    /// Live flows currently referencing `service_name` (across all clusters).
     [[nodiscard]] std::size_t flows_for_service(const std::string& service_name) const;
+
+    /// Live flows referencing `service_name` served by `cluster`. Idle
+    /// detection is per (service, cluster): the same service may be active
+    /// on one cluster while its instance on another has gone idle.
+    [[nodiscard]] std::size_t flows_for_service(const std::string& service_name,
+                                                const std::string& cluster) const;
 
     /// Fired when the last flow of a service expires -- the hook the
     /// controller uses to scale idle services down.

@@ -15,6 +15,12 @@ namespace tedge::sim {
 
 /// Fixed-bin histogram over [lo, hi); out-of-range samples land in
 /// saturating under/overflow bins.
+///
+/// Edge semantics: each bin is half-open [bin_lo, bin_hi). A sample with
+/// x < lo counts as underflow; x >= hi (including x == hi exactly) counts
+/// as overflow -- neither touches the bins, but both count toward total().
+/// Samples that round onto a bin boundary from below stay in the lower bin
+/// (the index is clamped to bins-1 to absorb floating-point edge cases).
 class Histogram {
 public:
     Histogram(double lo, double hi, std::size_t bins);
@@ -46,8 +52,9 @@ class TimeSeriesBins {
 public:
     TimeSeriesBins(SimTime horizon, SimTime bin_width);
 
-    /// Record one event at time `t` (events past the horizon are clamped to
-    /// the last bin so totals stay exact).
+    /// Record one event at time `t`. Out-of-range events are clamped, never
+    /// dropped, so totals stay exact: t < 0 counts in bin 0, and
+    /// t >= horizon (including t == horizon exactly) counts in the last bin.
     void add(SimTime t, std::uint64_t weight = 1);
 
     [[nodiscard]] std::size_t bins() const { return counts_.size(); }

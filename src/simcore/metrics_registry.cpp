@@ -1,0 +1,69 @@
+#include "simcore/metrics_registry.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace tedge::sim {
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bins) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+    return histograms_.emplace(name, Histogram(lo, hi, bins)).first->second;
+}
+
+const MetricsRegistry::Counter*
+MetricsRegistry::find_counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::dump(std::ostream& os) const {
+    // One globally name-ordered listing across all metric kinds (counters,
+    // gauges, histograms), so the dump diffs cleanly between runs.
+    std::vector<std::pair<std::string, std::string>> lines;
+    for (const auto& [name, counter] : counters_) {
+        std::ostringstream line;
+        line << name << ' ' << counter.value() << '\n';
+        lines.emplace_back(name, line.str());
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        std::ostringstream line;
+        line << name << ' ' << gauge.value() << '\n';
+        lines.emplace_back(name, line.str());
+    }
+    for (const auto& [name, histogram] : histograms_) {
+        std::ostringstream block;
+        block << name << ".count " << histogram.total() << '\n';
+        if (histogram.underflow() != 0) {
+            block << name << ".underflow " << histogram.underflow() << '\n';
+        }
+        if (histogram.overflow() != 0) {
+            block << name << ".overflow " << histogram.overflow() << '\n';
+        }
+        for (std::size_t i = 0; i < histogram.bins(); ++i) {
+            if (histogram.bin_count(i) == 0) continue;
+            block << name << '[' << histogram.bin_lo(i) << ','
+                  << histogram.bin_hi(i) << ") " << histogram.bin_count(i) << '\n';
+        }
+        lines.emplace_back(name, block.str());
+    }
+    std::sort(lines.begin(), lines.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [name, text] : lines) os << text;
+}
+
+std::string MetricsRegistry::dump() const {
+    std::ostringstream os;
+    dump(os);
+    return os.str();
+}
+
+} // namespace tedge::sim

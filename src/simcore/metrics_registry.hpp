@@ -1,0 +1,66 @@
+// Named metrics for benches and components: counters, gauges, and value
+// histograms registered by name, with a flat deterministic text dump.
+//
+// Like the Tracer, a registry is attached to a Simulation as a nullable
+// pointer: components guard metric sites with
+// `if (auto* m = sim.metrics())`, which costs one pointer load when no
+// registry is installed. Names are dotted paths ("sdn.packet_ins",
+// "phase.deploy.pull_ms"); the dump lists entries in name order so two runs
+// at the same seed produce byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "simcore/histogram.hpp"
+
+namespace tedge::sim {
+
+class MetricsRegistry {
+public:
+    class Counter {
+    public:
+        void inc(std::uint64_t delta = 1) { value_ += delta; }
+        [[nodiscard]] std::uint64_t value() const { return value_; }
+
+    private:
+        std::uint64_t value_ = 0;
+    };
+
+    class Gauge {
+    public:
+        void set(double v) { value_ = v; }
+        [[nodiscard]] double value() const { return value_; }
+
+    private:
+        double value_ = 0;
+    };
+
+    /// Get-or-create. References stay valid for the registry's lifetime.
+    Counter& counter(const std::string& name) { return counters_[name]; }
+    Gauge& gauge(const std::string& name) { return gauges_[name]; }
+    /// Get-or-create; `lo`/`hi`/`bins` apply only on first registration.
+    Histogram& histogram(const std::string& name, double lo, double hi,
+                         std::size_t bins);
+
+    [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+    [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+    [[nodiscard]] std::size_t size() const {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    /// Flat dump: one `name value` line per counter/gauge; histograms report
+    /// count/underflow/overflow plus non-empty bins as `name[lo,hi) count`.
+    void dump(std::ostream& os) const;
+    [[nodiscard]] std::string dump() const;
+
+private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace tedge::sim

@@ -2,15 +2,19 @@
 
 #include <stdexcept>
 
+#include "simcore/tracer.hpp"
+
 namespace tedge::sim {
 
 EventHandle Simulation::schedule(SimTime delay, EventQueue::Callback cb, bool daemon) {
     if (delay < SimTime::zero()) throw std::invalid_argument("negative delay");
+    if (tracer_ != nullptr) cb = tracer_->propagate(std::move(cb));
     return queue_.push(now_ + delay, std::move(cb), daemon);
 }
 
 EventHandle Simulation::schedule_at(SimTime at, EventQueue::Callback cb, bool daemon) {
     if (at < now_) throw std::invalid_argument("schedule_at in the past");
+    if (tracer_ != nullptr) cb = tracer_->propagate(std::move(cb));
     return queue_.push(at, std::move(cb), daemon);
 }
 

@@ -22,6 +22,9 @@
 
 namespace tedge::sim {
 
+class MetricsRegistry;
+class Tracer;
+
 class Simulation {
 public:
     Simulation() = default;
@@ -96,6 +99,17 @@ public:
         return queue_.total_scheduled();
     }
 
+    /// The enabled tracer, or nullptr (the default, and whenever tracing is
+    /// disabled). Components guard span emission with this single pointer
+    /// load; the tracer itself never schedules kernel events.
+    [[nodiscard]] Tracer* tracer() const { return tracer_; }
+    /// Managed by Tracer::enable/disable -- not called directly.
+    void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+    /// The installed metrics registry, or nullptr (the default).
+    [[nodiscard]] MetricsRegistry* metrics() const { return metrics_; }
+    void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
 private:
     void execute_next();
 
@@ -103,6 +117,8 @@ private:
     EventQueue queue_;
     bool stop_requested_ = false;
     std::uint64_t executed_ = 0;
+    Tracer* tracer_ = nullptr;
+    MetricsRegistry* metrics_ = nullptr;
 };
 
 } // namespace tedge::sim

@@ -1,0 +1,189 @@
+#include "simcore/tracer.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "simcore/simulation.hpp"
+
+namespace tedge::sim {
+
+Tracer::~Tracer() {
+    detach();
+}
+
+void Tracer::attach(Simulation& sim) {
+    detach();
+    sim_ = &sim;
+    if (enabled_) sim_->set_tracer(this);
+}
+
+void Tracer::detach() {
+    if (sim_ != nullptr && sim_->tracer() == this) sim_->set_tracer(nullptr);
+    sim_ = nullptr;
+    enabled_ = false;
+    current_ = {};
+}
+
+void Tracer::enable() {
+    if (sim_ == nullptr) throw std::logic_error("Tracer::enable before attach");
+    enabled_ = true;
+    sim_->set_tracer(this);
+}
+
+void Tracer::disable() {
+    enabled_ = false;
+    if (sim_ != nullptr && sim_->tracer() == this) sim_->set_tracer(nullptr);
+}
+
+TraceSpan* Tracer::find(SpanId id) {
+    if (id == 0 || id > spans_.size()) return nullptr;
+    return &spans_[id - 1];
+}
+
+const TraceSpan* Tracer::find(SpanId id) const {
+    if (id == 0 || id > spans_.size()) return nullptr;
+    return &spans_[id - 1];
+}
+
+TraceContext Tracer::context_of(SpanId id) const {
+    const TraceSpan* span = find(id);
+    return span == nullptr ? TraceContext{} : TraceContext{span->request, id};
+}
+
+SpanId Tracer::begin(std::string name) {
+    return begin(std::move(name), current_);
+}
+
+SpanId Tracer::begin(std::string name, TraceContext parent) {
+    if (!enabled_) return 0;
+    if (spans_.size() >= max_spans_) {
+        ++dropped_;
+        return 0;
+    }
+    TraceSpan span;
+    span.id = spans_.size() + 1;
+    span.parent = parent.span;
+    span.request = parent.request;
+    span.name = std::move(name);
+    span.start = sim_->now();
+    span.end = span.start;
+    span.open = true;
+    spans_.push_back(std::move(span));
+    return spans_.back().id;
+}
+
+void Tracer::end(SpanId id) {
+    TraceSpan* span = find(id);
+    if (span == nullptr || !span->open) return;
+    span->end = sim_->now();
+    span->open = false;
+}
+
+void Tracer::instant(std::string name) {
+    instant(std::move(name), current_);
+}
+
+void Tracer::instant(std::string name, TraceContext parent) {
+    const SpanId id = begin(std::move(name), parent);
+    if (id == 0) return;
+    TraceSpan* span = find(id);
+    span->open = false;
+    span->instant = true;
+}
+
+void Tracer::arg(SpanId id, std::string key, std::string value) {
+    TraceSpan* span = find(id);
+    if (span == nullptr) return;
+    span->args.emplace_back(std::move(key), std::move(value));
+}
+
+EventQueue::Callback Tracer::propagate(EventQueue::Callback cb) {
+    if (current_.empty()) return cb;
+    return [this, ctx = current_, cb = std::move(cb)]() mutable {
+        const TraceContext saved = current_;
+        current_ = ctx;
+        cb();
+        current_ = saved;
+    };
+}
+
+void Tracer::clear() {
+    spans_.clear();
+    dropped_ = 0;
+    current_ = {};
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    os << ' '; // control chars never appear in span names
+                } else {
+                    os << c;
+                }
+        }
+    }
+}
+
+/// Nanoseconds as microseconds with exact 3-decimal integer formatting
+/// (no floating point, so output is bit-identical across platforms).
+void json_us(std::ostream& os, std::int64_t ns) {
+    if (ns < 0) { os << '-'; ns = -ns; }
+    os << ns / 1000 << '.';
+    const auto frac = ns % 1000;
+    os << static_cast<char>('0' + frac / 100) << static_cast<char>('0' + frac / 10 % 10)
+       << static_cast<char>('0' + frac % 10);
+}
+
+} // namespace
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto& span : spans_) {
+        if (!first) os << ',';
+        first = false;
+        os << "{\"name\":\"";
+        json_escape(os, span.name);
+        os << "\",\"cat\":\"tedge\",\"ph\":\"" << (span.instant ? 'i' : 'X')
+           << "\",\"pid\":1,\"tid\":" << span.request << ",\"ts\":";
+        json_us(os, span.start.ns());
+        if (span.instant) {
+            os << ",\"s\":\"t\"";
+        } else {
+            // Open spans extend to "now"; after detach() the clock is gone,
+            // so they export with zero duration (flagged "open" below).
+            const SimTime end =
+                span.open ? (sim_ != nullptr ? sim_->now() : span.start) : span.end;
+            os << ",\"dur\":";
+            json_us(os, (end - span.start).ns());
+        }
+        os << ",\"args\":{\"span\":" << span.id << ",\"parent\":" << span.parent;
+        for (const auto& [key, value] : span.args) {
+            os << ",\"";
+            json_escape(os, key);
+            os << "\":\"";
+            json_escape(os, value);
+            os << '"';
+        }
+        if (span.open) os << ",\"open\":\"true\"";
+        os << "}}";
+    }
+    os << "],\"otherData\":{\"dropped\":" << dropped_ << "}}\n";
+}
+
+std::string Tracer::chrome_trace() const {
+    std::ostringstream os;
+    write_chrome_trace(os);
+    return os.str();
+}
+
+} // namespace tedge::sim

@@ -1,0 +1,156 @@
+// Lifecycle tracing (paper figs. 12-16): named spans with parent/child
+// links, correlated by a per-request id, over the simulation clock.
+//
+// The tracer is attached to a Simulation but is *off* by default: every
+// call site guards with `if (auto* tr = sim.tracer())`, which is a single
+// pointer load when tracing is disabled, and the tracer itself never
+// schedules kernel events -- enabling or disabling it cannot perturb event
+// order, timing, or counts. When enabled, the kernel captures the tracer's
+// current TraceContext at schedule() time and restores it around the event's
+// execution, so spans opened deep inside an async callback chain (pull ->
+// create -> start -> probe) still parent under the packet-in / request that
+// caused them -- the discrete-event analogue of async trace-context
+// propagation.
+//
+// Export: Chrome trace_event JSON (chrome://tracing, Perfetto) with one
+// track (tid) per request id, plus raw span access for histogram building.
+//
+// Lifetime: wrapped callbacks hold a pointer to the tracer, so an *enabled*
+// tracer must outlive every event scheduled while it was enabled (in
+// practice: create it right after the Simulation, destroy it after run()).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/time.hpp"
+
+namespace tedge::sim {
+
+class Simulation;
+
+using SpanId = std::uint64_t;     ///< 0 = "no span"
+using RequestId = std::uint64_t;  ///< 0 = "no request"
+
+/// The ambient position in the trace tree: which request is being served
+/// and which span is currently open around the executing code.
+struct TraceContext {
+    RequestId request = 0;
+    SpanId span = 0;
+
+    [[nodiscard]] bool empty() const { return request == 0 && span == 0; }
+};
+
+struct TraceSpan {
+    SpanId id = 0;
+    SpanId parent = 0;
+    RequestId request = 0;
+    std::string name;
+    SimTime start;
+    SimTime end;
+    bool open = false;     ///< begin() seen, end() not yet
+    bool instant = false;  ///< zero-duration marker event
+    std::vector<std::pair<std::string, std::string>> args;
+
+    [[nodiscard]] SimTime duration() const { return end - start; }
+};
+
+class Tracer {
+public:
+    Tracer() = default;
+    /// Construct attached (but still disabled) -- call enable() to arm.
+    explicit Tracer(Simulation& sim) { attach(sim); }
+    ~Tracer();
+
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    /// Bind to a simulation (detaching from any previous one). The tracer
+    /// reads the clock from it and registers itself for context capture.
+    void attach(Simulation& sim);
+    void detach();
+
+    /// Arm span recording. Requires attach() first. While disabled, begin/
+    /// end/instant are no-ops returning 0 and the kernel never consults the
+    /// tracer (Simulation::tracer() yields nullptr).
+    void enable();
+    void disable();
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// Allocate a fresh request id (one per client request / packet-in).
+    RequestId new_request() { return ++next_request_; }
+
+    /// Open a span under the ambient context (current request + span).
+    SpanId begin(std::string name);
+    /// Open a span under an explicit parent context.
+    SpanId begin(std::string name, TraceContext parent);
+    /// Close a span. Safe on 0 and on already-closed ids.
+    void end(SpanId id);
+
+    /// Zero-duration marker under the ambient (or explicit) context.
+    void instant(std::string name);
+    void instant(std::string name, TraceContext parent);
+
+    /// Attach a key/value annotation to an open or closed span.
+    void arg(SpanId id, std::string key, std::string value);
+
+    [[nodiscard]] TraceContext current() const { return current_; }
+    void set_current(TraceContext ctx) { current_ = ctx; }
+    [[nodiscard]] TraceContext context_of(SpanId id) const;
+
+    /// RAII ambient-context switch around a synchronous call: everything
+    /// scheduled inside the scope inherits `span` as its parent. Tolerates
+    /// a null tracer and a zero span (both: no-op).
+    class Scope {
+    public:
+        Scope(Tracer* tracer, SpanId span) : tracer_(tracer) {
+            if (tracer_ == nullptr || span == 0) { tracer_ = nullptr; return; }
+            saved_ = tracer_->current();
+            tracer_->set_current(tracer_->context_of(span));
+        }
+        ~Scope() {
+            if (tracer_ != nullptr) tracer_->set_current(saved_);
+        }
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+    private:
+        Tracer* tracer_ = nullptr;
+        TraceContext saved_;
+    };
+
+    /// Kernel hook: wrap `cb` so it runs under the context that was ambient
+    /// when it was scheduled. Returns `cb` unchanged when the context is
+    /// empty (housekeeping stays unwrapped).
+    [[nodiscard]] EventQueue::Callback propagate(EventQueue::Callback cb);
+
+    [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
+    [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+    /// Cap on recorded spans; further begin()s are counted in dropped().
+    void set_max_spans(std::size_t cap) { max_spans_ = cap; }
+    void clear();
+
+    /// Chrome trace_event JSON ("X" complete events, "i" instants; ts/dur in
+    /// microseconds; tid = request id). Deterministic: spans are emitted in
+    /// creation order with integer-exact timestamps.
+    void write_chrome_trace(std::ostream& os) const;
+    [[nodiscard]] std::string chrome_trace() const;
+
+private:
+    TraceSpan* find(SpanId id);
+    [[nodiscard]] const TraceSpan* find(SpanId id) const;
+
+    Simulation* sim_ = nullptr;
+    bool enabled_ = false;
+    TraceContext current_;
+    std::vector<TraceSpan> spans_;
+    std::size_t max_spans_ = 1'000'000;
+    std::uint64_t dropped_ = 0;
+    RequestId next_request_ = 0;
+};
+
+} // namespace tedge::sim

@@ -1,5 +1,8 @@
 #include "workload/http_client.hpp"
 
+#include "simcore/metrics_registry.hpp"
+#include "simcore/tracer.hpp"
+
 namespace tedge::workload {
 
 HttpClient::HttpClient(net::TcpNet& net, MetricsCollector& metrics)
@@ -10,11 +13,41 @@ void HttpClient::request(net::NodeId client_node, std::uint32_t client_index,
                          sim::Bytes request_size, const std::string& tag,
                          std::function<void(const net::HttpResult&)> done) {
     ++inflight_;
-    const sim::SimTime sent = net_.simulation().now();
+    sim::Simulation& sim = net_.simulation();
+    const sim::SimTime sent = sim.now();
+
+    // Each client request opens a fresh trace request: everything the
+    // packet-in triggers downstream (scheduling, deployment, flow install)
+    // lands on this request's track.
+    sim::Tracer* tr = sim.tracer();
+    sim::SpanId req_span = 0;
+    if (tr != nullptr) {
+        const sim::RequestId req = tr->new_request();
+        req_span = tr->begin("request", sim::TraceContext{req, 0});
+        tr->arg(req_span, "service", tag);
+        tr->arg(req_span, "client", std::to_string(client_index));
+    }
+    const sim::Tracer::Scope scope(tr, req_span);
+    if (auto* m = sim.metrics()) m->counter("workload.requests").inc();
+
     net_.http_request(client_node, address, request_size,
-                      [this, client_index, sent, tag,
+                      [this, client_index, sent, tag, req_span,
                        done = std::move(done)](const net::HttpResult& result) {
         --inflight_;
+        sim::Simulation& s = net_.simulation();
+        if (auto* t = s.tracer()) {
+            if (req_span != 0) {
+                t->arg(req_span, "ok", result.ok ? "true" : "false");
+                t->end(req_span);
+            }
+        }
+        if (auto* m = s.metrics()) {
+            m->counter(result.ok ? "workload.requests_ok"
+                                 : "workload.requests_failed")
+                .inc();
+            m->histogram("workload.request_ms", 0, 10'000, 100)
+                .add(result.time_total.ms());
+        }
         RequestRecord record;
         record.service = tag;
         record.client = client_index;

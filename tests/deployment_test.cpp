@@ -244,6 +244,28 @@ TEST_F(EngineFixture, ProberGivesUpAfterTimeout) {
     EXPECT_TRUE(called);
 }
 
+TEST_F(EngineFixture, ProberClampsFinalSleepToDeadline) {
+    // The timeout (30 ms) is not a multiple of the interval (25 ms): the
+    // sleep before the final probe must be clamped to the 5 ms remainder so
+    // the give-up lands within one probe RTT of the deadline -- not a whole
+    // interval + RTT past it.
+    PortProber tight(*net, client,
+                     PortProberConfig{milliseconds(25), milliseconds(30)});
+    bool called = false;
+    sim::SimTime waited, gave_up_at;
+    tight.wait_ready(edge, 9003, [&](bool success, sim::SimTime w) {
+        EXPECT_FALSE(success);
+        waited = w;
+        gave_up_at = simulation.now();
+        called = true;
+    });
+    simulation.run_until(seconds(1));
+    ASSERT_TRUE(called);
+    EXPECT_EQ(waited, milliseconds(30));     // reported wait capped at budget
+    EXPECT_LT(gave_up_at, milliseconds(32)); // deadline + one probe RTT
+    EXPECT_EQ(tight.timeouts(), 1u);
+}
+
 TEST_F(EngineFixture, ProberImmediateSuccessOnOpenPort) {
     topo.open_port(edge, 9002, net::Proto::kTcp);
     bool ok = false;

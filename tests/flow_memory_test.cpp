@@ -99,6 +99,53 @@ TEST_F(FlowMemoryFixture, IdleCallbackNotFiredWhileOtherFlowsAlive) {
     EXPECT_EQ(idle.size(), 1u);
 }
 
+TEST_F(FlowMemoryFixture, IdleCallbackIsPerCluster) {
+    // Regression: the same service deployed on two clusters. When the last
+    // flow toward cluster "edge" expires while "k8s" still serves traffic,
+    // the (svc, edge) idle notification MUST fire -- counting flows across
+    // all clusters would suppress it and the edge instance would never be
+    // scaled down.
+    std::vector<std::pair<std::string, std::string>> idle;
+    memory.set_idle_service_callback(
+        [&](const std::string& service, const std::string& cluster) {
+            idle.emplace_back(service, cluster);
+        });
+    memory.memorize(make_flow("svc", 1, "edge"));
+    memory.memorize(make_flow("svc", 2, "k8s"));
+    // Keep the k8s flow hot; the edge flow goes idle.
+    auto keepalive = simulation.schedule_periodic(seconds(20), [&] {
+        memory.memorize(make_flow("svc", 2, "k8s"));
+    });
+    simulation.run_until(seconds(100));
+    keepalive.cancel();
+    ASSERT_EQ(idle.size(), 1u);
+    EXPECT_EQ(idle[0].first, "svc");
+    EXPECT_EQ(idle[0].second, "edge");
+    EXPECT_EQ(memory.flows_for_service("svc", "edge"), 0u);
+    EXPECT_EQ(memory.flows_for_service("svc", "k8s"), 1u);
+    EXPECT_EQ(memory.flows_for_service("svc"), 1u);
+}
+
+TEST_F(FlowMemoryFixture, StaleRecallErasesEntrySoCreatedResets) {
+    // Scan slower than the idle timeout so recall() observes the stale entry
+    // before the periodic scan collects it.
+    FlowMemory slow(simulation,
+                    {.idle_timeout = seconds(60), .scan_period = seconds(1000)});
+    slow.memorize(make_flow("svc", 1));
+    simulation.run_until(seconds(70)); // 70 s idle > 60 s timeout: stale
+    EXPECT_FALSE(
+        slow.recall(net::Ipv4{10, 0, 1, 1}, {net::Ipv4{203, 0, 113, 1}, 80}));
+    // The stale entry is erased, not just reported as a miss...
+    EXPECT_EQ(slow.size(), 0u);
+    // ...so a fresh memorize() gets a fresh `created` stamp instead of
+    // inheriting the dead flow's.
+    slow.memorize(make_flow("svc", 1));
+    const auto* entry =
+        slow.peek(net::Ipv4{10, 0, 1, 1}, {net::Ipv4{203, 0, 113, 1}, 80});
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->created, seconds(70));
+}
+
 TEST_F(FlowMemoryFixture, ForgetServiceDropsAllItsFlows) {
     memory.memorize(make_flow("svc", 1));
     memory.memorize(make_flow("svc", 2));

@@ -235,6 +235,44 @@ TEST(Histogram, BinningAndOverflow) {
     EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(Histogram, ExactUpperBoundIsOverflowNotLastBin) {
+    // Bins are half-open [lo, hi): a sample at exactly x == hi belongs to
+    // the overflow counter, never to the last bin.
+    Histogram h(0.0, 100.0, 4);
+    h.add(100.0);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bin_count(3), 0u);
+    EXPECT_EQ(h.total(), 1u);
+    // Just inside the range still lands in the last bin.
+    h.add(99.9999);
+    EXPECT_EQ(h.bin_count(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    // Exactly on an interior boundary goes to the upper bin (75 opens bin 3).
+    h.add(75.0);
+    EXPECT_EQ(h.bin_count(3), 2u);
+    EXPECT_EQ(h.bin_count(2), 0u);
+}
+
+TEST(TimeSeriesBins, NegativeTimeClampsToFirstBin) {
+    // Events stamped before t=0 (e.g. a duration measured against a start
+    // that was itself clamped) land in bin 0 and still count in total().
+    TimeSeriesBins bins(seconds(10), seconds(1));
+    bins.add(seconds(-5));
+    bins.add(milliseconds(-1));
+    EXPECT_EQ(bins.bin_count(0), 2u);
+    EXPECT_EQ(bins.total(), 2u);
+}
+
+TEST(TimeSeriesBins, HorizonAndBeyondClampToLastBin) {
+    TimeSeriesBins bins(seconds(10), seconds(1));
+    bins.add(seconds(10));   // t == horizon: clamped, not dropped
+    bins.add(seconds(10) + milliseconds(1));
+    bins.add(seconds(1000));
+    EXPECT_EQ(bins.bin_count(9), 3u);
+    EXPECT_EQ(bins.total(), 3u);
+    EXPECT_EQ(bins.max_bin(), 3u);
+}
+
 TEST(TimeSeriesBins, CountsAndClamping) {
     TimeSeriesBins bins(seconds(10), seconds(1));
     bins.add(milliseconds(500));

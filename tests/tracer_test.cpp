@@ -1,0 +1,260 @@
+// Tracer + MetricsRegistry tests: zero perturbation when disabled, the
+// cold-start span tree over a real platform (packet-in -> schedule -> pull
+// -> create -> start -> ready -> flow install), deterministic export, and
+// metrics registration/dump behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "core/edge_platform.hpp"
+#include "simcore/metrics_registry.hpp"
+#include "simcore/tracer.hpp"
+
+namespace tedge::sim {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+// ------------------------------------------------------------ unit level
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+    Simulation simulation;
+    Tracer tracer(simulation);
+    // Attached but not enabled: the kernel must not see it and begin/end
+    // must be no-ops returning 0.
+    EXPECT_EQ(simulation.tracer(), nullptr);
+    EXPECT_EQ(tracer.begin("x"), 0u);
+    tracer.instant("y");
+    tracer.end(0);
+    EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(Tracer, ScopeAndPropagationCarryContextAcrossEvents) {
+    Simulation simulation;
+    Tracer tracer(simulation);
+    tracer.enable();
+
+    const RequestId req = tracer.new_request();
+    const SpanId root = tracer.begin("root", TraceContext{req, 0});
+    SpanId inner = 0;
+    {
+        const Tracer::Scope scope(&tracer, root);
+        // Scheduled inside the scope: the event must run with `root` as the
+        // ambient parent even though it executes later.
+        simulation.schedule(milliseconds(5), [&] { inner = tracer.begin("inner"); });
+    }
+    // Outside the scope the ambient context is empty again.
+    EXPECT_TRUE(tracer.current().empty());
+    simulation.run();
+    tracer.end(inner);
+    tracer.end(root);
+
+    ASSERT_NE(inner, 0u);
+    const TraceSpan& inner_span = tracer.spans()[inner - 1];
+    EXPECT_EQ(inner_span.parent, root);
+    EXPECT_EQ(inner_span.request, req);
+    EXPECT_EQ(inner_span.start, milliseconds(5));
+}
+
+TEST(Tracer, SpanCapCountsDropped) {
+    Simulation simulation;
+    Tracer tracer(simulation);
+    tracer.enable();
+    tracer.set_max_spans(2);
+    EXPECT_NE(tracer.begin("a"), 0u);
+    EXPECT_NE(tracer.begin("b"), 0u);
+    EXPECT_EQ(tracer.begin("c"), 0u);
+    EXPECT_EQ(tracer.dropped(), 1u);
+    EXPECT_EQ(tracer.spans().size(), 2u);
+}
+
+TEST(MetricsRegistry, CountersGaugesHistogramsAndDump) {
+    MetricsRegistry metrics;
+    metrics.counter("b.count").inc();
+    metrics.counter("b.count").inc(4);
+    metrics.gauge("a.level").set(2.5);
+    metrics.histogram("c.ms", 0, 100, 10).add(15);
+    metrics.histogram("c.ms", 0, 100, 10).add(150); // same instance: overflow
+    EXPECT_EQ(metrics.counter("b.count").value(), 5u);
+    EXPECT_EQ(metrics.size(), 3u);
+    ASSERT_NE(metrics.find_counter("b.count"), nullptr);
+    EXPECT_EQ(metrics.find_counter("missing"), nullptr);
+    ASSERT_NE(metrics.find_histogram("c.ms"), nullptr);
+    EXPECT_EQ(metrics.find_histogram("c.ms")->total(), 2u);
+
+    const std::string dump = metrics.dump();
+    // Name-ordered flat text, counters and gauges as `name value`.
+    EXPECT_NE(dump.find("a.level 2.5"), std::string::npos);
+    EXPECT_NE(dump.find("b.count 5"), std::string::npos);
+    EXPECT_NE(dump.find("c.ms.count 2"), std::string::npos);
+    EXPECT_NE(dump.find("c.ms.overflow 1"), std::string::npos);
+    EXPECT_LT(dump.find("a.level"), dump.find("b.count"));
+}
+
+// -------------------------------------------------- platform level (fixture)
+
+struct TracedPlatformFixture : ::testing::Test {
+    /// Build the small one-edge platform and serve one cold-start request.
+    /// When `tracing` is set, the tracer (and a registry) are armed before
+    /// the controller starts.
+    struct RunResult {
+        std::uint64_t scheduled = 0;
+        std::uint64_t executed = 0;
+        SimTime finished;
+        std::string trace_json;
+        std::vector<TraceSpan> spans;
+    };
+
+    static RunResult run_cold_start(bool tracing) {
+        core::EdgePlatform platform; // fixed default seed: deterministic
+        Tracer tracer(platform.simulation());
+        MetricsRegistry metrics;
+        if (tracing) {
+            tracer.enable();
+            platform.simulation().set_metrics(&metrics);
+        }
+
+        const auto client = platform.add_client("client", net::Ipv4{10, 0, 1, 1});
+        const auto edge = platform.add_edge_host("edge", net::Ipv4{10, 0, 0, 2}, 12);
+        platform.add_cloud();
+        auto& registry = platform.add_registry({.host = "docker.io"});
+        container::Image image;
+        image.ref = *container::ImageRef::parse("web:1");
+        image.layers = container::make_layers("web", sim::mib(10), 2);
+        registry.put(image);
+        container::AppProfile app;
+        app.name = "web";
+        app.init_median = milliseconds(20);
+        app.service_median = sim::microseconds(200);
+        app.port = 80;
+        platform.add_app_profile("web:1", app);
+        platform.add_docker_cluster("edge", edge);
+        const net::ServiceAddress address{net::Ipv4{203, 0, 113, 9}, 80};
+        platform.register_service(address, R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - name: web
+          image: web:1
+          ports:
+            - containerPort: 80
+)");
+        platform.start_controller(edge);
+
+        bool done = false;
+        platform.http_request(client, address, 100,
+                              [&](const net::HttpResult& r) {
+                                  EXPECT_TRUE(r.ok) << r.error;
+                                  done = true;
+                              });
+        platform.simulation().run_until(seconds(60));
+        EXPECT_TRUE(done);
+
+        RunResult result;
+        result.scheduled = platform.simulation().total_scheduled();
+        result.executed = platform.simulation().events_executed();
+        result.finished = platform.simulation().now();
+        result.trace_json = tracer.chrome_trace();
+        result.spans = tracer.spans();
+        return result;
+    }
+
+    static std::optional<TraceSpan> find_span(const std::vector<TraceSpan>& spans,
+                                              const std::string& name) {
+        const auto it = std::find_if(spans.begin(), spans.end(),
+                                     [&](const TraceSpan& s) { return s.name == name; });
+        return it == spans.end() ? std::nullopt : std::optional{*it};
+    }
+
+    /// Walk parent links from `span` up to the root; true if `ancestor` is
+    /// on the path.
+    static bool has_ancestor(const std::vector<TraceSpan>& spans,
+                             const TraceSpan& span, SpanId ancestor) {
+        for (SpanId p = span.parent; p != 0; p = spans[p - 1].parent) {
+            if (p == ancestor) return true;
+        }
+        return false;
+    }
+};
+
+TEST_F(TracedPlatformFixture, DisabledTracingIsZeroPerturbation) {
+    // A disabled (attached but not enabled) tracer must not schedule kernel
+    // events or alter the run in any way: identical event counts and clock.
+    const RunResult off = run_cold_start(false);
+    const RunResult on = run_cold_start(true);
+    EXPECT_TRUE(off.spans.empty());
+    EXPECT_GT(on.spans.size(), 0u);
+    EXPECT_EQ(off.scheduled, on.scheduled);
+    EXPECT_EQ(off.executed, on.executed);
+    EXPECT_EQ(off.finished, on.finished);
+}
+
+TEST_F(TracedPlatformFixture, ColdStartSpanTreeIsOrderedAndLinked) {
+    const RunResult run = run_cold_start(true);
+    const auto& spans = run.spans;
+
+    const auto packet_in = find_span(spans, "packet_in");
+    const auto recall = find_span(spans, "flow_memory.recall");
+    const auto decide = find_span(spans, "schedule.decide");
+    const auto deploy = find_span(spans, "deploy");
+    const auto pull = find_span(spans, "deploy.pull");
+    const auto image = find_span(spans, "pull.image");
+    const auto layer = find_span(spans, "pull.layer");
+    const auto create = find_span(spans, "container.create");
+    const auto start = find_span(spans, "container.start");
+    const auto ready = find_span(spans, "ready");
+    const auto install = find_span(spans, "flow.install");
+
+    ASSERT_TRUE(packet_in && recall && decide && deploy && pull && image &&
+                layer && create && start && ready && install);
+
+    // All on the same request track.
+    const RequestId req = packet_in->request;
+    ASSERT_NE(req, 0u);
+    for (const TraceSpan& span : spans) EXPECT_EQ(span.request, req);
+
+    // Parent links: everything the packet-in caused descends from it.
+    EXPECT_EQ(recall->parent, packet_in->id);
+    EXPECT_EQ(decide->parent, packet_in->id);
+    EXPECT_TRUE(has_ancestor(spans, *deploy, packet_in->id));
+    EXPECT_EQ(pull->parent, deploy->id);
+    EXPECT_TRUE(has_ancestor(spans, *image, pull->id));
+    EXPECT_EQ(layer->parent, image->id);
+    EXPECT_TRUE(has_ancestor(spans, *install, packet_in->id));
+
+    // Lifecycle order with monotonic timestamps: packet-in -> decision ->
+    // pull -> create -> start -> ready -> flow install.
+    EXPECT_LE(packet_in->start, decide->start);
+    EXPECT_LE(decide->start, pull->start);
+    EXPECT_LE(pull->end, create->start);
+    EXPECT_LE(create->end, start->start);
+    EXPECT_LE(start->end, ready->start);
+    EXPECT_LE(ready->start, install->start);
+    // The packet-in span itself is the controller's synchronous handling;
+    // the request's end-to-end cold start is the `deploy` span.
+    EXPECT_LE(deploy->start, pull->start);
+    EXPECT_LE(install->start, deploy->end + milliseconds(1));
+
+    // Every span closed, with end >= start.
+    for (const TraceSpan& span : spans) {
+        EXPECT_FALSE(span.open) << span.name;
+        EXPECT_GE(span.end, span.start) << span.name;
+    }
+}
+
+TEST_F(TracedPlatformFixture, ExportIsDeterministicAcrossRuns) {
+    const RunResult a = run_cold_start(true);
+    const RunResult b = run_cold_start(true);
+    EXPECT_FALSE(a.trace_json.empty());
+    EXPECT_EQ(a.trace_json, b.trace_json); // byte-identical at the same seed
+    EXPECT_NE(a.trace_json.find("\"packet_in\""), std::string::npos);
+    EXPECT_NE(a.trace_json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(a.trace_json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+} // namespace
+} // namespace tedge::sim
