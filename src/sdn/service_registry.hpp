@@ -6,11 +6,13 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "net/address.hpp"
 #include "sdn/annotator.hpp"
+#include "simcore/symbol_table.hpp"
 
 namespace tedge::sdn {
 
@@ -26,7 +28,10 @@ public:
                                           const Annotator& annotator);
 
     [[nodiscard]] const AnnotatedService* lookup(const net::ServiceAddress& address) const;
-    [[nodiscard]] const AnnotatedService* find_by_name(const std::string& name) const;
+
+    /// O(1) through the maintained name index; accepts string_view so hot
+    /// callers do not build a temporary std::string.
+    [[nodiscard]] const AnnotatedService* find_by_name(std::string_view name) const;
     [[nodiscard]] bool contains(const net::ServiceAddress& address) const;
     bool unregister(const net::ServiceAddress& address);
 
@@ -34,7 +39,15 @@ public:
     [[nodiscard]] std::vector<net::ServiceAddress> addresses() const;
 
 private:
+    const AnnotatedService& store(const net::ServiceAddress& address,
+                                  AnnotatedService service);
+
     std::unordered_map<net::ServiceAddress, AnnotatedService> services_;
+    /// Annotated names are worldwide-unique, so name -> address is a
+    /// bijection onto the registered services (heterogeneous lookup).
+    std::unordered_map<std::string, net::ServiceAddress, sim::StringHash,
+                       std::equal_to<>>
+        by_name_;
 };
 
 } // namespace tedge::sdn

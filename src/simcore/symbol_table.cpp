@@ -1,0 +1,26 @@
+#include "simcore/symbol_table.hpp"
+
+#include <stdexcept>
+
+namespace tedge::sim {
+
+SymbolId SymbolTable::intern(std::string_view name) {
+    if (const auto it = ids_.find(name); it != ids_.end()) return it->second;
+    const auto id = static_cast<SymbolId>(names_.size());
+    if (id == kInvalidSymbol) throw std::length_error("SymbolTable full");
+    const auto [it, inserted] = ids_.emplace(std::string(name), id);
+    names_.push_back(&it->first);
+    return id;
+}
+
+const std::string& SymbolTable::name(SymbolId id) const {
+    if (id >= names_.size()) throw std::out_of_range("SymbolTable: unknown id");
+    return *names_[id];
+}
+
+std::optional<SymbolId> SymbolTable::find(std::string_view name) const {
+    const auto it = ids_.find(name);
+    return it == ids_.end() ? std::nullopt : std::optional{it->second};
+}
+
+} // namespace tedge::sim

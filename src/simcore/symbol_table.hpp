@@ -1,0 +1,111 @@
+// String interning for control-plane identifiers.
+//
+// The SDN layer names everything -- services, clusters, nodes -- by
+// std::string, which at scale puts string hashing, comparison, and per-flow
+// string storage on the packet-in hot path. A SymbolTable interns each
+// distinct name once and hands out a dense 32-bit SymbolId; the round trip
+// (name -> id -> name) is O(1) both ways and ids are stable for the table's
+// lifetime (dense, insertion-ordered -- so a table populated in a
+// deterministic order yields deterministic ids). Components keep SymbolIds
+// in their per-flow state and go back through the table only at log/trace
+// boundaries, via the InternedName wrapper, so human-readable output keeps
+// the real names.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tedge::sim {
+
+/// Dense identifier for an interned string. 0 is a valid id (the first
+/// interned name); kInvalidSymbol marks "no symbol".
+using SymbolId = std::uint32_t;
+inline constexpr SymbolId kInvalidSymbol = 0xFFFFFFFFu;
+
+/// Transparent (heterogeneous) string hash: lets unordered containers keyed
+/// by std::string be probed with string_view / const char* without
+/// constructing a temporary std::string on the hot path.
+struct StringHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+        return std::hash<std::string_view>{}(s);
+    }
+    [[nodiscard]] std::size_t operator()(const std::string& s) const noexcept {
+        return std::hash<std::string_view>{}(s);
+    }
+    [[nodiscard]] std::size_t operator()(const char* s) const noexcept {
+        return std::hash<std::string_view>{}(s);
+    }
+};
+
+class SymbolTable;
+
+/// A name that has been interned: carries the id for indexed lookups and a
+/// back-pointer to the table so printing still yields the real name. Thin --
+/// two words -- and trivially copyable.
+class InternedName {
+public:
+    InternedName() = default;
+
+    [[nodiscard]] SymbolId id() const { return id_; }
+    [[nodiscard]] bool valid() const { return id_ != kInvalidSymbol; }
+
+    /// The interned string. Requires valid().
+    [[nodiscard]] const std::string& str() const;
+
+    friend bool operator==(const InternedName& a, const InternedName& b) {
+        return a.id_ == b.id_;
+    }
+
+private:
+    friend class SymbolTable;
+    InternedName(SymbolId id, const SymbolTable* table) : id_(id), table_(table) {}
+
+    SymbolId id_ = kInvalidSymbol;
+    const SymbolTable* table_ = nullptr;
+};
+
+/// Stable, append-only interning table. Not thread-safe: each Simulation /
+/// controller owns its own table (the kernel is single-threaded; bench
+/// replications run one independent table per replica), which also keeps id
+/// assignment deterministic per run.
+class SymbolTable {
+public:
+    /// Intern `name`, returning its stable id. Idempotent: the same spelling
+    /// always returns the same id.
+    SymbolId intern(std::string_view name);
+
+    /// Intern and wrap in one step.
+    [[nodiscard]] InternedName interned(std::string_view name) {
+        return InternedName{intern(name), this};
+    }
+
+    /// Wrap an id previously handed out by this table.
+    [[nodiscard]] InternedName wrap(SymbolId id) const {
+        return InternedName{id, this};
+    }
+
+    /// The spelling of `id`. O(1). Throws std::out_of_range for foreign ids.
+    [[nodiscard]] const std::string& name(SymbolId id) const;
+
+    /// Look up without interning.
+    [[nodiscard]] std::optional<SymbolId> find(std::string_view name) const;
+
+    [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+private:
+    // Keys live in the node-based map (stable addresses across rehash);
+    // names_ is the id -> spelling side of the O(1) round trip.
+    std::unordered_map<std::string, SymbolId, StringHash, std::equal_to<>> ids_;
+    std::vector<const std::string*> names_;
+};
+
+inline const std::string& InternedName::str() const {
+    return table_->name(id_);
+}
+
+} // namespace tedge::sim

@@ -5,7 +5,8 @@
 
 namespace tedge::workload {
 
-Trace synthesize_bigflows(const BigFlowsOptions& options) {
+BigFlowsStream::BigFlowsStream(const BigFlowsOptions& options)
+    : options_(options) {
     if (options.services == 0 || options.clients == 0) {
         throw std::invalid_argument("bigflows: need >= 1 service and client");
     }
@@ -31,7 +32,7 @@ Trace synthesize_bigflows(const BigFlowsOptions& options) {
     // Uniform order statistics are equivalent to conditioned Poisson
     // arrivals; first requests therefore concentrate near the start for
     // popular services, reproducing fig. 10's early deployment burst.
-    Trace trace;
+    events_.reserve(options.requests);
     const double horizon_s = options.horizon.seconds();
     for (std::uint32_t s = 0; s < options.services; ++s) {
         for (std::size_t i = 0; i < counts[s]; ++i) {
@@ -40,10 +41,29 @@ Trace synthesize_bigflows(const BigFlowsOptions& options) {
             event.client = static_cast<std::uint32_t>(
                 rng.uniform_int(0, static_cast<std::int64_t>(options.clients) - 1));
             event.service = s;
-            trace.add(event);
+            events_.push_back(event);
         }
     }
-    trace.finalize();
+    // Same ordering as Trace::finalize() so the stream and the materialized
+    // trace emit identical sequences.
+    std::sort(events_.begin(), events_.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  if (a.at != b.at) return a.at < b.at;
+                  if (a.client != b.client) return a.client < b.client;
+                  return a.service < b.service;
+              });
+}
+
+std::optional<TraceEvent> BigFlowsStream::next() {
+    if (cursor_ >= events_.size()) return std::nullopt;
+    return events_[cursor_++];
+}
+
+Trace synthesize_bigflows(const BigFlowsOptions& options) {
+    BigFlowsStream stream(options);
+    Trace trace;
+    while (const auto event = stream.next()) trace.add(*event);
+    trace.finalize(); // stable sort of an already-sorted sequence: no-op
     return trace;
 }
 

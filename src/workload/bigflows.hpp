@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "simcore/random.hpp"
+#include "workload/stream.hpp"
 #include "workload/trace.hpp"
 
 namespace tedge::workload {
@@ -25,9 +26,47 @@ struct BigFlowsOptions {
     std::uint64_t seed = 1;
 };
 
+/// Streaming bigFlows generator: emits the exact same event sequence as
+/// `synthesize_bigflows` (same seed, same draw order, same sort) through the
+/// RequestStream interface, so the runner pulls events one at a time instead
+/// of pre-scheduling the whole trace.
+///
+/// The sequence is globally sorted over iid per-service draws from one
+/// shared RNG, so an O(1)-memory exact replay is mathematically impossible:
+/// the first emitted event can depend on the last draw. The stream therefore
+/// buffers compact 16-byte records internally -- what it eliminates is the
+/// Trace copy and, far more importantly, the per-event scheduled closure the
+/// old replay path materialized. Workloads that need truly flat memory at
+/// 10^6 flows use PoissonStream (O(services) state) instead.
+class BigFlowsStream final : public RequestStream {
+public:
+    explicit BigFlowsStream(const BigFlowsOptions& options = {});
+
+    std::optional<TraceEvent> next() override;
+    [[nodiscard]] std::uint32_t service_count() const override {
+        return options_.services;
+    }
+    [[nodiscard]] std::uint32_t client_count() const override {
+        return options_.clients;
+    }
+    [[nodiscard]] std::optional<std::size_t> total() const override {
+        return events_.size();
+    }
+    /// Timestamp of the last event (mirrors Trace::horizon()).
+    [[nodiscard]] std::optional<sim::SimTime> horizon() const override {
+        return events_.empty() ? sim::SimTime{} : events_.back().at;
+    }
+
+private:
+    BigFlowsOptions options_;
+    std::vector<TraceEvent> events_;
+    std::size_t cursor_ = 0;
+};
+
 /// Generate a trace with the given marginals. Deterministic per seed.
 /// Guarantees: exactly `requests` events, every service receives at least
-/// `min_requests`, all events within [0, horizon).
+/// `min_requests`, all events within [0, horizon). Implemented as a drain
+/// of BigFlowsStream, so the two are identical event-for-event.
 [[nodiscard]] Trace synthesize_bigflows(const BigFlowsOptions& options = {});
 
 } // namespace tedge::workload

@@ -11,7 +11,13 @@ void MetricsCollector::add(RequestRecord record) {
     records_.push_back(std::move(record));
 }
 
-const sim::SampleSet* MetricsCollector::find_series(const std::string& tag) const {
+sim::SampleSet& MetricsCollector::series(std::string_view tag) {
+    const auto it = series_.find(tag);
+    if (it != series_.end()) return it->second;
+    return series_.emplace(std::string(tag), sim::SampleSet{}).first->second;
+}
+
+const sim::SampleSet* MetricsCollector::find_series(std::string_view tag) const {
     const auto it = series_.find(tag);
     return it == series_.end() ? nullptr : &it->second;
 }
@@ -20,6 +26,7 @@ std::vector<std::string> MetricsCollector::tags() const {
     std::vector<std::string> out;
     out.reserve(series_.size());
     for (const auto& [tag, set] : series_) out.push_back(tag);
+    std::sort(out.begin(), out.end());
     return out;
 }
 

@@ -7,12 +7,14 @@
 // print.
 #pragma once
 
-#include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "net/tcp.hpp"
 #include "simcore/stats.hpp"
+#include "simcore/symbol_table.hpp"
 
 namespace tedge::workload {
 
@@ -34,15 +36,21 @@ public:
     [[nodiscard]] std::size_t failures() const { return failures_; }
 
     /// Per-tag sample series (milliseconds), keyed by caller-defined tags.
-    sim::SampleSet& series(const std::string& tag) { return series_[tag]; }
-    [[nodiscard]] const sim::SampleSet* find_series(const std::string& tag) const;
+    /// Heterogeneous lookup: a string_view tag only allocates when the tag
+    /// is seen for the first time.
+    sim::SampleSet& series(std::string_view tag);
+    [[nodiscard]] const sim::SampleSet* find_series(std::string_view tag) const;
+    /// Tag list in sorted order (the storage is unordered; callers render
+    /// tables from this, which must stay deterministic).
     [[nodiscard]] std::vector<std::string> tags() const;
 
     void clear();
 
 private:
     std::vector<RequestRecord> records_;
-    std::map<std::string, sim::SampleSet> series_;
+    std::unordered_map<std::string, sim::SampleSet, sim::StringHash,
+                       std::equal_to<>>
+        series_;
     std::size_t failures_ = 0;
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 namespace tedge::workload {
 
@@ -12,9 +14,9 @@ TraceRunner::TraceRunner(core::EdgePlatform& platform,
     if (clients_.empty()) throw std::invalid_argument("TraceRunner: no clients");
 }
 
-MetricsCollector& TraceRunner::replay(const Trace& trace,
+MetricsCollector& TraceRunner::replay(RequestStream& stream,
                                       const TraceReplayOptions& options) {
-    if (options.addresses.size() < trace.service_count()) {
+    if (options.addresses.size() < stream.service_count()) {
         throw std::invalid_argument("TraceRunner: not enough addresses for trace");
     }
     if (options.request_sizes.empty()) {
@@ -27,26 +29,46 @@ MetricsCollector& TraceRunner::replay(const Trace& trace,
     // Trace times are relative to the start of the replay, not to the
     // simulation epoch (setup work may already have consumed virtual time).
     const sim::SimTime offset = sim.now();
-    for (const auto& event : trace.events()) {
+
+    // Self-rescheduling pump: hold exactly one pending arrival. `fire`
+    // schedules the successor before issuing the current request so that,
+    // when two arrivals share a timestamp, the successor is enqueued ahead
+    // of anything the request handler schedules at the same instant.
+    std::optional<TraceEvent> pending = stream.next();
+    std::size_t issued = 0;
+    sim::SimTime last_at{};
+    std::function<void()> fire = [&] {
+        const TraceEvent event = *pending;
+        pending = stream.next();
+        if (pending) sim.schedule_at(offset + pending->at, fire);
         const auto node = clients_[event.client % clients_.size()];
         const auto& address = options.addresses[event.service];
         const sim::Bytes size =
             options.request_sizes[event.service % options.request_sizes.size()];
         const std::string tag = "svc" + std::to_string(event.service);
-        sim.schedule_at(offset + event.at,
-                        [this, &client, node, event, address, size, tag] {
-            client.request(node, event.client, address, size, tag);
-        });
-    }
+        ++issued;
+        last_at = event.at;
+        client.request(node, event.client, address, size, tag);
+    };
+    if (pending) sim.schedule_at(offset + pending->at, fire);
 
     // Drain: predicate-driven -- execute events exactly until every request
-    // has completed (or the deadline passes) instead of busy-polling in
-    // 1-second slices.
-    const sim::SimTime deadline = offset + trace.horizon() + options.drain_slack;
-    const bool entered = metrics_.count() < trace.size() && sim.now() < deadline;
-    sim.run_while([&] {
-        return metrics_.count() < trace.size() && sim.now() < deadline;
-    });
+    // has completed (or the deadline passes). Streams that know their
+    // horizon up front (traces, bigflows) get the fixed deadline the old
+    // replay used; open-ended streams anchor on the last issued arrival.
+    const auto total = stream.total();
+    const auto known_horizon = stream.horizon();
+    const auto deadline = [&] {
+        return offset + (known_horizon ? *known_horizon : last_at) +
+               options.drain_slack;
+    };
+    const auto busy = [&] {
+        if (sim.now() >= deadline()) return false;
+        if (pending) return true;
+        return metrics_.count() < (total ? *total : issued);
+    };
+    const bool entered = busy();
+    sim.run_while(busy);
     // The old slice loop left the clock on the next whole-second boundary
     // past the last completion; finish that slice so trailing bookkeeping
     // (deployment-record finalisation, periodic sweeps) observes identical
@@ -58,6 +80,12 @@ MetricsCollector& TraceRunner::replay(const Trace& trace,
         sim.run_until(offset + sim::nanoseconds(slices * slice_ns));
     }
     return metrics_;
+}
+
+MetricsCollector& TraceRunner::replay(const Trace& trace,
+                                      const TraceReplayOptions& options) {
+    TraceView view(trace);
+    return replay(view, options);
 }
 
 } // namespace tedge::workload

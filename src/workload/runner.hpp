@@ -1,6 +1,6 @@
-// Experiment runner: replays a trace against a platform and collects
-// per-request metrics; also provides a thread-pooled replica runner so
-// benches can average independent simulations across CPU cores (the
+// Experiment runner: replays a request stream against a platform and
+// collects per-request metrics; also provides a thread-pooled replica runner
+// so benches can average independent simulations across CPU cores (the
 // simulation kernel itself stays single-threaded and deterministic).
 #pragma once
 
@@ -10,6 +10,7 @@
 #include "core/edge_platform.hpp"
 #include "simcore/thread_pool.hpp"
 #include "workload/http_client.hpp"
+#include "workload/stream.hpp"
 #include "workload/trace.hpp"
 
 namespace tedge::workload {
@@ -27,8 +28,15 @@ class TraceRunner {
 public:
     TraceRunner(core::EdgePlatform& platform, std::vector<net::NodeId> client_nodes);
 
-    /// Replay the trace; returns when every request completed (or the drain
-    /// deadline passed). The collector holds one record per request.
+    /// Replay a request stream; returns when every request completed (or the
+    /// drain deadline passed). The stream is pulled one event at a time --
+    /// exactly one workload arrival is pending in the event queue at any
+    /// moment, so replay memory is O(1) in the number of requests. The
+    /// collector holds one record per request.
+    MetricsCollector& replay(RequestStream& stream, const TraceReplayOptions& options);
+
+    /// Compatibility wrapper: replay a materialized trace (streams it
+    /// through a TraceView).
     MetricsCollector& replay(const Trace& trace, const TraceReplayOptions& options);
 
     [[nodiscard]] MetricsCollector& metrics() { return metrics_; }

@@ -1,0 +1,47 @@
+#include "workload/stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tedge::workload {
+
+PoissonStream::PoissonStream(const Options& options)
+    : options_(options), rng_(options.seed) {
+    if (options_.services == 0 || options_.clients == 0) {
+        throw std::invalid_argument("PoissonStream: need >= 1 service and client");
+    }
+    if (options_.total_rate_per_s <= 0) {
+        throw std::invalid_argument("PoissonStream: rate must be positive");
+    }
+    const sim::ZipfDistribution zipf(options_.services, options_.zipf_s);
+    mean_gap_s_.resize(options_.services);
+    heap_.reserve(options_.services);
+    for (std::uint32_t s = 0; s < options_.services; ++s) {
+        const double rate = options_.total_rate_per_s * zipf.pmf(s);
+        mean_gap_s_[s] = 1.0 / rate;
+        heap_.push_back(Arrival{sim::from_seconds(rng_.exponential(mean_gap_s_[s])), s});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+std::optional<TraceEvent> PoissonStream::next() {
+    if (emitted_ >= options_.limit) return std::nullopt;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    const Arrival arrival = heap_.back();
+
+    TraceEvent event;
+    event.at = arrival.at;
+    event.service = arrival.service;
+    event.client = static_cast<std::uint32_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(options_.clients) - 1));
+
+    heap_.back() = Arrival{
+        arrival.at +
+            sim::from_seconds(rng_.exponential(mean_gap_s_[arrival.service])),
+        arrival.service};
+    std::push_heap(heap_.begin(), heap_.end(), later);
+    ++emitted_;
+    return event;
+}
+
+} // namespace tedge::workload

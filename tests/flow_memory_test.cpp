@@ -2,7 +2,12 @@
 // and the idle-service callback that drives scale-down.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "sdn/flow_memory.hpp"
+#include "simcore/random.hpp"
 
 namespace tedge::sdn {
 namespace {
@@ -177,6 +182,84 @@ TEST_F(FlowMemoryFixture, PeekDoesNotTouch) {
     simulation.run_until(seconds(70)); // 60 s after memorize: expired
     EXPECT_FALSE(
         memory.recall(net::Ipv4{10, 0, 1, 1}, {net::Ipv4{203, 0, 113, 1}, 80}));
+}
+
+TEST_F(FlowMemoryFixture, ForEachVisitsEveryLiveFlow) {
+    memory.memorize(make_flow("svc", 1));
+    memory.memorize(make_flow("other", 2, "k8s"));
+    std::size_t visited = 0;
+    memory.for_each([&](const MemorizedFlow& flow) {
+        ++visited;
+        EXPECT_TRUE(flow.service_name == "svc" || flow.service_name == "other");
+    });
+    EXPECT_EQ(visited, 2u);
+}
+
+TEST(FlowMemoryPropertyTest, CountersAgreeWithBruteForceRecount) {
+    // Property test: under a randomized memorize / recall / expire / forget
+    // sequence the O(1) per-service and per-(service, cluster) counters must
+    // always agree with a brute-force recount of the actual live entries.
+    sim::Simulation simulation;
+    FlowMemory memory(simulation,
+                      {.idle_timeout = sim::seconds(30), .scan_period = sim::seconds(7)});
+    sim::Rng rng(42);
+
+    const std::vector<std::string> services = {"alpha", "beta", "gamma", "delta"};
+    const std::vector<std::string> clusters = {"edge", "k8s", "far-edge"};
+
+    auto random_flow = [&] {
+        MemorizedFlow flow;
+        flow.client_ip = net::Ipv4{
+            static_cast<std::uint32_t>(rng.uniform_int(1, 2000))};
+        flow.service_address = {
+            net::Ipv4{static_cast<std::uint32_t>(rng.uniform_int(1, 40))}, 80};
+        flow.service_name =
+            services[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+        flow.cluster = clusters[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+        flow.instance_node = net::NodeId{1};
+        flow.instance_port = 8080;
+        return flow;
+    };
+
+    auto recount = [&] {
+        std::map<std::string, std::size_t> by_service;
+        std::map<std::pair<std::string, std::string>, std::size_t> by_pair;
+        std::size_t total = 0;
+        memory.for_each([&](const MemorizedFlow& flow) {
+            ++by_service[flow.service_name];
+            ++by_pair[{flow.service_name, flow.cluster}];
+            ++total;
+        });
+        ASSERT_EQ(memory.size(), total);
+        for (const auto& service : services) {
+            EXPECT_EQ(memory.flows_for_service(service), by_service[service])
+                << "service " << service;
+            for (const auto& cluster : clusters) {
+                EXPECT_EQ(memory.flows_for_service(service, cluster),
+                          (by_pair[{service, cluster}]))
+                    << service << "@" << cluster;
+            }
+        }
+    };
+
+    for (int step = 0; step < 3000; ++step) {
+        const auto op = rng.uniform_int(0, 9);
+        if (op < 6) {
+            memory.memorize(random_flow());
+        } else if (op < 8) {
+            const auto probe = random_flow();
+            (void)memory.recall(probe.client_ip, probe.service_address);
+        } else if (op == 8) {
+            memory.forget_service(
+                services[static_cast<std::size_t>(rng.uniform_int(0, 3))]);
+        } else {
+            // Advance virtual time so the periodic scan expires stale flows.
+            simulation.run_until(simulation.now() +
+                                 sim::seconds(rng.uniform_int(1, 20)));
+        }
+        if (step % 100 == 0) recount();
+    }
+    recount();
 }
 
 } // namespace

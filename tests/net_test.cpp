@@ -277,6 +277,33 @@ TEST(Topology, IpAliases) {
     EXPECT_THROW(topo.add_ip_alias(b, Ipv4{203, 0, 113, 7}), std::invalid_argument);
 }
 
+TEST(Topology, PathCacheInvalidatedByPostLookupMutation) {
+    // Regression: the memoized path cache must not serve routes computed on
+    // an older graph. Query first (filling the cache), then mutate.
+    Topology topo;
+    const auto a = topo.add_host("a", Ipv4{10, 0, 0, 1});
+    const auto s1 = topo.add_switch("s1");
+    const auto b = topo.add_host("b", Ipv4{10, 0, 0, 2});
+    topo.add_link(a, s1, milliseconds(10), sim::gbit_per_sec(1));
+    topo.add_link(s1, b, milliseconds(10), sim::gbit_per_sec(1));
+
+    ASSERT_TRUE(topo.path(a, b));
+    EXPECT_EQ(topo.latency(a, b), milliseconds(20)); // cache now holds 20 ms
+
+    // A faster link added after the first lookup must win immediately.
+    topo.add_link(a, b, milliseconds(3), sim::gbit_per_sec(10));
+    EXPECT_EQ(topo.latency(a, b), milliseconds(3));
+    EXPECT_EQ(topo.path(a, b)->hops, 1);
+
+    // A node attached after a cached *negative* result must become reachable.
+    const auto c = topo.add_host("c", Ipv4{10, 0, 0, 3});
+    EXPECT_FALSE(topo.path(a, c)); // cached as disconnected
+    topo.add_link(b, c, milliseconds(5), sim::gbit_per_sec(1));
+    const auto path = topo.path(a, c);
+    ASSERT_TRUE(path);
+    EXPECT_EQ(path->latency, milliseconds(8));
+}
+
 TEST(Topology, PortBookkeeping) {
     Topology topo;
     const auto a = topo.add_host("a", Ipv4{10, 0, 0, 1});

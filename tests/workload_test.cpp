@@ -1,11 +1,14 @@
-// Workload tests: trace model, bigFlows synthesis marginals, metrics
-// collection, and table rendering.
+// Workload tests: trace model, bigFlows synthesis marginals, request
+// streams, metrics collection, and table rendering.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
+#include <vector>
 
 #include "workload/bigflows.hpp"
 #include "workload/metrics.hpp"
+#include "workload/stream.hpp"
 #include "workload/trace.hpp"
 
 namespace tedge::workload {
@@ -126,6 +129,81 @@ TEST(BigFlows, CustomShapes) {
     EXPECT_EQ(trace.service_count(), 5u);
     EXPECT_LE(trace.client_count(), 3u);
     EXPECT_LE(trace.horizon(), sim::seconds(60));
+}
+
+// ---------------------------------------------------------------- streams
+
+TEST(RequestStream, BigFlowsStreamMatchesMaterializedTrace) {
+    BigFlowsOptions options;
+    options.seed = 7;
+    const auto trace = synthesize_bigflows(options);
+    BigFlowsStream stream(options);
+
+    ASSERT_EQ(stream.total(), trace.size());
+    ASSERT_EQ(stream.horizon(), trace.horizon());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto event = stream.next();
+        ASSERT_TRUE(event.has_value()) << "stream ended early at " << i;
+        EXPECT_EQ(event->at, trace.events()[i].at) << "index " << i;
+        EXPECT_EQ(event->client, trace.events()[i].client) << "index " << i;
+        EXPECT_EQ(event->service, trace.events()[i].service) << "index " << i;
+    }
+    EXPECT_FALSE(stream.next().has_value());
+}
+
+TEST(RequestStream, TraceViewStreamsEveryEventInOrder) {
+    Trace trace;
+    trace.add({sim::seconds(2), 1, 0});
+    trace.add({sim::seconds(1), 0, 1});
+    trace.finalize();
+    TraceView view(trace);
+    const auto first = view.next();
+    const auto second = view.next();
+    ASSERT_TRUE(first && second);
+    EXPECT_EQ(first->at, sim::seconds(1));
+    EXPECT_EQ(second->at, sim::seconds(2));
+    EXPECT_FALSE(view.next().has_value());
+    EXPECT_EQ(view.total(), trace.size());
+    EXPECT_EQ(view.horizon(), trace.horizon());
+}
+
+TEST(RequestStream, PoissonStreamDeterministicOrderedAndBounded) {
+    PoissonStream::Options options;
+    options.services = 8;
+    options.clients = 5;
+    options.limit = 2000;
+    options.seed = 11;
+
+    PoissonStream a(options);
+    PoissonStream b(options);
+    sim::SimTime previous = sim::SimTime::zero();
+    std::size_t emitted = 0;
+    while (const auto event = a.next()) {
+        const auto twin = b.next();
+        ASSERT_TRUE(twin.has_value());
+        EXPECT_EQ(event->at, twin->at);
+        EXPECT_EQ(event->client, twin->client);
+        EXPECT_EQ(event->service, twin->service);
+        EXPECT_GE(event->at, previous); // nondecreasing merge
+        EXPECT_LT(event->service, options.services);
+        EXPECT_LT(event->client, options.clients);
+        previous = event->at;
+        ++emitted;
+    }
+    EXPECT_EQ(emitted, options.limit);
+    EXPECT_FALSE(b.next().has_value());
+}
+
+TEST(RequestStream, PoissonStreamCoversAllServices) {
+    PoissonStream::Options options;
+    options.services = 4;
+    options.limit = 1000;
+    PoissonStream stream(options);
+    std::vector<std::size_t> hits(options.services, 0);
+    while (const auto event = stream.next()) ++hits[event->service];
+    for (std::size_t s = 0; s < hits.size(); ++s) {
+        EXPECT_GT(hits[s], 0u) << "service " << s << " never arrived";
+    }
 }
 
 // ---------------------------------------------------------------- metrics
