@@ -24,6 +24,8 @@
 // events/s drops more than 20% below the baseline (the CI gate).
 //
 // Flags: --quick (skip the 1M row and the RSS comparison: CI),
+//        --backend heap|wheel|both (event-queue backend to sweep; default
+//        wheel, `both` additionally prints a heap-vs-wheel table),
 //        --out <file>, --baseline <file>.
 #include <algorithm>
 #include <chrono>
@@ -38,6 +40,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -102,9 +105,15 @@ std::optional<R> run_forked(const std::function<R()>& fn) {
     if (pid < 0) return std::nullopt;
     if (pid == 0) {
         close(fds[0]);
-        R result = fn();
-        const auto written = write(fds[1], &result, sizeof result);
-        _exit(written == sizeof result ? 0 : 1);
+        try {
+            R result = fn();
+            const auto written = write(fds[1], &result, sizeof result);
+            _exit(written == sizeof result ? 0 : 1);
+        } catch (const std::exception& e) {
+            // The parent reports "child died"; say why before going.
+            std::cerr << "child: " << e.what() << "\n";
+            _exit(1);
+        }
     }
     close(fds[1]);
     R result{};
@@ -121,7 +130,12 @@ std::optional<R> run_forked(const std::function<R()>& fn) {
 struct SweepPoint {
     std::size_t flows = 0;
     std::uint32_t services = 0;
+    sim::QueueBackend backend = sim::QueueBackend::kWheel;
 };
+
+const char* backend_str(sim::QueueBackend backend) {
+    return backend == sim::QueueBackend::kHeap ? "heap" : "wheel";
+}
 
 /// POD result shipped from the forked child back over the pipe.
 struct PointResult {
@@ -143,7 +157,12 @@ struct PointResult {
 PointResult run_point_once(const SweepPoint& point) {
     PointResult result;
 
-    sim::Simulation sim;
+    sim::Simulation sim(point.backend);
+    // The pump keeps at most one arrival pending and the expiry path adds one
+    // daemon event per occupied deadline bucket, so a modest slab reserve is
+    // enough to skip the early growth stalls without inflating the peak-RSS
+    // headline the 1M point reports.
+    sim.reserve_events(4096);
     sdn::FlowMemory memory(sim, {kIdleTimeout, kScanPeriod});
     memory.reserve(point.flows);
     std::uint64_t idle_events = 0;
@@ -179,13 +198,27 @@ PointResult run_point_once(const SweepPoint& point) {
     std::function<void()> fire = [&] {
         const workload::TraceEvent event = *pending;
         pending = stream.next();
-        if (pending) sim.schedule_at(pending->at, fire);
+        if (pending) {
+            // Re-arm via a thin reference-capturing shim: copying `fire`
+            // itself into the kernel would heap-allocate per event (its
+            // closure outgrows the std::function small-object buffer).
+            sim.schedule_at(pending->at, [&fire] { fire(); });
+            // Software-pipeline the flow-table access: start the probe-line
+            // load for the *next* packet now, so its DRAM latency overlaps
+            // this packet's work instead of stalling the next recall().
+            memory.prefetch(
+                net::Ipv4{0xc0000000u + static_cast<std::uint32_t>(installed) + 1},
+                addresses[pending->service]);
+        }
 
         // One packet-in: distinct client ip per flow, cluster by client.
         const net::Ipv4 client_ip{0xc0000000u + static_cast<std::uint32_t>(installed)};
         const std::uint32_t cluster = event.client % kClusters;
+        // Only sampled events pay for the clock reads: an unconditional
+        // Clock::now() per event is ~40 ns of pure instrumentation overhead
+        // on this VM, a sizeable bias in the events/s headline.
         const bool sampled = (installed % 64) == 0;
-        const auto start = Clock::now();
+        const auto start = sampled ? Clock::now() : Clock::time_point{};
         const auto hit = memory.recall(client_ip, addresses[event.service]);
         if (!hit) {
             sdn::MemorizedFlow flow;
@@ -260,11 +293,11 @@ PointResult run_point_once(const SweepPoint& point) {
 
 /// Small points finish in milliseconds, which makes a single fill far too
 /// jittery to gate on (>20% run-to-run). Repeat them and keep the fastest
-/// run; the 1M points run long enough to be stable on their own. VmHWM is
-/// process-wide and every repeat allocates the same amount, so the RSS
-/// number is unaffected by repetition.
+/// run; the 1M points are longer but still see host-load spikes, so they get
+/// a smaller repeat count. VmHWM is process-wide and every repeat allocates
+/// the same amount, so the RSS number is unaffected by repetition.
 PointResult run_point(const SweepPoint& point) {
-    const int repeats = point.flows <= 100'000 ? 5 : 1;
+    const int repeats = point.flows <= 100'000 ? 5 : 3;
     PointResult best = run_point_once(point);
     for (int i = 1; i < repeats; ++i) {
         const PointResult run = run_point_once(point);
@@ -424,7 +457,9 @@ long legacy_rss_kb(std::size_t flows, std::uint32_t services) {
 std::string json_point(const SweepPoint& point, const PointResult& result) {
     std::ostringstream out;
     out << "    {\"flows\": " << point.flows
-        << ", \"services\": " << point.services << ", \"events_per_s\": "
+        << ", \"services\": " << point.services
+        << ", \"backend\": \"" << backend_str(point.backend)
+        << "\", \"events_per_s\": "
         << static_cast<std::uint64_t>(result.events_per_s)
         << ", \"install_p50_ns\": "
         << static_cast<std::uint64_t>(result.install_p50_ns)
@@ -452,19 +487,38 @@ std::optional<double> extract_number(const std::string& line,
     return std::strtod(line.c_str() + at + needle.size(), nullptr);
 }
 
-/// events/s per (flows, services) point parsed from a BENCH_scale.json.
-std::map<std::pair<std::size_t, std::uint32_t>, double>
-parse_baseline(const std::string& path) {
-    std::map<std::pair<std::size_t, std::uint32_t>, double> baseline;
+/// Extract the quoted string following `"key": "` on `line`; nullopt if
+/// absent.
+std::optional<std::string> extract_string(const std::string& line,
+                                          const std::string& key) {
+    const std::string needle = "\"" + key + "\": \"";
+    const auto at = line.find(needle);
+    if (at == std::string::npos) return std::nullopt;
+    const auto start = at + needle.size();
+    const auto end = line.find('"', start);
+    if (end == std::string::npos) return std::nullopt;
+    return line.substr(start, end - start);
+}
+
+using BaselineKey = std::tuple<std::size_t, std::uint32_t, std::string>;
+
+/// events/s per (flows, services, backend) point parsed from a
+/// BENCH_scale.json. Points written before the backend dimension existed
+/// carry no "backend" field; those were measured on the binary heap, so they
+/// gate the heap rows of a newer run.
+std::map<BaselineKey, double> parse_baseline(const std::string& path) {
+    std::map<BaselineKey, double> baseline;
     std::ifstream in(path);
     std::string line;
     while (std::getline(in, line)) {
         const auto flows = extract_number(line, "flows");
         const auto services = extract_number(line, "services");
         const auto events = extract_number(line, "events_per_s");
+        const auto backend = extract_string(line, "backend");
         if (flows && services && events) {
             baseline[{static_cast<std::size_t>(*flows),
-                      static_cast<std::uint32_t>(*services)}] = *events;
+                      static_cast<std::uint32_t>(*services),
+                      backend.value_or("heap")}] = *events;
         }
     }
     return baseline;
@@ -480,6 +534,7 @@ int main(int argc, char** argv) {
     bool quick = false;
     std::string out_path = "BENCH_scale.json";
     std::string baseline_path;
+    std::string backend_arg = "wheel";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quick") {
@@ -488,11 +543,26 @@ int main(int argc, char** argv) {
             out_path = argv[++i];
         } else if (arg == "--baseline" && i + 1 < argc) {
             baseline_path = argv[++i];
+        } else if (arg == "--backend" && i + 1 < argc) {
+            backend_arg = argv[++i];
         } else {
-            std::cerr << "usage: bench_scale [--quick] [--out <file>] "
+            std::cerr << "usage: bench_scale [--quick] "
+                         "[--backend heap|wheel|both] [--out <file>] "
                          "[--baseline <file>]\n";
             return 2;
         }
+    }
+    std::vector<sim::QueueBackend> backends;
+    if (backend_arg == "heap") {
+        backends = {sim::QueueBackend::kHeap};
+    } else if (backend_arg == "wheel") {
+        backends = {sim::QueueBackend::kWheel};
+    } else if (backend_arg == "both") {
+        backends = {sim::QueueBackend::kHeap, sim::QueueBackend::kWheel};
+    } else {
+        std::cerr << "unknown --backend '" << backend_arg
+                  << "' (expected heap, wheel, or both)\n";
+        return 2;
     }
 
     print_header("scale",
@@ -504,40 +574,76 @@ int main(int argc, char** argv) {
     const std::vector<std::uint32_t> service_counts = {1, 8, 64};
 
     std::vector<std::pair<SweepPoint, PointResult>> results;
-    workload::TextTable table({"flows", "services", "events/s", "install p50",
-                               "install p99", "lookup ns", "idle ns",
-                               "peak RSS MB"});
-    for (const auto flows : flow_counts) {
-        for (const auto services : service_counts) {
-            const SweepPoint point{flows, services};
-            const auto result = run_forked<PointResult>(
-                [point] { return run_point(point); });
-            if (!result) {
-                std::cerr << "point " << flows << "x" << services
-                          << " failed (child died)\n";
-                return 1;
+    workload::TextTable table({"backend", "flows", "services", "events/s",
+                               "install p50", "install p99", "lookup ns",
+                               "idle ns", "peak RSS MB"});
+    for (const auto backend : backends) {
+        for (const auto flows : flow_counts) {
+            for (const auto services : service_counts) {
+                const SweepPoint point{flows, services, backend};
+                const auto result = run_forked<PointResult>(
+                    [point] { return run_point(point); });
+                if (!result) {
+                    std::cerr << "point " << flows << "x" << services << " ("
+                              << backend_str(backend)
+                              << ") failed (child died)\n";
+                    return 1;
+                }
+                if (result->peak_live_flows != flows ||
+                    result->idle_notifications == 0) {
+                    std::cerr << "point " << flows << "x" << services << " ("
+                              << backend_str(backend)
+                              << ") invalid: live=" << result->peak_live_flows
+                              << " idle_notifications="
+                              << result->idle_notifications << "\n";
+                    return 1;
+                }
+                results.emplace_back(point, *result);
+                table.add_row(
+                    {backend_str(backend), std::to_string(flows),
+                     std::to_string(services),
+                     workload::TextTable::num(result->events_per_s, 0),
+                     workload::TextTable::num(result->install_p50_ns, 0) +
+                         " ns",
+                     workload::TextTable::num(result->install_p99_ns, 0) +
+                         " ns",
+                     workload::TextTable::num(result->lookup_ns, 0),
+                     workload::TextTable::num(result->idle_check_ns, 0),
+                     workload::TextTable::num(
+                         static_cast<double>(result->rss_kb) / 1024.0, 1)});
             }
-            if (result->peak_live_flows != flows ||
-                result->idle_notifications == 0) {
-                std::cerr << "point " << flows << "x" << services
-                          << " invalid: live=" << result->peak_live_flows
-                          << " idle_notifications="
-                          << result->idle_notifications << "\n";
-                return 1;
-            }
-            results.emplace_back(point, *result);
-            table.add_row(
-                {std::to_string(flows), std::to_string(services),
-                 workload::TextTable::num(result->events_per_s, 0),
-                 workload::TextTable::num(result->install_p50_ns, 0) + " ns",
-                 workload::TextTable::num(result->install_p99_ns, 0) + " ns",
-                 workload::TextTable::num(result->lookup_ns, 0),
-                 workload::TextTable::num(result->idle_check_ns, 0),
-                 workload::TextTable::num(
-                     static_cast<double>(result->rss_kb) / 1024.0, 1)});
         }
     }
     std::cout << table.str() << "\n";
+
+    // Side-by-side events/s when both backends were swept (the CI artifact).
+    if (backends.size() == 2) {
+        workload::TextTable versus(
+            {"flows", "services", "heap ev/s", "wheel ev/s", "wheel/heap"});
+        for (const auto flows : flow_counts) {
+            for (const auto services : service_counts) {
+                double heap_events = 0;
+                double wheel_events = 0;
+                for (const auto& [point, result] : results) {
+                    if (point.flows != flows || point.services != services) {
+                        continue;
+                    }
+                    (point.backend == sim::QueueBackend::kHeap
+                         ? heap_events
+                         : wheel_events) = result.events_per_s;
+                }
+                if (heap_events <= 0 || wheel_events <= 0) continue;
+                versus.add_row({std::to_string(flows),
+                                std::to_string(services),
+                                workload::TextTable::num(heap_events, 0),
+                                workload::TextTable::num(wheel_events, 0),
+                                workload::TextTable::num(
+                                    wheel_events / heap_events, 2) + "x"});
+            }
+        }
+        std::cout << "heap vs wheel, fill events/s:\n"
+                  << versus.str() << "\n";
+    }
 
     // 100k honesty check: maintained counters vs the legacy linear scan.
     const auto comparison = compare_lookups(100'000, 8);
@@ -612,11 +718,13 @@ int main(int argc, char** argv) {
         double log_ratio_sum = 0;
         std::size_t compared = 0;
         for (const auto& [point, result] : results) {
-            const auto it = baseline.find({point.flows, point.services});
+            const auto it = baseline.find(
+                {point.flows, point.services, backend_str(point.backend)});
             if (it == baseline.end() || it->second <= 0) continue;
             const double ratio = result.events_per_s / it->second;
-            std::cout << "  " << point.flows << "x" << point.services
-                      << ": " << workload::TextTable::num(ratio, 2)
+            std::cout << "  " << point.flows << "x" << point.services << " ("
+                      << backend_str(point.backend)
+                      << "): " << workload::TextTable::num(ratio, 2)
                       << "x baseline\n";
             log_ratio_sum += std::log(ratio);
             ++compared;

@@ -1,5 +1,6 @@
 #include "sdn/flow_memory.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "simcore/metrics_registry.hpp"
@@ -16,13 +17,17 @@ constexpr std::size_t load_limit(std::size_t capacity) {
 } // namespace
 
 FlowMemory::FlowMemory(sim::Simulation& sim, Config config)
-    : sim_(sim), config_(config), slots_(kInitialCapacity, kEmptySlot) {
-    scan_ = sim_.schedule_periodic(config_.scan_period, [this] { expire(); },
-                                   /*daemon=*/true);
+    : sim_(sim), config_(config),
+      chunks_(kInitialCapacity / kChunkSlots, kEmptyChunk) {
+    // The old periodic scan validated this via schedule_periodic; expiry
+    // buckets are quantized by the same period, so keep the same contract.
+    if (config_.scan_period <= sim::SimTime::zero()) {
+        throw std::invalid_argument("non-positive period");
+    }
 }
 
 FlowMemory::~FlowMemory() {
-    scan_.cancel();
+    for (auto& [bucket, pending] : expiry_buckets_) pending.event.cancel();
 }
 
 std::uint32_t FlowMemory::intern_address(const net::ServiceAddress& address) {
@@ -43,15 +48,16 @@ FlowMemory::find_address(const net::ServiceAddress& address) const {
 }
 
 std::size_t FlowMemory::probe(Key64 key) const {
-    const std::size_t mask = slots_.size() - 1;
+    const std::size_t mask = capacity() - 1;
+    const std::uint8_t tag = tag_of(key);
     std::size_t slot = hash_key(key) & mask;
     std::size_t insert_at = kNpos;
     for (;;) {
-        const std::uint32_t index = slots_[slot];
-        if (index == kEmptySlot) return insert_at != kNpos ? insert_at : slot;
-        if (index == kTombstoneSlot) {
+        const std::uint8_t t = tag_at(slot);
+        if (t == kEmptyTag) return insert_at != kNpos ? insert_at : slot;
+        if (t == kTombstoneTag) {
             if (insert_at == kNpos) insert_at = slot;
-        } else if (pool_[index].key == key) {
+        } else if (t == tag && pool_[index_at(slot)].key == key) {
             return slot;
         }
         slot = (slot + 1) & mask;
@@ -59,12 +65,13 @@ std::size_t FlowMemory::probe(Key64 key) const {
 }
 
 std::size_t FlowMemory::find_slot(Key64 key) const {
-    const std::size_t mask = slots_.size() - 1;
+    const std::size_t mask = capacity() - 1;
+    const std::uint8_t tag = tag_of(key);
     std::size_t slot = hash_key(key) & mask;
     for (;;) {
-        const std::uint32_t index = slots_[slot];
-        if (index == kEmptySlot) return kNpos;
-        if (index != kTombstoneSlot && pool_[index].key == key) return slot;
+        const std::uint8_t t = tag_at(slot);
+        if (t == kEmptyTag) return kNpos;
+        if (t == tag && pool_[index_at(slot)].key == key) return slot;
         slot = (slot + 1) & mask;
     }
 }
@@ -73,49 +80,66 @@ void FlowMemory::grow(std::size_t min_capacity) {
     std::size_t capacity = min_capacity < kInitialCapacity ? kInitialCapacity
                                                            : min_capacity;
     while (pool_.size() >= load_limit(capacity)) capacity *= 2;
-    slots_.assign(capacity, kEmptySlot);
+    chunks_.assign(capacity / kChunkSlots, kEmptyChunk);
     tombstones_ = 0;
+    pending_slot_ = kNpos;
     const std::size_t mask = capacity - 1;
     for (std::size_t i = 0; i < pool_.size(); ++i) {
         std::size_t slot = hash_key(pool_[i].key) & mask;
-        while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
-        slots_[slot] = static_cast<std::uint32_t>(i);
+        while (tag_at(slot) != kEmptyTag) slot = (slot + 1) & mask;
+        tag_at(slot) = tag_of(pool_[i].key);
+        index_at(slot) = static_cast<std::uint32_t>(i);
         pool_[i].slot = static_cast<std::uint32_t>(slot);
     }
 }
 
 void FlowMemory::insert(Key64 key, const FlowRec& rec) {
-    if (pool_.size() + tombstones_ + 1 > load_limit(slots_.size())) {
+    if (pool_.size() + tombstones_ + 1 > load_limit(capacity())) {
         // Mostly tombstones (expire/forget churn): rehash in place to scrub
         // them instead of doubling forever; otherwise double.
-        grow(pool_.size() * 2 >= load_limit(slots_.size()) ? slots_.size() * 2
-                                                           : slots_.size());
+        grow(pool_.size() * 2 >= load_limit(capacity()) ? capacity() * 2
+                                                           : capacity());
     }
-    const std::size_t slot = probe(key);
-    const std::uint32_t index = slots_[slot];
-    if (index != kEmptySlot && index != kTombstoneSlot &&
-        pool_[index].key == key) {
+    const std::size_t slot = pending_slot_ != kNpos && pending_key_ == key
+                                 ? pending_slot_
+                                 : probe(key);
+    pending_slot_ = kNpos;
+    const std::uint8_t t = tag_at(slot);
+    if (t != kEmptyTag && t != kTombstoneTag) {
+        const std::uint32_t index = index_at(slot);
         bump_counters(pool_[index].rec, -1);
+        // Preserve the entry's current expiry filing across the overwrite:
+        // it still refers to this key, and file_expiry() below re-files only
+        // if the refreshed deadline lands in a different bucket.
+        const std::uint64_t filed = pool_[index].rec.expiry_bucket;
         pool_[index].rec = rec;
+        pool_[index].rec.expiry_bucket = filed;
+        bump_counters(rec, +1);
+        file_expiry(key, pool_[index].rec);
     } else {
-        if (index == kTombstoneSlot) --tombstones_;
-        if (pool_.size() >= kTombstoneSlot) {
+        if (t == kTombstoneTag) --tombstones_;
+        if (pool_.size() >= kMaxFlows) {
             throw std::length_error("FlowMemory: flow table full");
         }
-        slots_[slot] = static_cast<std::uint32_t>(pool_.size());
+        tag_at(slot) = tag_of(key);
+        index_at(slot) = static_cast<std::uint32_t>(pool_.size());
         pool_.push_back(Entry{key, rec, static_cast<std::uint32_t>(slot)});
+        bump_counters(rec, +1);
+        file_expiry(key, pool_.back().rec);
     }
-    bump_counters(rec, +1);
 }
 
 void FlowMemory::erase_entry(std::size_t index) {
     bump_counters(pool_[index].rec, -1);
-    slots_[pool_[index].slot] = kTombstoneSlot;
+    tag_at(pool_[index].slot) = kTombstoneTag;
     ++tombstones_;
+    pending_slot_ = kNpos;
     const std::size_t last = pool_.size() - 1;
     if (index != last) {
         pool_[index] = pool_[last];
-        slots_[pool_[index].slot] = static_cast<std::uint32_t>(index);
+        // The moved entry keeps its probe slot (and so its tag, a pure
+        // function of the unchanged key); only the index retargets.
+        index_at(pool_[index].slot) = static_cast<std::uint32_t>(index);
     }
     pool_.pop_back();
 }
@@ -163,22 +187,43 @@ void FlowMemory::memorize(const MemorizedFlow& flow) {
            rec);
 }
 
+void FlowMemory::prefetch(net::Ipv4 client_ip,
+                          const net::ServiceAddress& service) const {
+    const auto address_id = find_address(service);
+    if (!address_id) return;
+    const Key64 key = pack_key(client_ip.value(), *address_id);
+    const std::size_t slot = hash_key(key) & (capacity() - 1);
+#if defined(__GNUC__) || defined(__clang__)
+    // Write intent: a miss is followed by an insert into this same line.
+    __builtin_prefetch(&chunks_[slot / kChunkSlots], 1, 1);
+#endif
+}
+
 std::optional<MemorizedFlow>
 FlowMemory::recall(net::Ipv4 client_ip, const net::ServiceAddress& service) {
     const auto address_id = find_address(service);
-    const std::size_t slot =
-        address_id ? find_slot(pack_key(client_ip.value(), *address_id)) : kNpos;
-    if (slot == kNpos) {
+    if (!address_id) {
         ++misses_;
         return std::nullopt;
     }
-    Entry& entry = pool_[slots_[slot]];
+    const Key64 key = pack_key(client_ip.value(), *address_id);
+    // probe(), not find_slot(): on a miss it lands on the insertion slot,
+    // which feeds the one-entry pending cache consumed by insert().
+    const std::size_t slot = probe(key);
+    const std::uint8_t t = tag_at(slot);
+    if (t == kEmptyTag || t == kTombstoneTag) {
+        pending_key_ = key;
+        pending_slot_ = slot;
+        ++misses_;
+        return std::nullopt;
+    }
+    Entry& entry = pool_[index_at(slot)];
     if (sim_.now() - entry.rec.last_used >= config_.idle_timeout) {
         ++misses_;
         // Erase, don't just miss: a lingering stale entry would donate its
         // old `created` timestamp to the next memorize() of the same key
         // (created != zero suppresses the reset), skewing flow-age stats.
-        erase_entry(slots_[slot]);
+        erase_entry(index_at(slot));
         if (auto* m = sim_.metrics()) m->counter("sdn.flow_memory.stale_recalls").inc();
         return std::nullopt;
     }
@@ -193,7 +238,7 @@ FlowMemory::peek(net::Ipv4 client_ip, const net::ServiceAddress& service) const 
     if (!address_id) return nullptr;
     const std::size_t slot = find_slot(pack_key(client_ip.value(), *address_id));
     if (slot == kNpos) return nullptr;
-    const Entry& entry = pool_[slots_[slot]];
+    const Entry& entry = pool_[index_at(slot)];
     peek_scratch_ = materialize(entry.key, entry.rec);
     return &peek_scratch_;
 }
@@ -230,6 +275,71 @@ std::size_t FlowMemory::flows_for_service(std::string_view service_name,
     return it == pair_counts_.end() ? 0 : it->second;
 }
 
+std::uint64_t FlowMemory::bucket_for(sim::SimTime deadline) const {
+    const std::int64_t period = config_.scan_period.ns();
+    const std::int64_t bucket = (deadline.ns() + period - 1) / period;
+    // A non-positive idle timeout can put the deadline in the past; the old
+    // periodic scan would first have seen such a flow on its next tick. For
+    // positive timeouts the max() is a no-op: deadline > now already implies
+    // ceil(deadline / period) > floor(now / period).
+    const std::int64_t next_tick = sim_.now().ns() / period + 1;
+    return static_cast<std::uint64_t>(std::max(bucket, next_tick));
+}
+
+void FlowMemory::file_expiry(Key64 key, FlowRec& rec) {
+    const std::uint64_t bucket = bucket_for(rec.last_used + config_.idle_timeout);
+    if (rec.expiry_bucket == bucket) return; // already filed at this deadline
+    rec.expiry_bucket = bucket;
+    if (cached_bucket_node_ != nullptr && cached_bucket_ == bucket) {
+        cached_bucket_node_->keys.push_back(key);
+        return;
+    }
+    auto [it, fresh] = expiry_buckets_.try_emplace(bucket);
+    it->second.keys.push_back(key);
+    cached_bucket_ = bucket;
+    cached_bucket_node_ = &it->second;
+    if (fresh) {
+        it->second.event = sim_.schedule_at(
+            sim::SimTime{static_cast<std::int64_t>(bucket) *
+                         config_.scan_period.ns()},
+            [this, bucket] { fire_bucket(bucket); }, /*daemon=*/true);
+    }
+}
+
+void FlowMemory::fire_bucket(std::uint64_t bucket) {
+    const auto it = expiry_buckets_.find(bucket);
+    if (it == expiry_buckets_.end()) return;
+    const std::vector<Key64> keys = std::move(it->second.keys);
+    if (cached_bucket_ == bucket) cached_bucket_node_ = nullptr;
+    expiry_buckets_.erase(it); // re-files below may re-occupy this map
+    const sim::SimTime now = sim_.now();
+    std::vector<Key64> expired_pairs;
+    std::unordered_map<Key64, bool> seen;
+    std::size_t removed = 0;
+    for (const Key64 key : keys) {
+        const std::size_t slot = find_slot(key);
+        if (slot == kNpos) continue; // erased (stale recall/forget) since filing
+        const std::size_t index = index_at(slot);
+        FlowRec& rec = pool_[index].rec;
+        if (rec.expiry_bucket != bucket) continue; // re-filed, or key reused
+        if (now - rec.last_used >= config_.idle_timeout) {
+            const Key64 pair = pack_pair(rec.service, rec.cluster);
+            if (idle_cb_ && seen.emplace(pair, true).second) {
+                expired_pairs.push_back(pair);
+            }
+            erase_entry(index);
+            ++removed;
+        } else {
+            // Touched since filing: re-file under the deadline its refreshed
+            // last_used implies. That deadline is beyond this bucket's
+            // instant, so the new bucket is strictly later -- no livelock.
+            rec.expiry_bucket = 0;
+            file_expiry(key, rec);
+        }
+    }
+    finish_expiry(expired_pairs, removed);
+}
+
 std::size_t FlowMemory::expire() {
     const sim::SimTime now = sim_.now();
     // (service, cluster) pairs that lost at least one flow this sweep, in
@@ -251,6 +361,12 @@ std::size_t FlowMemory::expire() {
             ++index;
         }
     }
+    finish_expiry(expired_pairs, removed);
+    return removed;
+}
+
+void FlowMemory::finish_expiry(const std::vector<Key64>& expired_pairs,
+                               std::size_t removed) {
     if (idle_cb_) {
         // Report (service, cluster) pairs whose *last* flow just expired.
         // The count must be per pair: a flow still active on cluster B must
@@ -269,7 +385,6 @@ std::size_t FlowMemory::expire() {
     if (removed != 0) {
         if (auto* m = sim_.metrics()) m->counter("sdn.flow_memory.expired").inc(removed);
     }
-    return removed;
 }
 
 void FlowMemory::for_each(const std::function<void(const MemorizedFlow&)>& fn) const {
@@ -282,9 +397,9 @@ void FlowMemory::reserve(std::size_t flows) {
     pool_.reserve(flows);
     // Probe-array headroom so `flows` inserts stay under the load limit
     // without growing mid-fill.
-    std::size_t capacity = kInitialCapacity;
-    while (load_limit(capacity) <= flows) capacity *= 2;
-    if (capacity > slots_.size()) grow(capacity);
+    std::size_t wanted = kInitialCapacity;
+    while (load_limit(wanted) <= flows) wanted *= 2;
+    if (wanted > capacity()) grow(wanted);
 }
 
 } // namespace tedge::sdn

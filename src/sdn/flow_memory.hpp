@@ -8,16 +8,36 @@
 //
 // Scale path: flows are keyed by a packed 64-bit (client-ip,
 // service-address-id) key; service and cluster names are interned through a
-// sim::SymbolTable so per-flow state is 48 bytes of POD instead of two heap
+// sim::SymbolTable so per-flow state is 56 bytes of POD instead of two heap
 // strings plus red-black-tree nodes. Storage is split: an open-addressed
-// probe array of 4-byte pool indices (power-of-two, linear probing,
-// tombstones) over a dense record pool, so the half-empty probe slots cost
-// 4 bytes each instead of a full record, and expiry/iteration walk packed
-// memory. Per-(service, cluster) and per-service live-flow counters are
+// probe array (power-of-two, linear probing, tombstones) over a dense record
+// pool, so the half-empty probe slots stay cheap and expiry/iteration walk
+// packed memory. Probe metadata is chunked, one cache line per 8 slots: a
+// byte tag (7 bits of key hash, or an empty/tombstone sentinel) is checked
+// first, and the pool index sharing its line -- then the pool entry -- are
+// dereferenced only on a tag match. An absent-key probe (the packet-in hot
+// path: every new flow is a recall miss before its install) therefore
+// touches ~one random cache line instead of chasing random 72-byte pool
+// entries for key comparison, and an insert lands its tag and index on that
+// same line; at a million flows that is the difference between a cache-line
+// visit and several DRAM round trips per packet-in. Per-(service, cluster) and per-service live-flow counters are
 // maintained on every insert/erase, making flows_for_service() and the idle
 // check O(1) instead of an O(n) scan over all memorized flows.
+//
+// Expiry is batched into deadline buckets instead of a periodic full-pool
+// scan. Time is quantized into scan_period-wide buckets; a flow whose idle
+// deadline (last_used + idle_timeout) rounds up into bucket b is filed under
+// b, and one daemon kernel event per *non-empty* bucket fires at b *
+// scan_period — the same instant the old periodic scan would first have seen
+// the flow as expired, so observable expiry timing is unchanged. Touching a
+// flow does not re-file it (that would be a hot-path hash lookup): when its
+// old bucket fires, a still-fresh flow is lazily re-filed under its current
+// deadline. With this, a million idle flows cost one kernel event and one
+// O(batch) sweep per occupied bucket rather than O(pool) work every
+// scan_period tick.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -65,6 +85,15 @@ public:
     /// Look up a live flow and touch its idle timer.
     [[nodiscard]] std::optional<MemorizedFlow>
     recall(net::Ipv4 client_ip, const net::ServiceAddress& service);
+
+    /// Warm the probe line for an upcoming recall()/memorize() of this flow.
+    /// A recall at million-flow occupancy is one dependent random load --
+    /// effectively a full DRAM round trip that nothing in a packet-in
+    /// handler can overlap. A pipeline that knows packet k+1 while serving
+    /// packet k calls this to start that load early, hiding the latency
+    /// behind the current packet's work. Purely a hint: no observable state
+    /// changes.
+    void prefetch(net::Ipv4 client_ip, const net::ServiceAddress& service) const;
 
     /// Look up without touching (for inspection). The returned pointer is
     /// valid until the next FlowMemory call.
@@ -116,6 +145,11 @@ private:
         std::uint16_t instance_port = 0;
         sim::SimTime created;
         sim::SimTime last_used;
+        /// Expiry bucket this flow is currently filed under (0 = unfiled).
+        /// Stale filings — the flow was touched, re-memorized or its key
+        /// reused since — are detected by comparing against this field when
+        /// the bucket fires.
+        std::uint64_t expiry_bucket = 0;
     };
 
     using Key64 = std::uint64_t;
@@ -158,17 +192,84 @@ private:
     void bump_counters(const FlowRec& rec, std::int64_t delta);
     [[nodiscard]] MemorizedFlow materialize(Key64 key, const FlowRec& rec) const;
 
+    /// Quantized expiry bucket whose firing instant (bucket * scan_period)
+    /// is the first tick at or after `deadline`.
+    [[nodiscard]] std::uint64_t bucket_for(sim::SimTime deadline) const;
+    /// File the flow under its current deadline's bucket, scheduling the
+    /// bucket's kernel event if this is its first occupant.
+    void file_expiry(Key64 key, FlowRec& rec);
+    /// Expire/re-file everything filed under `bucket` (the bucket's event).
+    void fire_bucket(std::uint64_t bucket);
+    /// Shared tail of fire_bucket()/expire(): idle notifications + metrics.
+    void finish_expiry(const std::vector<Key64>& expired_pairs, std::size_t removed);
+
     static constexpr std::size_t kNpos = ~std::size_t{0};
-    static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
-    static constexpr std::uint32_t kTombstoneSlot = 0xFFFFFFFEu;
+    /// Tag-array sentinels; key tags are 7-bit (0..127) and can't collide.
+    static constexpr std::uint8_t kEmptyTag = 0xFF;
+    static constexpr std::uint8_t kTombstoneTag = 0xFE;
+    /// Cap on pool indices so the table-full check has a concrete bound.
+    static constexpr std::uint32_t kMaxFlows = 0xFFFFFFFEu;
+    /// Probe slots per chunk (one cache line).
+    static constexpr std::size_t kChunkSlots = 8;
+
+    /// One cache line of probe metadata: 8 classification tags and the 8
+    /// matching pool indices. A probe step reads the tag and -- on a match,
+    /// or to insert -- the index from the *same* line, so each step costs
+    /// one random cache line instead of the two a split tag-array/index-array
+    /// layout would touch.
+    struct alignas(64) Chunk {
+        std::array<std::uint8_t, kChunkSlots> tags;
+        std::array<std::uint32_t, kChunkSlots> indices;
+    };
+    static_assert(sizeof(Chunk) == 64);
+
+    /// All-empty chunk (fill value for a fresh probe array).
+    static constexpr Chunk kEmptyChunk{{kEmptyTag, kEmptyTag, kEmptyTag,
+                                        kEmptyTag, kEmptyTag, kEmptyTag,
+                                        kEmptyTag, kEmptyTag},
+                                       {}};
+
+    /// Key tag stored in the byte array: hash bits *not* used for the probe
+    /// position (position uses the low bits), so slot collisions and tag
+    /// collisions are independent.
+    static std::uint8_t tag_of(Key64 key) {
+        return static_cast<std::uint8_t>((hash_key(key) >> 57) & 0x7F);
+    }
 
     sim::Simulation& sim_;
     Config config_;
 
-    // Split storage: probe array of pool indices over a dense entry pool.
-    std::vector<std::uint32_t> slots_;
+    /// Tag of probe slot `slot` (empty / tombstone / 7-bit key tag).
+    [[nodiscard]] std::uint8_t& tag_at(std::size_t slot) {
+        return chunks_[slot / kChunkSlots].tags[slot % kChunkSlots];
+    }
+    [[nodiscard]] std::uint8_t tag_at(std::size_t slot) const {
+        return chunks_[slot / kChunkSlots].tags[slot % kChunkSlots];
+    }
+    /// Pool index of probe slot `slot`; meaningful only under a key tag.
+    [[nodiscard]] std::uint32_t& index_at(std::size_t slot) {
+        return chunks_[slot / kChunkSlots].indices[slot % kChunkSlots];
+    }
+    [[nodiscard]] std::uint32_t index_at(std::size_t slot) const {
+        return chunks_[slot / kChunkSlots].indices[slot % kChunkSlots];
+    }
+    /// Probe-array capacity in slots (power of two).
+    [[nodiscard]] std::size_t capacity() const {
+        return chunks_.size() * kChunkSlots;
+    }
+
+    // Chunked probe metadata over a dense entry pool: chunks_ holds the
+    // per-slot tags and pool indices (see Chunk), pool_ the packed records.
+    std::vector<Chunk> chunks_;
     std::vector<Entry> pool_;
     std::size_t tombstones_ = 0;
+
+    // One-entry miss cache: the packet-in hot path is recall() miss followed
+    // immediately by memorize() of the same key, so recall() remembers the
+    // insertion slot its probe already found and insert() reuses it instead
+    // of walking the chain again. Invalidated by every probe-array mutation.
+    Key64 pending_key_ = 0;
+    std::size_t pending_slot_ = kNpos;
 
     // Identifier interning: names via the symbol table, service addresses
     // via a dense side index so they pack into the 64-bit key.
@@ -181,8 +282,22 @@ private:
     std::unordered_map<Key64, std::size_t> pair_counts_;
     std::unordered_map<sim::SymbolId, std::size_t> service_counts_;
 
+    /// Flows awaiting expiry, grouped by quantized deadline. One daemon
+    /// kernel event per non-empty bucket (cancelled on destruction).
+    struct ExpiryBucket {
+        std::vector<Key64> keys;
+        sim::EventHandle event;
+    };
+    std::unordered_map<std::uint64_t, ExpiryBucket> expiry_buckets_;
+
+    // One-entry bucket cache: consecutive inserts file under the same
+    // deadline bucket for a whole scan period, so keep the last bucket's
+    // node address (stable -- unordered_map nodes never move) and skip the
+    // map lookup. Cleared when that bucket fires.
+    std::uint64_t cached_bucket_ = 0;
+    ExpiryBucket* cached_bucket_node_ = nullptr;
+
     IdleServiceCallback idle_cb_;
-    sim::Simulation::PeriodicHandle scan_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     mutable MemorizedFlow peek_scratch_;

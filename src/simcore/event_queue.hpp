@@ -1,15 +1,23 @@
-// Slab-allocated priority event queue for the discrete-event kernel.
+// Slab-allocated event queue for the discrete-event kernel, with a choice of
+// two ordering backends.
 //
 // Events are ordered by (timestamp, insertion sequence) which makes execution
 // order fully deterministic: two events scheduled for the same instant run in
-// the order they were scheduled.
+// the order they were scheduled. Both backends produce the identical pop
+// sequence; they differ only in asymptotics:
 //
-// Storage is a slab of reusable slots indexed by a 4-ary min-heap of slot
-// ids. An EventHandle is a (slot, generation) pair: cancellation is O(1) — a
+//   kHeap  -- 4-ary min-heap of slot ids: O(log n) push/pop. Lowest constant
+//             factors at small queue sizes.
+//   kWheel -- hierarchical timing wheel (timer_wheel.hpp): O(1) push,
+//             amortized O(1) pop. Flat cost out to millions of pending
+//             timers; the default (override with TEDGE_EVENT_BACKEND=heap).
+//
+// Storage is a slab of reusable slots referenced by the backend structure. An
+// EventHandle is a (slot, generation) pair: cancellation is O(1) — a
 // generation-checked flag write, no allocation, no shared_ptr traffic — and a
 // handle held across slot reuse can never cancel the wrong event because the
 // generation is bumped when the slot is recycled. Cancelled events stay in
-// the heap and are discarded lazily when they surface.
+// the backend as tombstones and are discarded lazily when they surface.
 //
 // Events may be marked `daemon` (housekeeping periodics such as cache
 // sweeps): they execute normally while user events are pending, but
@@ -26,11 +34,18 @@
 #include <vector>
 
 #include "simcore/time.hpp"
+#include "simcore/timer_wheel.hpp"
 #include "simcore/unique_function.hpp"
 
 namespace tedge::sim {
 
 class EventQueue;
+
+/// Which ordering structure backs an EventQueue.
+enum class QueueBackend : std::uint8_t {
+    kHeap,   ///< slab 4-ary min-heap: O(log n) push/pop
+    kWheel,  ///< hierarchical timing wheel: O(1) push, amortized O(1) pop
+};
 
 /// Handle to a scheduled event; allows cancellation before it fires.
 class EventHandle {
@@ -55,18 +70,28 @@ private:
     std::uint32_t generation_ = 0;
 };
 
-/// 4-ary min-heap of timestamped callbacks over a reusable slot slab.
+/// Deterministic timestamped callback queue over a reusable slot slab.
 class EventQueue {
 public:
     using Callback = UniqueFunction<void()>;
 
-    EventQueue() { heap_.resize(kRoot); } // physical pad before the root
+    explicit EventQueue(QueueBackend backend = default_backend()) : backend_(backend) {
+        store_.heap.resize(kRoot); // physical pad before the heap root
+    }
+
+    /// Process-wide default backend: the wheel, unless the environment
+    /// variable TEDGE_EVENT_BACKEND is set to "heap" or "wheel".
+    [[nodiscard]] static QueueBackend default_backend();
+
+    [[nodiscard]] QueueBackend backend() const { return backend_; }
 
     /// Schedule `cb` to fire at absolute time `at`. Daemon events run like
-    /// any other but do not keep Simulation::run() alive on their own.
+    /// any other but do not keep Simulation::run() alive on their own. The
+    /// wheel backend requires `at` to be non-negative and not precede the
+    /// most recently popped timestamp (Simulation guarantees both).
     EventHandle push(SimTime at, Callback cb, bool daemon = false);
 
-    /// True when no live events remain. May lazily discard cancelled events.
+    /// True when no live events remain (cancelled tombstones do not count).
     [[nodiscard]] bool empty() const { return live_ == 0; }
 
     /// Number of live (scheduled, not cancelled) events.
@@ -75,7 +100,8 @@ public:
     /// True while at least one live non-daemon event remains.
     [[nodiscard]] bool has_user_events() const { return live_user_ > 0; }
 
-    /// Timestamp of the earliest live event. Requires !empty().
+    /// Timestamp of the earliest live event. Requires !empty(). May lazily
+    /// discard cancelled tombstones (see the Store member note).
     [[nodiscard]] SimTime next_time() const;
 
     /// Remove and return the earliest live event. Requires !empty().
@@ -83,6 +109,12 @@ public:
 
     /// Drop all events.
     void clear();
+
+    /// Pre-size the slot slab (and, on the heap backend, the heap array) for
+    /// `events` concurrently pending events, avoiding vector-growth stalls
+    /// mid-run. The wheel needs no pre-sizing: its buckets reach steady-state
+    /// capacity within one rotation and are recycled thereafter.
+    void reserve(std::size_t events);
 
     /// Total number of events ever scheduled (for diagnostics/determinism checks).
     [[nodiscard]] std::uint64_t total_scheduled() const { return seq_; }
@@ -94,7 +126,7 @@ private:
 
     struct Slot {
         Callback cb;
-        std::uint64_t seq = 0;  ///< insertion sequence; heap tie-break key
+        std::uint64_t seq = 0;  ///< insertion sequence; ordering tie-break key
         std::uint32_t generation = 0;
         std::uint32_t next_free = kInvalid;
         bool daemon = false;
@@ -115,33 +147,53 @@ private:
     static std::size_t heap_parent(std::size_t i) { return i / 4 + 2; }
     static std::size_t heap_child(std::size_t i) { return 4 * i - 8; }
 
+    // Event storage shared by both backends. Const accessors (next_time,
+    // empty-adjacent queries) lazily discard cancelled tombstones as they
+    // surface; that housekeeping changes no observable state (live counts,
+    // next live event), so the store is mutable and the accessors stay
+    // honest const — no const_cast.
+    struct Store {
+        std::vector<Slot> slots;
+        std::vector<HeapEntry> heap;  ///< kHeap: physical indices kRoot.. hold entries
+        TimerWheel wheel;             ///< kWheel: hierarchical bucket array
+        std::uint32_t free_head = kInvalid;
+        std::size_t dead = 0;  ///< cancelled tombstones still filed in the backend
+    };
+
     [[nodiscard]] bool entry_earlier(const HeapEntry& a, const HeapEntry& b) const {
         if (a.at != b.at) return a.at < b.at;
-        return slots_[a.slot].seq < slots_[b.slot].seq;
+        return store_.slots[a.slot].seq < store_.slots[b.slot].seq;
     }
-    [[nodiscard]] bool heap_empty() const { return heap_.size() <= kRoot; }
+    [[nodiscard]] bool heap_empty() const { return store_.heap.size() <= kRoot; }
 
     void cancel_slot(std::uint32_t slot, std::uint32_t generation);
     [[nodiscard]] bool slot_pending(std::uint32_t slot, std::uint32_t generation) const;
 
     std::uint32_t acquire_slot();
-    void release_slot(std::uint32_t slot);
+    void release_slot(std::uint32_t slot) const;
 
-    void sift_up(std::size_t i);
-    void sift_down(std::size_t i);
-    // Discard cancelled events that have surfaced at the heap top. Purely
-    // housekeeping: observable state (live counts, next live event) is
-    // unchanged, so const accessors may invoke it via const_cast.
-    void drop_dead();
-    void pop_top();
+    void sift_up(std::size_t i) const;
+    void sift_down(std::size_t i) const;
+    // Discard cancelled events that have surfaced at the heap top.
+    void drop_dead() const;
+    void pop_top() const;
 
-    std::vector<Slot> slots_;
-    std::vector<HeapEntry> heap_;  ///< physical indices kRoot.. hold entries
-    std::uint32_t free_head_ = kInvalid;
+    // Drop filter handed to the wheel: true for cancelled entries, releasing
+    // their slot as the wheel removes them.
+    [[nodiscard]] auto dead_filter() const {
+        return [this](std::uint32_t slot) {
+            if (!store_.slots[slot].cancelled) return false;
+            release_slot(slot);
+            --store_.dead;
+            return true;
+        };
+    }
+
+    mutable Store store_;
+    QueueBackend backend_;
     std::uint64_t seq_ = 0;
     std::size_t live_ = 0;
     std::size_t live_user_ = 0;
-    std::size_t dead_ = 0;  ///< cancelled tombstones still in the heap
 };
 
 // ---------------------------------------------------------------------------
@@ -150,103 +202,137 @@ private:
 // experiment replay.
 
 inline std::uint32_t EventQueue::acquire_slot() {
-    if (free_head_ != kInvalid) {
-        const std::uint32_t slot = free_head_;
-        free_head_ = slots_[slot].next_free;
+    if (store_.free_head != kInvalid) {
+        const std::uint32_t slot = store_.free_head;
+        store_.free_head = store_.slots[slot].next_free;
         return slot;
     }
-    slots_.emplace_back();
-    return static_cast<std::uint32_t>(slots_.size() - 1);
+    store_.slots.emplace_back();
+    return static_cast<std::uint32_t>(store_.slots.size() - 1);
 }
 
-inline void EventQueue::release_slot(std::uint32_t slot) {
-    Slot& s = slots_[slot];
+inline void EventQueue::release_slot(std::uint32_t slot) const {
+    Slot& s = store_.slots[slot];
     s.cb = nullptr;
     s.in_use = false;
     s.cancelled = false;
     // Bump the generation so stale handles to the old occupant can neither
     // cancel nor observe the slot's next tenant.
     ++s.generation;
-    s.next_free = free_head_;
-    free_head_ = slot;
+    s.next_free = store_.free_head;
+    store_.free_head = slot;
 }
 
-inline void EventQueue::sift_up(std::size_t i) {
-    const HeapEntry moving = heap_[i];
+inline void EventQueue::sift_up(std::size_t i) const {
+    auto& heap = store_.heap;
+    const HeapEntry moving = heap[i];
     while (i > kRoot) {
         const std::size_t parent = heap_parent(i);
-        if (!entry_earlier(moving, heap_[parent])) break;
-        heap_[i] = heap_[parent];
+        if (!entry_earlier(moving, heap[parent])) break;
+        heap[i] = heap[parent];
         i = parent;
     }
-    heap_[i] = moving;
+    heap[i] = moving;
 }
 
-inline void EventQueue::sift_down(std::size_t i) {
-    const std::size_t n = heap_.size();
-    const HeapEntry moving = heap_[i];
+inline void EventQueue::sift_down(std::size_t i) const {
+    auto& heap = store_.heap;
+    const std::size_t n = heap.size();
+    const HeapEntry moving = heap[i];
     for (;;) {
         const std::size_t first = heap_child(i);
         if (first >= n) break;
         std::size_t best = first;
         const std::size_t last = first + 4 < n ? first + 4 : n;
         for (std::size_t c = first + 1; c < last; ++c) {
-            if (entry_earlier(heap_[c], heap_[best])) best = c;
+            if (entry_earlier(heap[c], heap[best])) best = c;
         }
-        if (!entry_earlier(heap_[best], moving)) break;
-        heap_[i] = heap_[best];
+        if (!entry_earlier(heap[best], moving)) break;
+        heap[i] = heap[best];
         i = best;
     }
-    heap_[i] = moving;
+    heap[i] = moving;
 }
 
-inline void EventQueue::pop_top() {
-    heap_[kRoot] = heap_.back();
-    heap_.pop_back();
+inline void EventQueue::pop_top() const {
+    store_.heap[kRoot] = store_.heap.back();
+    store_.heap.pop_back();
     if (!heap_empty()) sift_down(kRoot);
 }
 
-inline void EventQueue::drop_dead() {
-    if (dead_ == 0) return; // common case: no tombstones, no slab probe
-    while (!heap_empty() && slots_[heap_[kRoot].slot].cancelled) {
-        release_slot(heap_[kRoot].slot);
+inline void EventQueue::drop_dead() const {
+    if (store_.dead == 0) return; // common case: no tombstones, no slab probe
+    while (!heap_empty() && store_.slots[store_.heap[kRoot].slot].cancelled) {
+        release_slot(store_.heap[kRoot].slot);
         pop_top();
-        --dead_;
+        --store_.dead;
     }
 }
 
 inline EventHandle EventQueue::push(SimTime at, Callback cb, bool daemon) {
+    if (backend_ == QueueBackend::kWheel &&
+        (at.ns() < 0 ||
+         static_cast<std::uint64_t>(at.ns()) < store_.wheel.current())) {
+        throw std::invalid_argument(
+            "EventQueue(wheel): timestamp negative or before the last popped event");
+    }
     const std::uint32_t slot = acquire_slot();
-    Slot& s = slots_[slot];
+    Slot& s = store_.slots[slot];
     s.cb = std::move(cb);
     s.seq = seq_++;
     s.daemon = daemon;
     s.cancelled = false;
     s.in_use = true;
-    heap_.push_back(HeapEntry{at, slot});
-    sift_up(heap_.size() - 1);
+    if (backend_ == QueueBackend::kHeap) {
+        store_.heap.push_back(HeapEntry{at, slot});
+        sift_up(store_.heap.size() - 1);
+    } else {
+        store_.wheel.push(static_cast<std::uint64_t>(at.ns()), s.seq, slot);
+    }
     ++live_;
     if (!daemon) ++live_user_;
     return EventHandle{this, slot, s.generation};
 }
 
 inline std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
-    drop_dead();
-    if (heap_empty()) throw std::logic_error("EventQueue::pop on empty queue");
-    const std::uint32_t slot = heap_[kRoot].slot;
-    Slot& s = slots_[slot];
-    std::pair<SimTime, Callback> out{heap_[kRoot].at, std::move(s.cb)};
+    if (backend_ == QueueBackend::kHeap) {
+        drop_dead();
+        if (heap_empty()) throw std::logic_error("EventQueue::pop on empty queue");
+        const std::uint32_t slot = store_.heap[kRoot].slot;
+        Slot& s = store_.slots[slot];
+        std::pair<SimTime, Callback> out{store_.heap[kRoot].at, std::move(s.cb)};
+        --live_;
+        if (!s.daemon) --live_user_;
+        release_slot(slot); // handle now reports "not pending"
+        pop_top();
+        return out; // NRVO: no extra callback relocation
+    }
+    TimerWheel::Entry entry{};
+    if (!store_.wheel.pop_min(dead_filter(), entry)) {
+        throw std::logic_error("EventQueue::pop on empty queue");
+    }
+    Slot& s = store_.slots[entry.slot];
+    std::pair<SimTime, Callback> out{SimTime{static_cast<std::int64_t>(entry.at)},
+                                     std::move(s.cb)};
     --live_;
     if (!s.daemon) --live_user_;
-    release_slot(slot); // handle now reports "not pending"
-    pop_top();
-    return out; // NRVO: no extra callback relocation
+    release_slot(entry.slot);
+    return out;
 }
 
 inline SimTime EventQueue::next_time() const {
-    const_cast<EventQueue*>(this)->drop_dead();
-    if (heap_empty()) throw std::logic_error("EventQueue::next_time on empty queue");
-    return heap_[kRoot].at;
+    if (backend_ == QueueBackend::kHeap) {
+        drop_dead();
+        if (heap_empty()) {
+            throw std::logic_error("EventQueue::next_time on empty queue");
+        }
+        return store_.heap[kRoot].at;
+    }
+    std::uint64_t at = 0;
+    if (!store_.wheel.min_time(dead_filter(), at)) {
+        throw std::logic_error("EventQueue::next_time on empty queue");
+    }
+    return SimTime{static_cast<std::int64_t>(at)};
 }
 
 } // namespace tedge::sim

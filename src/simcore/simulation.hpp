@@ -27,11 +27,23 @@ class Tracer;
 
 class Simulation {
 public:
+    /// The event-queue backend defaults to EventQueue::default_backend()
+    /// (the timing wheel unless TEDGE_EVENT_BACKEND overrides it); pass one
+    /// explicitly to pin a run to a specific backend, e.g. for differential
+    /// determinism tests or heap-vs-wheel benchmarks.
     Simulation() = default;
+    explicit Simulation(QueueBackend backend) : queue_(backend) {}
 
     // The kernel is referenced by every component; it must not move.
     Simulation(const Simulation&) = delete;
     Simulation& operator=(const Simulation&) = delete;
+
+    /// Backend the event queue is running on.
+    [[nodiscard]] QueueBackend backend() const { return queue_.backend(); }
+
+    /// Pre-size the kernel for `events` concurrently pending events (see
+    /// EventQueue::reserve). Call before the run when the peak is known.
+    void reserve_events(std::size_t events) { queue_.reserve(events); }
 
     /// Current virtual time.
     [[nodiscard]] SimTime now() const { return now_; }

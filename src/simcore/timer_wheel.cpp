@@ -1,0 +1,49 @@
+// Cold path of the timing wheel: staging the earliest bucket when the
+// current instant's group has drained. Runs once per distinct timestamp (not
+// once per event), so it lives out of line; the per-event paths are inline in
+// the header.
+#include "simcore/timer_wheel.hpp"
+
+namespace tedge::sim {
+
+void TimerWheel::stage(int level, std::size_t idx) {
+    Bucket& bucket = buckets_[level][idx];
+    clear_bucket_bit(level, idx);
+    // ready_ is empty here (pop_min only advances after draining it); the
+    // swap steals the bucket's storage and donates ready_'s retained
+    // capacity to the bucket's next tenant.
+    ready_.swap(bucket);
+    ready_head_ = 0;
+    if (ready_.size() == 1) {
+        // The common steady-state shape -- one timer per instant -- needs no
+        // min scan, no re-filing, and no sort.
+        cur_ = ready_.front().at;
+        return;
+    }
+    if (level > 0) {
+        // Higher-level buckets span a timestamp range: the minimum becomes
+        // the new reference instant and everything later re-files. A
+        // bucket-mate shares all bits at and above this level's field with
+        // the new cur_, so it lands strictly below `level` -- each entry
+        // cascades at most kLevels times over its lifetime.
+        std::uint64_t best = ready_.front().at;
+        for (const Entry& e : ready_) best = std::min(best, e.at);
+        cur_ = best;
+        std::size_t w = 0;
+        for (const Entry& e : ready_) {
+            if (e.at == cur_) {
+                ready_[w++] = e;
+            } else {
+                file(e);
+            }
+        }
+        ready_.resize(w);
+    } else {
+        // A level-0 bucket holds exactly one timestamp.
+        cur_ = ready_.front().at;
+    }
+    std::sort(ready_.begin(), ready_.end(),
+              [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+}
+
+} // namespace tedge::sim

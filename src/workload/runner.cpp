@@ -26,6 +26,15 @@ MetricsCollector& TraceRunner::replay(RequestStream& stream,
     auto& sim = platform_.simulation();
     HttpClient client(platform_.network(), metrics_);
 
+    // Pre-size the kernel slab when the stream announces its length. The
+    // pump holds one pending arrival, but each issued request fans out into
+    // a burst of in-flight network/deployment events; cap the hint so a
+    // million-request stream does not reserve slots it will never use
+    // concurrently.
+    if (const auto announced = stream.total()) {
+        sim.reserve_events(std::min<std::uint64_t>(*announced, 65536));
+    }
+
     // Trace times are relative to the start of the replay, not to the
     // simulation epoch (setup work may already have consumed virtual time).
     const sim::SimTime offset = sim.now();

@@ -1,0 +1,353 @@
+// Timer-wheel backend: differential determinism against the heap backend,
+// wheel-specific edge cases (cascading, deadline peeks, rewind-after-clear),
+// and the EventQueue::clear() cold path on both backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/simulation.hpp"
+
+namespace {
+
+using namespace tedge;
+using sim::EventHandle;
+using sim::EventQueue;
+using sim::QueueBackend;
+using sim::SimTime;
+
+std::string backend_name(QueueBackend backend) {
+    return backend == QueueBackend::kHeap ? "heap" : "wheel";
+}
+
+// ------------------------------------------------------------ differential
+
+/// One fired event as observed by the caller: (timestamp, id, daemon flag).
+using PopRecord = std::tuple<std::int64_t, int, bool>;
+
+/// Drive a raw EventQueue through a seeded random schedule/cancel/pop
+/// workload and record the exact pop sequence. Delays mix five magnitudes --
+/// same-instant collisions up to ~17 simulated minutes -- so wheel entries
+/// exercise every level and the cascade path repeatedly.
+std::vector<PopRecord> run_random_workload(QueueBackend backend,
+                                           std::uint32_t seed) {
+    EventQueue queue(backend);
+    std::mt19937 rng(seed);
+    std::vector<PopRecord> popped;
+    std::vector<EventHandle> handles;
+    std::int64_t now = 0;
+    int next_id = 0;
+
+    const auto random_delay = [&]() -> std::int64_t {
+        switch (rng() % 5) {
+            case 0: return 0; // same-instant pile-up
+            case 1: return static_cast<std::int64_t>(rng() % 64);
+            case 2: return static_cast<std::int64_t>(rng() % 4096) * 250;
+            case 3: return static_cast<std::int64_t>(rng() % 1024) * 1'000'000;
+            default:
+                return static_cast<std::int64_t>(rng() % 1024) * 1'000'000'000;
+        }
+    };
+
+    for (int round = 0; round < 300; ++round) {
+        const std::size_t pushes = rng() % 8;
+        for (std::size_t i = 0; i < pushes; ++i) {
+            const int id = next_id++;
+            const bool daemon = rng() % 4 == 0;
+            const SimTime at{now + random_delay()};
+            handles.push_back(queue.push(
+                at,
+                [&popped, id, daemon, at] {
+                    popped.emplace_back(at.ns(), id, daemon);
+                },
+                daemon));
+        }
+        const std::size_t cancels = rng() % 3;
+        for (std::size_t i = 0; i < cancels && !handles.empty(); ++i) {
+            handles[rng() % handles.size()].cancel();
+        }
+        if (round % 7 == 0 && !queue.empty()) {
+            // Exercise the non-destructive minimum (heap drop_dead / wheel
+            // min cache) interleaved with later smaller-timestamp pushes.
+            popped.emplace_back(queue.next_time().ns(), -1, false);
+        }
+        std::size_t pops = rng() % 6;
+        while (pops-- > 0 && !queue.empty()) {
+            auto [at, cb] = queue.pop();
+            now = at.ns();
+            cb();
+        }
+    }
+    while (!queue.empty()) {
+        auto [at, cb] = queue.pop();
+        now = at.ns();
+        cb();
+    }
+    EXPECT_EQ(queue.size(), 0u);
+    return popped;
+}
+
+TEST(TimerWheelDifferential, PopSequenceMatchesHeapExactly) {
+    for (const std::uint32_t seed : {1u, 7u, 42u, 1234u, 99999u}) {
+        const auto heap = run_random_workload(QueueBackend::kHeap, seed);
+        const auto wheel = run_random_workload(QueueBackend::kWheel, seed);
+        ASSERT_EQ(heap.size(), wheel.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < heap.size(); ++i) {
+            ASSERT_EQ(heap[i], wheel[i]) << "seed " << seed << " index " << i;
+        }
+    }
+}
+
+TEST(TimerWheelDifferential, SimulationReferenceScheduleMatches) {
+    // A Simulation-level workload with periodics, nested schedules and
+    // cancellations must execute identically on both backends.
+    const auto run = [](QueueBackend backend) {
+        sim::Simulation simulation(backend);
+        std::vector<std::pair<std::int64_t, int>> order;
+        const auto mark = [&](int id) {
+            order.emplace_back(simulation.now().ns(), id);
+        };
+        auto periodic = simulation.schedule_periodic(
+            sim::milliseconds(250), [&] { mark(1); }, /*daemon=*/true);
+        simulation.schedule(sim::seconds(1), [&] {
+            mark(2);
+            simulation.schedule(sim::milliseconds(1), [&] { mark(3); });
+            simulation.schedule(SimTime::zero(), [&] { mark(4); });
+        });
+        auto doomed = simulation.schedule(sim::seconds(2), [&] { mark(99); });
+        simulation.schedule(sim::milliseconds(1500), [&doomed, &mark] {
+            mark(5);
+            doomed.cancel();
+        });
+        simulation.schedule(sim::seconds(3), [&] { mark(6); });
+        const auto executed = simulation.run();
+        periodic.cancel();
+        return std::make_pair(executed, order);
+    };
+    const auto heap = run(QueueBackend::kHeap);
+    const auto wheel = run(QueueBackend::kWheel);
+    EXPECT_EQ(heap.first, wheel.first);
+    ASSERT_EQ(heap.second.size(), wheel.second.size());
+    EXPECT_EQ(heap.second, wheel.second);
+}
+
+// --------------------------------------------------------- wheel specifics
+
+TEST(TimerWheel, SameInstantFifoAcrossCascadeLevels) {
+    // First event files far from the reference instant (high wheel level);
+    // after the wheel advances, a second event for the same instant files
+    // near it (low level). Seq order must still win.
+    EventQueue queue(QueueBackend::kWheel);
+    std::vector<int> order;
+    constexpr std::int64_t kFar = 3'000'000'000; // 3 s: level > 0 from t=0
+    queue.push(SimTime{kFar}, [&] { order.push_back(1); });
+    queue.push(SimTime{1}, [&] { order.push_back(0); });
+    (void)queue.pop().second(); // fires t=1, advances the reference instant
+    queue.push(SimTime{kFar}, [&] { order.push_back(2); });
+    while (!queue.empty()) queue.pop().second();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TimerWheel, PushEarlierThanPeekedMinimum) {
+    // run_until consults next_time(), stops short of it, and later events may
+    // be pushed *below* the pending minimum. The wheel must not have
+    // advanced its reference instant during the peek.
+    for (const auto backend : {QueueBackend::kHeap, QueueBackend::kWheel}) {
+        sim::Simulation simulation(backend);
+        std::vector<int> order;
+        simulation.schedule_at(sim::seconds(10), [&] { order.push_back(1); });
+        simulation.run_until(sim::seconds(1)); // peeks 10s, stops at 1s
+        EXPECT_EQ(simulation.now(), sim::seconds(1));
+        simulation.schedule_at(sim::seconds(2), [&] { order.push_back(0); });
+        simulation.run();
+        EXPECT_EQ(order, (std::vector<int>{0, 1})) << backend_name(backend);
+        EXPECT_EQ(simulation.now(), sim::seconds(10)) << backend_name(backend);
+    }
+}
+
+TEST(TimerWheel, CancelledMinimumIsSkippedByNextTime) {
+    for (const auto backend : {QueueBackend::kHeap, QueueBackend::kWheel}) {
+        EventQueue queue(backend);
+        auto first = queue.push(sim::seconds(1), [] {});
+        queue.push(sim::seconds(2), [] {});
+        EXPECT_EQ(queue.next_time(), sim::seconds(1));
+        first.cancel();
+        EXPECT_EQ(queue.next_time(), sim::seconds(2)) << backend_name(backend);
+        EXPECT_EQ(queue.pop().first, sim::seconds(2)) << backend_name(backend);
+    }
+}
+
+TEST(TimerWheel, RejectsTimestampBeforeLastPop) {
+    EventQueue queue(QueueBackend::kWheel);
+    queue.push(sim::seconds(5), [] {});
+    (void)queue.pop();
+    EXPECT_THROW(queue.push(sim::seconds(4), [] {}), std::invalid_argument);
+    EXPECT_THROW(queue.push(SimTime{-1}, [] {}), std::invalid_argument);
+    queue.push(sim::seconds(5), [] {}); // same instant is legal
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(TimerWheel, DistantTimersAcrossManyLevels) {
+    // Timestamps spanning ns..~11.5 days exercise most levels of the wheel.
+    EventQueue queue(QueueBackend::kWheel);
+    std::vector<std::int64_t> ats;
+    std::int64_t at = 1;
+    while (at < 1'000'000'000'000'000) { // 10^15 ns
+        ats.push_back(at);
+        at *= 10;
+    }
+    std::mt19937 rng(7);
+    auto shuffled = ats;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    for (const auto t : shuffled) {
+        queue.push(SimTime{t}, [] {});
+    }
+    std::vector<std::int64_t> popped;
+    while (!queue.empty()) popped.push_back(queue.pop().first.ns());
+    EXPECT_EQ(popped, ats);
+}
+
+TEST(TimerWheel, BackendAccessorsReport) {
+    sim::Simulation heap_sim(QueueBackend::kHeap);
+    sim::Simulation wheel_sim(QueueBackend::kWheel);
+    EXPECT_EQ(heap_sim.backend(), QueueBackend::kHeap);
+    EXPECT_EQ(wheel_sim.backend(), QueueBackend::kWheel);
+}
+
+// ------------------------------------------------------------------ clear()
+
+class EventQueueClearTest : public ::testing::TestWithParam<QueueBackend> {};
+
+TEST_P(EventQueueClearTest, DropsLiveDaemonAndCancelledMixes) {
+    EventQueue queue(GetParam());
+    int fired = 0;
+    auto user = queue.push(sim::seconds(1), [&] { ++fired; });
+    auto daemon = queue.push(sim::seconds(2), [&] { ++fired; }, /*daemon=*/true);
+    auto cancelled = queue.push(sim::seconds(3), [&] { ++fired; });
+    cancelled.cancel();
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_TRUE(queue.has_user_events());
+
+    queue.clear();
+
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+    EXPECT_FALSE(queue.has_user_events());
+    EXPECT_EQ(fired, 0);
+    EXPECT_THROW(static_cast<void>(queue.next_time()), std::logic_error);
+    EXPECT_THROW(queue.pop(), std::logic_error);
+    // Counting is unaffected: total_scheduled is a lifetime counter.
+    EXPECT_EQ(queue.total_scheduled(), 3u);
+    (void)user;
+    (void)daemon;
+}
+
+TEST_P(EventQueueClearTest, HandlesToClearedEventsAreInert) {
+    EventQueue queue(GetParam());
+    auto live = queue.push(sim::seconds(1), [] {});
+    auto daemon = queue.push(sim::seconds(2), [] {}, /*daemon=*/true);
+    EXPECT_TRUE(live.pending());
+    EXPECT_TRUE(daemon.pending());
+
+    queue.clear();
+
+    EXPECT_FALSE(live.pending());
+    EXPECT_FALSE(daemon.pending());
+    // cancel() after clear must be a no-op -- in particular it must not
+    // perturb live counts or a new tenant reusing the slot.
+    live.cancel();
+    daemon.cancel();
+    EXPECT_EQ(queue.size(), 0u);
+
+    int fired = 0;
+    queue.push(sim::seconds(5), [&] { ++fired; });
+    live.cancel(); // stale generation: still a no-op
+    EXPECT_EQ(queue.size(), 1u);
+    auto [at, cb] = queue.pop();
+    cb();
+    EXPECT_EQ(at, sim::seconds(5));
+    EXPECT_EQ(fired, 1);
+}
+
+TEST_P(EventQueueClearTest, QueueIsReusableAfterClearIncludingEarlierTimes) {
+    EventQueue queue(GetParam());
+    queue.push(sim::seconds(100), [] {});
+    (void)queue.pop(); // wheel reference instant now 100 s
+    queue.push(sim::seconds(200), [] {});
+    queue.clear();
+    // After clear the queue is empty, so scheduling may rewind to any
+    // non-negative time again (a fresh Simulation run from t=0).
+    std::vector<std::int64_t> order;
+    queue.push(sim::seconds(2), [&] { order.push_back(2); });
+    queue.push(sim::seconds(1), [&] { order.push_back(1); });
+    while (!queue.empty()) queue.pop().second();
+    EXPECT_EQ(order, (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST_P(EventQueueClearTest, ClearOnEmptyQueueIsNoOp) {
+    EventQueue queue(GetParam());
+    queue.clear();
+    EXPECT_TRUE(queue.empty());
+    queue.push(sim::seconds(1), [] {});
+    queue.clear();
+    queue.clear(); // idempotent
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.total_scheduled(), 1u);
+}
+
+TEST_P(EventQueueClearTest, ClearAfterPartialDrainResetsCounters) {
+    EventQueue queue(GetParam());
+    for (int i = 0; i < 8; ++i) {
+        queue.push(sim::seconds(i + 1), [] {}, /*daemon=*/i % 2 == 0);
+    }
+    for (int i = 0; i < 3; ++i) (void)queue.pop();
+    auto doomed = queue.push(sim::seconds(30), [] {});
+    doomed.cancel();
+    queue.clear();
+    EXPECT_TRUE(queue.empty());
+    EXPECT_FALSE(queue.has_user_events());
+    // Slots freed by clear are recycled for new pushes.
+    auto handle = queue.push(sim::seconds(1), [] {});
+    EXPECT_TRUE(handle.pending());
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventQueueClearTest,
+                         ::testing::Values(QueueBackend::kHeap,
+                                           QueueBackend::kWheel),
+                         [](const auto& info) {
+                             return backend_name(info.param);
+                         });
+
+// ------------------------------------------------------------- reserve()
+
+TEST(EventQueueReserve, ReserveDoesNotChangeObservableState) {
+    for (const auto backend : {QueueBackend::kHeap, QueueBackend::kWheel}) {
+        EventQueue queue(backend);
+        queue.push(sim::seconds(2), [] {});
+        queue.reserve(10'000);
+        queue.push(sim::seconds(1), [] {});
+        EXPECT_EQ(queue.size(), 2u) << backend_name(backend);
+        EXPECT_EQ(queue.next_time(), sim::seconds(1)) << backend_name(backend);
+        EXPECT_EQ(queue.pop().first, sim::seconds(1)) << backend_name(backend);
+        EXPECT_EQ(queue.pop().first, sim::seconds(2)) << backend_name(backend);
+    }
+}
+
+TEST(EventQueueReserve, SimulationForwardsReserve) {
+    sim::Simulation simulation;
+    simulation.reserve_events(4096);
+    int fired = 0;
+    for (int i = 0; i < 100; ++i) {
+        simulation.schedule(sim::milliseconds(i), [&] { ++fired; });
+    }
+    simulation.run();
+    EXPECT_EQ(fired, 100);
+}
+
+} // namespace
