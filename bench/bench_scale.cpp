@@ -23,9 +23,20 @@
 // a JSON library). `--baseline <file>` exits non-zero when any point's
 // events/s drops more than 20% below the baseline (the CI gate).
 //
+// The sweep has a shard dimension (--shards, default "1,2,8"): shards=1 is
+// the serial kernel exactly as before (the legacy baseline rows), shards=N>1
+// runs the sharded control plane -- N edge domains each owning a FlowMemory
+// partition and its own Poisson pump, plus a central controller domain
+// receiving periodic digests over the conservative lookahead link -- under
+// ShardedSimulation. Shard counts > 1 sweep on the wheel backend only (the
+// heap rows exist to compare queue backends, not kernels). JSON points carry
+// a "shards" field; baselines written before the field existed parse as
+// shards=1.
+//
 // Flags: --quick (skip the 1M row and the RSS comparison: CI),
 //        --backend heap|wheel|both (event-queue backend to sweep; default
 //        wheel, `both` additionally prints a heap-vs-wheel table),
+//        --shards <csv> (shard counts to sweep, default 1,2,8),
 //        --out <file>, --baseline <file>.
 #include <algorithm>
 #include <chrono>
@@ -37,6 +48,7 @@
 #include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -49,7 +61,9 @@
 
 #include "common.hpp"
 #include "net/address.hpp"
+#include "sdn/control_plane_shard.hpp"
 #include "sdn/flow_memory.hpp"
+#include "simcore/sharded_simulation.hpp"
 #include "simcore/simulation.hpp"
 #include "workload/metrics.hpp"
 #include "workload/stream.hpp"
@@ -92,6 +106,11 @@ net::ServiceAddress address_for(std::uint32_t service) {
 constexpr std::uint32_t kClusters = 2;
 constexpr sim::SimTime kIdleTimeout = sim::seconds(600);
 constexpr sim::SimTime kScanPeriod = sim::seconds(5);
+/// Site-to-controller access latency: the partition's minimum cut-link
+/// latency, i.e. the conservative lookahead of the sharded sweep points.
+constexpr sim::SimTime kAccessLatency = sim::milliseconds(25);
+/// How often each edge shard reports a digest to the controller domain.
+constexpr sim::SimTime kDigestPeriod = sim::seconds(1);
 
 // --------------------------------------------------------------- fork glue
 
@@ -131,6 +150,7 @@ struct SweepPoint {
     std::size_t flows = 0;
     std::uint32_t services = 0;
     sim::QueueBackend backend = sim::QueueBackend::kWheel;
+    std::size_t shards = 1;  ///< 1 = serial kernel, > 1 = sharded control plane
 };
 
 const char* backend_str(sim::QueueBackend backend) {
@@ -149,6 +169,8 @@ struct PointResult {
     long rss_kb = 0;
     std::uint64_t idle_notifications = 0;
     std::uint64_t peak_live_flows = 0;
+    std::uint64_t sync_rounds = 0;  ///< barrier rounds (sharded points only)
+    std::uint64_t digests = 0;      ///< digests the controller received
 };
 
 /// Fill a FlowMemory with `point.flows` live flows through the event kernel:
@@ -291,16 +313,185 @@ PointResult run_point_once(const SweepPoint& point) {
     return result;
 }
 
+/// The sharded control plane at `point.shards` edge sites: one sim::Domain
+/// per site, each owning a ControlPlaneShard (its slice of the flow table)
+/// and its own Poisson pump over a disjoint client-ip range, plus a central
+/// controller domain whose aggregator receives periodic digests across the
+/// kAccessLatency cut links. The whole ensemble runs under ShardedSimulation
+/// with the conservative lookahead = kAccessLatency; results are
+/// deterministic at any worker count.
+PointResult run_point_sharded_once(const SweepPoint& point) {
+    PointResult result;
+    const std::size_t num_shards = point.shards;
+
+    sim::ShardedSimulation::Options kernel;
+    kernel.seed = 42;
+    kernel.backend = point.backend;
+    kernel.lookahead = kAccessLatency;
+    sim::ShardedSimulation sharded(kernel);
+
+    std::vector<sim::Domain*> edges;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+        edges.push_back(&sharded.add_domain("edge" + std::to_string(s)));
+    }
+    sim::Domain& controller = sharded.add_domain("controller");
+    sdn::ControlPlaneAggregator aggregator(controller);
+
+    std::vector<std::string> service_names(point.services);
+    std::vector<net::ServiceAddress> addresses(point.services);
+    for (std::uint32_t s = 0; s < point.services; ++s) {
+        service_names[s] = "svc" + std::to_string(s);
+        addresses[s] = address_for(s);
+    }
+    std::vector<std::string> cluster_names(kClusters);
+    for (std::uint32_t c = 0; c < kClusters; ++c) {
+        cluster_names[c] = "edge" + std::to_string(c);
+    }
+
+    // Same aggregate load as the serial point, split across shard streams:
+    // rate and event budget divide evenly, each shard's arrival sequence is
+    // keyed by its stable domain id.
+    workload::PoissonStream::Options base_stream;
+    base_stream.services = point.services;
+    base_stream.clients = 1024;
+    base_stream.limit = point.flows;
+    base_stream.total_rate_per_s = static_cast<double>(point.flows) / 60.0;
+    base_stream.seed = 42;
+
+    struct Shard {
+        std::unique_ptr<sdn::ControlPlaneShard> plane;
+        std::unique_ptr<workload::PoissonStream> stream;
+        std::unique_ptr<workload::StreamPump> pump;
+        std::size_t installed = 0;
+    };
+    std::vector<Shard> shards(num_shards);
+    std::vector<double> install_ns;
+    install_ns.reserve(point.flows / 64 + 1);
+
+    for (std::size_t s = 0; s < num_shards; ++s) {
+        auto& shard = shards[s];
+        sdn::ControlPlaneShard::Config config;
+        config.flow_memory = {kIdleTimeout, kScanPeriod};
+        config.digest_period = kDigestPeriod;
+        shard.plane = std::make_unique<sdn::ControlPlaneShard>(
+            *edges[s], aggregator, config);
+        const auto stream_options = workload::PoissonStream::shard_options(
+            base_stream, static_cast<std::uint32_t>(s),
+            static_cast<std::uint32_t>(num_shards));
+        shard.plane->memory().reserve(stream_options.limit);
+        shard.stream = std::make_unique<workload::PoissonStream>(stream_options);
+
+        // Disjoint per-shard client-ip blocks keep flows unique within their
+        // shard's slice of the table (a shard never sees another's clients,
+        // exactly like clients homed at different sites).
+        const std::uint32_t ip_base =
+            0xc0000000u + static_cast<std::uint32_t>(s) * 0x01000000u;
+        shard.pump = std::make_unique<workload::StreamPump>(
+            edges[s]->sim(), *shard.stream,
+            [&shard, ip_base, &addresses, &service_names, &cluster_names,
+             &install_ns](const workload::TraceEvent& event,
+                          const std::optional<workload::TraceEvent>& next) {
+                if (next) {
+                    shard.plane->memory().prefetch(
+                        net::Ipv4{ip_base +
+                                  static_cast<std::uint32_t>(shard.installed) + 1},
+                        addresses[next->service]);
+                }
+                const net::Ipv4 client_ip{
+                    ip_base + static_cast<std::uint32_t>(shard.installed)};
+                const bool sampled = (shard.installed % 64) == 0;
+                const auto start = sampled ? Clock::now() : Clock::time_point{};
+                shard.plane->packet_in(client_ip, addresses[event.service],
+                                       service_names[event.service],
+                                       net::NodeId{event.service}, 8000,
+                                       cluster_names[event.client % kClusters]);
+                if (sampled) {
+                    install_ns.push_back(std::chrono::duration<double, std::nano>(
+                                             Clock::now() - start)
+                                             .count());
+                }
+                ++shard.installed;
+            });
+        shard.plane->start();
+        shard.pump->start();
+    }
+
+    const auto fill_start = Clock::now();
+    sharded.run();  // drains every pump; digest daemons ride along
+    const double fill_s = elapsed_s(fill_start);
+    result.events_per_s = static_cast<double>(point.flows) / fill_s;
+    for (const auto& shard : shards) {
+        result.peak_live_flows += shard.plane->memory().size();
+    }
+
+    std::sort(install_ns.begin(), install_ns.end());
+    result.install_p50_ns = percentile(install_ns, 0.50);
+    result.install_p95_ns = percentile(install_ns, 0.95);
+    result.install_p99_ns = percentile(install_ns, 0.99);
+
+    // Control-plane queries now fan out over the shards (the aggregate the
+    // central controller would compute from per-shard answers).
+    constexpr std::size_t kPasses = 4096;
+    volatile std::size_t sink = 0;
+    auto start = Clock::now();
+    for (std::size_t pass = 0; pass < kPasses; ++pass) {
+        for (std::uint32_t s = 0; s < point.services; ++s) {
+            std::size_t total = 0;
+            for (const auto& shard : shards) {
+                total += shard.plane->memory().flows_for_service(service_names[s]);
+            }
+            sink = sink + total;
+        }
+    }
+    result.lookup_ns = std::chrono::duration<double, std::nano>(
+                           Clock::now() - start)
+                           .count() /
+                       static_cast<double>(kPasses * point.services);
+    start = Clock::now();
+    for (std::size_t pass = 0; pass < kPasses; ++pass) {
+        for (std::uint32_t s = 0; s < point.services; ++s) {
+            for (std::uint32_t c = 0; c < kClusters; ++c) {
+                std::size_t total = 0;
+                for (const auto& shard : shards) {
+                    total += shard.plane->memory().flows_for_service(
+                        service_names[s], cluster_names[c]);
+                }
+                sink = sink + total;
+            }
+        }
+    }
+    result.idle_check_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count() /
+        static_cast<double>(kPasses * point.services * kClusters);
+
+    // Expiry sweeps run per shard, in parallel like the fill.
+    const auto expire_start = Clock::now();
+    sharded.run_until(sharded.now() + kIdleTimeout + kScanPeriod * 3);
+    result.expire_per_s =
+        static_cast<double>(point.flows) / elapsed_s(expire_start);
+    for (const auto& shard : shards) {
+        result.idle_notifications += shard.plane->idle_notifications();
+    }
+    result.sync_rounds = sharded.rounds();
+    result.digests = aggregator.digests_received();
+    result.rss_kb = peak_rss_kb();
+    return result;
+}
+
 /// Small points finish in milliseconds, which makes a single fill far too
 /// jittery to gate on (>20% run-to-run). Repeat them and keep the fastest
 /// run; the 1M points are longer but still see host-load spikes, so they get
 /// a smaller repeat count. VmHWM is process-wide and every repeat allocates
 /// the same amount, so the RSS number is unaffected by repetition.
 PointResult run_point(const SweepPoint& point) {
+    const auto once = [&point] {
+        return point.shards > 1 ? run_point_sharded_once(point)
+                                : run_point_once(point);
+    };
     const int repeats = point.flows <= 100'000 ? 5 : 3;
-    PointResult best = run_point_once(point);
+    PointResult best = once();
     for (int i = 1; i < repeats; ++i) {
-        const PointResult run = run_point_once(point);
+        const PointResult run = once();
         if (run.events_per_s > best.events_per_s) best = run;
     }
     return best;
@@ -459,7 +650,10 @@ std::string json_point(const SweepPoint& point, const PointResult& result) {
     out << "    {\"flows\": " << point.flows
         << ", \"services\": " << point.services
         << ", \"backend\": \"" << backend_str(point.backend)
-        << "\", \"events_per_s\": "
+        << "\", \"shards\": " << point.shards
+        << ", \"sync_rounds\": " << result.sync_rounds
+        << ", \"digests\": " << result.digests
+        << ", \"events_per_s\": "
         << static_cast<std::uint64_t>(result.events_per_s)
         << ", \"install_p50_ns\": "
         << static_cast<std::uint64_t>(result.install_p50_ns)
@@ -500,12 +694,13 @@ std::optional<std::string> extract_string(const std::string& line,
     return line.substr(start, end - start);
 }
 
-using BaselineKey = std::tuple<std::size_t, std::uint32_t, std::string>;
+using BaselineKey = std::tuple<std::size_t, std::uint32_t, std::string, std::size_t>;
 
-/// events/s per (flows, services, backend) point parsed from a
+/// events/s per (flows, services, backend, shards) point parsed from a
 /// BENCH_scale.json. Points written before the backend dimension existed
 /// carry no "backend" field; those were measured on the binary heap, so they
-/// gate the heap rows of a newer run.
+/// gate the heap rows of a newer run. Points written before the shard
+/// dimension existed are serial-kernel runs: they parse as shards=1.
 std::map<BaselineKey, double> parse_baseline(const std::string& path) {
     std::map<BaselineKey, double> baseline;
     std::ifstream in(path);
@@ -515,13 +710,32 @@ std::map<BaselineKey, double> parse_baseline(const std::string& path) {
         const auto services = extract_number(line, "services");
         const auto events = extract_number(line, "events_per_s");
         const auto backend = extract_string(line, "backend");
+        const auto shards = extract_number(line, "shards");
         if (flows && services && events) {
             baseline[{static_cast<std::size_t>(*flows),
                       static_cast<std::uint32_t>(*services),
-                      backend.value_or("heap")}] = *events;
+                      backend.value_or("heap"),
+                      static_cast<std::size_t>(shards.value_or(1))}] = *events;
         }
     }
     return baseline;
+}
+
+/// "1,2,8" -> {1, 2, 8}; nullopt on anything non-numeric or non-positive.
+std::optional<std::vector<std::size_t>> parse_shards_csv(const std::string& csv) {
+    std::vector<std::size_t> shards;
+    std::stringstream in(csv);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+        char* end = nullptr;
+        const long value = std::strtol(token.c_str(), &end, 10);
+        if (end == token.c_str() || *end != '\0' || value <= 0) {
+            return std::nullopt;
+        }
+        shards.push_back(static_cast<std::size_t>(value));
+    }
+    if (shards.empty()) return std::nullopt;
+    return shards;
 }
 
 } // namespace
@@ -535,6 +749,7 @@ int main(int argc, char** argv) {
     std::string out_path = "BENCH_scale.json";
     std::string baseline_path;
     std::string backend_arg = "wheel";
+    std::string shards_arg = "1,2,8";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quick") {
@@ -545,12 +760,20 @@ int main(int argc, char** argv) {
             baseline_path = argv[++i];
         } else if (arg == "--backend" && i + 1 < argc) {
             backend_arg = argv[++i];
+        } else if (arg == "--shards" && i + 1 < argc) {
+            shards_arg = argv[++i];
         } else {
             std::cerr << "usage: bench_scale [--quick] "
-                         "[--backend heap|wheel|both] [--out <file>] "
-                         "[--baseline <file>]\n";
+                         "[--backend heap|wheel|both] [--shards <csv>] "
+                         "[--out <file>] [--baseline <file>]\n";
             return 2;
         }
+    }
+    const auto shard_counts = parse_shards_csv(shards_arg);
+    if (!shard_counts) {
+        std::cerr << "bad --shards '" << shards_arg
+                  << "' (expected comma-separated positive integers)\n";
+        return 2;
     }
     std::vector<sim::QueueBackend> backends;
     if (backend_arg == "heap") {
@@ -574,47 +797,89 @@ int main(int argc, char** argv) {
     const std::vector<std::uint32_t> service_counts = {1, 8, 64};
 
     std::vector<std::pair<SweepPoint, PointResult>> results;
-    workload::TextTable table({"backend", "flows", "services", "events/s",
-                               "install p50", "install p99", "lookup ns",
-                               "idle ns", "peak RSS MB"});
+    workload::TextTable table({"backend", "shards", "flows", "services",
+                               "events/s", "install p50", "install p99",
+                               "lookup ns", "idle ns", "peak RSS MB"});
     for (const auto backend : backends) {
-        for (const auto flows : flow_counts) {
-            for (const auto services : service_counts) {
-                const SweepPoint point{flows, services, backend};
-                const auto result = run_forked<PointResult>(
-                    [point] { return run_point(point); });
-                if (!result) {
-                    std::cerr << "point " << flows << "x" << services << " ("
-                              << backend_str(backend)
-                              << ") failed (child died)\n";
-                    return 1;
+        for (const auto shards : *shard_counts) {
+            // The heap rows exist to compare queue backends on the serial
+            // kernel; sharded points sweep the production wheel only.
+            if (shards > 1 && backend != sim::QueueBackend::kWheel) continue;
+            for (const auto flows : flow_counts) {
+                for (const auto services : service_counts) {
+                    const SweepPoint point{flows, services, backend, shards};
+                    const auto result = run_forked<PointResult>(
+                        [point] { return run_point(point); });
+                    if (!result) {
+                        std::cerr << "point " << flows << "x" << services
+                                  << " (" << backend_str(backend) << ", shards "
+                                  << shards << ") failed (child died)\n";
+                        return 1;
+                    }
+                    if (result->peak_live_flows != flows ||
+                        result->idle_notifications == 0) {
+                        std::cerr << "point " << flows << "x" << services
+                                  << " (" << backend_str(backend) << ", shards "
+                                  << shards
+                                  << ") invalid: live=" << result->peak_live_flows
+                                  << " idle_notifications="
+                                  << result->idle_notifications << "\n";
+                        return 1;
+                    }
+                    results.emplace_back(point, *result);
+                    table.add_row(
+                        {backend_str(backend), std::to_string(shards),
+                         std::to_string(flows), std::to_string(services),
+                         workload::TextTable::num(result->events_per_s, 0),
+                         workload::TextTable::num(result->install_p50_ns, 0) +
+                             " ns",
+                         workload::TextTable::num(result->install_p99_ns, 0) +
+                             " ns",
+                         workload::TextTable::num(result->lookup_ns, 0),
+                         workload::TextTable::num(result->idle_check_ns, 0),
+                         workload::TextTable::num(
+                             static_cast<double>(result->rss_kb) / 1024.0, 1)});
                 }
-                if (result->peak_live_flows != flows ||
-                    result->idle_notifications == 0) {
-                    std::cerr << "point " << flows << "x" << services << " ("
-                              << backend_str(backend)
-                              << ") invalid: live=" << result->peak_live_flows
-                              << " idle_notifications="
-                              << result->idle_notifications << "\n";
-                    return 1;
-                }
-                results.emplace_back(point, *result);
-                table.add_row(
-                    {backend_str(backend), std::to_string(flows),
-                     std::to_string(services),
-                     workload::TextTable::num(result->events_per_s, 0),
-                     workload::TextTable::num(result->install_p50_ns, 0) +
-                         " ns",
-                     workload::TextTable::num(result->install_p99_ns, 0) +
-                         " ns",
-                     workload::TextTable::num(result->lookup_ns, 0),
-                     workload::TextTable::num(result->idle_check_ns, 0),
-                     workload::TextTable::num(
-                         static_cast<double>(result->rss_kb) / 1024.0, 1)});
             }
         }
     }
     std::cout << table.str() << "\n";
+
+    // Shard-scaling view: events/s vs the serial kernel at the same point
+    // (wheel rows only; the serial wheel row is the committed baseline).
+    if (shard_counts->size() > 1) {
+        workload::TextTable scaling({"flows", "services", "shards", "events/s",
+                                     "vs serial", "sync rounds", "digests"});
+        for (const auto flows : flow_counts) {
+            for (const auto services : service_counts) {
+                double serial_events = 0;
+                for (const auto& [point, result] : results) {
+                    if (point.backend == sim::QueueBackend::kWheel &&
+                        point.shards == 1 && point.flows == flows &&
+                        point.services == services) {
+                        serial_events = result.events_per_s;
+                    }
+                }
+                if (serial_events <= 0) continue;
+                for (const auto& [point, result] : results) {
+                    if (point.backend != sim::QueueBackend::kWheel ||
+                        point.flows != flows || point.services != services) {
+                        continue;
+                    }
+                    scaling.add_row(
+                        {std::to_string(flows), std::to_string(services),
+                         std::to_string(point.shards),
+                         workload::TextTable::num(result.events_per_s, 0),
+                         workload::TextTable::num(
+                             result.events_per_s / serial_events, 2) + "x",
+                         std::to_string(result.sync_rounds),
+                         std::to_string(result.digests)});
+                }
+            }
+        }
+        std::cout << "shard scaling, fill events/s (wheel backend):\n"
+                  << scaling.str() << "\n";
+    }
 
     // Side-by-side events/s when both backends were swept (the CI artifact).
     if (backends.size() == 2) {
@@ -625,7 +890,8 @@ int main(int argc, char** argv) {
                 double heap_events = 0;
                 double wheel_events = 0;
                 for (const auto& [point, result] : results) {
-                    if (point.flows != flows || point.services != services) {
+                    if (point.flows != flows || point.services != services ||
+                        point.shards != 1) {
                         continue;
                     }
                     (point.backend == sim::QueueBackend::kHeap
@@ -669,7 +935,8 @@ int main(int argc, char** argv) {
     long old_rss_1m = 0;
     if (!quick) {
         for (const auto& [point, result] : results) {
-            if (point.flows == 1'000'000 && point.services == 64) {
+            if (point.flows == 1'000'000 && point.services == 64 &&
+                point.shards == 1) {
                 new_rss_1m = result.rss_kb;
             }
         }
@@ -718,12 +985,14 @@ int main(int argc, char** argv) {
         double log_ratio_sum = 0;
         std::size_t compared = 0;
         for (const auto& [point, result] : results) {
-            const auto it = baseline.find(
-                {point.flows, point.services, backend_str(point.backend)});
+            const auto it = baseline.find({point.flows, point.services,
+                                           backend_str(point.backend),
+                                           point.shards});
             if (it == baseline.end() || it->second <= 0) continue;
             const double ratio = result.events_per_s / it->second;
             std::cout << "  " << point.flows << "x" << point.services << " ("
-                      << backend_str(point.backend)
+                      << backend_str(point.backend) << ", shards "
+                      << point.shards
                       << "): " << workload::TextTable::num(ratio, 2)
                       << "x baseline\n";
             log_ratio_sum += std::log(ratio);

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 
 #include "simcore/thread_pool.hpp"
 #include "workload/runner.hpp"
@@ -41,11 +42,34 @@ void drain_phase(sim::Simulation& sim, const std::function<bool()>& done,
     sim.run_until(start + sim::nanoseconds(slices * slice_ns));
 }
 
+std::size_t shards_from_env() {
+    const char* v = std::getenv("TEDGE_SHARDS");
+    if (v == nullptr || *v == '\0') return 0;
+    const long parsed = std::strtol(v, nullptr, 10);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : 0;
+}
+
 DeploymentExperimentResult
 run_deployment_experiment(const DeploymentExperimentOptions& options) {
     DeploymentExperimentResult result;
 
-    auto testbed = build_c3(base_options(options));
+    // Hosted mode: the testbed's kernel is domain 0 of a ShardedSimulation.
+    // One site -> one domain (the partitioning rule keeps strongly-coupled
+    // nodes together), and a single-domain coordinator grants that domain an
+    // unbounded conservative window -- its execution is the serial kernel's,
+    // so phase drains may drive the domain kernel directly and stay
+    // bit-identical with the self-hosted path.
+    std::unique_ptr<sim::ShardedSimulation> coordinator;
+    testbed::C3Options c3 = base_options(options);
+    if (options.shards >= 1) {
+        sim::ShardedSimulation::Options host;
+        host.seed = options.seed;
+        host.shards = options.shards;
+        coordinator = std::make_unique<sim::ShardedSimulation>(host);
+        c3.host_sim = &coordinator->add_domain("c3-site").sim();
+    }
+
+    auto testbed = build_c3(c3);
     auto& platform = testbed->platform;
     auto* cluster = platform.clusters().front();
 
@@ -136,6 +160,11 @@ run_deployment_experiment(const DeploymentExperimentOptions& options) {
         result.deploy_total_ms.add_time(record.total());
         result.deployment_start_times.push_back(record.started);
     }
+
+    // Hosted mode: hand the (drained) run back to the coordinator once --
+    // run() observes no remaining user events across domains and returns,
+    // confirming the window bookkeeping agrees with the serial drain.
+    if (coordinator) coordinator->run();
 
     // Detach before the testbed (and its Simulation) is destroyed; the
     // tracer keeps its recorded spans for the caller to export.

@@ -5,11 +5,23 @@
 namespace tedge::core {
 
 EdgePlatform::EdgePlatform(EdgePlatformConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
+    : config_(std::move(config)),
+      owned_sim_(std::make_unique<sim::Simulation>()),
+      sim_(owned_sim_.get()),
+      rng_(config_.seed) {
+    init();
+}
+
+EdgePlatform::EdgePlatform(sim::Simulation& sim, EdgePlatformConfig config)
+    : config_(std::move(config)), sim_(&sim), rng_(config_.seed) {
+    init();
+}
+
+void EdgePlatform::init() {
     switch_node_ = topo_.add_switch("gnb");
-    switch_ = std::make_unique<net::OvsSwitch>(sim_, topo_, switch_node_,
+    switch_ = std::make_unique<net::OvsSwitch>(*sim_, topo_, switch_node_,
                                                config_.ingress);
-    tcp_ = std::make_unique<net::TcpNet>(sim_, topo_, *switch_, endpoints_,
+    tcp_ = std::make_unique<net::TcpNet>(*sim_, topo_, *switch_, endpoints_,
                                          config_.tcp);
     annotator_ = std::make_unique<sdn::Annotator>(
         [this](const container::ImageRef& ref) { return profile_for(ref); },
@@ -22,7 +34,7 @@ net::OvsSwitch& EdgePlatform::add_ingress(const std::string& name,
     const auto node = topo_.add_switch(name);
     topo_.add_link(node, switch_node_, backbone_latency, rate);
     extra_switches_.push_back(
-        std::make_unique<net::OvsSwitch>(sim_, topo_, node, config_.ingress));
+        std::make_unique<net::OvsSwitch>(*sim_, topo_, node, config_.ingress));
     auto& ingress = *extra_switches_.back();
     if (controller_) controller_->attach(ingress);
     return ingress;
@@ -66,7 +78,7 @@ net::NodeId EdgePlatform::add_cloud(const std::string& name,
 
 container::Registry&
 EdgePlatform::add_registry(const container::RegistryProfile& profile) {
-    registries_.push_back(std::make_unique<container::Registry>(sim_, profile));
+    registries_.push_back(std::make_unique<container::Registry>(*sim_, profile));
     registry_dir_.add(*registries_.back());
     return *registries_.back();
 }
@@ -90,7 +102,7 @@ EdgePlatform::add_docker_cluster(const std::string& name, net::NodeId node,
                                  container::RuntimeCostModel runtime_costs,
                                  container::PullerConfig puller) {
     auto cluster = std::make_unique<orchestrator::DockerCluster>(
-        name, sim_, topo_, node, endpoints_, registry_dir_, rng_.split(), config,
+        name, *sim_, topo_, node, endpoints_, registry_dir_, rng_.split(), config,
         runtime_costs, puller);
     auto& ref = *cluster;
     clusters_.push_back(std::move(cluster));
@@ -103,7 +115,7 @@ EdgePlatform::add_k8s_cluster(const std::string& name,
                               std::vector<net::NodeId> nodes,
                               orchestrator::k8s::K8sClusterConfig config) {
     auto cluster = std::make_unique<orchestrator::k8s::K8sCluster>(
-        name, sim_, topo_, std::move(nodes), endpoints_, registry_dir_,
+        name, *sim_, topo_, std::move(nodes), endpoints_, registry_dir_,
         rng_.split(), config);
     auto& ref = *cluster;
     clusters_.push_back(std::move(cluster));
@@ -115,7 +127,7 @@ serverless::FaasCluster&
 EdgePlatform::add_faas_cluster(const std::string& name, net::NodeId node,
                                serverless::FaasClusterConfig config) {
     auto cluster = std::make_unique<serverless::FaasCluster>(
-        name, sim_, topo_, node, endpoints_, registry_dir_, rng_.split(), config);
+        name, *sim_, topo_, node, endpoints_, registry_dir_, rng_.split(), config);
     auto& ref = *cluster;
     clusters_.push_back(std::move(cluster));
     cluster_ptrs_.push_back(&ref);
@@ -158,7 +170,7 @@ void EdgePlatform::provision_cloud_service(const sdn::AnnotatedService& service)
             return;
         }
         const sim::SimTime service_time = app->sample_service(*rng);
-        sim_.schedule(service_time, [app, reply = std::move(reply)] {
+        sim_->schedule(service_time, [app, reply = std::move(reply)] {
             reply(app->response_size);
         });
     });
@@ -176,9 +188,9 @@ sdn::Controller& EdgePlatform::start_controller(net::NodeId controller_host,
                                                 sdn::ControllerConfig config) {
     if (controller_) throw std::logic_error("controller already started");
     prober_ = std::make_unique<PortProber>(*tcp_, controller_host, config_.prober);
-    engine_ = std::make_unique<DeploymentEngine>(sim_, *prober_);
+    engine_ = std::make_unique<DeploymentEngine>(*sim_, *prober_);
     controller_ = std::make_unique<sdn::Controller>(
-        sim_, topo_, *switch_, services_, *engine_, cluster_ptrs_, std::move(config));
+        *sim_, topo_, *switch_, services_, *engine_, cluster_ptrs_, std::move(config));
     controller_->start();
     for (auto& ingress : extra_switches_) controller_->attach(*ingress);
     return *controller_;

@@ -35,10 +35,16 @@ struct EdgePlatformConfig {
 
 class EdgePlatform {
 public:
+    /// Self-hosted: the platform owns its simulation kernel.
     explicit EdgePlatform(EdgePlatformConfig config = {});
 
+    /// Hosted: build the platform on an external kernel -- a sim::Domain's
+    /// simulation inside a ShardedSimulation, or any caller-owned kernel.
+    /// `sim` must outlive the platform.
+    explicit EdgePlatform(sim::Simulation& sim, EdgePlatformConfig config = {});
+
     // --- topology building ---------------------------------------------
-    [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+    [[nodiscard]] sim::Simulation& simulation() { return *sim_; }
     [[nodiscard]] net::Topology& topology() { return topo_; }
     [[nodiscard]] net::NodeId ingress_node() const { return switch_node_; }
     [[nodiscard]] net::OvsSwitch& ingress() { return *switch_; }
@@ -133,10 +139,12 @@ public:
                       std::function<void(const net::HttpResult&)> done);
 
 private:
+    void init();
     void provision_cloud_service(const sdn::AnnotatedService& service);
 
     EdgePlatformConfig config_;
-    sim::Simulation sim_;
+    std::unique_ptr<sim::Simulation> owned_sim_;  ///< null when hosted
+    sim::Simulation* sim_;
     sim::Rng rng_;
     net::Topology topo_;
     net::EndpointDirectory endpoints_;

@@ -1,0 +1,49 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tedge::net {
+
+TopologyPartition::TopologyPartition(const Topology& topo,
+                                     std::vector<sim::DomainId> assignment)
+    : assignment_(std::move(assignment)) {
+    if (assignment_.size() != topo.node_count()) {
+        throw std::invalid_argument(
+            "TopologyPartition: assignment must cover every node "
+            "(one DomainId per NodeId)");
+    }
+    for (const sim::DomainId d : assignment_) {
+        domain_count_ = std::max<std::size_t>(domain_count_, d + std::size_t{1});
+    }
+    topo.for_each_link([this](NodeId a, NodeId b, sim::SimTime latency,
+                              sim::DataRate rate) {
+        const sim::DomainId da = assignment_[a.value];
+        const sim::DomainId db = assignment_[b.value];
+        if (da == db) return;
+        if (latency <= sim::SimTime::zero()) {
+            throw std::invalid_argument(
+                "TopologyPartition: cut link with zero latency -- "
+                "zero-lookahead partitions cannot make conservative "
+                "progress; keep tightly-coupled nodes in one domain");
+        }
+        cut_links_.push_back(CutLink{a, b, da, db, latency, rate});
+        lookahead_ = std::min(lookahead_, latency);
+    });
+}
+
+TopologyPartition TopologyPartition::single_domain(const Topology& topo) {
+    return TopologyPartition(topo,
+                             std::vector<sim::DomainId>(topo.node_count(), 0));
+}
+
+std::vector<NodeId> TopologyPartition::nodes_in(sim::DomainId domain) const {
+    std::vector<NodeId> nodes;
+    for (std::uint32_t i = 0; i < assignment_.size(); ++i) {
+        if (assignment_[i] == domain) nodes.push_back(NodeId{i});
+    }
+    return nodes;
+}
+
+} // namespace tedge::net

@@ -1,0 +1,78 @@
+// Topology partitioning for the sharded simulation kernel.
+//
+// A TopologyPartition assigns every topology node to a simulation domain and
+// derives the conservative lookahead: the minimum latency of any *cut* link
+// (a link whose endpoints live in different domains). Any interaction that
+// crosses a domain boundary must traverse at least one cut link, so a
+// cross-domain message is always timestamped at least `lookahead` after the
+// event that caused it -- exactly the progress bound ShardedSimulation's
+// windowed execution needs.
+//
+// Partitioning rule: strongly-coupled components (a site's hosts, switches,
+// and cluster-internal fabric) must land in one domain together; only
+// genuinely latency-separated boundaries (WAN/metro links between sites, the
+// access network between edge sites and the central controller) should be
+// cut. Cutting a zero-latency link is rejected outright -- it would make the
+// lookahead zero and conservative parallel progress impossible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "simcore/domain.hpp"
+#include "simcore/time.hpp"
+#include "simcore/units.hpp"
+
+namespace tedge::net {
+
+/// A link whose endpoints were assigned to different domains.
+struct CutLink {
+    NodeId a;
+    NodeId b;
+    sim::DomainId domain_a = 0;
+    sim::DomainId domain_b = 0;
+    sim::SimTime latency;
+    sim::DataRate rate;
+};
+
+class TopologyPartition {
+public:
+    /// Partition `topo` by an explicit node -> domain assignment, indexed by
+    /// NodeId value (so assignment.size() must equal topo.node_count()).
+    /// Throws std::invalid_argument on a size mismatch or when a cut link
+    /// has zero latency.
+    TopologyPartition(const Topology& topo, std::vector<sim::DomainId> assignment);
+
+    /// Trivial single-domain partition (every node in domain 0, no cut
+    /// links, lookahead = SimTime::max()). What serial experiments hosted in
+    /// a ShardedSimulation use.
+    static TopologyPartition single_domain(const Topology& topo);
+
+    [[nodiscard]] sim::DomainId domain_of(NodeId node) const {
+        return assignment_.at(node.value);
+    }
+
+    /// Number of domains: max assigned id + 1 (ids need not be dense, but
+    /// ShardedSimulation expects one add_domain() call per id in order).
+    [[nodiscard]] std::size_t domain_count() const { return domain_count_; }
+
+    /// Links crossing a domain boundary, in Topology::for_each_link order.
+    [[nodiscard]] const std::vector<CutLink>& cut_links() const { return cut_links_; }
+
+    /// Minimum cut-link latency -- the conservative window bound. Equals
+    /// SimTime::max() when no link is cut (single-domain partitions), which
+    /// ShardedSimulation reads as "no cross-domain messaging".
+    [[nodiscard]] sim::SimTime lookahead() const { return lookahead_; }
+
+    /// Nodes assigned to `domain`, ascending by id.
+    [[nodiscard]] std::vector<NodeId> nodes_in(sim::DomainId domain) const;
+
+private:
+    std::vector<sim::DomainId> assignment_;
+    std::vector<CutLink> cut_links_;
+    std::size_t domain_count_ = 0;
+    sim::SimTime lookahead_ = sim::SimTime::max();
+};
+
+} // namespace tedge::net

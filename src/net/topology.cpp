@@ -54,6 +54,17 @@ void Topology::add_ip_alias(NodeId host, Ipv4 ip) {
     }
 }
 
+void Topology::for_each_link(
+    const std::function<void(NodeId a, NodeId b, sim::SimTime latency,
+                             sim::DataRate rate)>& fn) const {
+    for (std::uint32_t a = 0; a < adj_.size(); ++a) {
+        for (const auto& e : adj_[a]) {
+            if (e.to <= a) continue; // each undirected link stored twice
+            fn(NodeId{a}, NodeId{e.to}, e.latency, e.rate);
+        }
+    }
+}
+
 const NodeInfo& Topology::node(NodeId id) const {
     if (id.value >= nodes_.size()) throw std::out_of_range("unknown node id");
     return nodes_[id.value];

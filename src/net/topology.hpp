@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <set>
 #include <string>
@@ -60,6 +61,14 @@ public:
     [[nodiscard]] std::optional<NodeId> find_by_name(const std::string& name) const;
     [[nodiscard]] std::optional<NodeId> find_by_ip(Ipv4 ip) const;
     [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+    /// Visit every bidirectional link exactly once, as (a, b, latency, rate)
+    /// with a.value < b.value, ordered by a then by insertion. The topology
+    /// partitioner uses this to find cut links and derive the conservative
+    /// lookahead.
+    void for_each_link(
+        const std::function<void(NodeId a, NodeId b, sim::SimTime latency,
+                                 sim::DataRate rate)>& fn) const;
 
     /// Lowest-latency path between two nodes, or nullopt if disconnected.
     /// Results are memoized; adding nodes/links invalidates the cache (the

@@ -1,0 +1,126 @@
+#include "sdn/control_plane_shard.hpp"
+
+#include <algorithm>
+
+namespace tedge::sdn {
+
+// ------------------------------------------------------------- aggregator
+
+ControlPlaneAggregator::ControlPlaneAggregator(sim::Domain& domain)
+    : domain_(&domain), latest_(domain.domain_count()) {}
+
+void ControlPlaneAggregator::deliver(const ControlPlaneDigest& digest) {
+    if (digest.shard >= latest_.size()) {
+        latest_.resize(digest.shard + std::size_t{1});
+    }
+    // Windows can batch several digests from one shard into one delivery
+    // round; keep the newest by seq.
+    if (digest.seq > latest_[digest.shard].seq) latest_[digest.shard] = digest;
+    ++received_;
+}
+
+std::size_t ControlPlaneAggregator::shards_reporting() const {
+    return static_cast<std::size_t>(
+        std::count_if(latest_.begin(), latest_.end(),
+                      [](const ControlPlaneDigest& d) { return d.seq > 0; }));
+}
+
+std::uint64_t ControlPlaneAggregator::total_live_flows() const {
+    std::uint64_t total = 0;
+    for (const auto& d : latest_) total += d.live_flows;
+    return total;
+}
+
+std::uint64_t ControlPlaneAggregator::total_recall_hits() const {
+    std::uint64_t total = 0;
+    for (const auto& d : latest_) total += d.recall_hits;
+    return total;
+}
+
+std::uint64_t ControlPlaneAggregator::total_recall_misses() const {
+    std::uint64_t total = 0;
+    for (const auto& d : latest_) total += d.recall_misses;
+    return total;
+}
+
+std::uint64_t ControlPlaneAggregator::total_idle_notifications() const {
+    std::uint64_t total = 0;
+    for (const auto& d : latest_) total += d.idle_notifications;
+    return total;
+}
+
+const ControlPlaneDigest& ControlPlaneAggregator::latest(sim::DomainId shard) const {
+    return latest_.at(shard);
+}
+
+// ------------------------------------------------------------------ shard
+
+ControlPlaneShard::ControlPlaneShard(sim::Domain& domain,
+                                     ControlPlaneAggregator& aggregator,
+                                     Config config)
+    : domain_(&domain),
+      aggregator_(&aggregator),
+      config_(config),
+      memory_(domain.sim(), config.flow_memory) {
+    memory_.set_idle_service_callback(
+        [this](const std::string&, const std::string&) {
+            ++idle_notifications_;
+        });
+}
+
+ControlPlaneShard::~ControlPlaneShard() { stop(); }
+
+bool ControlPlaneShard::packet_in(net::Ipv4 client_ip,
+                                  const net::ServiceAddress& service,
+                                  const std::string& service_name,
+                                  net::NodeId instance_node,
+                                  std::uint16_t instance_port,
+                                  const std::string& cluster) {
+    ++packet_ins_;
+    if (memory_.recall(client_ip, service)) return true;
+    MemorizedFlow flow;
+    flow.client_ip = client_ip;
+    flow.service_address = service;
+    flow.service_name = service_name;
+    flow.instance_node = instance_node;
+    flow.instance_port = instance_port;
+    flow.cluster = cluster;
+    flow.created = domain_->sim().now();
+    flow.last_used = flow.created;
+    memory_.memorize(flow);
+    return false;
+}
+
+void ControlPlaneShard::start() {
+    if (digest_timer_.active()) return;
+    digest_timer_ = domain_->sim().schedule_periodic(
+        config_.digest_period, [this] { send_digest(); }, /*daemon=*/true);
+}
+
+void ControlPlaneShard::stop() { digest_timer_.cancel(); }
+
+void ControlPlaneShard::send_digest() {
+    ControlPlaneDigest digest;
+    digest.shard = domain_->id();
+    digest.seq = ++next_digest_seq_;
+    digest.composed_at = domain_->sim().now();
+    digest.live_flows = memory_.size();
+    digest.recall_hits = memory_.hits();
+    digest.recall_misses = memory_.misses();
+    digest.idle_notifications = idle_notifications_;
+
+    const sim::DomainId dst = aggregator_->domain().id();
+    if (dst == domain_->id()) {
+        // Colocated controller (single-domain runs): deliver locally.
+        aggregator_->deliver(digest);
+        return;
+    }
+    // The digest crosses the site-to-controller access link; it can never
+    // arrive faster than the partition's minimum cut latency.
+    const sim::SimTime at = domain_->sim().now() + domain_->lookahead();
+    domain_->post(dst, at,
+                  [agg = aggregator_, digest] { agg->deliver(digest); },
+                  /*daemon=*/true);
+}
+
+} // namespace tedge::sdn

@@ -1,0 +1,126 @@
+// Sharded control plane: per-domain edge sub-controllers plus a central
+// aggregator, built on the sharded simulation kernel.
+//
+// The paper's controller memorizes every flow it installs (FlowMemory,
+// paper §V). At metro scale the flow table itself becomes the bottleneck --
+// one controller domain serializes every packet-in. This module splits the
+// control plane the way a distributed deployment would: each edge *site*
+// (one sim::Domain) runs a ControlPlaneShard owning the FlowMemory partition
+// for the clients homed at that site and handles their packet-ins entirely
+// locally -- recall-miss -> install never leaves the domain. The central
+// controller domain runs a ControlPlaneAggregator that receives periodic
+// per-shard digests (live-flow counts, hit/miss totals, idle notifications)
+// over Domain::post -- modelling the site-to-controller access link, whose
+// latency is exactly the coordinator's conservative lookahead.
+//
+// Digests ride as *daemon* messages: they are telemetry, and must not keep
+// ShardedSimulation::run() alive once the workload drains (a user-event
+// digest would let edge daemons sustain each other forever). Delivery
+// timestamps are sender clock + max(lookahead, configured delay), so the
+// lookahead contract always holds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+#include "sdn/flow_memory.hpp"
+#include "simcore/domain.hpp"
+#include "simcore/time.hpp"
+
+namespace tedge::sdn {
+
+/// One shard's periodic report to the central controller. Values are
+/// cumulative snapshots, not deltas, so a lost/merged reading stays
+/// interpretable.
+struct ControlPlaneDigest {
+    sim::DomainId shard = 0;
+    std::uint64_t seq = 0;            ///< per-shard digest number
+    sim::SimTime composed_at;         ///< sender clock when composed
+    std::uint64_t live_flows = 0;
+    std::uint64_t recall_hits = 0;
+    std::uint64_t recall_misses = 0;
+    std::uint64_t idle_notifications = 0;
+};
+
+/// The central controller's view of the sharded control plane. Lives in its
+/// own domain; deliver() only ever runs there (posted by shards), so no
+/// synchronization is needed.
+class ControlPlaneAggregator {
+public:
+    explicit ControlPlaneAggregator(sim::Domain& domain);
+
+    /// Ingest one digest (runs in the aggregator's domain).
+    void deliver(const ControlPlaneDigest& digest);
+
+    [[nodiscard]] sim::Domain& domain() { return *domain_; }
+    [[nodiscard]] std::uint64_t digests_received() const { return received_; }
+    [[nodiscard]] std::size_t shards_reporting() const;
+
+    /// Sum of the latest live-flow snapshot from every reporting shard.
+    [[nodiscard]] std::uint64_t total_live_flows() const;
+    [[nodiscard]] std::uint64_t total_recall_hits() const;
+    [[nodiscard]] std::uint64_t total_recall_misses() const;
+    [[nodiscard]] std::uint64_t total_idle_notifications() const;
+
+    /// Latest digest from `shard`; seq 0 when none arrived yet.
+    [[nodiscard]] const ControlPlaneDigest& latest(sim::DomainId shard) const;
+
+private:
+    sim::Domain* domain_;
+    std::vector<ControlPlaneDigest> latest_;  ///< indexed by shard domain id
+    std::uint64_t received_ = 0;
+};
+
+/// One edge site's slice of the control plane: a FlowMemory partition plus
+/// the packet-in fast path, hosted in one sim::Domain.
+class ControlPlaneShard {
+public:
+    struct Config {
+        FlowMemory::Config flow_memory;
+        /// How often a digest is composed and posted to the aggregator.
+        sim::SimTime digest_period = sim::seconds(1);
+    };
+
+    /// `aggregator` must live in a *different* domain of the same
+    /// coordinator (or the same domain, in which case digests are delivered
+    /// by local events and no lookahead is needed).
+    ControlPlaneShard(sim::Domain& domain, ControlPlaneAggregator& aggregator,
+                     Config config);
+    ~ControlPlaneShard();
+
+    /// The packet-in fast path: recall, and on a miss install a flow towards
+    /// (instance_node, instance_port) on `cluster`. Returns true on a recall
+    /// hit. Runs entirely inside this shard's domain.
+    bool packet_in(net::Ipv4 client_ip, const net::ServiceAddress& service,
+                   const std::string& service_name, net::NodeId instance_node,
+                   std::uint16_t instance_port, const std::string& cluster);
+
+    /// Begin the periodic digest daemon (idempotent).
+    void start();
+    /// Stop reporting (also happens on destruction).
+    void stop();
+
+    [[nodiscard]] sim::Domain& domain() { return *domain_; }
+    [[nodiscard]] FlowMemory& memory() { return memory_; }
+    [[nodiscard]] const FlowMemory& memory() const { return memory_; }
+    [[nodiscard]] std::uint64_t packet_ins() const { return packet_ins_; }
+    [[nodiscard]] std::uint64_t digests_sent() const { return next_digest_seq_; }
+    [[nodiscard]] std::uint64_t idle_notifications() const { return idle_notifications_; }
+
+private:
+    void send_digest();
+
+    sim::Domain* domain_;
+    ControlPlaneAggregator* aggregator_;
+    Config config_;
+    FlowMemory memory_;
+    sim::Simulation::PeriodicHandle digest_timer_;
+    std::uint64_t packet_ins_ = 0;
+    std::uint64_t next_digest_seq_ = 0;
+    std::uint64_t idle_notifications_ = 0;
+};
+
+} // namespace tedge::sdn

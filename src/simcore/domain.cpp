@@ -1,0 +1,55 @@
+#include "simcore/domain.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "simcore/sharded_simulation.hpp"
+
+namespace tedge::sim {
+
+Domain::Domain(ShardedSimulation& coordinator, DomainId id, std::string name,
+               QueueBackend backend, std::uint64_t run_seed)
+    : coordinator_(&coordinator),
+      id_(id),
+      name_(std::move(name)),
+      sim_(backend),
+      rng_(Rng::for_stream(run_seed, id)) {}
+
+void Domain::enable_tracing() {
+    tracer_.attach(sim_);
+    tracer_.enable();
+}
+
+Logger Domain::make_logger(const std::string& component, LogLevel level) {
+    Logger logger(sim_, component, level);
+    logger.set_sink(log_buffer_.sink());
+    return logger;
+}
+
+SimTime Domain::lookahead() const { return coordinator_->lookahead(); }
+
+std::size_t Domain::domain_count() const { return coordinator_->domain_count(); }
+
+void Domain::post(DomainId dst, SimTime at, EventQueue::Callback cb, bool daemon) {
+    if (dst >= coordinator_->domain_count()) {
+        throw std::out_of_range("Domain::post: unknown destination domain");
+    }
+    const SimTime lookahead = coordinator_->lookahead();
+    // The conservative contract: the receiver may already be executing up to
+    // lookahead ahead of this domain's clock, so anything earlier than
+    // now + lookahead could land in its past. SimTime::max() means the
+    // coordinator was never given a finite lookahead -- posting is an error.
+    if (lookahead == SimTime::max()) {
+        throw std::logic_error(
+            "Domain::post: coordinator has no finite lookahead (set one from "
+            "the topology partition before using cross-domain messages)");
+    }
+    if (at < sim_.now() + lookahead) {
+        throw std::logic_error(
+            "Domain::post: message timestamp violates the lookahead contract "
+            "(at < now + lookahead)");
+    }
+    outbox_.push_back(Message{at, id_, dst, next_send_seq_++, std::move(cb), daemon});
+}
+
+} // namespace tedge::sim

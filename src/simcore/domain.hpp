@@ -1,0 +1,124 @@
+// One shard of a sharded conservative parallel discrete-event simulation.
+//
+// A Domain is a self-contained simulation partition: it owns its *own*
+// virtual clock and event queue (a full Simulation), its own seeded RNG
+// stream (derived statelessly from the run seed and the domain's stable id,
+// so draws are independent of shard count and thread count), its own
+// MetricsRegistry, Tracer, and buffered log sink. Nothing inside a domain is
+// shared with any other domain, which is what lets the ShardedSimulation
+// coordinator execute domains on different threads without locks.
+//
+// Cross-domain interaction happens exclusively through post(): a timestamped
+// message (timestamp, source domain, per-source sequence) delivered into the
+// destination domain's event queue at a synchronization barrier. The
+// coordinator enforces the conservative lookahead contract — a message must
+// be timestamped at least `lookahead` after the sender's current clock — and
+// merges all messages in (timestamp, source id, sequence) order, which makes
+// the delivered sequence, and therefore the whole run, bit-identical at any
+// shard or thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/logging.hpp"
+#include "simcore/metrics_registry.hpp"
+#include "simcore/random.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/time.hpp"
+#include "simcore/tracer.hpp"
+
+namespace tedge::sim {
+
+class ShardedSimulation;
+
+/// Stable identifier of a domain: its creation index within the coordinator.
+/// Everything derived from it (RNG stream, message tie-breaks, merge order)
+/// depends only on this id, never on which shard or thread executes the
+/// domain.
+using DomainId = std::uint32_t;
+
+class Domain {
+public:
+    Domain(const Domain&) = delete;
+    Domain& operator=(const Domain&) = delete;
+
+    [[nodiscard]] DomainId id() const { return id_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    /// The domain's private kernel. Components built for this domain take
+    /// sim() exactly like they would a standalone Simulation.
+    [[nodiscard]] Simulation& sim() { return sim_; }
+    [[nodiscard]] const Simulation& sim() const { return sim_; }
+
+    /// Per-domain RNG stream, seeded Rng::stream_seed(run_seed, id()).
+    [[nodiscard]] Rng& rng() { return rng_; }
+
+    /// Per-domain metrics. Not attached to sim() by default; call
+    /// enable_metrics() to make components report into it. The coordinator
+    /// merges all domain registries in id order for a deterministic dump.
+    [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+    [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+    void enable_metrics() { sim_.set_metrics(&metrics_); }
+
+    /// Per-domain tracer (attached to sim(), disabled until enable_tracing).
+    [[nodiscard]] Tracer& tracer() { return tracer_; }
+    [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+    void enable_tracing();
+
+    /// Per-domain buffered log sink; make_logger() binds components to it.
+    /// The coordinator flushes buffers in domain order at sync points.
+    [[nodiscard]] LogBuffer& log_buffer() { return log_buffer_; }
+    [[nodiscard]] Logger make_logger(const std::string& component,
+                                     LogLevel level = LogLevel::kWarn);
+
+    /// The coordinator's conservative lookahead (minimum cross-domain
+    /// message delay). SimTime::max() when no finite lookahead was set.
+    [[nodiscard]] SimTime lookahead() const;
+
+    /// Number of domains in the coordinator (valid post() destinations).
+    [[nodiscard]] std::size_t domain_count() const;
+
+    /// Send a cross-domain message: `cb` runs inside domain `dst` at
+    /// absolute (destination) time `at`. Requires at >= sim().now() +
+    /// coordinator lookahead — the conservative contract that makes windowed
+    /// parallel execution safe — and throws std::logic_error otherwise.
+    /// Messages become user events in the destination unless `daemon`.
+    void post(DomainId dst, SimTime at, EventQueue::Callback cb,
+              bool daemon = false);
+
+    /// Events executed by this domain so far.
+    [[nodiscard]] std::uint64_t events_executed() const {
+        return sim_.events_executed();
+    }
+
+private:
+    friend class ShardedSimulation;
+
+    struct Message {
+        SimTime at;
+        DomainId src = 0;
+        DomainId dst = 0;
+        std::uint64_t seq = 0;  ///< per-source send order
+        EventQueue::Callback fn;
+        bool daemon = false;
+    };
+
+    Domain(ShardedSimulation& coordinator, DomainId id, std::string name,
+           QueueBackend backend, std::uint64_t run_seed);
+
+    ShardedSimulation* coordinator_;
+    DomainId id_;
+    std::string name_;
+    Simulation sim_;
+    Rng rng_;
+    MetricsRegistry metrics_;
+    Tracer tracer_;
+    LogBuffer log_buffer_;
+    std::vector<Message> outbox_;  ///< drained by the coordinator at barriers
+    std::uint64_t next_send_seq_ = 0;
+};
+
+} // namespace tedge::sim

@@ -23,6 +23,17 @@ void Histogram::add(double x) {
     ++counts_[idx];
 }
 
+void Histogram::merge(const Histogram& other) {
+    if (lo_ != other.lo_ || hi_ != other.hi_ ||
+        counts_.size() != other.counts_.size()) {
+        throw std::invalid_argument("Histogram::merge: shape mismatch");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
 double Histogram::bin_lo(std::size_t i) const {
     return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
 }

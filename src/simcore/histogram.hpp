@@ -27,6 +27,13 @@ public:
 
     void add(double x);
 
+    /// Fold another histogram of the same shape (lo, hi, bins) into this one
+    /// by summing bin/underflow/overflow counts. Throws on shape mismatch.
+    /// Used by the sharded kernel's deterministic per-domain metric merge.
+    void merge(const Histogram& other);
+
+    [[nodiscard]] double lo() const { return lo_; }
+    [[nodiscard]] double hi() const { return hi_; }
     [[nodiscard]] std::size_t bins() const { return counts_.size(); }
     [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
     [[nodiscard]] std::uint64_t underflow() const { return underflow_; }

@@ -53,4 +53,27 @@ void Logger::log(LogLevel level, const std::string& message) const {
               << component_ << ": " << message << "\n";
 }
 
+Logger::Sink LogBuffer::sink() {
+    return [this](LogLevel level, SimTime at, const std::string& component,
+                  const std::string& message) {
+        append(level, at, component, message);
+    };
+}
+
+void LogBuffer::append(LogLevel level, SimTime at, const std::string& component,
+                       const std::string& message) {
+    entries_.push_back(Entry{level, at, component, message, next_seq_++});
+}
+
+void LogBuffer::format(std::ostream& os, const Entry& entry) {
+    // Keep in lockstep with the default stderr sink in Logger::log above.
+    os << "[" << entry.at.str() << "] " << to_string(entry.level) << " "
+       << entry.component << ": " << entry.message << "\n";
+}
+
+void LogBuffer::flush_to(std::ostream& os) {
+    for (const Entry& entry : entries_) format(os, entry);
+    entries_.clear();
+}
+
 } // namespace tedge::sim

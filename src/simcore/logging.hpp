@@ -2,8 +2,17 @@
 //
 // Components log through a Logger bound to the Simulation clock; the global
 // level filter keeps benches quiet by default while tests can raise
-// verbosity. Not thread-safe across simulations by design: each replica
-// carries its own Logger, and the sink is only shared when explicitly set.
+// verbosity.
+//
+// Thread-safety: a Logger (and the stderr default sink) belongs to one
+// simulation and must only be used from the thread currently executing that
+// simulation. When several simulations run concurrently — replicas across a
+// ThreadPool, or the domains of a ShardedSimulation — give each one its own
+// LogBuffer sink: the buffer is written only by its domain's executing
+// thread, and the coordinator flushes all buffers in deterministic shard
+// order at synchronization points, so concurrent domains never interleave
+// bytes on a shared stream and the flushed output is reproducible at any
+// shard or thread count.
 #pragma once
 
 #include <functional>
@@ -11,6 +20,7 @@
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "simcore/time.hpp"
 
@@ -70,6 +80,46 @@ private:
     std::string component_;
     LogLevel level_;
     Sink sink_; // empty -> stderr
+};
+
+/// Buffered log sink for one simulation domain. Records formatted-input
+/// tuples instead of writing to a stream; flush_to() renders them with the
+/// exact same format as the default stderr sink, so routing a single-shard
+/// run through a LogBuffer changes output bytes not at all — only *when*
+/// they are written. Entries carry an append sequence so a coordinator can
+/// merge several buffers deterministically.
+class LogBuffer {
+public:
+    struct Entry {
+        LogLevel level;
+        SimTime at;
+        std::string component;
+        std::string message;
+        std::uint64_t seq = 0;  ///< per-buffer append order
+    };
+
+    /// A Logger sink appending to this buffer. The buffer must outlive every
+    /// Logger using the sink.
+    [[nodiscard]] Logger::Sink sink();
+
+    void append(LogLevel level, SimTime at, const std::string& component,
+                const std::string& message);
+
+    [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+    /// Render one entry exactly like the default stderr sink.
+    static void format(std::ostream& os, const Entry& entry);
+
+    /// Write all buffered entries in append order and clear the buffer.
+    void flush_to(std::ostream& os);
+
+    void clear() { entries_.clear(); }
+
+private:
+    std::vector<Entry> entries_;
+    std::uint64_t next_seq_ = 0;
 };
 
 } // namespace tedge::sim

@@ -25,6 +25,23 @@ const Histogram* MetricsRegistry::find_histogram(const std::string& name) const 
     return it == histograms_.end() ? nullptr : &it->second;
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+    for (const auto& [name, counter] : other.counters_) {
+        counters_[name].inc(counter.value());
+    }
+    for (const auto& [name, gauge] : other.gauges_) {
+        gauges_[name].set(gauge.value());
+    }
+    for (const auto& [name, histogram] : other.histograms_) {
+        const auto it = histograms_.find(name);
+        if (it == histograms_.end()) {
+            histograms_.emplace(name, histogram);
+        } else {
+            it->second.merge(histogram);
+        }
+    }
+}
+
 void MetricsRegistry::dump(std::ostream& os) const {
     // One globally name-ordered listing across all metric kinds (counters,
     // gauges, histograms), so the dump diffs cleanly between runs.

@@ -52,6 +52,14 @@ public:
         return counters_.size() + gauges_.size() + histograms_.size();
     }
 
+    /// Fold `other` into this registry: counters sum, histograms of matching
+    /// shape merge bin-wise (shape mismatch throws), and gauges take the
+    /// incoming value (last merge wins). Merging the per-domain registries of
+    /// a sharded run in domain order yields a dump that is independent of
+    /// shard grouping and thread count: summation is order-free and the
+    /// gauge rule depends only on the (stable) domain order.
+    void merge_from(const MetricsRegistry& other);
+
     /// Flat dump: one `name value` line per counter/gauge; histograms report
     /// count/underflow/overflow plus non-empty bins as `name[lo,hi) count`.
     void dump(std::ostream& os) const;

@@ -45,6 +45,20 @@ Rng Rng::split() {
     return Rng{(*this)()};
 }
 
+std::uint64_t Rng::stream_seed(std::uint64_t run_seed, std::uint64_t stream_id) {
+    // Two SplitMix64 steps over (run_seed, stream_id): the first whitens the
+    // run seed, the second folds in the stream id, so adjacent ids (0, 1, 2,
+    // ...) land far apart in seed space. Stateless and order-free.
+    std::uint64_t x = run_seed;
+    const std::uint64_t a = splitmix64(x);
+    x = a ^ (stream_id * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+    return splitmix64(x);
+}
+
+Rng Rng::for_stream(std::uint64_t run_seed, std::uint64_t stream_id) {
+    return Rng{stream_seed(run_seed, stream_id)};
+}
+
 double Rng::uniform01() {
     // 53 random mantissa bits -> uniform double in [0,1).
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;

@@ -29,6 +29,20 @@ public:
     /// Derive an independent child stream (e.g., one per simulated node).
     [[nodiscard]] Rng split();
 
+    /// Derive the seed of an independent stream from a run seed and a stable
+    /// stream id. Unlike split(), the derivation consumes no generator state:
+    /// stream `id` always yields the same seed for a given run seed, no
+    /// matter how many other streams exist or in which order they are
+    /// created. The sharded kernel uses this for per-domain RNGs -- each
+    /// Domain draws from for_stream(run_seed, domain_id), so its sequence is
+    /// independent of shard count, thread count, and domain creation order.
+    [[nodiscard]] static std::uint64_t stream_seed(std::uint64_t run_seed,
+                                                   std::uint64_t stream_id);
+
+    /// Convenience: an Rng seeded with stream_seed(run_seed, stream_id).
+    [[nodiscard]] static Rng for_stream(std::uint64_t run_seed,
+                                        std::uint64_t stream_id);
+
     /// Uniform double in [0, 1).
     double uniform01();
 

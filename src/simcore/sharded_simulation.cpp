@@ -1,0 +1,220 @@
+#include "simcore/sharded_simulation.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "simcore/thread_pool.hpp"
+
+namespace tedge::sim {
+
+namespace {
+
+/// `a + b` clamped to SimTime::max() (infinite-lookahead windows).
+SimTime saturating_add(SimTime a, SimTime b) {
+    if (b == SimTime::max() || a > SimTime::max() - b) return SimTime::max();
+    return a + b;
+}
+
+} // namespace
+
+ShardedSimulation::ShardedSimulation() : ShardedSimulation(Options{}) {}
+
+ShardedSimulation::ShardedSimulation(Options options) : options_(options) {
+    if (options_.lookahead <= SimTime::zero()) {
+        throw std::invalid_argument(
+            "ShardedSimulation: lookahead must be positive (zero lookahead "
+            "cannot make conservative progress)");
+    }
+}
+
+ShardedSimulation::~ShardedSimulation() = default;
+
+Domain& ShardedSimulation::add_domain(std::string name) {
+    if (running_) {
+        throw std::logic_error("ShardedSimulation: add_domain during a run");
+    }
+    const auto id = static_cast<DomainId>(domains_.size());
+    domains_.push_back(std::unique_ptr<Domain>(new Domain(
+        *this, id, std::move(name), options_.backend, options_.seed)));
+    return *domains_.back();
+}
+
+void ShardedSimulation::set_lookahead(SimTime lookahead) {
+    if (lookahead <= SimTime::zero()) {
+        throw std::invalid_argument("ShardedSimulation: lookahead must be positive");
+    }
+    options_.lookahead = lookahead;
+}
+
+std::size_t ShardedSimulation::shard_count() const {
+    if (domains_.empty()) return 0;
+    const std::size_t lanes =
+        options_.shards == 0 ? domains_.size() : options_.shards;
+    return std::min(lanes, domains_.size());
+}
+
+std::uint64_t ShardedSimulation::run() { return drive(Mode::kRun, SimTime::max()); }
+
+std::uint64_t ShardedSimulation::run_until(SimTime deadline) {
+    return drive(Mode::kRunUntil, deadline);
+}
+
+SimTime ShardedSimulation::now() const {
+    SimTime latest = SimTime::zero();
+    for (const auto& d : domains_) latest = std::max(latest, d->sim().now());
+    return latest;
+}
+
+std::uint64_t ShardedSimulation::events_executed() const {
+    std::uint64_t total = 0;
+    for (const auto& d : domains_) total += d->sim().events_executed();
+    return total;
+}
+
+std::uint64_t ShardedSimulation::drive(Mode mode, SimTime deadline) {
+    if (domains_.empty()) return 0;
+    running_ = true;
+    const std::uint64_t executed_before = events_executed();
+    const std::size_t lanes = shard_count();
+
+    if (lanes > 1 && pool_ == nullptr) {
+        std::size_t workers = options_.workers;
+        if (workers == 0) {
+            workers = std::min<std::size_t>(
+                lanes, std::max(1u, std::thread::hardware_concurrency()));
+        }
+        pool_ = std::make_unique<ThreadPool>(workers);
+    }
+
+    std::vector<bool> require_user(domains_.size(), false);
+    for (;;) {
+        // ---- round-start snapshot (deterministic: barrier state only) ----
+        std::size_t domains_with_user = 0;
+        for (const auto& d : domains_) {
+            if (d->sim().has_user_events()) ++domains_with_user;
+        }
+        if (mode == Mode::kRun && domains_with_user == 0) break;
+
+        std::optional<SimTime> next;
+        for (const auto& d : domains_) {
+            if (!d->sim().has_pending_events()) continue;
+            const SimTime t = d->sim().next_time();
+            if (!next || t < *next) next = t;
+        }
+        if (!next || (mode == Mode::kRunUntil && *next > deadline)) {
+            if (mode == Mode::kRunUntil) {
+                // Nothing left at or before the deadline: advance every
+                // clock exactly like Simulation::run_until would.
+                for (auto& d : domains_) d->sim().run_until(deadline);
+            }
+            break;
+        }
+
+        SimTime window_end = saturating_add(*next, options_.lookahead);
+        if (mode == Mode::kRunUntil) {
+            // Events at exactly `deadline` still execute: the window is
+            // half-open, so end one tick past it (deadline < max here).
+            window_end = std::min(window_end, deadline + nanoseconds(1));
+        }
+
+        // run() semantics: a domain may grind daemon-only housekeeping while
+        // user work exists *elsewhere*; a domain whose own user events are
+        // the only ones left stops at its last user event, exactly like the
+        // serial kernel. run_until executes daemons unconditionally.
+        for (std::size_t i = 0; i < domains_.size(); ++i) {
+            const bool others_have_user =
+                domains_with_user >
+                (domains_[i]->sim().has_user_events() ? 1u : 0u);
+            require_user[i] = mode == Mode::kRun && !others_have_user;
+        }
+
+        execute_windows(window_end, require_user);
+        ++rounds_;
+        collect_and_deliver();
+        flush_logs_if_configured();
+    }
+
+    running_ = false;
+    flush_logs_if_configured();
+    return events_executed() - executed_before;
+}
+
+void ShardedSimulation::execute_windows(SimTime window_end,
+                                        const std::vector<bool>& require_user) {
+    const std::size_t lanes = shard_count();
+    auto run_lane = [&](std::size_t lane) {
+        // Each lane owns the domains with id % lanes == lane and runs their
+        // sub-windows sequentially in id order; no two lanes ever touch the
+        // same domain, so lanes share no mutable state.
+        for (std::size_t i = lane; i < domains_.size(); i += lanes) {
+            domains_[i]->sim().run_window(window_end, require_user[i]);
+        }
+    };
+    if (lanes <= 1 || pool_ == nullptr || pool_->size() <= 1) {
+        // One lane, or one worker (single-core host): dispatching through the
+        // pool buys nothing but wakeup latency. Lane order cannot matter --
+        // lanes share no state -- so inline execution is the same run.
+        for (std::size_t lane = 0; lane < lanes; ++lane) run_lane(lane);
+    } else {
+        pool_->parallel_for(lanes, run_lane);
+    }
+}
+
+void ShardedSimulation::collect_and_deliver() {
+    mail_.clear();
+    for (auto& d : domains_) {
+        if (d->outbox_.empty()) continue;
+        std::move(d->outbox_.begin(), d->outbox_.end(), std::back_inserter(mail_));
+        d->outbox_.clear();
+    }
+    if (mail_.empty()) return;
+    // (timestamp, source, per-source seq) is a total order independent of
+    // which thread ran which domain -- the determinism linchpin. Insertion
+    // into the destination queue in this order also fixes same-timestamp
+    // tie-breaks against locally scheduled events.
+    std::sort(mail_.begin(), mail_.end(),
+              [](const Domain::Message& a, const Domain::Message& b) {
+                  if (a.at != b.at) return a.at < b.at;
+                  if (a.src != b.src) return a.src < b.src;
+                  return a.seq < b.seq;
+              });
+    for (auto& m : mail_) {
+        domains_[m.dst]->sim().schedule_at(m.at, std::move(m.fn), m.daemon);
+    }
+    messages_delivered_ += mail_.size();
+    mail_.clear();
+}
+
+void ShardedSimulation::dump_metrics(std::ostream& os) const {
+    MetricsRegistry merged;
+    for (const auto& d : domains_) merged.merge_from(d->metrics());
+    merged.dump(os);
+}
+
+std::string ShardedSimulation::dump_metrics() const {
+    std::ostringstream os;
+    dump_metrics(os);
+    return os.str();
+}
+
+void ShardedSimulation::write_chrome_trace(std::ostream& os) const {
+    std::vector<const Tracer*> tracers;
+    tracers.reserve(domains_.size());
+    for (const auto& d : domains_) tracers.push_back(&d->tracer());
+    Tracer::write_merged_chrome_trace(os, tracers);
+}
+
+void ShardedSimulation::flush_logs(std::ostream& os) {
+    for (auto& d : domains_) d->log_buffer().flush_to(os);
+}
+
+void ShardedSimulation::flush_logs_if_configured() {
+    if (log_output_ != nullptr) flush_logs(*log_output_);
+}
+
+} // namespace tedge::sim

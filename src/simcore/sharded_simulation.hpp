@@ -1,0 +1,166 @@
+// ShardedSimulation: conservative parallel discrete-event execution of
+// independent Domains, deterministic at any shard count and thread count.
+//
+// ## Execution model
+//
+// The coordinator advances all domains in barrier-synchronized rounds. Each
+// round it computes the earliest pending event time across every domain,
+// `next`, and executes all domains up to the window end
+//
+//     window_end = next + lookahead
+//
+// where `lookahead` is the minimum cross-domain message latency (for a
+// partitioned topology: the smallest latency of any cut link). Because a
+// message sent by an event executing at local time s >= next must be
+// timestamped at s + lookahead >= window_end, no event inside the window can
+// be invalidated by a message generated in the same window — every domain
+// can safely run its sub-window [*, window_end) in parallel, one domain per
+// thread, with no rollback (classic conservative / bounded-lag
+// synchronization a la Chandy-Misra-Bryant, window-stepped).
+//
+// ## Determinism argument
+//
+//  * Within a domain, execution is the ordinary serial kernel: events run in
+//    (timestamp, insertion seq) order.
+//  * A domain's sub-window depends only on its own queue at the round start
+//    plus its own RNG stream (derived from the stable domain id) — never on
+//    which shard group or OS thread executes it, and never on how far other
+//    domains have progressed.
+//  * Cross-domain messages are buffered in per-domain outboxes during the
+//    window and merged at the barrier in (timestamp, source id, sequence)
+//    order — a total order independent of execution interleaving — then
+//    inserted into destination queues in that order.
+//  * The round structure itself (window ends, delivery batches) is a pure
+//    function of round-start state, which inductively is identical at any
+//    shard/thread count.
+//
+// Hence the whole run — event counts, per-domain clocks, metric values,
+// trace exports, log buffers — is bit-identical whether the run uses one
+// shard or many, one thread or many. With a single domain, run()/run_until()
+// reproduce Simulation::run()/run_until() exactly (same pop sequence, same
+// daemon-event semantics, same final clock).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/domain.hpp"
+#include "simcore/time.hpp"
+
+namespace tedge::sim {
+
+class ThreadPool;
+
+class ShardedSimulation {
+public:
+    struct Options {
+        /// Run seed; per-domain streams derive from it and the domain id.
+        std::uint64_t seed = 42;
+        /// Event-queue backend for every domain's kernel.
+        QueueBackend backend = EventQueue::default_backend();
+        /// Minimum cross-domain message latency. post() requires message
+        /// timestamps >= sender now + lookahead. The default (SimTime::max)
+        /// declares "no cross-domain messaging": windows are unbounded and
+        /// post() throws. Derive a real value from the topology partition
+        /// (net::TopologyPartition::lookahead()). Must be positive.
+        SimTime lookahead = SimTime::max();
+        /// Execution lanes. Domains are assigned round-robin by id
+        /// (id % shards); each lane runs its domains' windows sequentially
+        /// in id order. 0 = one lane per domain. shards=1 executes inline on
+        /// the calling thread with zero coordination overhead.
+        std::size_t shards = 0;
+        /// Worker threads (0 = one per lane, capped by the hardware). Only
+        /// affects wall-clock speed, never results.
+        std::size_t workers = 0;
+    };
+
+    ShardedSimulation();
+    explicit ShardedSimulation(Options options);
+    ~ShardedSimulation();
+
+    ShardedSimulation(const ShardedSimulation&) = delete;
+    ShardedSimulation& operator=(const ShardedSimulation&) = delete;
+
+    /// Create the next domain (ids are assigned 0, 1, 2, ... in creation
+    /// order). Add all domains before the first run call. The reference is
+    /// stable for the coordinator's lifetime.
+    Domain& add_domain(std::string name);
+
+    [[nodiscard]] Domain& domain(DomainId id) { return *domains_.at(id); }
+    [[nodiscard]] const Domain& domain(DomainId id) const { return *domains_.at(id); }
+    [[nodiscard]] std::size_t domain_count() const { return domains_.size(); }
+
+    [[nodiscard]] SimTime lookahead() const { return options_.lookahead; }
+    void set_lookahead(SimTime lookahead);
+
+    [[nodiscard]] std::size_t shard_count() const;
+
+    /// Run until no user events remain in any domain and no messages are in
+    /// flight. Daemon housekeeping keeps executing while user work exists
+    /// anywhere (round-start snapshot), mirroring Simulation::run()'s
+    /// daemon-thread semantics; with one domain this is exactly run().
+    /// Returns the number of events executed across all domains.
+    std::uint64_t run();
+
+    /// Run every domain up to and including `deadline` (daemon events too)
+    /// and advance all domain clocks to `deadline`, like
+    /// Simulation::run_until on each. Returns events executed.
+    std::uint64_t run_until(SimTime deadline);
+
+    /// Latest domain clock (the natural anchor for follow-up deadlines).
+    [[nodiscard]] SimTime now() const;
+
+    /// Total events executed across all domains so far.
+    [[nodiscard]] std::uint64_t events_executed() const;
+
+    /// Synchronization barriers completed so far (diagnostics: how many
+    /// rounds the lookahead granted).
+    [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+    /// Cross-domain messages delivered so far.
+    [[nodiscard]] std::uint64_t messages_delivered() const {
+        return messages_delivered_;
+    }
+
+    /// Deterministic merged metrics: per-domain registries folded in domain
+    /// order (counters sum, same-shape histograms merge), then dumped
+    /// name-ordered.
+    void dump_metrics(std::ostream& os) const;
+    [[nodiscard]] std::string dump_metrics() const;
+
+    /// Deterministic merged Chrome trace: each domain's tracer exports under
+    /// pid = domain id, spans in creation order, domains in id order.
+    void write_chrome_trace(std::ostream& os) const;
+
+    /// When set, every domain's log buffer is flushed to `os` in domain
+    /// order at each barrier and at the end of each run call — the
+    /// deterministic multi-domain replacement for the shared stderr sink.
+    void set_log_output(std::ostream* os) { log_output_ = os; }
+
+    /// Flush all domain log buffers in domain order now.
+    void flush_logs(std::ostream& os);
+
+private:
+    friend class Domain;
+
+    enum class Mode { kRun, kRunUntil };
+
+    std::uint64_t drive(Mode mode, SimTime deadline);
+    void execute_windows(SimTime window_end, const std::vector<bool>& require_user);
+    void collect_and_deliver();
+    void flush_logs_if_configured();
+
+    Options options_;
+    std::vector<std::unique_ptr<Domain>> domains_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<Domain::Message> mail_;  ///< barrier staging, reused
+    std::uint64_t rounds_ = 0;
+    std::uint64_t messages_delivered_ = 0;
+    std::ostream* log_output_ = nullptr;
+    bool running_ = false;
+};
+
+} // namespace tedge::sim

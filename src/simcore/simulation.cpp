@@ -91,6 +91,18 @@ std::uint64_t Simulation::run_while(const std::function<bool()>& pred) {
     return n;
 }
 
+std::uint64_t Simulation::run_window(SimTime end, bool require_user) {
+    stop_requested_ = false;
+    std::uint64_t n = 0;
+    while (!queue_.empty() && !stop_requested_ &&
+           (!require_user || queue_.has_user_events()) &&
+           queue_.next_time() < end) {
+        execute_next();
+        ++n;
+    }
+    return n;
+}
+
 std::uint64_t Simulation::run_until_idle_or(SimTime deadline) {
     stop_requested_ = false;
     std::uint64_t n = 0;

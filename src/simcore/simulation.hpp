@@ -94,11 +94,25 @@ public:
     /// `deadline` exactly like run_until.
     std::uint64_t run_until_idle_or(SimTime deadline);
 
+    /// Conservative-window primitive for the sharded kernel: execute events
+    /// strictly before `end` (daemon or not) and leave the clock at the last
+    /// executed event — the window boundary is never materialized as a clock
+    /// value, so a later window (or a cross-domain delivery at exactly `end`)
+    /// can still schedule there. With `require_user` set, execution also
+    /// stops once no user events remain, mirroring run(); run_window(max,
+    /// true) is exactly run(). Returns the number of events executed.
+    std::uint64_t run_window(SimTime end, bool require_user);
+
     /// Request that run()/run_until() return after the current event.
     void stop() { stop_requested_ = true; }
 
     /// True if any events (user or daemon) remain.
     [[nodiscard]] bool has_pending_events() const { return !queue_.empty(); }
+
+    /// Timestamp of the earliest pending event. Only valid while
+    /// has_pending_events(); the sharded coordinator uses it to compute the
+    /// global conservative window.
+    [[nodiscard]] SimTime next_time() const { return queue_.next_time(); }
 
     /// True while at least one non-daemon event remains.
     [[nodiscard]] bool has_user_events() const { return queue_.has_user_events(); }

@@ -145,16 +145,14 @@ void json_us(std::ostream& os, std::int64_t ns) {
 
 } // namespace
 
-void Tracer::write_chrome_trace(std::ostream& os) const {
-    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-    bool first = true;
+void Tracer::write_events(std::ostream& os, std::uint64_t pid, bool& first) const {
     for (const auto& span : spans_) {
         if (!first) os << ',';
         first = false;
         os << "{\"name\":\"";
         json_escape(os, span.name);
         os << "\",\"cat\":\"tedge\",\"ph\":\"" << (span.instant ? 'i' : 'X')
-           << "\",\"pid\":1,\"tid\":" << span.request << ",\"ts\":";
+           << "\",\"pid\":" << pid << ",\"tid\":" << span.request << ",\"ts\":";
         json_us(os, span.start.ns());
         if (span.instant) {
             os << ",\"s\":\"t\"";
@@ -177,7 +175,25 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
         if (span.open) os << ",\"open\":\"true\"";
         os << "}}";
     }
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    write_events(os, 1, first);
     os << "],\"otherData\":{\"dropped\":" << dropped_ << "}}\n";
+}
+
+void Tracer::write_merged_chrome_trace(std::ostream& os,
+                                       const std::vector<const Tracer*>& tracers) {
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    std::uint64_t dropped = 0;
+    for (std::size_t i = 0; i < tracers.size(); ++i) {
+        tracers[i]->write_events(os, i + 1, first);
+        dropped += tracers[i]->dropped_;
+    }
+    os << "],\"otherData\":{\"dropped\":" << dropped << "}}\n";
 }
 
 std::string Tracer::chrome_trace() const {

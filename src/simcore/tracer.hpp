@@ -140,9 +140,18 @@ public:
     void write_chrome_trace(std::ostream& os) const;
     [[nodiscard]] std::string chrome_trace() const;
 
+    /// Merged export for a sharded run: one JSON document containing every
+    /// tracer's spans, each tracer under pid = its index in `tracers` + 1
+    /// (= domain id + 1), spans in creation order within a tracer, dropped
+    /// counts summed. With a single tracer the output is byte-identical to
+    /// write_chrome_trace (whose fixed pid is 1).
+    static void write_merged_chrome_trace(std::ostream& os,
+                                          const std::vector<const Tracer*>& tracers);
+
 private:
     TraceSpan* find(SpanId id);
     [[nodiscard]] const TraceSpan* find(SpanId id) const;
+    void write_events(std::ostream& os, std::uint64_t pid, bool& first) const;
 
     Simulation* sim_ = nullptr;
     bool enabled_ = false;

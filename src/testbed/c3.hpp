@@ -27,6 +27,10 @@ struct C3Options {
     /// Route all pulls through the private in-network registry.
     bool use_private_registry_mirror = false;
     sdn::ControllerConfig controller;
+    /// Host the testbed on an external kernel (a sim::Domain's simulation
+    /// inside a ShardedSimulation) instead of letting the platform own one.
+    /// Must outlive the testbed when set.
+    sim::Simulation* host_sim = nullptr;
 };
 
 struct C3Testbed {
@@ -44,6 +48,8 @@ struct C3Testbed {
     orchestrator::Cluster* far_edge = nullptr;
 
     explicit C3Testbed(core::EdgePlatformConfig config) : platform(std::move(config)) {}
+    C3Testbed(sim::Simulation& host_sim, core::EdgePlatformConfig config)
+        : platform(host_sim, std::move(config)) {}
 
     /// Register all Table I services with the platform.
     void register_table1_services();

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "simcore/simulation.hpp"
 
 namespace tedge::workload {
 
@@ -42,6 +45,44 @@ std::optional<TraceEvent> PoissonStream::next() {
     std::push_heap(heap_.begin(), heap_.end(), later);
     ++emitted_;
     return event;
+}
+
+PoissonStream::Options PoissonStream::shard_options(const Options& base,
+                                                    std::uint32_t shard,
+                                                    std::uint32_t num_shards) {
+    if (num_shards == 0 || shard >= num_shards) {
+        throw std::invalid_argument("PoissonStream::shard_options: bad shard index");
+    }
+    Options options = base;
+    options.total_rate_per_s = base.total_rate_per_s / num_shards;
+    options.limit = base.limit / num_shards +
+                    (shard < base.limit % num_shards ? 1 : 0);
+    // Stateless derivation keyed by the *stable* shard id only: shard s's
+    // arrival sequence is the same at any shard count, and distinct shards
+    // never correlate.
+    options.seed = sim::Rng::stream_seed(base.seed, shard);
+    return options;
+}
+
+StreamPump::StreamPump(sim::Simulation& sim, RequestStream& stream,
+                       Handler on_event)
+    : sim_(&sim), stream_(&stream), on_event_(std::move(on_event)) {}
+
+void StreamPump::start() {
+    if (started_) return;
+    started_ = true;
+    pending_ = stream_->next();
+    if (pending_) sim_->schedule_at(pending_->at, [this] { fire(); });
+}
+
+void StreamPump::fire() {
+    const TraceEvent event = *pending_;
+    // Pull and schedule the successor *before* handling: the handler sees
+    // the next arrival and can start its memory loads early.
+    pending_ = stream_->next();
+    if (pending_) sim_->schedule_at(pending_->at, [this] { fire(); });
+    on_event_(event, pending_);
+    ++delivered_;
 }
 
 } // namespace tedge::workload

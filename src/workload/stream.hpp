@@ -9,12 +9,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "simcore/random.hpp"
 #include "simcore/time.hpp"
 #include "workload/trace.hpp"
+
+namespace tedge::sim {
+class Simulation;
+}
 
 namespace tedge::workload {
 
@@ -85,6 +90,16 @@ public:
 
     explicit PoissonStream(const Options& options);
 
+    /// Options for shard `shard` of `num_shards` parallel streams jointly
+    /// equivalent in load to `base`: the aggregate rate and event budget are
+    /// split evenly (remainder events to the low shards) and the seed is
+    /// derived statelessly from (base.seed, shard) -- so shard s draws the
+    /// same sequence whether it runs among 2 shards or 8, and no two shards
+    /// share a stream.
+    [[nodiscard]] static Options shard_options(const Options& base,
+                                               std::uint32_t shard,
+                                               std::uint32_t num_shards);
+
     std::optional<TraceEvent> next() override;
     [[nodiscard]] std::uint32_t service_count() const override {
         return options_.services;
@@ -116,6 +131,42 @@ private:
     std::vector<double> mean_gap_s_;  ///< per-service mean inter-arrival
     std::vector<Arrival> heap_;
     std::size_t emitted_ = 0;
+};
+
+/// Pump a RequestStream through a kernel one pending arrival at a time (the
+/// TraceRunner pattern, packaged): exactly one workload event is in the
+/// queue at any moment, and the re-arm closure captures a single pointer so
+/// it stays inside the std::function small-object buffer -- no per-event
+/// heap allocation. The handler receives the fired event plus a peek at the
+/// next pending one (already scheduled), so call sites can software-pipeline
+/// work for it (e.g. FlowMemory::prefetch). One pump per domain is how a
+/// sharded run feeds per-shard workload into per-shard kernels.
+class StreamPump {
+public:
+    using Handler = std::function<void(const TraceEvent& event,
+                                       const std::optional<TraceEvent>& next)>;
+
+    /// All three referents must outlive the pump (or the simulation must not
+    /// run past the pump's destruction).
+    StreamPump(sim::Simulation& sim, RequestStream& stream, Handler on_event);
+
+    /// Schedule the first pending arrival (no-op on an exhausted stream).
+    void start();
+
+    /// Events fired so far.
+    [[nodiscard]] std::size_t delivered() const { return delivered_; }
+    /// True once the stream is exhausted and the last event has fired.
+    [[nodiscard]] bool done() const { return started_ && !pending_; }
+
+private:
+    void fire();
+
+    sim::Simulation* sim_;
+    RequestStream* stream_;
+    Handler on_event_;
+    std::optional<TraceEvent> pending_;
+    std::size_t delivered_ = 0;
+    bool started_ = false;
 };
 
 } // namespace tedge::workload
