@@ -33,10 +33,22 @@
 // a "shards" field; baselines written before the field existed parse as
 // shards=1.
 //
+// The sweep has a fidelity dimension (--fidelity, default "both"): exact
+// rows drive every flow through the per-packet path as before; hybrid rows
+// (DESIGN §9) replay a FluidPoissonStream -- each service's first flow is an
+// exact cold start, the rest arrive as per-epoch aggregate batches admitted
+// via FlowMemory::admit_fluid -- so the kernel carries O(services) events
+// per epoch instead of one per flow. Hybrid rows extend the sweep to 10M and
+// 100M resident flows (serial kernel only; skipped under --quick) and the
+// "events/s" column reads as flows per wall-clock second in both modes, so
+// the hybrid/exact ratio is the control-plane speedup. When both fidelities
+// sweep the 1M x 8 wheel point, the run fails unless hybrid is >= 10x exact.
+//
 // Flags: --quick (skip the 1M row and the RSS comparison: CI),
 //        --backend heap|wheel|both (event-queue backend to sweep; default
 //        wheel, `both` additionally prints a heap-vs-wheel table),
 //        --shards <csv> (shard counts to sweep, default 1,2,8),
+//        --fidelity exact|hybrid|both (default both),
 //        --out <file>, --baseline <file>.
 #include <algorithm>
 #include <chrono>
@@ -55,6 +67,8 @@
 #include <tuple>
 #include <utility>
 #include <vector>
+
+#include <thread>
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -106,6 +120,9 @@ net::ServiceAddress address_for(std::uint32_t service) {
 constexpr std::uint32_t kClusters = 2;
 constexpr sim::SimTime kIdleTimeout = sim::seconds(600);
 constexpr sim::SimTime kScanPeriod = sim::seconds(5);
+/// Aggregation grid of the hybrid-fidelity rows (stream batches and the
+/// FlowMemory lazy-advance epochs share it).
+constexpr sim::SimTime kEpochPeriod = sim::milliseconds(100);
 /// Site-to-controller access latency: the partition's minimum cut-link
 /// latency, i.e. the conservative lookahead of the sharded sweep points.
 constexpr sim::SimTime kAccessLatency = sim::milliseconds(25);
@@ -151,6 +168,7 @@ struct SweepPoint {
     std::uint32_t services = 0;
     sim::QueueBackend backend = sim::QueueBackend::kWheel;
     std::size_t shards = 1;  ///< 1 = serial kernel, > 1 = sharded control plane
+    sdn::Fidelity fidelity = sdn::Fidelity::kExact;
 };
 
 const char* backend_str(sim::QueueBackend backend) {
@@ -171,7 +189,27 @@ struct PointResult {
     std::uint64_t peak_live_flows = 0;
     std::uint64_t sync_rounds = 0;  ///< barrier rounds (sharded points only)
     std::uint64_t digests = 0;      ///< digests the controller received
+    std::uint32_t cores_used = 1;      ///< worker threads the point could use
+    std::uint32_t hw_concurrency = 0;  ///< std::thread::hardware_concurrency()
+    std::uint64_t kernel_events = 0;   ///< workload events the kernel carried
+    std::uint64_t events_scheduled = 0;   ///< kernel pushes over the whole run
+    std::uint64_t cascade_stages = 0;     ///< wheel: buckets staged
+    std::uint64_t cascade_refiled = 0;    ///< wheel: entries re-filed
+    std::uint64_t cascade_max_burst = 0;  ///< wheel: largest staged bucket
 };
+
+std::uint32_t hw_threads() {
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void record_cascade(const sim::Simulation& sim, PointResult& result) {
+    const auto& cascade = sim.wheel_cascade_stats();
+    result.events_scheduled += sim.total_scheduled();
+    result.cascade_stages += cascade.stages;
+    result.cascade_refiled += cascade.refiled;
+    result.cascade_max_burst =
+        std::max(result.cascade_max_burst, cascade.max_stage_burst);
+}
 
 /// Fill a FlowMemory with `point.flows` live flows through the event kernel:
 /// every Poisson arrival is one packet-in (recall miss -> install), pumped
@@ -310,6 +348,148 @@ PointResult run_point_once(const SweepPoint& point) {
         static_cast<double>(point.flows) / elapsed_s(expire_start);
     result.idle_notifications = idle_events;
     result.rss_kb = peak_rss_kb();
+    result.cores_used = 1;
+    result.hw_concurrency = hw_threads();
+    result.kernel_events = point.flows;
+    record_cascade(sim, result);
+    return result;
+}
+
+/// Hybrid-fidelity fill (DESIGN §9): each service's first flow is an exact
+/// cold start through the per-packet path (recall miss -> memorize), every
+/// later arrival reaches the FlowMemory as a per-epoch aggregate batch
+/// (admit_fluid), driven by a FluidPoissonStream. The table ends up with the
+/// same `point.flows` resident flows and fires the same per-(service,
+/// cluster) idle notifications as the exact fill, but the kernel carries
+/// O(services x epochs) events instead of one per flow.
+PointResult run_point_hybrid_once(const SweepPoint& point) {
+    PointResult result;
+
+    sim::Simulation sim(point.backend);
+    sim.reserve_events(4096);
+    sdn::FlowMemory::Config config;
+    config.idle_timeout = kIdleTimeout;
+    config.scan_period = kScanPeriod;
+    config.fidelity = sdn::Fidelity::kHybrid;
+    config.epoch_period = kEpochPeriod;
+    sdn::FlowMemory memory(sim, config);
+    memory.reserve(point.services);  // exact pool: one cold flow per service
+    std::uint64_t idle_events = 0;
+    memory.set_idle_service_callback(
+        [&](const std::string&, const std::string&) { ++idle_events; });
+
+    std::vector<std::string> service_names(point.services);
+    std::vector<net::ServiceAddress> addresses(point.services);
+    for (std::uint32_t s = 0; s < point.services; ++s) {
+        service_names[s] = "svc" + std::to_string(s);
+        addresses[s] = address_for(s);
+    }
+    std::vector<std::string> cluster_names(kClusters);
+    for (std::uint32_t c = 0; c < kClusters; ++c) {
+        cluster_names[c] = "edge" + std::to_string(c);
+    }
+
+    workload::FluidPoissonStream::Options stream_options;
+    stream_options.services = point.services;
+    stream_options.clients = 1024;
+    stream_options.limit = point.flows;
+    stream_options.total_rate_per_s = static_cast<double>(point.flows) / 60.0;
+    stream_options.seed = 42;
+    stream_options.epoch_period = kEpochPeriod;
+    workload::FluidPoissonStream stream(stream_options);
+
+    // Batches are rare (O(services) per epoch), so every event is sampled --
+    // the install percentiles price the per-batch control-plane work.
+    std::vector<double> install_ns;
+    std::vector<bool> warm(point.services, false);
+    std::size_t installed = 0;        // flows resident so far
+    std::uint64_t kernel_events = 0;  // workload events through the kernel
+    std::optional<workload::TraceEvent> pending = stream.next();
+    std::function<void()> fire = [&] {
+        const workload::TraceEvent event = *pending;
+        pending = stream.next();
+        if (pending) sim.schedule_at(pending->at, [&fire] { fire(); });
+
+        const std::uint32_t cluster = event.client % kClusters;
+        const auto start = Clock::now();
+        if (!warm[event.service]) {
+            // Exact cold start: the decision the control plane must resolve
+            // per-packet in either fidelity.
+            warm[event.service] = true;
+            const net::Ipv4 client_ip{0xc0000000u +
+                                      static_cast<std::uint32_t>(installed)};
+            const auto hit = memory.recall(client_ip, addresses[event.service]);
+            if (!hit) {
+                sdn::MemorizedFlow flow;
+                flow.client_ip = client_ip;
+                flow.service_address = addresses[event.service];
+                flow.service_name = service_names[event.service];
+                flow.instance_node = net::NodeId{event.service};
+                flow.instance_port = 8000;
+                flow.cluster = cluster_names[cluster];
+                flow.created = sim.now();
+                flow.last_used = sim.now();
+                memory.memorize(flow);
+            }
+        } else {
+            memory.admit_fluid(service_names[event.service],
+                               cluster_names[cluster],
+                               net::NodeId{event.service}, 8000, event.count);
+        }
+        install_ns.push_back(
+            std::chrono::duration<double, std::nano>(Clock::now() - start)
+                .count());
+        installed += event.count;
+        ++kernel_events;
+    };
+    if (pending) sim.schedule_at(pending->at, fire);
+
+    const auto fill_start = Clock::now();
+    sim.run_while([&] { return installed < point.flows; });
+    const double fill_s = elapsed_s(fill_start);
+    result.events_per_s = static_cast<double>(point.flows) / fill_s;
+    result.peak_live_flows = memory.size();
+    result.kernel_events = kernel_events;
+
+    std::sort(install_ns.begin(), install_ns.end());
+    result.install_p50_ns = percentile(install_ns, 0.50);
+    result.install_p95_ns = percentile(install_ns, 0.95);
+    result.install_p99_ns = percentile(install_ns, 0.99);
+
+    constexpr std::size_t kPasses = 4096;
+    volatile std::size_t sink = 0;
+    auto start = Clock::now();
+    for (std::size_t pass = 0; pass < kPasses; ++pass) {
+        for (std::uint32_t s = 0; s < point.services; ++s) {
+            sink = sink + memory.flows_for_service(service_names[s]);
+        }
+    }
+    result.lookup_ns = std::chrono::duration<double, std::nano>(
+                           Clock::now() - start)
+                           .count() /
+                       static_cast<double>(kPasses * point.services);
+    start = Clock::now();
+    for (std::size_t pass = 0; pass < kPasses; ++pass) {
+        for (std::uint32_t s = 0; s < point.services; ++s) {
+            for (std::uint32_t c = 0; c < kClusters; ++c) {
+                sink = sink + memory.flows_for_service(service_names[s],
+                                                       cluster_names[c]);
+            }
+        }
+    }
+    result.idle_check_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count() /
+        static_cast<double>(kPasses * point.services * kClusters);
+
+    const auto expire_start = Clock::now();
+    sim.run_until(sim.now() + kIdleTimeout + kScanPeriod * 3);
+    result.expire_per_s =
+        static_cast<double>(point.flows) / elapsed_s(expire_start);
+    result.idle_notifications = idle_events;
+    result.rss_kb = peak_rss_kb();
+    result.cores_used = 1;
+    result.hw_concurrency = hw_threads();
+    record_cascade(sim, result);
     return result;
 }
 
@@ -475,6 +655,13 @@ PointResult run_point_sharded_once(const SweepPoint& point) {
     result.sync_rounds = sharded.rounds();
     result.digests = aggregator.digests_received();
     result.rss_kb = peak_rss_kb();
+    // One worker lane per domain (edges + controller), capped by the host.
+    result.cores_used = static_cast<std::uint32_t>(
+        std::min<std::size_t>(num_shards + 1, hw_threads()));
+    result.hw_concurrency = hw_threads();
+    result.kernel_events = point.flows;
+    for (auto* edge : edges) record_cascade(edge->sim(), result);
+    record_cascade(controller.sim(), result);
     return result;
 }
 
@@ -485,6 +672,9 @@ PointResult run_point_sharded_once(const SweepPoint& point) {
 /// the same amount, so the RSS number is unaffected by repetition.
 PointResult run_point(const SweepPoint& point) {
     const auto once = [&point] {
+        if (point.fidelity == sdn::Fidelity::kHybrid) {
+            return run_point_hybrid_once(point);
+        }
         return point.shards > 1 ? run_point_sharded_once(point)
                                 : run_point_once(point);
     };
@@ -651,6 +841,10 @@ std::string json_point(const SweepPoint& point, const PointResult& result) {
         << ", \"services\": " << point.services
         << ", \"backend\": \"" << backend_str(point.backend)
         << "\", \"shards\": " << point.shards
+        << ", \"fidelity\": \"" << sdn::to_string(point.fidelity)
+        << "\", \"cores_used\": " << result.cores_used
+        << ", \"hw_concurrency\": " << result.hw_concurrency
+        << ", \"kernel_events\": " << result.kernel_events
         << ", \"sync_rounds\": " << result.sync_rounds
         << ", \"digests\": " << result.digests
         << ", \"events_per_s\": "
@@ -668,7 +862,10 @@ std::string json_point(const SweepPoint& point, const PointResult& result) {
         << static_cast<std::uint64_t>(result.expire_per_s)
         << ", \"peak_rss_kb\": " << result.rss_kb
         << ", \"idle_notifications\": " << result.idle_notifications
-        << ", \"peak_live_flows\": " << result.peak_live_flows << "}";
+        << ", \"peak_live_flows\": " << result.peak_live_flows
+        << ", \"events_scheduled\": " << result.events_scheduled
+        << ", \"cascade_refiled\": " << result.cascade_refiled
+        << ", \"cascade_max_burst\": " << result.cascade_max_burst << "}";
     return out.str();
 }
 
@@ -694,13 +891,14 @@ std::optional<std::string> extract_string(const std::string& line,
     return line.substr(start, end - start);
 }
 
-using BaselineKey = std::tuple<std::size_t, std::uint32_t, std::string, std::size_t>;
+using BaselineKey =
+    std::tuple<std::size_t, std::uint32_t, std::string, std::size_t, std::string>;
 
-/// events/s per (flows, services, backend, shards) point parsed from a
-/// BENCH_scale.json. Points written before the backend dimension existed
-/// carry no "backend" field; those were measured on the binary heap, so they
-/// gate the heap rows of a newer run. Points written before the shard
-/// dimension existed are serial-kernel runs: they parse as shards=1.
+/// events/s per (flows, services, backend, shards, fidelity) point parsed
+/// from a BENCH_scale.json. Points written before the backend dimension
+/// existed carry no "backend" field; those were measured on the binary heap,
+/// so they gate the heap rows of a newer run. Points written before the
+/// shard / fidelity dimensions existed parse as shards=1 / exact.
 std::map<BaselineKey, double> parse_baseline(const std::string& path) {
     std::map<BaselineKey, double> baseline;
     std::ifstream in(path);
@@ -711,11 +909,13 @@ std::map<BaselineKey, double> parse_baseline(const std::string& path) {
         const auto events = extract_number(line, "events_per_s");
         const auto backend = extract_string(line, "backend");
         const auto shards = extract_number(line, "shards");
+        const auto fidelity = extract_string(line, "fidelity");
         if (flows && services && events) {
             baseline[{static_cast<std::size_t>(*flows),
                       static_cast<std::uint32_t>(*services),
                       backend.value_or("heap"),
-                      static_cast<std::size_t>(shards.value_or(1))}] = *events;
+                      static_cast<std::size_t>(shards.value_or(1)),
+                      fidelity.value_or("exact")}] = *events;
         }
     }
     return baseline;
@@ -750,6 +950,7 @@ int main(int argc, char** argv) {
     std::string baseline_path;
     std::string backend_arg = "wheel";
     std::string shards_arg = "1,2,8";
+    std::string fidelity_arg = "both";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quick") {
@@ -762,9 +963,12 @@ int main(int argc, char** argv) {
             backend_arg = argv[++i];
         } else if (arg == "--shards" && i + 1 < argc) {
             shards_arg = argv[++i];
+        } else if (arg == "--fidelity" && i + 1 < argc) {
+            fidelity_arg = argv[++i];
         } else {
             std::cerr << "usage: bench_scale [--quick] "
                          "[--backend heap|wheel|both] [--shards <csv>] "
+                         "[--fidelity exact|hybrid|both] "
                          "[--out <file>] [--baseline <file>]\n";
             return 2;
         }
@@ -787,74 +991,190 @@ int main(int argc, char** argv) {
                   << "' (expected heap, wheel, or both)\n";
         return 2;
     }
+    std::vector<sdn::Fidelity> fidelities;
+    if (fidelity_arg == "exact") {
+        fidelities = {sdn::Fidelity::kExact};
+    } else if (fidelity_arg == "hybrid") {
+        fidelities = {sdn::Fidelity::kHybrid};
+    } else if (fidelity_arg == "both") {
+        fidelities = {sdn::Fidelity::kExact, sdn::Fidelity::kHybrid};
+    } else {
+        std::cerr << "unknown --fidelity '" << fidelity_arg
+                  << "' (expected exact, hybrid, or both)\n";
+        return 2;
+    }
 
     print_header("scale",
                  "control-plane scale sweep: concurrent flows x services -> "
                  "events/s, install latency, peak RSS");
 
-    std::vector<std::size_t> flow_counts = {10'000, 100'000, 1'000'000};
-    if (quick) flow_counts.pop_back(); // CI: skip the 1M row
+    const std::vector<std::size_t> base_flow_counts =
+        quick ? std::vector<std::size_t>{10'000, 100'000}
+              : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
     const std::vector<std::uint32_t> service_counts = {1, 8, 64};
 
     std::vector<std::pair<SweepPoint, PointResult>> results;
-    workload::TextTable table({"backend", "shards", "flows", "services",
-                               "events/s", "install p50", "install p99",
-                               "lookup ns", "idle ns", "peak RSS MB"});
-    for (const auto backend : backends) {
-        for (const auto shards : *shard_counts) {
-            // The heap rows exist to compare queue backends on the serial
-            // kernel; sharded points sweep the production wheel only.
-            if (shards > 1 && backend != sim::QueueBackend::kWheel) continue;
-            for (const auto flows : flow_counts) {
-                for (const auto services : service_counts) {
-                    const SweepPoint point{flows, services, backend, shards};
-                    const auto result = run_forked<PointResult>(
-                        [point] { return run_point(point); });
-                    if (!result) {
-                        std::cerr << "point " << flows << "x" << services
-                                  << " (" << backend_str(backend) << ", shards "
-                                  << shards << ") failed (child died)\n";
-                        return 1;
+    workload::TextTable table({"fidelity", "backend", "shards", "flows",
+                               "services", "events/s", "install p50",
+                               "install p99", "lookup ns", "idle ns",
+                               "peak RSS MB"});
+    for (const auto fidelity : fidelities) {
+        for (const auto backend : backends) {
+            for (const auto shards : *shard_counts) {
+                // The heap rows exist to compare queue backends on the serial
+                // kernel; sharded points sweep the production wheel only. The
+                // hybrid fast path is a serial-kernel feature.
+                if (shards > 1 && (backend != sim::QueueBackend::kWheel ||
+                                   fidelity == sdn::Fidelity::kHybrid)) {
+                    continue;
+                }
+                std::vector<std::size_t> flow_counts = base_flow_counts;
+                if (fidelity == sdn::Fidelity::kHybrid && shards == 1 && !quick) {
+                    // The fluid rows the exact path cannot reach.
+                    flow_counts.push_back(10'000'000);
+                    flow_counts.push_back(100'000'000);
+                }
+                for (const auto flows : flow_counts) {
+                    for (const auto services : service_counts) {
+                        const SweepPoint point{flows, services, backend, shards,
+                                               fidelity};
+                        const auto result = run_forked<PointResult>(
+                            [point] { return run_point(point); });
+                        if (!result) {
+                            std::cerr << "point " << flows << "x" << services
+                                      << " (" << backend_str(backend)
+                                      << ", shards " << shards << ", "
+                                      << sdn::to_string(fidelity)
+                                      << ") failed (child died)\n";
+                            return 1;
+                        }
+                        if (result->peak_live_flows != flows ||
+                            result->idle_notifications == 0) {
+                            std::cerr << "point " << flows << "x" << services
+                                      << " (" << backend_str(backend)
+                                      << ", shards " << shards << ", "
+                                      << sdn::to_string(fidelity)
+                                      << ") invalid: live="
+                                      << result->peak_live_flows
+                                      << " idle_notifications="
+                                      << result->idle_notifications << "\n";
+                            return 1;
+                        }
+                        results.emplace_back(point, *result);
+                        table.add_row(
+                            {sdn::to_string(fidelity), backend_str(backend),
+                             std::to_string(shards), std::to_string(flows),
+                             std::to_string(services),
+                             workload::TextTable::num(result->events_per_s, 0),
+                             workload::TextTable::num(result->install_p50_ns,
+                                                      0) +
+                                 " ns",
+                             workload::TextTable::num(result->install_p99_ns,
+                                                      0) +
+                                 " ns",
+                             workload::TextTable::num(result->lookup_ns, 0),
+                             workload::TextTable::num(result->idle_check_ns, 0),
+                             workload::TextTable::num(
+                                 static_cast<double>(result->rss_kb) / 1024.0,
+                                 1)});
                     }
-                    if (result->peak_live_flows != flows ||
-                        result->idle_notifications == 0) {
-                        std::cerr << "point " << flows << "x" << services
-                                  << " (" << backend_str(backend) << ", shards "
-                                  << shards
-                                  << ") invalid: live=" << result->peak_live_flows
-                                  << " idle_notifications="
-                                  << result->idle_notifications << "\n";
-                        return 1;
-                    }
-                    results.emplace_back(point, *result);
-                    table.add_row(
-                        {backend_str(backend), std::to_string(shards),
-                         std::to_string(flows), std::to_string(services),
-                         workload::TextTable::num(result->events_per_s, 0),
-                         workload::TextTable::num(result->install_p50_ns, 0) +
-                             " ns",
-                         workload::TextTable::num(result->install_p99_ns, 0) +
-                             " ns",
-                         workload::TextTable::num(result->lookup_ns, 0),
-                         workload::TextTable::num(result->idle_check_ns, 0),
-                         workload::TextTable::num(
-                             static_cast<double>(result->rss_kb) / 1024.0, 1)});
                 }
             }
         }
     }
     std::cout << table.str() << "\n";
 
+    // Hybrid vs exact at shared points: flows per wall-clock second in both
+    // modes, so the ratio is the control-plane speedup the fluid fast path
+    // buys. The 1M x 8 wheel point carries a hard >= 10x acceptance gate.
+    if (fidelities.size() == 2) {
+        workload::TextTable speedup({"backend", "flows", "services",
+                                     "exact ev/s", "hybrid ev/s", "speedup",
+                                     "kernel events"});
+        bool gate_failed = false;
+        for (const auto& [point, result] : results) {
+            if (point.fidelity != sdn::Fidelity::kHybrid || point.shards != 1) {
+                continue;
+            }
+            double exact_events = 0;
+            for (const auto& [p, r] : results) {
+                if (p.fidelity == sdn::Fidelity::kExact && p.shards == 1 &&
+                    p.backend == point.backend && p.flows == point.flows &&
+                    p.services == point.services) {
+                    exact_events = r.events_per_s;
+                }
+            }
+            if (exact_events <= 0) continue;
+            const double ratio = result.events_per_s / exact_events;
+            speedup.add_row(
+                {backend_str(point.backend), std::to_string(point.flows),
+                 std::to_string(point.services),
+                 workload::TextTable::num(exact_events, 0),
+                 workload::TextTable::num(result.events_per_s, 0),
+                 workload::TextTable::num(ratio, 1) + "x",
+                 std::to_string(result.kernel_events)});
+            if (point.flows == 1'000'000 && point.services == 8 &&
+                point.backend == sim::QueueBackend::kWheel && ratio < 10.0) {
+                gate_failed = true;
+            }
+        }
+        std::cout << "hybrid vs exact, fill flows/s:\n" << speedup.str() << "\n";
+        if (gate_failed) {
+            std::cerr << "HYBRID GATE: < 10x exact at the 1M x 8 wheel point\n";
+            return 1;
+        }
+    }
+
+    // Wheel cascade accounting: staging re-files are the wheel's only
+    // super-constant per-event work, so their amortized count is the
+    // tail-latency budget. The numbers are deterministic at the fixed seed
+    // (no timing involved), and the wheel geometry bounds re-files per
+    // entry by the number of levels the run's horizon spans -- under 7 for
+    // anything shorter than 2^41 ns. A violation means staging regressed
+    // (e.g. an entry re-filing at its own level and cascading repeatedly),
+    // exactly the failure mode that shows up as install_p99 spikes first.
+    {
+        workload::TextTable cascade({"fidelity", "shards", "flows", "services",
+                                     "scheduled", "refiled", "refiles/event",
+                                     "max burst"});
+        bool bound_violated = false;
+        for (const auto& [point, result] : results) {
+            if (point.backend != sim::QueueBackend::kWheel) continue;
+            if (result.events_scheduled == 0) continue;
+            const double per_event =
+                static_cast<double>(result.cascade_refiled) /
+                static_cast<double>(result.events_scheduled);
+            cascade.add_row({sdn::to_string(point.fidelity),
+                             std::to_string(point.shards),
+                             std::to_string(point.flows),
+                             std::to_string(point.services),
+                             std::to_string(result.events_scheduled),
+                             std::to_string(result.cascade_refiled),
+                             workload::TextTable::num(per_event, 2),
+                             std::to_string(result.cascade_max_burst)});
+            if (per_event > 7.0) bound_violated = true;
+        }
+        std::cout << "wheel cascade bound (amortized re-files/event <= 7):\n"
+                  << cascade.str() << "\n";
+        if (bound_violated) {
+            std::cerr << "CASCADE BOUND: wheel re-filed > 7x per scheduled "
+                         "event -- staging is no longer amortized O(1)\n";
+            return 1;
+        }
+    }
+
     // Shard-scaling view: events/s vs the serial kernel at the same point
     // (wheel rows only; the serial wheel row is the committed baseline).
     if (shard_counts->size() > 1) {
-        workload::TextTable scaling({"flows", "services", "shards", "events/s",
-                                     "vs serial", "sync rounds", "digests"});
-        for (const auto flows : flow_counts) {
+        workload::TextTable scaling({"flows", "services", "shards", "cores",
+                                     "events/s", "vs serial", "per-core eff",
+                                     "sync rounds", "digests"});
+        for (const auto flows : base_flow_counts) {
             for (const auto services : service_counts) {
                 double serial_events = 0;
                 for (const auto& [point, result] : results) {
                     if (point.backend == sim::QueueBackend::kWheel &&
+                        point.fidelity == sdn::Fidelity::kExact &&
                         point.shards == 1 && point.flows == flows &&
                         point.services == services) {
                         serial_events = result.events_per_s;
@@ -863,21 +1183,30 @@ int main(int argc, char** argv) {
                 if (serial_events <= 0) continue;
                 for (const auto& [point, result] : results) {
                     if (point.backend != sim::QueueBackend::kWheel ||
+                        point.fidelity != sdn::Fidelity::kExact ||
                         point.flows != flows || point.services != services) {
                         continue;
                     }
+                    // Speedup normalized by the cores the point could use: a
+                    // perfectly scaling shard sweep holds this near 1.0, and
+                    // on a single-core host the sharded rows honestly report
+                    // their serialization instead of faking scale-out.
+                    const double speedup = result.events_per_s / serial_events;
+                    const double per_core =
+                        speedup / static_cast<double>(result.cores_used);
                     scaling.add_row(
                         {std::to_string(flows), std::to_string(services),
                          std::to_string(point.shards),
+                         std::to_string(result.cores_used),
                          workload::TextTable::num(result.events_per_s, 0),
-                         workload::TextTable::num(
-                             result.events_per_s / serial_events, 2) + "x",
+                         workload::TextTable::num(speedup, 2) + "x",
+                         workload::TextTable::num(per_core, 2),
                          std::to_string(result.sync_rounds),
                          std::to_string(result.digests)});
                 }
             }
         }
-        std::cout << "shard scaling, fill events/s (wheel backend):\n"
+        std::cout << "shard scaling, fill events/s (wheel backend, exact):\n"
                   << scaling.str() << "\n";
     }
 
@@ -885,13 +1214,14 @@ int main(int argc, char** argv) {
     if (backends.size() == 2) {
         workload::TextTable versus(
             {"flows", "services", "heap ev/s", "wheel ev/s", "wheel/heap"});
-        for (const auto flows : flow_counts) {
+        for (const auto flows : base_flow_counts) {
             for (const auto services : service_counts) {
                 double heap_events = 0;
                 double wheel_events = 0;
                 for (const auto& [point, result] : results) {
                     if (point.flows != flows || point.services != services ||
-                        point.shards != 1) {
+                        point.shards != 1 ||
+                        point.fidelity != sdn::Fidelity::kExact) {
                         continue;
                     }
                     (point.backend == sim::QueueBackend::kHeap
@@ -936,7 +1266,8 @@ int main(int argc, char** argv) {
     if (!quick) {
         for (const auto& [point, result] : results) {
             if (point.flows == 1'000'000 && point.services == 64 &&
-                point.shards == 1) {
+                point.shards == 1 &&
+                point.fidelity == sdn::Fidelity::kExact) {
                 new_rss_1m = result.rss_kb;
             }
         }
@@ -987,12 +1318,13 @@ int main(int argc, char** argv) {
         for (const auto& [point, result] : results) {
             const auto it = baseline.find({point.flows, point.services,
                                            backend_str(point.backend),
-                                           point.shards});
+                                           point.shards,
+                                           sdn::to_string(point.fidelity)});
             if (it == baseline.end() || it->second <= 0) continue;
             const double ratio = result.events_per_s / it->second;
             std::cout << "  " << point.flows << "x" << point.services << " ("
                       << backend_str(point.backend) << ", shards "
-                      << point.shards
+                      << point.shards << ", " << sdn::to_string(point.fidelity)
                       << "): " << workload::TextTable::num(ratio, 2)
                       << "x baseline\n";
             log_ratio_sum += std::log(ratio);

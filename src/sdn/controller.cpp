@@ -1,6 +1,17 @@
 #include "sdn/controller.hpp"
 
 namespace tedge::sdn {
+namespace {
+
+/// Propagate the controller-level fidelity knob into the sub-configs before
+/// the members they configure are constructed.
+ControllerConfig with_fidelity(ControllerConfig config) {
+    config.flow_memory.fidelity = config.fidelity;
+    config.dispatcher.fidelity = config.fidelity;
+    return config;
+}
+
+} // namespace
 
 Controller::Controller(sim::Simulation& sim, net::Topology& topo,
                        net::OvsSwitch& ingress, ServiceRegistry& registry,
@@ -8,7 +19,8 @@ Controller::Controller(sim::Simulation& sim, net::Topology& topo,
                        std::vector<orchestrator::Cluster*> clusters,
                        ControllerConfig config)
     : sim_(sim), ingress_(ingress), engine_(engine), clusters_(clusters),
-      config_(std::move(config)), flow_memory_(sim, config_.flow_memory),
+      config_(with_fidelity(std::move(config))),
+      flow_memory_(sim, config_.flow_memory),
       scheduler_(SchedulerRegistry::instance().create(config_.scheduler,
                                                       config_.scheduler_params)),
       log_(sim, "controller") {

@@ -27,6 +27,10 @@ struct ControllerConfig {
     FlowMemory::Config flow_memory;
     /// Scale idle services down when their last memorized flow expires.
     bool scale_down_idle = true;
+    /// Control-plane fidelity (DESIGN §9). The single knob: the Controller
+    /// copies it into the dispatcher and flow-memory sub-configs, overriding
+    /// whatever they carry.
+    Fidelity fidelity = Fidelity::kExact;
 };
 
 class Controller {

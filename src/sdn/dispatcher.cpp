@@ -58,7 +58,8 @@ void Dispatcher::install_and_release(net::OvsSwitch& source,
                                      const net::PacketIn& event,
                                      const orchestrator::ServiceSpec& spec,
                                      const orchestrator::InstanceInfo& instance,
-                                     const std::string& cluster_name) {
+                                     const std::string& cluster_name,
+                                     bool established) {
     if (auto* tr = sim_.tracer()) {
         const auto span = tr->begin("flow.install");
         tr->arg(span, "service", spec.name);
@@ -85,7 +86,8 @@ void Dispatcher::install_and_release(net::OvsSwitch& source,
     flow.instance_node = instance.node;
     flow.instance_port = instance.port;
     flow.cluster = cluster_name;
-    memory_.memorize(flow);
+    memory_.memorize(flow,
+                     established && config_.fidelity == Fidelity::kHybrid);
 
     // Lazy: FlowMatch::str() runs per packet-in only when debug is on.
     log_.debug([&] {
@@ -177,7 +179,7 @@ void Dispatcher::dispatch(net::OvsSwitch& source, const net::PacketIn& event,
                 instance.port = remembered->instance_port;
                 instance.ready = true;
                 install_and_release(source, event, svc->spec, instance,
-                                    remembered->cluster);
+                                    remembered->cluster, /*established=*/true);
                 return;
             }
         }
@@ -234,7 +236,7 @@ void Dispatcher::dispatch(net::OvsSwitch& source, const net::PacketIn& event,
     if (result.fast->instance && result.fast->instance->ready) {
         ++stats_.redirected_ready;
         install_and_release(source, event, spec, *result.fast->instance,
-                            cluster_name);
+                            cluster_name, /*established=*/true);
         return;
     }
 
@@ -253,7 +255,9 @@ void Dispatcher::dispatch(net::OvsSwitch& source, const net::PacketIn& event,
             release_to_cloud(source, event, /*install_flow=*/false);
             return;
         }
-        install_and_release(source, event, spec, instance, cluster_name);
+        // A deploy-and-wait install is a cold start: it stays exact.
+        install_and_release(source, event, spec, instance, cluster_name,
+                            /*established=*/false);
     });
 }
 

@@ -34,6 +34,11 @@ struct DispatcherConfig {
     /// Install a redirect-to-cloud entry when no edge location exists, so
     /// follow-up packets do not hit the controller again.
     bool install_cloud_flows = true;
+    /// Under hybrid fidelity, installs whose decision was already settled
+    /// (memory hit, redirect to a ready instance) memorize their flow as
+    /// established, letting FlowMemory promote it into a fluid cohort.
+    /// Cold starts and deploy-and-wait installs stay exact in either mode.
+    Fidelity fidelity = Fidelity::kExact;
 };
 
 struct DispatcherStats {
@@ -84,10 +89,12 @@ private:
     /// The packet-in decision body; `pin_span` is the enclosing trace span.
     void dispatch(net::OvsSwitch& source, const net::PacketIn& event,
                   sim::SpanId pin_span);
+    /// `established` marks installs whose decision was already settled (the
+    /// hybrid-fidelity promotion hint; ignored under exact fidelity).
     void install_and_release(net::OvsSwitch& source, const net::PacketIn& event,
                              const orchestrator::ServiceSpec& spec,
                              const orchestrator::InstanceInfo& instance,
-                             const std::string& cluster_name);
+                             const std::string& cluster_name, bool established);
     void release_to_cloud(net::OvsSwitch& source, const net::PacketIn& event,
                           bool install_flow);
     ScheduleContext build_context(const net::PacketIn& event,

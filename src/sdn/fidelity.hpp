@@ -1,0 +1,36 @@
+// Simulation fidelity of the control-plane flow path (DESIGN §9).
+//
+// kExact models every flow as an individually-evented record: one packet-in
+// per arrival, one expiry filing per flow. kHybrid lets *established* flows
+// -- flows whose install decision is already settled (memory hit, or a
+// redirect to an instance that was ready) -- collapse into per-(service,
+// cluster) fluid cohorts whose rate counters advance lazily on the
+// sim::AggregateEpoch grid. Cold starts, handover/re-steer and
+// expiry-boundary transitions stay exact per-packet events in either mode,
+// which is what keeps hybrid dispatch decisions and idle notifications
+// identical to exact mode.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace tedge::sdn {
+
+enum class Fidelity {
+    kExact,
+    kHybrid,
+};
+
+[[nodiscard]] constexpr const char* to_string(Fidelity fidelity) {
+    return fidelity == Fidelity::kHybrid ? "hybrid" : "exact";
+}
+
+/// "exact" / "hybrid" -> Fidelity; throws std::invalid_argument otherwise.
+[[nodiscard]] inline Fidelity fidelity_from_string(std::string_view name) {
+    if (name == "exact") return Fidelity::kExact;
+    if (name == "hybrid") return Fidelity::kHybrid;
+    throw std::invalid_argument("unknown fidelity: " + std::string(name));
+}
+
+} // namespace tedge::sdn

@@ -1,8 +1,10 @@
 #include "sdn/flow_memory.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "simcore/aggregate_epoch.hpp"
 #include "simcore/metrics_registry.hpp"
 
 namespace tedge::sdn {
@@ -23,6 +25,16 @@ FlowMemory::FlowMemory(sim::Simulation& sim, Config config)
     // buckets are quantized by the same period, so keep the same contract.
     if (config_.scan_period <= sim::SimTime::zero()) {
         throw std::invalid_argument("non-positive period");
+    }
+    if (config_.fidelity == Fidelity::kHybrid) {
+        epoch_ = std::make_unique<sim::AggregateEpoch>(sim, config_.epoch_period);
+        // When someone requests real ticks (gauges, benches), each tick
+        // finalizes every cohort's epoch eagerly; without ticks the same
+        // folding happens lazily on the cohort's next touch -- either way
+        // the numbers at a given instant are identical.
+        epoch_->subscribe([this](sim::SimTime) {
+            for (auto& [pair, cohort] : cohorts_) advance_cohort(cohort);
+        });
     }
 }
 
@@ -93,7 +105,7 @@ void FlowMemory::grow(std::size_t min_capacity) {
     }
 }
 
-void FlowMemory::insert(Key64 key, const FlowRec& rec) {
+std::size_t FlowMemory::insert(Key64 key, const FlowRec& rec) {
     if (pool_.size() + tombstones_ + 1 > load_limit(capacity())) {
         // Mostly tombstones (expire/forget churn): rehash in place to scrub
         // them instead of doubling forever; otherwise double.
@@ -116,17 +128,18 @@ void FlowMemory::insert(Key64 key, const FlowRec& rec) {
         pool_[index].rec.expiry_bucket = filed;
         bump_counters(rec, +1);
         file_expiry(key, pool_[index].rec);
-    } else {
-        if (t == kTombstoneTag) --tombstones_;
-        if (pool_.size() >= kMaxFlows) {
-            throw std::length_error("FlowMemory: flow table full");
-        }
-        tag_at(slot) = tag_of(key);
-        index_at(slot) = static_cast<std::uint32_t>(pool_.size());
-        pool_.push_back(Entry{key, rec, static_cast<std::uint32_t>(slot)});
-        bump_counters(rec, +1);
-        file_expiry(key, pool_.back().rec);
+        return index;
     }
+    if (t == kTombstoneTag) --tombstones_;
+    if (pool_.size() >= kMaxFlows) {
+        throw std::length_error("FlowMemory: flow table full");
+    }
+    tag_at(slot) = tag_of(key);
+    index_at(slot) = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(Entry{key, rec, static_cast<std::uint32_t>(slot)});
+    bump_counters(rec, +1);
+    file_expiry(key, pool_.back().rec);
+    return pool_.size() - 1;
 }
 
 void FlowMemory::erase_entry(std::size_t index) {
@@ -145,6 +158,18 @@ void FlowMemory::erase_entry(std::size_t index) {
 }
 
 void FlowMemory::bump_counters(const FlowRec& rec, std::int64_t delta) {
+    if (rec.fluid) {
+        // A tracked-fluid record entering/leaving the pool is also a cohort
+        // member entering/leaving its cohort (erase, overwrite, forget).
+        FluidCohort& cohort = cohort_for(rec.service, rec.cluster);
+        if (delta > 0) {
+            ++cohort.tracked_live;
+            ++fluid_tracked_;
+        } else {
+            --cohort.tracked_live;
+            --fluid_tracked_;
+        }
+    }
     if (delta > 0) {
         ++pair_counts_[pack_pair(rec.service, rec.cluster)];
         ++service_counts_[rec.service];
@@ -162,6 +187,84 @@ void FlowMemory::bump_counters(const FlowRec& rec, std::int64_t delta) {
     }
 }
 
+void FlowMemory::bump_counters_by(sim::SymbolId service, sim::SymbolId cluster,
+                                  std::uint64_t count, bool add) {
+    if (count == 0) return;
+    const Key64 pair = pack_pair(service, cluster);
+    if (add) {
+        pair_counts_[pair] += static_cast<std::size_t>(count);
+        service_counts_[service] += static_cast<std::size_t>(count);
+        return;
+    }
+    auto pair_it = pair_counts_.find(pair);
+    if (pair_it != pair_counts_.end()) {
+        pair_it->second -= std::min(pair_it->second,
+                                    static_cast<std::size_t>(count));
+        if (pair_it->second == 0) pair_counts_.erase(pair_it);
+    }
+    auto svc_it = service_counts_.find(service);
+    if (svc_it != service_counts_.end()) {
+        svc_it->second -= std::min(svc_it->second,
+                                   static_cast<std::size_t>(count));
+        if (svc_it->second == 0) service_counts_.erase(svc_it);
+    }
+}
+
+FlowMemory::FluidCohort& FlowMemory::cohort_for(sim::SymbolId service,
+                                                sim::SymbolId cluster) {
+    FluidCohort& cohort = cohorts_[pack_pair(service, cluster)];
+    cohort.service = service;
+    cohort.cluster = cluster;
+    return cohort;
+}
+
+void FlowMemory::advance_cohort(FluidCohort& cohort) {
+    if (epoch_ == nullptr) return;
+    const std::int64_t k = sim_.now().ns() / config_.epoch_period.ns();
+    if (cohort.epoch_k == k) return;
+    if (cohort.epoch_k >= 0) {
+        // Fold the completed epoch holding epoch_arrivals into the EWMA,
+        // then decay across any arrival-free epochs between it and now in
+        // closed form -- this is the lazy advance: a cohort untouched for a
+        // thousand epochs settles its rate in O(1) at the next touch.
+        constexpr double kAlpha = 0.25;
+        const double period_s =
+            static_cast<double>(config_.epoch_period.ns()) / 1e9;
+        double rate = cohort.rate_per_s;
+        rate += kAlpha *
+                (static_cast<double>(cohort.epoch_arrivals) / period_s - rate);
+        const std::int64_t idle_epochs = k - cohort.epoch_k - 1;
+        if (idle_epochs > 0) {
+            rate *= std::pow(1.0 - kAlpha, static_cast<double>(idle_epochs));
+        }
+        cohort.rate_per_s = rate;
+    }
+    cohort.epoch_k = k;
+    cohort.epoch_arrivals = 0;
+}
+
+void FlowMemory::promote_entry(Entry& entry) {
+    entry.rec.fluid = true;
+    FluidCohort& cohort = cohort_for(entry.rec.service, entry.rec.cluster);
+    cohort.instance_node = entry.rec.instance_node;
+    cohort.instance_port = entry.rec.instance_port;
+    advance_cohort(cohort);
+    ++cohort.tracked_live;
+    ++cohort.epoch_arrivals;
+    ++cohort.admitted_total;
+    ++fluid_tracked_;
+    // No metrics counter here: promotion is pure representation, and a
+    // hybrid-only counter in the dump would break the byte-identity of
+    // fig09/fig12 artifacts against exact mode.
+}
+
+void FlowMemory::demote_entry(Entry& entry) {
+    entry.rec.fluid = false;
+    FluidCohort& cohort = cohort_for(entry.rec.service, entry.rec.cluster);
+    --cohort.tracked_live;
+    --fluid_tracked_;
+}
+
 MemorizedFlow FlowMemory::materialize(Key64 key, const FlowRec& rec) const {
     MemorizedFlow flow;
     flow.client_ip = net::Ipv4{static_cast<std::uint32_t>(key >> 32)};
@@ -175,7 +278,7 @@ MemorizedFlow FlowMemory::materialize(Key64 key, const FlowRec& rec) const {
     return flow;
 }
 
-void FlowMemory::memorize(const MemorizedFlow& flow) {
+void FlowMemory::memorize(const MemorizedFlow& flow, bool established) {
     FlowRec rec;
     rec.service = symbols_.intern(flow.service_name);
     rec.cluster = symbols_.intern(flow.cluster);
@@ -183,8 +286,13 @@ void FlowMemory::memorize(const MemorizedFlow& flow) {
     rec.instance_port = flow.instance_port;
     rec.created = flow.created == sim::SimTime::zero() ? sim_.now() : flow.created;
     rec.last_used = sim_.now();
-    insert(pack_key(flow.client_ip.value(), intern_address(flow.service_address)),
-           rec);
+    const std::size_t index = insert(
+        pack_key(flow.client_ip.value(), intern_address(flow.service_address)),
+        rec);
+    // Promote at install, not at a later epoch tick: the entry's expiry
+    // filing position is already fixed by the insert, so promotion cannot
+    // perturb expiry (and thus idle-notification) ordering.
+    if (established && epoch_ != nullptr) promote_entry(pool_[index]);
 }
 
 void FlowMemory::prefetch(net::Ipv4 client_ip,
@@ -227,9 +335,83 @@ FlowMemory::recall(net::Ipv4 client_ip, const net::ServiceAddress& service) {
         if (auto* m = sim_.metrics()) m->counter("sdn.flow_memory.stale_recalls").inc();
         return std::nullopt;
     }
+    // A recalled flow is by definition at a decision boundary again: demote
+    // it to exact representation before answering, so whatever happens next
+    // (re-install, re-steer, expiry) runs the exact path.
+    if (entry.rec.fluid) demote_entry(entry);
     entry.rec.last_used = sim_.now();
     ++hits_;
     return materialize(entry.key, entry.rec);
+}
+
+bool FlowMemory::promote(net::Ipv4 client_ip, const net::ServiceAddress& service) {
+    if (epoch_ == nullptr) return false;
+    const auto address_id = find_address(service);
+    if (!address_id) return false;
+    const std::size_t slot = find_slot(pack_key(client_ip.value(), *address_id));
+    if (slot == kNpos) return false;
+    Entry& entry = pool_[index_at(slot)];
+    if (entry.rec.fluid) return false;
+    promote_entry(entry);
+    return true;
+}
+
+bool FlowMemory::demote(net::Ipv4 client_ip, const net::ServiceAddress& service) {
+    const auto address_id = find_address(service);
+    if (!address_id) return false;
+    const std::size_t slot = find_slot(pack_key(client_ip.value(), *address_id));
+    if (slot == kNpos) return false;
+    Entry& entry = pool_[index_at(slot)];
+    if (!entry.rec.fluid) return false;
+    demote_entry(entry);
+    return true;
+}
+
+void FlowMemory::admit_fluid(std::string_view service_name,
+                             std::string_view cluster,
+                             net::NodeId instance_node,
+                             std::uint16_t instance_port,
+                             std::uint64_t count) {
+    if (epoch_ == nullptr) {
+        throw std::logic_error("FlowMemory: admit_fluid requires hybrid fidelity");
+    }
+    if (count == 0) return;
+    const auto service = symbols_.intern(service_name);
+    const auto cluster_id = symbols_.intern(cluster);
+    FluidCohort& cohort = cohort_for(service, cluster_id);
+    cohort.instance_node = instance_node;
+    cohort.instance_port = instance_port;
+    advance_cohort(cohort);
+    cohort.epoch_arrivals += count;
+    cohort.admitted_total += count;
+    cohort.anonymous_live += count;
+    fluid_anonymous_ += count;
+    bump_counters_by(service, cluster_id, count, /*add=*/true);
+    file_fluid_expiry(pack_pair(service, cluster_id), count);
+    if (auto* m = sim_.metrics()) {
+        m->counter("sdn.flow_memory.fluid_admissions").inc(count);
+    }
+}
+
+std::uint64_t FlowMemory::fluid_flows(std::string_view service_name,
+                                      std::string_view cluster) const {
+    const auto service = symbols_.find(service_name);
+    const auto cluster_id = symbols_.find(cluster);
+    if (!service || !cluster_id) return 0;
+    const auto it = cohorts_.find(pack_pair(*service, *cluster_id));
+    if (it == cohorts_.end()) return 0;
+    return it->second.tracked_live + it->second.anonymous_live;
+}
+
+double FlowMemory::fluid_rate_per_s(std::string_view service_name,
+                                    std::string_view cluster) {
+    const auto service = symbols_.find(service_name);
+    const auto cluster_id = symbols_.find(cluster);
+    if (!service || !cluster_id) return 0.0;
+    const auto it = cohorts_.find(pack_pair(*service, *cluster_id));
+    if (it == cohorts_.end()) return 0.0;
+    advance_cohort(it->second);
+    return it->second.rate_per_s;
 }
 
 const MemorizedFlow*
@@ -245,7 +427,7 @@ FlowMemory::peek(net::Ipv4 client_ip, const net::ServiceAddress& service) const 
 
 std::size_t FlowMemory::forget_service(std::string_view service_name) {
     const auto service = symbols_.find(service_name);
-    if (!service || pool_.empty()) return 0;
+    if (!service) return 0;
     std::size_t removed = 0;
     std::size_t index = 0;
     while (index < pool_.size()) {
@@ -255,6 +437,17 @@ std::size_t FlowMemory::forget_service(std::string_view service_name) {
         } else {
             ++index;
         }
+    }
+    // Anonymous cohort members have no pool record: drop them from the fused
+    // counters now and let their filed expiry runs cancel as stale later.
+    for (auto& [pair, cohort] : cohorts_) {
+        if (cohort.service != *service || cohort.anonymous_live == 0) continue;
+        const std::uint64_t n = cohort.anonymous_live;
+        cohort.anonymous_forgotten += n;
+        cohort.anonymous_live = 0;
+        fluid_anonymous_ -= n;
+        bump_counters_by(cohort.service, cohort.cluster, n, /*add=*/false);
+        removed += static_cast<std::size_t>(n);
     }
     return removed;
 }
@@ -286,16 +479,11 @@ std::uint64_t FlowMemory::bucket_for(sim::SimTime deadline) const {
     return static_cast<std::uint64_t>(std::max(bucket, next_tick));
 }
 
-void FlowMemory::file_expiry(Key64 key, FlowRec& rec) {
-    const std::uint64_t bucket = bucket_for(rec.last_used + config_.idle_timeout);
-    if (rec.expiry_bucket == bucket) return; // already filed at this deadline
-    rec.expiry_bucket = bucket;
+FlowMemory::ExpiryBucket& FlowMemory::bucket_node(std::uint64_t bucket) {
     if (cached_bucket_node_ != nullptr && cached_bucket_ == bucket) {
-        cached_bucket_node_->keys.push_back(key);
-        return;
+        return *cached_bucket_node_;
     }
     auto [it, fresh] = expiry_buckets_.try_emplace(bucket);
-    it->second.keys.push_back(key);
     cached_bucket_ = bucket;
     cached_bucket_node_ = &it->second;
     if (fresh) {
@@ -304,19 +492,47 @@ void FlowMemory::file_expiry(Key64 key, FlowRec& rec) {
                          config_.scan_period.ns()},
             [this, bucket] { fire_bucket(bucket); }, /*daemon=*/true);
     }
+    return it->second;
+}
+
+void FlowMemory::file_expiry(Key64 key, FlowRec& rec) {
+    const std::uint64_t bucket = bucket_for(rec.last_used + config_.idle_timeout);
+    if (rec.expiry_bucket == bucket) return; // already filed at this deadline
+    rec.expiry_bucket = bucket;
+    bucket_node(bucket).items.push_back(ExpiryItem{key, 0});
+}
+
+void FlowMemory::file_fluid_expiry(Key64 pair, std::uint64_t count) {
+    const std::uint64_t bucket = bucket_for(sim_.now() + config_.idle_timeout);
+    ExpiryBucket& node = bucket_node(bucket);
+    // Consecutive admissions to the same cohort within one scan quantum are
+    // one run: per-bucket filing cost is O(live cohorts), not O(flows).
+    if (!node.items.empty() && node.items.back().count > 0 &&
+        node.items.back().key == pair) {
+        node.items.back().count += count;
+        return;
+    }
+    node.items.push_back(ExpiryItem{pair, count});
 }
 
 void FlowMemory::fire_bucket(std::uint64_t bucket) {
     const auto it = expiry_buckets_.find(bucket);
     if (it == expiry_buckets_.end()) return;
-    const std::vector<Key64> keys = std::move(it->second.keys);
+    const std::vector<ExpiryItem> items = std::move(it->second.items);
     if (cached_bucket_ == bucket) cached_bucket_node_ = nullptr;
     expiry_buckets_.erase(it); // re-files below may re-occupy this map
     const sim::SimTime now = sim_.now();
     std::vector<Key64> expired_pairs;
     std::unordered_map<Key64, bool> seen;
     std::size_t removed = 0;
-    for (const Key64 key : keys) {
+    for (const ExpiryItem& item : items) {
+        if (item.count > 0) {
+            // A run of anonymous cohort flows. They are never touched after
+            // admission, so the whole run expires here.
+            drain_fluid(item.key, item.count, expired_pairs, seen, removed);
+            continue;
+        }
+        const Key64 key = item.key;
         const std::size_t slot = find_slot(key);
         if (slot == kNpos) continue; // erased (stale recall/forget) since filing
         const std::size_t index = index_at(slot);
@@ -340,6 +556,28 @@ void FlowMemory::fire_bucket(std::uint64_t bucket) {
     finish_expiry(expired_pairs, removed);
 }
 
+void FlowMemory::drain_fluid(Key64 pair, std::uint64_t count,
+                             std::vector<Key64>& expired_pairs,
+                             std::unordered_map<Key64, bool>& seen,
+                             std::size_t& removed) {
+    const auto it = cohorts_.find(pair);
+    if (it == cohorts_.end()) return;
+    FluidCohort& cohort = it->second;
+    // Filed runs for members forget_service() already removed are stale;
+    // cancel them in filing (FIFO) order before touching live members.
+    const std::uint64_t cancelled = std::min(count, cohort.anonymous_forgotten);
+    cohort.anonymous_forgotten -= cancelled;
+    const std::uint64_t n = std::min(count - cancelled, cohort.anonymous_live);
+    if (n == 0) return;
+    cohort.anonymous_live -= n;
+    fluid_anonymous_ -= n;
+    bump_counters_by(cohort.service, cohort.cluster, n, /*add=*/false);
+    removed += static_cast<std::size_t>(n);
+    if (idle_cb_ && seen.emplace(pair, true).second) {
+        expired_pairs.push_back(pair);
+    }
+}
+
 std::size_t FlowMemory::expire() {
     const sim::SimTime now = sim_.now();
     // (service, cluster) pairs that lost at least one flow this sweep, in
@@ -359,6 +597,32 @@ std::size_t FlowMemory::expire() {
             ++removed;
         } else {
             ++index;
+        }
+    }
+    // Anonymous cohort members record their deadlines only through filed
+    // runs, quantized to bucket instants (the observable-expiry contract of
+    // bucketed expiry). A manual sweep drains every run whose bucket instant
+    // has been reached, in bucket order; exact keys stay for their events.
+    if (epoch_ != nullptr && fluid_anonymous_ > 0) {
+        const auto due =
+            static_cast<std::uint64_t>(now.ns() / config_.scan_period.ns());
+        std::vector<std::uint64_t> due_buckets;
+        for (const auto& [bucket, pending] : expiry_buckets_) {
+            if (bucket <= due) due_buckets.push_back(bucket);
+        }
+        std::sort(due_buckets.begin(), due_buckets.end());
+        for (const std::uint64_t bucket : due_buckets) {
+            auto& items = expiry_buckets_[bucket].items;
+            std::size_t kept = 0;
+            for (const ExpiryItem& item : items) {
+                if (item.count > 0) {
+                    drain_fluid(item.key, item.count, expired_pairs, seen,
+                                removed);
+                } else {
+                    items[kept++] = item;
+                }
+            }
+            items.resize(kept);
         }
     }
     finish_expiry(expired_pairs, removed);

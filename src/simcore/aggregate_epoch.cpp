@@ -1,0 +1,73 @@
+#include "simcore/aggregate_epoch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tedge::sim {
+
+AggregateEpoch::AggregateEpoch(Simulation& sim, SimTime period)
+    : sim_(sim), period_(period) {
+    if (period <= SimTime::zero()) {
+        throw std::invalid_argument("AggregateEpoch: non-positive period");
+    }
+}
+
+AggregateEpoch::~AggregateEpoch() = default;
+
+SimTime AggregateEpoch::floor(SimTime t) const {
+    if (t <= SimTime::zero()) return SimTime::zero();
+    return SimTime{(t.ns() / period_.ns()) * period_.ns()};
+}
+
+SimTime AggregateEpoch::ceil(SimTime t) const {
+    if (t <= SimTime::zero()) return SimTime::zero();
+    const std::int64_t p = period_.ns();
+    return SimTime{((t.ns() + p - 1) / p) * p};
+}
+
+SimTime AggregateEpoch::next_after(SimTime t) const {
+    const std::int64_t p = period_.ns();
+    const std::int64_t k = t.ns() < 0 ? 0 : t.ns() / p;
+    return SimTime{(k + 1) * p};
+}
+
+std::size_t AggregateEpoch::subscribe(Subscriber fn) {
+    const std::size_t id = next_id_++;
+    subscribers_.emplace_back(id, std::move(fn));
+    return id;
+}
+
+void AggregateEpoch::unsubscribe(std::size_t id) {
+    subscribers_.erase(
+        std::remove_if(subscribers_.begin(), subscribers_.end(),
+                       [id](const auto& s) { return s.first == id; }),
+        subscribers_.end());
+}
+
+void AggregateEpoch::request_ticks_until(SimTime until) {
+    const SimTime last_tick = floor(until);
+    if (last_tick > horizon_) horizon_ = last_tick;
+    arm();
+}
+
+void AggregateEpoch::arm() {
+    if (armed_) return;
+    const SimTime next = next_after(sim_.now());
+    if (next > horizon_) return; // horizon exhausted: go quiet
+    armed_ = true;
+    sim_.schedule_at(next, [this, next] { fire(next); }, /*daemon=*/true);
+}
+
+void AggregateEpoch::fire(SimTime tick) {
+    armed_ = false;
+    ++ticks_fired_;
+    // Subscribers may promote new aggregates (extending the horizon) from
+    // inside the tick; re-arming happens after the loop so the extension is
+    // honoured. Index loop: subscribe() from inside a tick is allowed.
+    for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+        subscribers_[i].second(tick);
+    }
+    arm();
+}
+
+} // namespace tedge::sim

@@ -1,0 +1,83 @@
+// Control-plane epoch grid for hybrid-fidelity aggregation.
+//
+// The hybrid fast path collapses established flows into fluid aggregates
+// whose rate counters advance *lazily*: instead of one kernel event per
+// per-flow packet, the aggregate's effective state at time t is computed
+// from the epoch grid (floor/ceil hooks below) whenever someone looks.
+// The only real kernel events are one daemon tick per epoch, and only
+// while a subscriber has asked for ticks (request_ticks_until) -- an idle
+// hybrid run schedules nothing at all.
+//
+// Ticks fire at absolute multiples of the period (the "epoch grid"), so
+// two components agreeing on a period agree on every tick instant; that
+// shared grid is what makes lazily-computed aggregate state reproduce the
+// exact per-event schedule bit-for-bit (see sdn::FlowMemory's fluid
+// cohorts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "simcore/simulation.hpp"
+#include "simcore/time.hpp"
+
+namespace tedge::sim {
+
+class AggregateEpoch {
+public:
+    /// Called at each epoch tick with the tick's grid instant.
+    using Subscriber = std::function<void(SimTime tick)>;
+
+    /// `period` must be positive; ticks fire at k * period (k >= 1).
+    AggregateEpoch(Simulation& sim, SimTime period);
+    ~AggregateEpoch();
+
+    AggregateEpoch(const AggregateEpoch&) = delete;
+    AggregateEpoch& operator=(const AggregateEpoch&) = delete;
+
+    [[nodiscard]] SimTime period() const { return period_; }
+
+    // ------------------------------------------------- lazy-advance hooks
+    /// Largest grid instant <= t (clamped at zero). The "lazy clock": a
+    /// component that refreshes state on the grid can reconstruct its
+    /// effective timestamp at any query time without having executed a
+    /// single tick event.
+    [[nodiscard]] SimTime floor(SimTime t) const;
+    /// Smallest grid instant >= t.
+    [[nodiscard]] SimTime ceil(SimTime t) const;
+    /// First grid instant strictly after t (where a flow installed at t
+    /// makes its first epoch refresh).
+    [[nodiscard]] SimTime next_after(SimTime t) const;
+
+    // ------------------------------------------------------- tick daemon
+    /// Register a per-tick callback. Returns an id for unsubscribe().
+    std::size_t subscribe(Subscriber fn);
+    void unsubscribe(std::size_t id);
+
+    /// Ask the daemon to keep firing grid ticks up to and including the
+    /// grid floor of `until`. Extends (never shrinks) the armed horizon and
+    /// schedules the next tick if none is pending. Ticks are daemon events:
+    /// they never keep Simulation::run() alive on their own.
+    void request_ticks_until(SimTime until);
+
+    /// Grid ticks fired so far.
+    [[nodiscard]] std::uint64_t ticks_fired() const { return ticks_fired_; }
+    /// The armed horizon (zero when nothing was ever requested).
+    [[nodiscard]] SimTime horizon() const { return horizon_; }
+
+private:
+    void arm();
+    void fire(SimTime tick);
+
+    Simulation& sim_;
+    SimTime period_;
+    SimTime horizon_ = SimTime::zero();
+    bool armed_ = false;
+    std::uint64_t ticks_fired_ = 0;
+    std::size_t next_id_ = 0;
+    std::vector<std::pair<std::size_t, Subscriber>> subscribers_;
+};
+
+} // namespace tedge::sim

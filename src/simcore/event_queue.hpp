@@ -119,6 +119,13 @@ public:
     /// Total number of events ever scheduled (for diagnostics/determinism checks).
     [[nodiscard]] std::uint64_t total_scheduled() const { return seq_; }
 
+    /// Cascade accounting of the wheel backend; all zeros under kHeap. The
+    /// numbers are deterministic at a fixed seed, which is what lets bench
+    /// gates assert the amortized-cascade bound without timing anything.
+    [[nodiscard]] const TimerWheel::CascadeStats& wheel_cascade_stats() const {
+        return store_.wheel.cascade_stats();
+    }
+
 private:
     friend class EventHandle;
 

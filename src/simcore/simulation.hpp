@@ -125,6 +125,12 @@ public:
         return queue_.total_scheduled();
     }
 
+    /// Wheel-backend cascade accounting (zeros under kHeap); deterministic
+    /// at a fixed seed, so bench gates can bound amortized cascade work.
+    [[nodiscard]] const TimerWheel::CascadeStats& wheel_cascade_stats() const {
+        return queue_.wheel_cascade_stats();
+    }
+
     /// The enabled tracer, or nullptr (the default, and whenever tracing is
     /// disabled). Components guard span emission with this single pointer
     /// load; the tracer itself never schedules kernel events.

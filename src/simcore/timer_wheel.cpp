@@ -9,10 +9,19 @@ namespace tedge::sim {
 void TimerWheel::stage(int level, std::size_t idx) {
     Bucket& bucket = buckets_[level][idx];
     clear_bucket_bit(level, idx);
-    // ready_ is empty here (pop_min only advances after draining it); the
-    // swap steals the bucket's storage and donates ready_'s retained
-    // capacity to the bucket's next tenant.
-    ready_.swap(bucket);
+    ++cascade_.stages;
+    cascade_.max_stage_burst =
+        std::max(cascade_.max_stage_burst, std::uint64_t{bucket.size()});
+    // ready_ is empty here (pop_min only advances after draining it). Copy
+    // the bucket out instead of stealing its storage: a swap would migrate
+    // vector capacity away from the bucket, so periodic tenants (expiry
+    // scans, epoch ticks) that re-file into the same buckets every rotation
+    // would hit the allocator on each cascade -- the source of the wheel's
+    // tail-latency spikes at small queue sizes. With copy + clear() both
+    // ready_ and every bucket grow once to their high-water mark and staging
+    // is allocation-free from then on.
+    ready_.assign(bucket.begin(), bucket.end());
+    bucket.clear();
     ready_head_ = 0;
     if (ready_.size() == 1) {
         // The common steady-state shape -- one timer per instant -- needs no
@@ -35,6 +44,7 @@ void TimerWheel::stage(int level, std::size_t idx) {
                 ready_[w++] = e;
             } else {
                 file(e);
+                ++cascade_.refiled;
             }
         }
         ready_.resize(w);
