@@ -1,0 +1,366 @@
+// Overload study for the resource model (DESIGN §10): four capacity-limited
+// docker clusters, aggregate demand at 2x their combined CPU and memory
+// budget, swept across the placement schedulers.
+//
+// 36 services cycle through three request sizes (250m/64Mi, 500m/128Mi,
+// 750m/192Mi -- one full cycle is 1500m/384Mi), so exactly half of them fit
+// into the 4 x 2250m/576Mi clusters under perfect packing. The interesting
+// question is how close each scheduler gets and what the overflow costs:
+//
+//   * least_loaded        -- capacity-blind instance counting; rejected
+//                            deployments burn a retry and fall to the cloud
+//   * utilization_balancing -- worst-fit by ledger pressure; skips full
+//                            clusters instead of bouncing off them
+//   * deadline_slo        -- tightest-fit packing against a latency budget
+//
+// Per scheduler the bench reports admitted / rejected deployments, deploy
+// retries, cloud fallbacks, and request-latency percentiles (p50/p95/p99
+// over every completed request, cold starts and cloud round-trips included).
+//
+// Two hard gates (CI runs the --quick smoke and trusts the exit code):
+//   1. Ledger invariant: per-cluster used and peak reservations never exceed
+//      the configured capacity, in either dimension.
+//   2. utilization_balancing must admit strictly more services than the
+//      capacity-blind least_loaded baseline -- the reason the scheduler
+//      exists. Equal admissions means pressure-aware placement regressed.
+//
+// Flags: --quick (fewer follow-up requests: CI smoke), --out <file>.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/edge_platform.hpp"
+#include "orchestrator/resources.hpp"
+#include "sdn/scheduler.hpp"
+#include "workload/metrics.hpp"
+
+namespace tedge::bench {
+namespace {
+
+constexpr std::uint32_t kClusters = 4;
+constexpr std::uint32_t kServices = 36;
+/// Per-cluster budget: 1.5 request cycles of CPU and memory, so the fleet
+/// holds exactly half the registered demand under perfect packing.
+constexpr std::uint64_t kClusterCpu = 2250;
+const std::uint64_t kClusterMem = static_cast<std::uint64_t>(sim::mib(576));
+
+struct RequestShape {
+    const char* cpu;
+    const char* memory;
+};
+/// One cycle sums to 1500m / 384Mi; 36 services = 12 cycles = 2x capacity.
+constexpr RequestShape kShapes[] = {
+    {"250m", "64Mi"},
+    {"500m", "128Mi"},
+    {"750m", "192Mi"},
+};
+
+struct ClusterSnapshot {
+    std::string name;
+    orchestrator::ClusterUtilization utilization;
+};
+
+struct SchedulerResult {
+    std::string scheduler;
+    std::size_t admitted = 0;      ///< deployments that completed
+    std::size_t rejected = 0;      ///< typed admission rejections
+    std::uint64_t retries = 0;
+    std::uint64_t retry_successes = 0;
+    std::uint64_t cloud_fallbacks = 0;
+    std::size_t requests_ok = 0;
+    double p50_ms = 0;
+    double p95_ms = 0;
+    double p99_ms = 0;
+    double peak_pressure = 0;  ///< max over clusters of peak/capacity
+    bool invariant_ok = true;
+    std::vector<ClusterSnapshot> clusters;
+};
+
+double percentile(const std::vector<double>& sorted_samples, double p) {
+    if (sorted_samples.empty()) return 0;
+    const auto index = static_cast<std::size_t>(
+        p * static_cast<double>(sorted_samples.size() - 1));
+    return sorted_samples[index];
+}
+
+SchedulerResult run_scheduler(const std::string& scheduler, bool quick) {
+    SchedulerResult result;
+    result.scheduler = scheduler;
+
+    core::EdgePlatform platform;
+    const auto client = platform.add_client("client", net::Ipv4{10, 0, 1, 1});
+    std::vector<net::NodeId> hosts;
+    for (std::uint32_t c = 0; c < kClusters; ++c) {
+        hosts.push_back(platform.add_edge_host(
+            "edge" + std::to_string(c),
+            net::Ipv4{10, 0, 0, static_cast<std::uint8_t>(2 + c)}, 12));
+    }
+    platform.add_cloud();
+
+    auto& registry = platform.add_registry({.host = "docker.io"});
+    container::Image image;
+    image.ref = *container::ImageRef::parse("web:1");
+    image.layers = container::make_layers("web", sim::mib(10), 2);
+    registry.put(image);
+
+    container::AppProfile app;
+    app.name = "web";
+    app.init_median = sim::milliseconds(20);
+    app.service_median = sim::microseconds(200);
+    app.port = 80;
+    platform.add_app_profile("web:1", app);
+
+    orchestrator::DockerClusterConfig limited;
+    limited.capacity = {.cpu_millicores = kClusterCpu,
+                        .memory_bytes = kClusterMem};
+    for (std::uint32_t c = 0; c < kClusters; ++c) {
+        platform.add_docker_cluster("edge" + std::to_string(c), hosts[c],
+                                    limited);
+    }
+
+    std::vector<net::ServiceAddress> addresses;
+    for (std::uint32_t i = 0; i < kServices; ++i) {
+        const auto& shape = kShapes[i % 3];
+        const net::ServiceAddress address{
+            net::Ipv4{203, 0, 113, static_cast<std::uint8_t>(10 + i)}, 80};
+        platform.register_service(address, R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - name: web
+          image: web:1
+          ports:
+            - containerPort: 80
+          resources:
+            requests:
+              cpu: )" + std::string(shape.cpu) +
+                                               R"(
+              memory: )" + std::string(shape.memory) +
+                                               "\n");
+        addresses.push_back(address);
+    }
+
+    // Capacity must stay pinned for the whole run so the admitted count is a
+    // packing statement, not a churn race: no idle scale-down, long memories.
+    sdn::ControllerConfig config;
+    config.scheduler = scheduler;
+    config.scale_down_idle = false;
+    config.flow_memory.idle_timeout = sim::seconds(900);
+    config.dispatcher.switch_idle_timeout = sim::seconds(900);
+    platform.start_controller(hosts[0], std::move(config));
+
+    // First requests arrive staggered 200ms apart (the deployment wave);
+    // follow-ups measure the steady state each placement bought.
+    const int follow_ups = quick ? 1 : 4;
+    std::size_t done = 0;
+    std::size_t expected = 0;
+    std::vector<double> latencies_ms;
+    const auto issue = [&](const net::ServiceAddress& address,
+                           sim::SimTime at) {
+        ++expected;
+        platform.simulation().schedule_at(at, [&, address] {
+            platform.http_request(client, address, 100,
+                                  [&](const net::HttpResult& r) {
+                                      ++done;
+                                      if (!r.ok) return;
+                                      ++result.requests_ok;
+                                      latencies_ms.push_back(
+                                          r.time_total.ms());
+                                  });
+        });
+    };
+    for (std::uint32_t i = 0; i < kServices; ++i) {
+        const auto first = sim::milliseconds(200) * static_cast<std::int64_t>(i);
+        issue(addresses[i], first);
+        for (int f = 1; f <= follow_ups; ++f) {
+            issue(addresses[i],
+                  first + sim::seconds(2) * static_cast<std::int64_t>(f));
+        }
+    }
+    drain_phase(platform.simulation(), [&] { return done == expected; });
+
+    for (const auto& record : platform.deployment_engine().records()) {
+        if (record.ok) {
+            ++result.admitted;
+        } else if (record.admission !=
+                   orchestrator::AdmissionReason::kAdmitted) {
+            ++result.rejected;
+        }
+    }
+    const auto& stats = platform.controller().dispatcher().stats();
+    result.retries = stats.deploy_retries;
+    result.retry_successes = stats.retry_successes;
+    result.cloud_fallbacks = stats.cloud_fallbacks;
+
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    result.p50_ms = percentile(latencies_ms, 0.50);
+    result.p95_ms = percentile(latencies_ms, 0.95);
+    result.p99_ms = percentile(latencies_ms, 0.99);
+
+    // Ledger invariant: reservations (current and high-water) never exceed
+    // the configured capacity on any cluster, in either dimension.
+    for (const auto* cluster : platform.clusters()) {
+        const auto utilization = cluster->utilization();
+        const auto over = [](std::uint64_t used, std::uint64_t cap) {
+            return cap != 0 && used > cap;
+        };
+        if (over(utilization.used.cpu_millicores,
+                 utilization.capacity.cpu_millicores) ||
+            over(utilization.peak_used.cpu_millicores,
+                 utilization.capacity.cpu_millicores) ||
+            over(utilization.used.memory_bytes,
+                 utilization.capacity.memory_bytes) ||
+            over(utilization.peak_used.memory_bytes,
+                 utilization.capacity.memory_bytes)) {
+            result.invariant_ok = false;
+        }
+        if (utilization.capacity.cpu_millicores != 0) {
+            const double peak =
+                static_cast<double>(utilization.peak_used.cpu_millicores) /
+                static_cast<double>(utilization.capacity.cpu_millicores);
+            result.peak_pressure = std::max(result.peak_pressure, peak);
+        }
+        result.clusters.push_back({cluster->name(), utilization});
+    }
+    return result;
+}
+
+std::string json_scheduler(const SchedulerResult& r) {
+    std::ostringstream out;
+    out << "    {\"scheduler\": \"" << r.scheduler
+        << "\", \"admitted\": " << r.admitted
+        << ", \"rejected\": " << r.rejected
+        << ", \"deploy_retries\": " << r.retries
+        << ", \"retry_successes\": " << r.retry_successes
+        << ", \"cloud_fallbacks\": " << r.cloud_fallbacks
+        << ", \"requests_ok\": " << r.requests_ok
+        << ", \"p50_ms\": " << workload::TextTable::num(r.p50_ms, 3)
+        << ", \"p95_ms\": " << workload::TextTable::num(r.p95_ms, 3)
+        << ", \"p99_ms\": " << workload::TextTable::num(r.p99_ms, 3)
+        << ", \"peak_pressure\": "
+        << workload::TextTable::num(r.peak_pressure, 3)
+        << ", \"invariant_ok\": " << (r.invariant_ok ? "true" : "false")
+        << "}";
+    return out.str();
+}
+
+} // namespace
+} // namespace tedge::bench
+
+int main(int argc, char** argv) {
+    using namespace tedge;
+    using namespace tedge::bench;
+    using workload::TextTable;
+
+    bool quick = false;
+    std::string out_path = "BENCH_overload.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::cerr << "usage: bench_overload [--quick] [--out <file>]\n";
+            return 2;
+        }
+    }
+
+    print_header("overload",
+                 "finite-capacity clusters at 2x aggregate demand: admission, "
+                 "rejection, and latency per scheduler");
+    std::cout << kClusters << " clusters x "
+              << orchestrator::format_cpu_millicores(kClusterCpu) << " / "
+              << orchestrator::format_memory_bytes(kClusterMem) << ", "
+              << kServices
+              << " services cycling 250m/64Mi, 500m/128Mi, 750m/192Mi "
+                 "(demand = 2.0x capacity in both dimensions)\n\n";
+
+    const std::vector<std::string> schedulers = {
+        sdn::kLeastLoadedScheduler,
+        sdn::kUtilizationBalancingScheduler,
+        sdn::kDeadlineSloScheduler,
+    };
+    std::vector<SchedulerResult> results;
+    for (const auto& scheduler : schedulers) {
+        results.push_back(run_scheduler(scheduler, quick));
+    }
+
+    TextTable table({"scheduler", "admitted", "rejected", "retries", "cloud",
+                     "p50 [ms]", "p95 [ms]", "p99 [ms]", "peak press"});
+    for (const auto& r : results) {
+        table.add_row({r.scheduler, std::to_string(r.admitted),
+                       std::to_string(r.rejected), std::to_string(r.retries),
+                       std::to_string(r.cloud_fallbacks),
+                       TextTable::num(r.p50_ms, 2), TextTable::num(r.p95_ms, 2),
+                       TextTable::num(r.p99_ms, 2),
+                       TextTable::num(r.peak_pressure, 2)});
+    }
+    std::cout << table.str() << "\n";
+
+    TextTable per_cluster({"scheduler", "cluster", "used cpu", "peak cpu",
+                           "used mem", "peak mem", "admits", "rejects"});
+    for (const auto& r : results) {
+        for (const auto& c : r.clusters) {
+            per_cluster.add_row(
+                {r.scheduler, c.name,
+                 orchestrator::format_cpu_millicores(
+                     c.utilization.used.cpu_millicores),
+                 orchestrator::format_cpu_millicores(
+                     c.utilization.peak_used.cpu_millicores),
+                 orchestrator::format_memory_bytes(
+                     c.utilization.used.memory_bytes),
+                 orchestrator::format_memory_bytes(
+                     c.utilization.peak_used.memory_bytes),
+                 std::to_string(c.utilization.admissions),
+                 std::to_string(c.utilization.rejections)});
+        }
+    }
+    std::cout << per_cluster.str() << "\n";
+
+    std::ofstream out(out_path);
+    out << "{\n  \"bench\": \"bench_overload\",\n  \"quick\": "
+        << (quick ? "true" : "false") << ",\n  \"clusters\": " << kClusters
+        << ",\n  \"cluster_cpu_millicores\": " << kClusterCpu
+        << ",\n  \"cluster_memory_bytes\": " << kClusterMem
+        << ",\n  \"services\": " << kServices << ",\n  \"schedulers\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        out << json_scheduler(results[i])
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    out.close();
+    std::cout << "wrote " << out_path << "\n";
+
+    bool failed = false;
+    for (const auto& r : results) {
+        if (!r.invariant_ok) {
+            std::cerr << "LEDGER INVARIANT: " << r.scheduler
+                      << " reserved past a cluster's capacity\n";
+            failed = true;
+        }
+    }
+    const auto by_name = [&](const char* name) -> const SchedulerResult& {
+        for (const auto& r : results) {
+            if (r.scheduler == name) return r;
+        }
+        throw std::logic_error("scheduler missing from sweep");
+    };
+    const auto& blind = by_name(sdn::kLeastLoadedScheduler);
+    const auto& aware = by_name(sdn::kUtilizationBalancingScheduler);
+    if (aware.admitted <= blind.admitted) {
+        std::cerr << "OVERLOAD GATE: utilization_balancing admitted "
+                  << aware.admitted << " <= least_loaded's " << blind.admitted
+                  << " -- pressure-aware placement buys nothing\n";
+        failed = true;
+    }
+    return failed ? 1 : 0;
+}

@@ -43,11 +43,27 @@ void DeploymentEngine::ensure(orchestrator::Cluster& cluster,
     job->record.service = spec.name;
     job->record.cluster = cluster.name();
     job->record.started = sim_.now();
+    ++inflight_per_cluster_[cluster.name()];
     if (auto* tr = sim_.tracer()) {
         const sim::SpanId span = tr->begin("deploy");
         tr->arg(span, "service", spec.name);
         tr->arg(span, "cluster", cluster.name());
         job->trace = tr->context_of(span);
+    }
+    // Admission pre-flight: fail fast (typed) instead of paying Pull/Create
+    // only to have Scale Up bounce off a full cluster, or worse, waiting out
+    // the 120 s await-instance timeout on a pod that can never bind.
+    if (const auto reason = cluster.admits(spec);
+        reason != orchestrator::AdmissionReason::kAdmitted) {
+        job->record.admission = reason;
+        if (auto* m = sim_.metrics()) {
+            m->counter("core.deploy.rejected").inc();
+            m->counter(std::string("core.deploy.rejected.") +
+                       orchestrator::to_string(reason))
+                .inc();
+        }
+        sim_.schedule(sim::SimTime::zero(), [this, job] { finish(job, false, {}); });
+        return;
     }
     run_pull(job);
 }
@@ -191,6 +207,11 @@ void DeploymentEngine::finish(const std::shared_ptr<Job>& job, bool ok,
         m->counter(ok ? "core.deploy.ok" : "core.deploy.failed").inc();
         m->histogram("phase.deploy_total_ms", 0, 60'000, 120)
             .add(job->record.total().ms());
+    }
+
+    const auto cluster_it = inflight_per_cluster_.find(job->record.cluster);
+    if (cluster_it != inflight_per_cluster_.end() && cluster_it->second > 0) {
+        if (--cluster_it->second == 0) inflight_per_cluster_.erase(cluster_it);
     }
 
     const auto it = inflight_.find(job->key);

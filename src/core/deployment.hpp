@@ -43,6 +43,10 @@ struct DeploymentRecord {
     sim::SimTime finished;
     PhaseTimings phases;
     bool ok = false;
+    /// Typed admission outcome; non-kAdmitted means the deployment was
+    /// rejected by the pre-flight capacity check before any phase ran.
+    orchestrator::AdmissionReason admission =
+        orchestrator::AdmissionReason::kAdmitted;
 
     [[nodiscard]] sim::SimTime total() const { return finished - started; }
 };
@@ -80,6 +84,14 @@ public:
 
     [[nodiscard]] std::size_t inflight() const { return inflight_.size(); }
 
+    /// Deployments currently in flight against `cluster` -- the early load
+    /// signal schedulers need before any instance is visible (a deployment
+    /// spends seconds in Pull with total_instances() still reading zero).
+    [[nodiscard]] std::size_t inflight_for(const std::string& cluster) const {
+        const auto it = inflight_per_cluster_.find(cluster);
+        return it == inflight_per_cluster_.end() ? 0 : it->second;
+    }
+
 private:
     struct Job;
     void run_pull(const std::shared_ptr<Job>& job);
@@ -96,6 +108,7 @@ private:
     sim::SimTime instance_poll_;
     std::vector<DeploymentRecord> records_;
     std::map<std::string, std::vector<Callback>> inflight_; ///< key: cluster|service
+    std::map<std::string, std::size_t> inflight_per_cluster_;
 };
 
 } // namespace tedge::core

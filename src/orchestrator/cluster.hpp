@@ -20,6 +20,7 @@
 #include "container/runtime.hpp"
 #include "net/address.hpp"
 #include "net/packet.hpp"
+#include "orchestrator/resources.hpp"
 
 namespace tedge::orchestrator {
 
@@ -32,6 +33,7 @@ struct ContainerTemplate {
     std::uint16_t container_port = 0;  ///< port the app listens on (0 = none)
     std::vector<container::VolumeMount> volumes;
     std::map<std::string, std::string> env;
+    ResourceRequest resources;  ///< requested CPU/mem (zero = request nothing)
 };
 
 /// A fully-annotated edge service definition (the output of the Annotator).
@@ -48,6 +50,14 @@ struct ServiceSpec {
     [[nodiscard]] bool valid() const {
         return !name.empty() && !containers.empty() && expose_port != 0 &&
                target_port != 0;
+    }
+
+    /// Resources one instance of this service reserves: the sum of its
+    /// containers' requests (a pod is scheduled as a unit).
+    [[nodiscard]] ResourceRequest resource_request() const {
+        ResourceRequest total;
+        for (const auto& c : containers) total += c.resources;
+        return total;
     }
 };
 
@@ -117,6 +127,22 @@ public:
     /// Total service instances currently placed on the cluster (running or
     /// starting, across all services) -- the load signal schedulers use.
     [[nodiscard]] virtual std::size_t total_instances() const = 0;
+
+    // --- Resource model (DESIGN §10) --------------------------------------
+    // Default: unlimited. Clusters without a configured capacity admit
+    // everything and report a zero (unlimited) utilization snapshot, so
+    // existing scenarios are unaffected.
+
+    /// Aggregate capacity/usage snapshot for pressure-aware schedulers.
+    [[nodiscard]] virtual ClusterUtilization utilization() const { return {}; }
+
+    /// Would one more instance of `spec` fit right now? Used by the
+    /// DeploymentEngine as a pre-flight check and by schedulers to skip
+    /// full clusters before committing to a placement.
+    [[nodiscard]] virtual AdmissionReason admits(const ServiceSpec& spec) const {
+        (void)spec;
+        return AdmissionReason::kAdmitted;
+    }
 
     /// Instances accepting traffic right now.
     [[nodiscard]] std::vector<InstanceInfo>

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "simcore/metrics_registry.hpp"
+
 namespace tedge::orchestrator {
 
 DockerCluster::DockerCluster(std::string name, sim::Simulation& sim,
@@ -16,7 +18,7 @@ DockerCluster::DockerCluster(std::string name, sim::Simulation& sim,
       registries_(registries), config_(config), store_(),
       puller_(sim, store_, puller_config),
       runtime_(sim, topo, node, endpoints, rng, runtime_costs),
-      log_(sim, "docker/" + name_) {}
+      log_(sim, "docker/" + name_), ledger_(config.capacity) {}
 
 void DockerCluster::with_api_latency(std::function<void()> fn) {
     sim_.schedule(config_.api_latency, std::move(fn));
@@ -87,6 +89,22 @@ void DockerCluster::create_service(const ServiceSpec& spec, BoolCallback done) {
         with_api_latency([done = std::move(done)] { done(false); });
         return;
     }
+    if (ledger_.limited()) {
+        // Reject a service that can never start: its per-instance request
+        // exceeds the host's *total* budget. Transient pressure is not
+        // checked here -- resources are only reserved at Scale Up.
+        const auto request = spec.resource_request();
+        const ResourceLedger empty_host(ledger_.capacity());
+        if (const auto reason = empty_host.check(request);
+            reason != AdmissionReason::kAdmitted) {
+            log_.warn("create " + spec.name + " rejected: " + to_string(reason));
+            if (auto* m = sim_.metrics()) {
+                m->counter("docker." + name_ + ".rejections").inc();
+            }
+            with_api_latency([done = std::move(done)] { done(false); });
+            return;
+        }
+    }
     auto& svc = services_[spec.name];
     svc.spec = spec;
     svc.state = SvcState::kCreated;
@@ -130,6 +148,19 @@ void DockerCluster::scale_up(const std::string& name, BoolCallback done) {
         with_api_latency([done = std::move(done)] { done(true); });
         return;
     }
+    // Admission control: a starting instance reserves its request until
+    // Scale Down releases it. Rejections are typed and surface as metrics
+    // so schedulers and benches can see *why* a host refused work.
+    if (const auto reason = ledger_.admit(svc.spec.resource_request());
+        reason != AdmissionReason::kAdmitted) {
+        log_.warn("scale up " + name + " rejected: " + to_string(reason));
+        if (auto* m = sim_.metrics()) {
+            m->counter("docker." + name_ + ".rejections").inc();
+            m->counter(std::string("docker.rejected.") + to_string(reason)).inc();
+        }
+        with_api_latency([done = std::move(done)] { done(false); });
+        return;
+    }
     svc.state = SvcState::kStarting;
     svc.state_since = sim_.now();
 
@@ -170,6 +201,7 @@ void DockerCluster::scale_down(const std::string& name, BoolCallback done) {
     auto& svc = it->second;
     svc.state = SvcState::kStopped;
     svc.state_since = sim_.now();
+    ledger_.release(svc.spec.resource_request());
     auto remaining = std::make_shared<std::size_t>(svc.containers.size());
     auto cb = std::make_shared<BoolCallback>(std::move(done));
     with_api_latency([this, name, remaining, cb] {
@@ -243,6 +275,27 @@ std::uint16_t DockerCluster::allocate_host_port(std::uint16_t preferred) {
     const std::uint16_t port = next_port_++;
     used_ports_.insert(port);
     return port;
+}
+
+ClusterUtilization DockerCluster::utilization() const {
+    ClusterUtilization u;
+    u.capacity = ledger_.capacity();
+    u.used = ledger_.used();
+    u.peak_used = ledger_.peak();
+    u.admissions = ledger_.admissions();
+    u.rejections = ledger_.rejections();
+    return u;
+}
+
+AdmissionReason DockerCluster::admits(const ServiceSpec& spec) const {
+    if (!ledger_.limited()) return AdmissionReason::kAdmitted;
+    const auto it = services_.find(spec.name);
+    if (it != services_.end() && (it->second.state == SvcState::kRunning ||
+                                  it->second.state == SvcState::kStarting)) {
+        // Already reserved; a repeated Scale Up is a no-op.
+        return AdmissionReason::kAdmitted;
+    }
+    return ledger_.check(spec.resource_request());
 }
 
 std::size_t DockerCluster::total_instances() const {

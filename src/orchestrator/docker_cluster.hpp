@@ -19,6 +19,8 @@ namespace tedge::orchestrator {
 struct DockerClusterConfig {
     /// Docker Engine API call overhead (client library + dockerd).
     sim::SimTime api_latency = sim::milliseconds(15);
+    /// Host CPU/mem budget; default unlimited (admits everything).
+    ResourceCapacity capacity;
 };
 
 class DockerCluster final : public Cluster {
@@ -44,9 +46,12 @@ public:
     [[nodiscard]] std::vector<InstanceInfo>
     instances(const std::string& name) const override;
     [[nodiscard]] std::size_t total_instances() const override;
+    [[nodiscard]] ClusterUtilization utilization() const override;
+    [[nodiscard]] AdmissionReason admits(const ServiceSpec& spec) const override;
 
     [[nodiscard]] container::ImageStore& image_store() { return store_; }
     [[nodiscard]] container::ContainerRuntime& runtime() { return runtime_; }
+    [[nodiscard]] const ResourceLedger& ledger() const { return ledger_; }
 
 private:
     enum class SvcState { kCreated, kStarting, kRunning, kStopped };
@@ -76,6 +81,7 @@ private:
     container::Puller puller_;
     container::ContainerRuntime runtime_;
     sim::Logger log_;
+    ResourceLedger ledger_;  ///< reserved by starting/running services
     std::map<std::string, Service> services_;
     std::set<std::uint16_t> used_ports_;
     std::uint16_t next_port_ = 8000;

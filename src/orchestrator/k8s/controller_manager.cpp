@@ -97,6 +97,7 @@ void ControllerManager::sync_replicaset(const std::string& name) {
             pod.owner_rs = name;
             pod.spec = rs->spec;
             pod.scheduler_name = rs->spec.scheduler_name;
+            pod.resources = rs->spec.resource_request();
             pod.pod_port = next_pod_port_++;
             if (next_pod_port_ < config_.pod_port_base) {
                 next_pod_port_ = config_.pod_port_base; // wrapped

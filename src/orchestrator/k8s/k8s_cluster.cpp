@@ -4,7 +4,20 @@
 #include <set>
 #include <stdexcept>
 
+#include "simcore/metrics_registry.hpp"
+
 namespace tedge::orchestrator::k8s {
+namespace {
+
+/// The cluster-level node_capacity is the default for the scheduler's
+/// capacity filter; an explicitly-set scheduler capacity wins.
+KubeSchedulerConfig scheduler_config(KubeSchedulerConfig cfg,
+                                     const ResourceCapacity& node_capacity) {
+    if (!cfg.node_capacity.limited()) cfg.node_capacity = node_capacity;
+    return cfg;
+}
+
+} // namespace
 
 K8sCluster::K8sCluster(std::string name, sim::Simulation& sim, net::Topology& topo,
                        std::vector<net::NodeId> nodes,
@@ -14,10 +27,15 @@ K8sCluster::K8sCluster(std::string name, sim::Simulation& sim, net::Topology& to
     : name_(std::move(name)), sim_(sim), topo_(topo), nodes_(std::move(nodes)),
       endpoints_(endpoints), registries_(registries), config_(config),
       api_(sim, config.api), controllers_(sim, api_, config.controllers),
-      scheduler_(sim, api_, nodes_, config.scheduler),
+      scheduler_(sim, api_, nodes_,
+                 scheduler_config(config.scheduler, config.node_capacity)),
       log_(sim, "k8s/" + name_) {
     if (nodes_.empty()) throw std::invalid_argument("K8sCluster needs >= 1 node");
 
+    KubeletConfig kubelet_config = config.kubelet;
+    if (!kubelet_config.allocatable.limited()) {
+        kubelet_config.allocatable = config.node_capacity;
+    }
     for (const auto node : nodes_) {
         auto agents = std::make_unique<NodeAgents>();
         agents->node = node;
@@ -27,7 +45,7 @@ K8sCluster::K8sCluster(std::string name, sim::Simulation& sim, net::Topology& to
             sim, topo, node, endpoints, rng.split(), config.runtime_costs);
         agents->kubelet = std::make_unique<Kubelet>(
             sim, api_, node, *agents->runtime, *agents->puller, registries,
-            rng.split(), config.kubelet);
+            rng.split(), kubelet_config);
         agents_.push_back(std::move(agents));
     }
 
@@ -151,6 +169,29 @@ bool K8sCluster::has_service(const std::string& name) const {
 }
 
 void K8sCluster::scale_up(const std::string& name, BoolCallback done) {
+    // Admission pre-flight: without it an over-capacity replica would sit
+    // Pending until the deployment engine's await timeout. Rejecting here
+    // fails fast with a typed reason; the kube-scheduler's per-node filter
+    // remains the placement-time enforcement point.
+    if (config_.node_capacity.limited()) {
+        const auto* deployment = api_.deployments().get(name);
+        if (deployment != nullptr) {
+            if (const auto reason = admits(deployment->spec);
+                reason != AdmissionReason::kAdmitted) {
+                ++rejections_;
+                log_.warn("scale up " + name + " rejected: " + to_string(reason));
+                if (auto* m = sim_.metrics()) {
+                    m->counter("k8s." + name_ + ".rejections").inc();
+                    m->counter(std::string("k8s.rejected.") + to_string(reason))
+                        .inc();
+                }
+                sim_.schedule(config_.api.request_latency,
+                              [done = std::move(done)] { done(false); });
+                return;
+            }
+            ++admissions_;
+        }
+    }
     api_.request(
         [this, name] {
             auto* deployment = api_.deployments().get_mutable(name);
@@ -253,6 +294,67 @@ std::size_t K8sCluster::total_instances() const {
         if (pod.phase != PodPhase::kTerminating) ++count;
     }
     return count;
+}
+
+ResourceRequest K8sCluster::pods_used() const {
+    ResourceRequest used;
+    for (const auto& [name, pod] : api_.pods().items()) {
+        if (pod.phase != PodPhase::kTerminating) used += pod.resources;
+    }
+    return used;
+}
+
+ClusterUtilization K8sCluster::utilization() const {
+    ClusterUtilization u;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        u.capacity += config_.node_capacity;
+    }
+    u.used = pods_used();
+    if (u.used.cpu_millicores > peak_used_.cpu_millicores) {
+        peak_used_.cpu_millicores = u.used.cpu_millicores;
+    }
+    if (u.used.memory_bytes > peak_used_.memory_bytes) {
+        peak_used_.memory_bytes = u.used.memory_bytes;
+    }
+    u.peak_used = peak_used_;
+    u.admissions = admissions_;
+    u.rejections = rejections_;
+    return u;
+}
+
+AdmissionReason K8sCluster::admits(const ServiceSpec& spec) const {
+    if (!config_.node_capacity.limited()) return AdmissionReason::kAdmitted;
+    const auto request = spec.resource_request();
+
+    // Free capacity per node after the pods already bound there.
+    std::vector<ResourceLedger> node_free;
+    node_free.reserve(nodes_.size());
+    for (const auto node : nodes_) {
+        ResourceLedger ledger(config_.node_capacity);
+        for (const auto& [pod_name, pod] : api_.pods().items()) {
+            if (pod.node == node && pod.phase != PodPhase::kTerminating) {
+                ledger.admit(pod.resources);
+            }
+        }
+        node_free.push_back(ledger);
+    }
+    // Pending unbound pods will be placed by the capacity-filtered
+    // scheduler; account for them first-fit (name order, the API store's
+    // iteration order) so this pre-flight cannot over-admit.
+    for (const auto& [pod_name, pod] : api_.pods().items()) {
+        if (pod.node.valid() || pod.phase == PodPhase::kTerminating) continue;
+        for (auto& ledger : node_free) {
+            if (ledger.admit(pod.resources) == AdmissionReason::kAdmitted) break;
+        }
+    }
+    bool cpu_fits_somewhere = false;
+    for (const auto& ledger : node_free) {
+        const auto reason = ledger.check(request);
+        if (reason == AdmissionReason::kAdmitted) return reason;
+        if (reason != AdmissionReason::kInsufficientCpu) cpu_fits_somewhere = true;
+    }
+    return cpu_fits_somewhere ? AdmissionReason::kInsufficientMemory
+                              : AdmissionReason::kInsufficientCpu;
 }
 
 void K8sCluster::reconcile_proxy(const std::string& svc_name) {

@@ -32,6 +32,9 @@ struct K8sClusterConfig {
     container::PullerConfig puller;
     sim::SimTime kubeproxy_program = sim::milliseconds(150); ///< iptables write
     sim::SimTime proxy_poll = sim::milliseconds(20);         ///< alias readiness poll
+    /// Uniform per-node CPU/mem budget; default unlimited. Propagated to the
+    /// kube-scheduler's capacity filter and each kubelet's allocatable.
+    ResourceCapacity node_capacity;
 };
 
 class K8sCluster final : public Cluster {
@@ -56,6 +59,8 @@ public:
     [[nodiscard]] std::vector<InstanceInfo>
     instances(const std::string& name) const override;
     [[nodiscard]] std::size_t total_instances() const override;
+    [[nodiscard]] ClusterUtilization utilization() const override;
+    [[nodiscard]] AdmissionReason admits(const ServiceSpec& spec) const override;
 
     [[nodiscard]] ApiServer& api() { return api_; }
     [[nodiscard]] const ApiServer& api() const { return api_; }
@@ -102,8 +107,13 @@ private:
     std::map<std::string, std::size_t> rr_cursor_;
     std::set<std::uint16_t> used_node_ports_;
     std::uint16_t next_node_port_ = 30000;
+    mutable ResourceRequest peak_used_;  ///< high-water mark of pod requests
+    std::uint64_t admissions_ = 0;
+    std::uint64_t rejections_ = 0;
 
     std::uint16_t allocate_node_port(std::uint16_t preferred);
+    /// Summed requests of all non-terminating pods (bound or pending).
+    [[nodiscard]] ResourceRequest pods_used() const;
 };
 
 } // namespace tedge::orchestrator::k8s

@@ -47,6 +47,30 @@ void KubeScheduler::start() {
     });
 }
 
+ResourceRequest KubeScheduler::node_used(net::NodeId node) const {
+    ResourceRequest used;
+    for (const auto& [name, pod] : api_.pods().items()) {
+        if (pod.node == node && pod.phase != PodPhase::kTerminating) {
+            used += pod.resources;
+        }
+    }
+    return used;
+}
+
+std::vector<net::NodeId>
+KubeScheduler::feasible_nodes(const ResourceRequest& request) const {
+    if (!config_.node_capacity.limited()) return nodes_;
+    std::vector<net::NodeId> feasible;
+    for (const auto node : nodes_) {
+        ResourceLedger ledger(config_.node_capacity);
+        ledger.admit(node_used(node));
+        if (ledger.check(request) == AdmissionReason::kAdmitted) {
+            feasible.push_back(node);
+        }
+    }
+    return feasible;
+}
+
 void KubeScheduler::try_schedule(const std::string& pod_name) {
     const auto* pod = api_.pods().get(pod_name);
     if (pod == nullptr || pod->node.valid() || pod->phase != PodPhase::kPending) {
@@ -57,7 +81,15 @@ void KubeScheduler::try_schedule(const std::string& pod_name) {
         const auto it = policies_.find(pod->scheduler_name);
         if (it != policies_.end()) policy = it->second.get();
     }
-    const auto node = policy->pick(*pod, nodes_, api_);
+    // Capacity filter runs before the policy (mirrors the NodeResourcesFit
+    // plugin): the policy only scores nodes the pod actually fits on.
+    const auto feasible = feasible_nodes(pod->resources);
+    if (feasible.empty()) {
+        ++unschedulable_;
+        if (auto* m = sim_.metrics()) m->counter("k8s.unschedulable").inc();
+        return; // unschedulable; a real scheduler would retry/backoff
+    }
+    const auto node = policy->pick(*pod, feasible, api_);
     if (!node) return; // unschedulable; a real scheduler would retry/backoff
 
     PodObj updated = *pod;

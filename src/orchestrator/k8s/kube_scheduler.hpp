@@ -34,6 +34,11 @@ public:
 struct KubeSchedulerConfig {
     /// Queue wait + scheduling cycle + binding preparation.
     sim::SimTime scheduling_latency = sim::milliseconds(60);
+    /// Per-node CPU/mem budget; default unlimited. When limited, the
+    /// scheduler filters out nodes whose free capacity cannot hold the
+    /// pod's request before the placement policy scores the survivors --
+    /// this is what keeps per-node admitted work <= capacity.
+    ResourceCapacity node_capacity;
 };
 
 class KubeScheduler {
@@ -49,6 +54,15 @@ public:
     void start();
 
     [[nodiscard]] std::uint64_t pods_scheduled() const { return scheduled_; }
+    [[nodiscard]] std::uint64_t pods_unschedulable() const { return unschedulable_; }
+
+    /// Requests of bound, non-terminating pods on `node`.
+    [[nodiscard]] ResourceRequest node_used(net::NodeId node) const;
+
+    /// Nodes whose free capacity can hold `request` (all of them when the
+    /// capacity is unlimited).
+    [[nodiscard]] std::vector<net::NodeId>
+    feasible_nodes(const ResourceRequest& request) const;
 
 private:
     void try_schedule(const std::string& pod_name);
@@ -60,6 +74,7 @@ private:
     LeastPodsPolicy default_policy_;
     std::map<std::string, std::unique_ptr<PodPlacementPolicy>> policies_;
     std::uint64_t scheduled_ = 0;
+    std::uint64_t unschedulable_ = 0;
     bool started_ = false;
 };
 

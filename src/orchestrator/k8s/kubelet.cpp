@@ -77,6 +77,20 @@ void Kubelet::start_pod(const std::string& pod_name) {
     const ServiceSpec spec = pod->spec;
     const std::uint16_t pod_port = pod->pod_port;
 
+    // Node-state accounting: the binding reserves the pod's request until
+    // teardown. The scheduler's capacity filter should make overcommit
+    // impossible; a warning here means the two disagree.
+    work_[pod_name].reserved = pod->resources;
+    used_ += pod->resources;
+    if (config_.allocatable.limited() &&
+        ((config_.allocatable.cpu_millicores != 0 &&
+          used_.cpu_millicores > config_.allocatable.cpu_millicores) ||
+         (config_.allocatable.memory_bytes != 0 &&
+          used_.memory_bytes > config_.allocatable.memory_bytes))) {
+        log_.warn("pod " + pod_name + " overcommits node " +
+                  std::to_string(node_.value) + " allocatable");
+    }
+
     sim::SpanId pod_span = 0;
     if (auto* tr = sim_.tracer()) {
         pod_span = tr->begin("k8s.pod_start");
@@ -182,7 +196,13 @@ void Kubelet::teardown_pod(const std::string& pod_name) {
 
     auto containers = work.containers;
     auto remaining = std::make_shared<std::size_t>(containers.size());
-    auto finish = [this, pod_name] {
+    auto finish = [this, pod_name, reserved = work.reserved] {
+        used_.cpu_millicores -= reserved.cpu_millicores <= used_.cpu_millicores
+                                    ? reserved.cpu_millicores
+                                    : used_.cpu_millicores;
+        used_.memory_bytes -= reserved.memory_bytes <= used_.memory_bytes
+                                  ? reserved.memory_bytes
+                                  : used_.memory_bytes;
         work_.erase(pod_name);
         starting_.erase(pod_name);
         api_.request([this, pod_name] { api_.pods().erase(pod_name); });

@@ -26,6 +26,10 @@ struct KubeletConfig {
     double sandbox_sigma = 0.12;
     sim::SimTime status_update = sim::milliseconds(10);
     sim::SimTime teardown_grace = sim::milliseconds(100);
+    /// Node CPU/mem budget reported as node state; default unlimited. The
+    /// kube-scheduler's capacity filter is the admission point -- the
+    /// kubelet tracks usage and warns if a binding ever overcommits it.
+    ResourceCapacity allocatable;
 };
 
 class Kubelet {
@@ -38,10 +42,16 @@ public:
 
     [[nodiscard]] net::NodeId node() const { return node_; }
     [[nodiscard]] std::uint64_t pods_started() const { return pods_started_; }
+    [[nodiscard]] const ResourceCapacity& allocatable() const {
+        return config_.allocatable;
+    }
+    /// Requests of pods this kubelet has started and not yet torn down.
+    [[nodiscard]] const ResourceRequest& used_resources() const { return used_; }
 
 private:
     struct PodWork {
         std::vector<container::ContainerId> containers;
+        ResourceRequest reserved;  ///< released when the pod tears down
         bool tearing_down = false;
     };
 
@@ -60,6 +70,7 @@ private:
     KubeletConfig config_;
     sim::Logger log_;
     std::map<std::string, PodWork> work_;
+    ResourceRequest used_;  ///< summed `reserved` across live pods
     std::set<std::string> starting_;  ///< pods whose startup is in flight
     std::uint64_t pods_started_ = 0;
     bool started_ = false;

@@ -53,6 +53,7 @@ struct PodObj {
     PodPhase phase = PodPhase::kPending;
     bool ready = false;            ///< containers running (no probes defined)
     std::uint16_t pod_port = 0;    ///< models the pod IP:targetPort endpoint
+    ResourceRequest resources;     ///< summed container requests (pod unit)
     sim::SimTime phase_since;
 };
 

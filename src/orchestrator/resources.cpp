@@ -1,0 +1,114 @@
+#include "orchestrator/resources.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace tedge::orchestrator {
+
+const char* to_string(AdmissionReason reason) {
+    switch (reason) {
+    case AdmissionReason::kAdmitted: return "admitted";
+    case AdmissionReason::kInsufficientCpu: return "insufficient-cpu";
+    case AdmissionReason::kInsufficientMemory: return "insufficient-memory";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::string_view trim(std::string_view text) {
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+        text.remove_prefix(1);
+    }
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+        text.remove_suffix(1);
+    }
+    return text;
+}
+
+// Parse the leading decimal number of `text`; the unparsed suffix is left in
+// `text`. Returns nullopt for no digits / negative values.
+std::optional<double> parse_number(std::string_view& text) {
+    const char* begin = text.data();
+    const char* end = text.data() + text.size();
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin || value < 0.0) {
+        return std::nullopt;
+    }
+    text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+    return value;
+}
+
+} // namespace
+
+std::optional<std::uint64_t> parse_cpu_millicores(std::string_view text) {
+    text = trim(text);
+    auto value = parse_number(text);
+    if (!value) {
+        return std::nullopt;
+    }
+    if (text.empty()) {
+        // Whole or fractional cores: "2", "0.5".
+        return static_cast<std::uint64_t>(std::llround(*value * 1000.0));
+    }
+    if (text == "m") {
+        return static_cast<std::uint64_t>(std::llround(*value));
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t> parse_memory_bytes(std::string_view text) {
+    text = trim(text);
+    auto value = parse_number(text);
+    if (!value) {
+        return std::nullopt;
+    }
+    double scale = 1.0;
+    if (text == "Ki") {
+        scale = 1024.0;
+    } else if (text == "Mi") {
+        scale = 1024.0 * 1024.0;
+    } else if (text == "Gi") {
+        scale = 1024.0 * 1024.0 * 1024.0;
+    } else if (text == "Ti") {
+        scale = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+    } else if (text == "k" || text == "K") {
+        scale = 1e3;
+    } else if (text == "M") {
+        scale = 1e6;
+    } else if (text == "G") {
+        scale = 1e9;
+    } else if (text == "T") {
+        scale = 1e12;
+    } else if (!text.empty()) {
+        return std::nullopt;
+    }
+    return static_cast<std::uint64_t>(std::llround(*value * scale));
+}
+
+std::string format_cpu_millicores(std::uint64_t millicores) {
+    if (millicores % 1000 == 0) {
+        return std::to_string(millicores / 1000);
+    }
+    return std::to_string(millicores) + "m";
+}
+
+std::string format_memory_bytes(std::uint64_t bytes) {
+    constexpr std::uint64_t kKi = 1024;
+    constexpr std::uint64_t kMi = kKi * 1024;
+    constexpr std::uint64_t kGi = kMi * 1024;
+    if (bytes >= kGi && bytes % kGi == 0) {
+        return std::to_string(bytes / kGi) + "Gi";
+    }
+    if (bytes >= kMi && bytes % kMi == 0) {
+        return std::to_string(bytes / kMi) + "Mi";
+    }
+    if (bytes >= kKi && bytes % kKi == 0) {
+        return std::to_string(bytes / kKi) + "Ki";
+    }
+    return std::to_string(bytes);
+}
+
+} // namespace tedge::orchestrator

@@ -1,0 +1,196 @@
+// Finite cluster resources (DESIGN §10).
+//
+// The paper's deployment pipeline assumes every edge cluster accepts every
+// deployment; real MEC nodes have finite CPU and memory budgets (Simu5G's
+// MEC-app model, GenioSim's per-node resources). This header gives the
+// orchestrator a shared vocabulary for that: per-app requests, per-node
+// capacities, a ledger that reserves/releases against a capacity with typed
+// rejection reasons, and the utilization snapshot schedulers read.
+//
+// The default everywhere is *unlimited* (capacity zero means "no limit"), so
+// existing scenarios -- including the fig. 9/12 reproductions -- behave and
+// serialize byte-identically unless a capacity is configured.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tedge::orchestrator {
+
+/// Resources one container (or one service instance: the sum over its
+/// containers) asks for. Zero fields request nothing.
+struct ResourceRequest {
+    std::uint64_t cpu_millicores = 0;  ///< 1000 = one core
+    std::uint64_t memory_bytes = 0;
+
+    [[nodiscard]] bool is_zero() const {
+        return cpu_millicores == 0 && memory_bytes == 0;
+    }
+
+    ResourceRequest& operator+=(const ResourceRequest& other) {
+        cpu_millicores += other.cpu_millicores;
+        memory_bytes += other.memory_bytes;
+        return *this;
+    }
+    friend ResourceRequest operator+(ResourceRequest a, const ResourceRequest& b) {
+        return a += b;
+    }
+    bool operator==(const ResourceRequest&) const = default;
+};
+
+/// A node's (or a whole cluster's, summed) resource budget. Zero means
+/// unlimited for that dimension -- the backwards-compatible default.
+struct ResourceCapacity {
+    std::uint64_t cpu_millicores = 0;  ///< 0 = unlimited
+    std::uint64_t memory_bytes = 0;    ///< 0 = unlimited
+
+    [[nodiscard]] bool limited() const {
+        return cpu_millicores != 0 || memory_bytes != 0;
+    }
+    ResourceCapacity& operator+=(const ResourceCapacity& other) {
+        cpu_millicores += other.cpu_millicores;
+        memory_bytes += other.memory_bytes;
+        return *this;
+    }
+    bool operator==(const ResourceCapacity&) const = default;
+};
+
+/// Why a placement was (not) admitted. Every rejection is typed so the
+/// deployment path, metrics, and benches can report *what* ran out.
+enum class AdmissionReason : std::uint8_t {
+    kAdmitted,
+    kInsufficientCpu,
+    kInsufficientMemory,
+};
+
+[[nodiscard]] const char* to_string(AdmissionReason reason);
+
+/// Reservation book-keeping against one capacity. `admit` is atomic with its
+/// feasibility check (it never partially reserves), `release` asserts the
+/// free-capacity-never-negative invariant by construction: you can only give
+/// back what was admitted.
+class ResourceLedger {
+public:
+    ResourceLedger() = default;
+    explicit ResourceLedger(ResourceCapacity capacity) : capacity_(capacity) {}
+
+    /// Would `request` fit into the free capacity right now?
+    [[nodiscard]] AdmissionReason check(const ResourceRequest& request) const {
+        if (capacity_.cpu_millicores != 0 &&
+            used_.cpu_millicores + request.cpu_millicores > capacity_.cpu_millicores) {
+            return AdmissionReason::kInsufficientCpu;
+        }
+        if (capacity_.memory_bytes != 0 &&
+            used_.memory_bytes + request.memory_bytes > capacity_.memory_bytes) {
+            return AdmissionReason::kInsufficientMemory;
+        }
+        return AdmissionReason::kAdmitted;
+    }
+
+    /// Reserve `request`; on rejection nothing is reserved.
+    AdmissionReason admit(const ResourceRequest& request) {
+        const auto reason = check(request);
+        if (reason != AdmissionReason::kAdmitted) {
+            ++rejections_;
+            return reason;
+        }
+        used_ += request;
+        ++admissions_;
+        if (used_.cpu_millicores > peak_.cpu_millicores) {
+            peak_.cpu_millicores = used_.cpu_millicores;
+        }
+        if (used_.memory_bytes > peak_.memory_bytes) {
+            peak_.memory_bytes = used_.memory_bytes;
+        }
+        return AdmissionReason::kAdmitted;
+    }
+
+    /// Give back a previous admission. Clamped at zero (a double release is a
+    /// caller bug, but must never make free capacity exceed the budget).
+    void release(const ResourceRequest& request) {
+        used_.cpu_millicores -= request.cpu_millicores <= used_.cpu_millicores
+                                    ? request.cpu_millicores
+                                    : used_.cpu_millicores;
+        used_.memory_bytes -= request.memory_bytes <= used_.memory_bytes
+                                  ? request.memory_bytes
+                                  : used_.memory_bytes;
+    }
+
+    [[nodiscard]] const ResourceRequest& used() const { return used_; }
+    [[nodiscard]] const ResourceRequest& peak() const { return peak_; }
+    [[nodiscard]] const ResourceCapacity& capacity() const { return capacity_; }
+    [[nodiscard]] bool limited() const { return capacity_.limited(); }
+    [[nodiscard]] std::uint64_t admissions() const { return admissions_; }
+    [[nodiscard]] std::uint64_t rejections() const { return rejections_; }
+
+    /// Utilization fractions in [0, 1]; 0 for an unlimited dimension.
+    [[nodiscard]] double cpu_fraction() const {
+        return capacity_.cpu_millicores == 0
+                   ? 0.0
+                   : static_cast<double>(used_.cpu_millicores) /
+                         static_cast<double>(capacity_.cpu_millicores);
+    }
+    [[nodiscard]] double mem_fraction() const {
+        return capacity_.memory_bytes == 0
+                   ? 0.0
+                   : static_cast<double>(used_.memory_bytes) /
+                         static_cast<double>(capacity_.memory_bytes);
+    }
+    /// The binding dimension: max of the two fractions.
+    [[nodiscard]] double pressure() const {
+        const double cpu = cpu_fraction();
+        const double mem = mem_fraction();
+        return cpu > mem ? cpu : mem;
+    }
+
+private:
+    ResourceCapacity capacity_;
+    ResourceRequest used_;
+    ResourceRequest peak_;  ///< high-water mark (overload-bench invariant)
+    std::uint64_t admissions_ = 0;
+    std::uint64_t rejections_ = 0;
+};
+
+/// A cluster's aggregate resource snapshot, gathered per scheduling decision.
+/// For an unlimited cluster every field is zero and `limited()` is false.
+struct ClusterUtilization {
+    ResourceCapacity capacity;  ///< aggregate over nodes (0 = unlimited)
+    ResourceRequest used;       ///< aggregate reserved
+    ResourceRequest peak_used;  ///< high-water mark of `used`
+    std::uint64_t admissions = 0;
+    std::uint64_t rejections = 0;
+
+    [[nodiscard]] bool limited() const { return capacity.limited(); }
+    [[nodiscard]] double cpu_fraction() const {
+        return capacity.cpu_millicores == 0
+                   ? 0.0
+                   : static_cast<double>(used.cpu_millicores) /
+                         static_cast<double>(capacity.cpu_millicores);
+    }
+    [[nodiscard]] double mem_fraction() const {
+        return capacity.memory_bytes == 0
+                   ? 0.0
+                   : static_cast<double>(used.memory_bytes) /
+                         static_cast<double>(capacity.memory_bytes);
+    }
+    [[nodiscard]] double pressure() const {
+        const double cpu = cpu_fraction();
+        const double mem = mem_fraction();
+        return cpu > mem ? cpu : mem;
+    }
+};
+
+/// Parse a Kubernetes CPU quantity ("500m", "2", "0.5") into millicores.
+[[nodiscard]] std::optional<std::uint64_t> parse_cpu_millicores(std::string_view text);
+
+/// Parse a Kubernetes memory quantity ("128Mi", "1Gi", "64M", "1024") into
+/// bytes. Supports the binary (Ki/Mi/Gi/Ti) and decimal (k/M/G/T) suffixes.
+[[nodiscard]] std::optional<std::uint64_t> parse_memory_bytes(std::string_view text);
+
+/// Render millicores / bytes back to the canonical spellings ("500m", "128Mi").
+[[nodiscard]] std::string format_cpu_millicores(std::uint64_t millicores);
+[[nodiscard]] std::string format_memory_bytes(std::uint64_t bytes);
+
+} // namespace tedge::orchestrator

@@ -169,6 +169,24 @@ AnnotatedService Annotator::annotate(const std::string& yaml_text,
                 }
             }
         }
+        // Kubernetes `resources.requests` quantities ("500m", "128Mi");
+        // limits are not modelled, so only requests drive admission.
+        if (const auto* cpu = c.find_path("resources.requests.cpu")) {
+            const auto parsed = orchestrator::parse_cpu_millicores(cpu->as_str());
+            if (!parsed) {
+                throw std::invalid_argument("malformed cpu request: " +
+                                            cpu->as_str());
+            }
+            tmpl.resources.cpu_millicores = *parsed;
+        }
+        if (const auto* mem = c.find_path("resources.requests.memory")) {
+            const auto parsed = orchestrator::parse_memory_bytes(mem->as_str());
+            if (!parsed) {
+                throw std::invalid_argument("malformed memory request: " +
+                                            mem->as_str());
+            }
+            tmpl.resources.memory_bytes = *parsed;
+        }
         tmpl.app = resolver_ ? resolver_(tmpl.image) : nullptr;
         out.spec.containers.push_back(std::move(tmpl));
     }

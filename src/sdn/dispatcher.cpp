@@ -38,17 +38,24 @@ std::optional<net::NodeId> Dispatcher::client_location(net::Ipv4 client) const {
 }
 
 ScheduleContext Dispatcher::build_context(const net::PacketIn& event,
-                                          const orchestrator::ServiceSpec& spec) const {
+                                          const orchestrator::ServiceSpec& spec,
+                                          const std::string* exclude_cluster) const {
     ScheduleContext ctx;
     ctx.client = event.packet.ingress;
     ctx.spec = &spec;
     ctx.topo = &topo_;
     for (auto* cluster : clusters_) {
+        if (exclude_cluster != nullptr && cluster->name() == *exclude_cluster) {
+            continue;
+        }
         ScheduleContext::ClusterState state;
         state.cluster = cluster;
         state.instances = cluster->instances(spec.name);
         state.has_image = cluster->has_image(spec);
         state.has_service = cluster->has_service(spec.name);
+        state.utilization = cluster->utilization();
+        state.inflight_deploys = engine_.inflight_for(cluster->name());
+        state.admission = cluster->admits(spec);
         ctx.states.push_back(std::move(state));
     }
     return ctx;
@@ -252,11 +259,58 @@ void Dispatcher::dispatch(net::OvsSwitch& source, const net::PacketIn& event,
         const sim::Tracer::Scope scope(sim_.tracer(), pin_span);
         if (!ok) {
             ++stats_.failures;
-            release_to_cloud(source, event, /*install_flow=*/false);
+            // One cluster failing (admission, pull error, timeout) must not
+            // strand the client on the cloud while a sibling edge cluster
+            // could serve: re-ask the scheduler without the failed cluster.
+            retry_dispatch(source, event, spec, cluster_name, pin_span);
             return;
         }
         // A deploy-and-wait install is a cold start: it stays exact.
         install_and_release(source, event, spec, instance, cluster_name,
+                            /*established=*/false);
+    });
+}
+
+void Dispatcher::retry_dispatch(net::OvsSwitch& source, const net::PacketIn& event,
+                                const orchestrator::ServiceSpec& spec,
+                                const std::string& failed_cluster,
+                                sim::SpanId pin_span) {
+    const auto ctx = build_context(event, spec, &failed_cluster);
+    const ScheduleResult result = scheduler_.decide(ctx);
+    if (!result.fast || result.fast->cluster == nullptr ||
+        result.fast->cluster->name() == failed_cluster) {
+        release_to_cloud(source, event, /*install_flow=*/false);
+        return;
+    }
+    ++stats_.deploy_retries;
+    if (auto* m = sim_.metrics()) m->counter("sdn.deploy_retries").inc();
+    auto* alternate = result.fast->cluster;
+    const std::string alternate_name = alternate->name();
+    log_.debug([&] {
+        return "retry " + spec.name + ": " + failed_cluster + " failed, trying " +
+               alternate_name;
+    });
+
+    if (result.fast->instance && result.fast->instance->ready) {
+        ++stats_.retry_successes;
+        install_and_release(source, event, spec, *result.fast->instance,
+                            alternate_name, /*established=*/true);
+        return;
+    }
+    core::DeployOptions options;
+    options.wait_ready = true;
+    engine_.ensure(*alternate, spec, options,
+                   [this, &source, event, spec, alternate_name, pin_span](
+                       bool ok, const orchestrator::InstanceInfo& instance) {
+        const sim::Tracer::Scope scope(sim_.tracer(), pin_span);
+        if (!ok) {
+            // Single retry only: two strikes and the cloud serves.
+            ++stats_.failures;
+            release_to_cloud(source, event, /*install_flow=*/false);
+            return;
+        }
+        ++stats_.retry_successes;
+        install_and_release(source, event, spec, instance, alternate_name,
                             /*established=*/false);
     });
 }

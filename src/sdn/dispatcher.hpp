@@ -50,6 +50,8 @@ struct DispatcherStats {
     std::uint64_t deployed_background = 0;///< without-waiting (BEST) deployments
     std::uint64_t cloud_fallbacks = 0;
     std::uint64_t failures = 0;
+    std::uint64_t deploy_retries = 0;     ///< alternate-cluster retries issued
+    std::uint64_t retry_successes = 0;    ///< retries that served the request
 };
 
 class Dispatcher {
@@ -97,8 +99,15 @@ private:
                              const std::string& cluster_name, bool established);
     void release_to_cloud(net::OvsSwitch& source, const net::PacketIn& event,
                           bool install_flow);
+    /// One deploy-and-wait failed: re-ask the scheduler with the failed
+    /// cluster excluded and try the next-best candidate once before the
+    /// cloud fallback.
+    void retry_dispatch(net::OvsSwitch& source, const net::PacketIn& event,
+                        const orchestrator::ServiceSpec& spec,
+                        const std::string& failed_cluster, sim::SpanId pin_span);
     ScheduleContext build_context(const net::PacketIn& event,
-                                  const orchestrator::ServiceSpec& spec) const;
+                                  const orchestrator::ServiceSpec& spec,
+                                  const std::string* exclude_cluster = nullptr) const;
     static std::uint64_t cookie_for(const std::string& service);
 
     sim::Simulation& sim_;

@@ -12,6 +12,8 @@ void register_proximity(SchedulerRegistry& registry);
 void register_round_robin(SchedulerRegistry& registry);
 void register_least_loaded(SchedulerRegistry& registry);
 void register_hierarchical(SchedulerRegistry& registry);
+void register_utilization_balancing(SchedulerRegistry& registry);
+void register_deadline_slo(SchedulerRegistry& registry);
 } // namespace detail
 
 SchedulerRegistry& SchedulerRegistry::instance() {
@@ -21,6 +23,8 @@ SchedulerRegistry& SchedulerRegistry::instance() {
         detail::register_round_robin(r);
         detail::register_least_loaded(r);
         detail::register_hierarchical(r);
+        detail::register_utilization_balancing(r);
+        detail::register_deadline_slo(r);
         return r;
     }();
     return registry;

@@ -34,6 +34,21 @@ struct ScheduleContext {
         std::vector<orchestrator::InstanceInfo> instances;
         bool has_image = false;
         bool has_service = false;
+        /// Capacity/usage snapshot (all-zero => unlimited cluster).
+        orchestrator::ClusterUtilization utilization;
+        /// Deployments in flight against this cluster -- load that
+        /// `instances` cannot see yet (a deployment spends seconds in the
+        /// Pull phase before any instance exists).
+        std::size_t inflight_deploys = 0;
+        /// Would one more instance of the service fit right now?
+        orchestrator::AdmissionReason admission =
+            orchestrator::AdmissionReason::kAdmitted;
+
+        [[nodiscard]] bool admitted() const {
+            return admission == orchestrator::AdmissionReason::kAdmitted;
+        }
+        /// Binding-dimension utilization fraction (0 when unlimited).
+        [[nodiscard]] double pressure() const { return utilization.pressure(); }
 
         [[nodiscard]] bool any_ready() const {
             for (const auto& i : instances) {
@@ -102,5 +117,8 @@ inline constexpr const char* kRoundRobinScheduler = "round_robin";
 inline constexpr const char* kLeastLoadedScheduler = "least_loaded";
 inline constexpr const char* kHierarchicalScheduler = "hierarchical";
 inline constexpr const char* kCloudOnlyScheduler = "cloud_only";
+inline constexpr const char* kUtilizationBalancingScheduler =
+    "utilization_balancing";
+inline constexpr const char* kDeadlineSloScheduler = "deadline_slo";
 
 } // namespace tedge::sdn

@@ -1,0 +1,117 @@
+#include "sdn/schedulers/deadline_slo.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace tedge::sdn {
+namespace {
+
+struct Estimate {
+    const ScheduleContext::ClusterState* state = nullptr;
+    sim::SimTime completion;  ///< when the current request would be served
+    bool ready = false;       ///< served by an existing ready instance
+};
+
+} // namespace
+
+ScheduleResult DeadlineSloScheduler::decide(const ScheduleContext& ctx) {
+    ScheduleResult result;
+
+    std::vector<Estimate> estimates;
+    estimates.reserve(ctx.states.size());
+    for (const auto& state : ctx.states) {
+        const auto path = ctx.topo->path(ctx.client, state.cluster->location());
+        if (!path) continue;  // unreachable
+        Estimate e;
+        e.state = &state;
+        e.ready = state.any_ready();
+        if (e.ready) {
+            e.completion = path->latency;
+        } else {
+            if (!state.admitted()) continue;  // a rejection serves nobody
+            // Cold start: the deployment penalty grows with the cluster's
+            // pressure (contended pulls, starts queue behind running work)
+            // and with control-plane work already in flight ahead of us.
+            const double pressure_scale = 1.0 + state.pressure();
+            const auto penalty = sim::from_seconds(
+                config_.deploy_penalty.seconds() * pressure_scale);
+            e.completion = path->latency + penalty +
+                           config_.inflight_penalty *
+                               static_cast<std::int64_t>(state.inflight_deploys);
+        }
+        estimates.push_back(e);
+    }
+    if (estimates.empty()) return result;  // nothing admits or reaches -> cloud
+
+    // Slotting: among candidates meeting the deadline, take the tightest fit
+    // (max completion <= deadline). Low-slack packing keeps the fast,
+    // unpressured clusters free for requests that will actually need them.
+    const Estimate* chosen = nullptr;
+    for (const auto& e : estimates) {
+        if (e.completion > config_.deadline) continue;
+        if (chosen == nullptr || e.completion > chosen->completion) chosen = &e;
+    }
+    // Deadline unmeetable anywhere: minimize the damage.
+    if (chosen == nullptr) {
+        for (const auto& e : estimates) {
+            if (chosen == nullptr || e.completion < chosen->completion) chosen = &e;
+        }
+    }
+
+    result.fast = Choice{chosen->state->cluster,
+                         chosen->ready ? chosen->state->first_ready()
+                                       : std::nullopt};
+
+    // Future requests: if the chosen path only works because an instance is
+    // already up, but an admitted cluster could serve future requests with
+    // lower latency once warmed, deploy there in the background.
+    if (chosen->ready) {
+        const Estimate* warm_target = nullptr;
+        for (const auto& e : estimates) {
+            if (e.ready || e.state == chosen->state) continue;
+            if (!e.state->instances.empty()) continue;  // already starting
+            const auto path =
+                ctx.topo->path(ctx.client, e.state->cluster->location());
+            if (!path) continue;
+            // Compare steady-state (warm) latencies, not cold estimates.
+            const auto chosen_path =
+                ctx.topo->path(ctx.client, chosen->state->cluster->location());
+            if (chosen_path && path->latency < chosen_path->latency &&
+                (warm_target == nullptr ||
+                 path->latency <
+                     ctx.topo->path(ctx.client, warm_target->state->cluster->location())
+                         ->latency)) {
+                warm_target = &e;
+            }
+        }
+        if (warm_target != nullptr) {
+            result.best = Choice{warm_target->state->cluster, std::nullopt};
+        }
+    }
+    return result;
+}
+
+namespace detail {
+void register_deadline_slo(SchedulerRegistry& registry) {
+    registry.register_factory(
+        kDeadlineSloScheduler, [](const yamlite::Node& params) {
+            DeadlineSloConfig config;
+            if (const auto* d = params.find("deadline_ms")) {
+                if (const auto v = d->as_int()) config.deadline = sim::milliseconds(*v);
+            }
+            if (const auto* p = params.find("deploy_penalty_ms")) {
+                if (const auto v = p->as_int()) {
+                    config.deploy_penalty = sim::milliseconds(*v);
+                }
+            }
+            if (const auto* i = params.find("inflight_penalty_ms")) {
+                if (const auto v = i->as_int()) {
+                    config.inflight_penalty = sim::milliseconds(*v);
+                }
+            }
+            return std::make_unique<DeadlineSloScheduler>(config);
+        });
+}
+} // namespace detail
+
+} // namespace tedge::sdn

@@ -1,0 +1,38 @@
+// Deadline/SLO-aware scheduler. Every service response has a latency budget
+// (the SLO deadline); the scheduler estimates, per cluster, when the current
+// request would complete -- network latency, plus a deployment penalty
+// scaled by the cluster's resource pressure and in-flight work when no
+// instance is ready -- and slots the request like a real-time orchestrator
+// slots tasks onto CPU partitions (flhofer-style heuristic slotting):
+// among the clusters whose estimate fits the deadline it picks the
+// *tightest* fit, deliberately packing pressured clusters first so
+// low-pressure capacity stays free for future tight-deadline requests.
+// When nothing fits, it degrades to the global minimum estimate.
+#pragma once
+
+#include "sdn/scheduler.hpp"
+
+namespace tedge::sdn {
+
+struct DeadlineSloConfig {
+    sim::SimTime deadline = sim::milliseconds(100);       ///< the SLO budget
+    sim::SimTime deploy_penalty = sim::milliseconds(3000); ///< cold-start cost
+    /// Extra penalty per in-flight deployment on the cluster (models control
+    /// plane queueing ahead of this request).
+    sim::SimTime inflight_penalty = sim::milliseconds(500);
+};
+
+class DeadlineSloScheduler final : public GlobalScheduler {
+public:
+    explicit DeadlineSloScheduler(DeadlineSloConfig config = {})
+        : config_(config) {}
+
+    [[nodiscard]] const std::string& name() const override { return name_; }
+    [[nodiscard]] ScheduleResult decide(const ScheduleContext& ctx) override;
+
+private:
+    std::string name_ = kDeadlineSloScheduler;
+    DeadlineSloConfig config_;
+};
+
+} // namespace tedge::sdn

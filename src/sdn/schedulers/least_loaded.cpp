@@ -11,7 +11,11 @@ ScheduleResult LeastLoadedScheduler::decide(const ScheduleContext& ctx) {
     const ScheduleContext::ClusterState* least = nullptr;
     std::size_t least_load = std::numeric_limits<std::size_t>::max();
     for (const auto& state : ctx.states) {
-        const std::size_t load = state.cluster->total_instances();
+        // In-flight deployments count as load: total_instances() reads zero
+        // for a cluster still in its Pull phase, and without this term every
+        // concurrent decision herds onto the same "empty" cluster.
+        const std::size_t load =
+            state.cluster->total_instances() + state.inflight_deploys;
         if (load < least_load) {
             least_load = load;
             least = &state;

@@ -1,0 +1,74 @@
+#include "sdn/schedulers/utilization_balancing.hpp"
+
+#include <limits>
+
+namespace tedge::sdn {
+namespace {
+
+double score(const ScheduleContext::ClusterState& state, double inflight_weight) {
+    return state.pressure() +
+           inflight_weight * static_cast<double>(state.inflight_deploys);
+}
+
+} // namespace
+
+ScheduleResult UtilizationBalancingScheduler::decide(const ScheduleContext& ctx) {
+    ScheduleResult result;
+
+    // Lowest-score cluster holding a ready instance (serve now), and
+    // lowest-score admitted cluster overall (place next).
+    const ScheduleContext::ClusterState* best_ready = nullptr;
+    double best_ready_score = std::numeric_limits<double>::infinity();
+    const ScheduleContext::ClusterState* best_admitted = nullptr;
+    double best_admitted_score = std::numeric_limits<double>::infinity();
+
+    for (const auto& state : ctx.states) {
+        const double s = score(state, inflight_weight_);
+        if (state.any_ready() && s < best_ready_score) {
+            best_ready_score = s;
+            best_ready = &state;
+        }
+        if (state.admitted() && s < best_admitted_score) {
+            best_admitted_score = s;
+            best_admitted = &state;
+        }
+    }
+
+    if (best_ready != nullptr) {
+        result.fast = Choice{best_ready->cluster, best_ready->first_ready()};
+        // Rebalance: when a meaningfully less-pressured admitted cluster has
+        // no instance yet, warm it in the background for future requests.
+        if (best_admitted != nullptr && best_admitted != best_ready &&
+            best_admitted->instances.empty() &&
+            best_admitted_score < best_ready_score) {
+            result.best = Choice{best_admitted->cluster, std::nullopt};
+        }
+        return result;
+    }
+
+    // No ready instance anywhere: deploy-and-wait on the least-pressured
+    // cluster that will actually take the work. When every cluster is full,
+    // FAST stays empty and the request goes to the cloud instead of queueing
+    // behind a placement that can only be rejected.
+    if (best_admitted != nullptr) {
+        result.fast = Choice{best_admitted->cluster, std::nullopt};
+    }
+    return result;
+}
+
+namespace detail {
+void register_utilization_balancing(SchedulerRegistry& registry) {
+    registry.register_factory(
+        kUtilizationBalancingScheduler, [](const yamlite::Node& params) {
+            double weight = 0.1;
+            if (const auto* w = params.find("inflight_weight")) {
+                if (const auto v = w->as_int()) {
+                    weight = static_cast<double>(*v) / 100.0;  // percent
+                }
+            }
+            return std::make_unique<UtilizationBalancingScheduler>(weight);
+        });
+}
+} // namespace detail
+
+} // namespace tedge::sdn

@@ -1,0 +1,28 @@
+// Utilization-balancing scheduler: spreads work by resource pressure, not
+// instance count. Each admitted cluster is scored by its binding-dimension
+// utilization fraction plus a weighted in-flight-deployment term; clusters
+// that cannot admit the service are skipped outright -- which is what lets
+// this scheduler keep admitting when least-loaded keeps bouncing off the
+// same full cluster under overload.
+#pragma once
+
+#include "sdn/scheduler.hpp"
+
+namespace tedge::sdn {
+
+class UtilizationBalancingScheduler final : public GlobalScheduler {
+public:
+    explicit UtilizationBalancingScheduler(double inflight_weight = 0.1)
+        : inflight_weight_(inflight_weight) {}
+
+    [[nodiscard]] const std::string& name() const override { return name_; }
+    [[nodiscard]] ScheduleResult decide(const ScheduleContext& ctx) override;
+
+private:
+    std::string name_ = kUtilizationBalancingScheduler;
+    /// Pressure-equivalent cost of one in-flight deployment (each one will
+    /// consume capacity that utilization() cannot see yet).
+    double inflight_weight_;
+};
+
+} // namespace tedge::sdn

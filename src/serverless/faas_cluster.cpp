@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "simcore/metrics_registry.hpp"
+
 namespace tedge::serverless {
 
 FaasCluster::FaasCluster(std::string name, sim::Simulation& sim,
@@ -12,7 +14,8 @@ FaasCluster::FaasCluster(std::string name, sim::Simulation& sim,
     : name_(std::move(name)), sim_(sim), topo_(topo), node_(node),
       registries_(registries), config_(config),
       puller_(sim, store_, config.puller),
-      runtime_(sim, topo, node, endpoints, rng, config.runtime) {}
+      runtime_(sim, topo, node, endpoints, rng, config.runtime),
+      ledger_(config.capacity) {}
 
 std::uint16_t FaasCluster::allocate_port(std::uint16_t preferred) {
     if (preferred != 0 && used_ports_.insert(preferred).second) return preferred;
@@ -79,9 +82,24 @@ bool FaasCluster::has_service(const std::string& name) const {
 }
 
 void FaasCluster::scale_up(const std::string& name, BoolCallback done) {
-    if (!services_.contains(name)) {
+    const auto it = services_.find(name);
+    if (it == services_.end()) {
         sim_.schedule(config_.api_latency, [done = std::move(done)] { done(false); });
         return;
+    }
+    // A warm instance holds its request until cool-down. Rejections are
+    // typed, mirroring the container clusters' admission control.
+    if (!warm_.contains(name)) {
+        if (const auto reason = ledger_.admit(it->second.resource_request());
+            reason != orchestrator::AdmissionReason::kAdmitted) {
+            if (auto* m = sim_.metrics()) {
+                m->counter("faas." + name_ + ".rejections").inc();
+            }
+            sim_.schedule(config_.api_latency,
+                          [done = std::move(done)] { done(false); });
+            return;
+        }
+        warm_.insert(name);
     }
     sim_.schedule(config_.api_latency, [this, name, done = std::move(done)] {
         runtime_.prewarm(name, 1, [done] { done(true); });
@@ -92,6 +110,9 @@ void FaasCluster::scale_down(const std::string& name, BoolCallback done) {
     // Serverless scales itself back to zero via keep-alive expiry; an
     // explicit scale-down just drops the warm pool immediately.
     const bool known = services_.contains(name);
+    if (known && warm_.erase(name) != 0) {
+        ledger_.release(services_.at(name).resource_request());
+    }
     sim_.schedule(config_.api_latency, [this, name, known, done = std::move(done)] {
         if (known) runtime_.cool_down(name);
         done(known);
@@ -103,6 +124,9 @@ void FaasCluster::remove_service(const std::string& name, BoolCallback done) {
     if (it == services_.end()) {
         sim_.schedule(config_.api_latency, [done = std::move(done)] { done(false); });
         return;
+    }
+    if (warm_.erase(name) != 0) {
+        ledger_.release(it->second.resource_request());
     }
     services_.erase(it);
     const auto port = gateway_ports_.find(name);
@@ -137,6 +161,24 @@ FaasCluster::instances(const std::string& name) const {
 
 std::size_t FaasCluster::total_instances() const {
     return services_.size();
+}
+
+orchestrator::ClusterUtilization FaasCluster::utilization() const {
+    orchestrator::ClusterUtilization u;
+    u.capacity = ledger_.capacity();
+    u.used = ledger_.used();
+    u.peak_used = ledger_.peak();
+    u.admissions = ledger_.admissions();
+    u.rejections = ledger_.rejections();
+    return u;
+}
+
+orchestrator::AdmissionReason
+FaasCluster::admits(const orchestrator::ServiceSpec& spec) const {
+    if (!ledger_.limited() || warm_.contains(spec.name)) {
+        return orchestrator::AdmissionReason::kAdmitted;
+    }
+    return ledger_.check(spec.resource_request());
 }
 
 } // namespace tedge::serverless

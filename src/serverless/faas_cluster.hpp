@@ -26,6 +26,8 @@ struct FaasClusterConfig {
     sim::SimTime api_latency = sim::milliseconds(3);  ///< gateway control API
     WasmRuntimeCosts runtime;
     container::PullerConfig puller;
+    /// Gateway host CPU/mem budget for warm instances; default unlimited.
+    orchestrator::ResourceCapacity capacity;
 };
 
 class FaasCluster final : public orchestrator::Cluster {
@@ -51,6 +53,9 @@ public:
     [[nodiscard]] std::vector<orchestrator::InstanceInfo>
     instances(const std::string& name) const override;
     [[nodiscard]] std::size_t total_instances() const override;
+    [[nodiscard]] orchestrator::ClusterUtilization utilization() const override;
+    [[nodiscard]] orchestrator::AdmissionReason
+    admits(const orchestrator::ServiceSpec& spec) const override;
 
     [[nodiscard]] WasmRuntime& runtime() { return runtime_; }
     [[nodiscard]] container::ImageStore& module_store() { return store_; }
@@ -69,6 +74,8 @@ private:
     WasmRuntime runtime_;
     std::map<std::string, orchestrator::ServiceSpec> services_;
     std::map<std::string, std::uint16_t> gateway_ports_;
+    orchestrator::ResourceLedger ledger_;  ///< reserved by warm functions
+    std::set<std::string> warm_;  ///< functions holding a reservation
     std::set<std::uint16_t> used_ports_;
     std::uint16_t next_port_ = 9000;
 };

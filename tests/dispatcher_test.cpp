@@ -198,5 +198,151 @@ TEST_F(DispatcherFixture, ConcurrentFirstRequestsShareOneDeployment) {
     EXPECT_EQ(stats.packet_ins, 6u);
 }
 
+// ------------------------------------------------- two-cluster regressions
+
+struct TwoClusterFixture : ::testing::Test {
+    TwoClusterFixture() {
+        client = platform.add_client("client", net::Ipv4{10, 0, 1, 1});
+        edge_a = platform.add_edge_host("edge-a", net::Ipv4{10, 0, 0, 2}, 12);
+        edge_b = platform.add_edge_host("edge-b", net::Ipv4{10, 0, 0, 3}, 12);
+        platform.add_cloud();
+
+        auto& registry = platform.add_registry({.host = "docker.io"});
+        container::Image image;
+        image.ref = *container::ImageRef::parse("web:1");
+        image.layers = container::make_layers("web", sim::mib(10), 2);
+        registry.put(image);
+
+        container::AppProfile app;
+        app.name = "web";
+        app.init_median = milliseconds(20);
+        app.service_median = sim::microseconds(200);
+        app.port = 80;
+        platform.add_app_profile("web:1", app);
+    }
+
+    net::ServiceAddress register_web(std::uint8_t last_octet,
+                                     const std::string& resources = "") {
+        const net::ServiceAddress address{net::Ipv4{203, 0, 113, last_octet}, 80};
+        platform.register_service(address, R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - name: web
+          image: web:1
+          ports:
+            - containerPort: 80
+)" + resources);
+        return address;
+    }
+
+    net::HttpResult request_and_wait(const net::ServiceAddress& to) {
+        net::HttpResult result;
+        bool done = false;
+        platform.http_request(client, to, 100, [&](const net::HttpResult& r) {
+            result = r;
+            done = true;
+        });
+        while (!done) {
+            platform.simulation().run_until(platform.simulation().now() +
+                                            seconds(1));
+        }
+        return result;
+    }
+
+    core::EdgePlatform platform;
+    net::NodeId client, edge_a, edge_b;
+};
+
+TEST_F(TwoClusterFixture, DeploymentRejectionRetriesSiblingClusterBeforeCloud) {
+    // edge-a (scheduled first) cannot fit the 500m request; its admission
+    // rejection must not strand the client on the cloud while edge-b can
+    // serve. Regression: the dispatcher used to release to the cloud on the
+    // first deployment failure.
+    orchestrator::DockerClusterConfig tiny;
+    tiny.capacity = {.cpu_millicores = 100, .memory_bytes = 0};
+    platform.add_docker_cluster("edge-a", edge_a, tiny);
+    platform.add_docker_cluster("edge-b", edge_b);
+    const auto address = register_web(40, R"(          resources:
+            requests:
+              cpu: 500m
+)");
+    platform.start_controller(edge_a);
+
+    const auto result = request_and_wait(address);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.server_node, edge_b); // sibling serves, not the cloud
+    const auto& stats = platform.controller().dispatcher().stats();
+    EXPECT_EQ(stats.failures, 1u);
+    EXPECT_EQ(stats.deploy_retries, 1u);
+    EXPECT_EQ(stats.retry_successes, 1u);
+    EXPECT_EQ(stats.cloud_fallbacks, 0u);
+    // The rejection is recorded with its typed reason.
+    const auto& records = platform.deployment_engine().records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_FALSE(records[0].ok);
+    EXPECT_EQ(records[0].cluster, "edge-a");
+    EXPECT_EQ(records[0].admission,
+              orchestrator::AdmissionReason::kInsufficientCpu);
+    EXPECT_TRUE(records[1].ok);
+    EXPECT_EQ(records[1].cluster, "edge-b");
+}
+
+TEST_F(TwoClusterFixture, SecondRetryFailureReleasesToCloud) {
+    // Both edges too small: one retry, then the cloud answers.
+    orchestrator::DockerClusterConfig tiny;
+    tiny.capacity = {.cpu_millicores = 100, .memory_bytes = 0};
+    platform.add_docker_cluster("edge-a", edge_a, tiny);
+    platform.add_docker_cluster("edge-b", edge_b, tiny);
+    const auto address = register_web(41, R"(          resources:
+            requests:
+              cpu: 500m
+)");
+    platform.start_controller(edge_a);
+
+    const auto result = request_and_wait(address);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.server_node, platform.cloud_node());
+    const auto& stats = platform.controller().dispatcher().stats();
+    EXPECT_EQ(stats.deploy_retries, 1u);
+    EXPECT_EQ(stats.retry_successes, 0u);
+    EXPECT_EQ(stats.failures, 2u);
+    EXPECT_EQ(stats.cloud_fallbacks, 1u);
+}
+
+TEST_F(TwoClusterFixture, InFlightDeploymentsSpreadLeastLoadedHerd) {
+    // Regression: least_loaded only counted running instances, which are 0
+    // for every cluster during the seconds-long Pull phase -- so a burst of
+    // first requests for different services herded onto one cluster. The
+    // in-flight deployment count must break the herd.
+    platform.add_docker_cluster("edge-a", edge_a);
+    platform.add_docker_cluster("edge-b", edge_b);
+    const auto first = register_web(42);
+    const auto second = register_web(43);
+    ControllerConfig config;
+    config.scheduler = kLeastLoadedScheduler;
+    platform.start_controller(edge_a, std::move(config));
+
+    int done = 0;
+    platform.http_request(client, first, 100,
+                          [&](const net::HttpResult& r) {
+                              EXPECT_TRUE(r.ok) << r.error;
+                              ++done;
+                          });
+    platform.http_request(client, second, 100,
+                          [&](const net::HttpResult& r) {
+                              EXPECT_TRUE(r.ok) << r.error;
+                              ++done;
+                          });
+    platform.simulation().run_until(seconds(120));
+    ASSERT_EQ(done, 2);
+    const auto& records = platform.deployment_engine().records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_NE(records[0].cluster, records[1].cluster)
+        << "both services herded onto " << records[0].cluster;
+}
+
 } // namespace
 } // namespace tedge::sdn

@@ -1,0 +1,448 @@
+// Resource model tests (DESIGN §10): quantity parsing, the reserve/release
+// ledger, admission control on Docker and Kubernetes clusters under demand
+// exceeding capacity, capacity release on scale-down, and the
+// free-capacity-never-negative property.
+#include <gtest/gtest.h>
+
+#include "orchestrator/docker_cluster.hpp"
+#include "orchestrator/k8s/k8s_cluster.hpp"
+#include "orchestrator/resources.hpp"
+#include "sdn/annotator.hpp"
+#include "simcore/random.hpp"
+
+namespace tedge::orchestrator {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+// ------------------------------------------------------------------ parsing
+
+TEST(ResourceQuantities, ParsesCpuMillicores) {
+    EXPECT_EQ(parse_cpu_millicores("500m"), 500u);
+    EXPECT_EQ(parse_cpu_millicores("2"), 2000u);
+    EXPECT_EQ(parse_cpu_millicores("0.5"), 500u);
+    EXPECT_EQ(parse_cpu_millicores("1.25"), 1250u);
+    EXPECT_EQ(parse_cpu_millicores("0"), 0u);
+    EXPECT_FALSE(parse_cpu_millicores(""));
+    EXPECT_FALSE(parse_cpu_millicores("abc"));
+    EXPECT_FALSE(parse_cpu_millicores("-1"));
+    EXPECT_FALSE(parse_cpu_millicores("500x"));
+}
+
+TEST(ResourceQuantities, ParsesMemoryBytes) {
+    EXPECT_EQ(parse_memory_bytes("1024"), 1024u);
+    EXPECT_EQ(parse_memory_bytes("128Mi"), 128ull * 1024 * 1024);
+    EXPECT_EQ(parse_memory_bytes("1Gi"), 1024ull * 1024 * 1024);
+    EXPECT_EQ(parse_memory_bytes("2Ki"), 2048u);
+    EXPECT_EQ(parse_memory_bytes("64M"), 64'000'000u);
+    EXPECT_EQ(parse_memory_bytes("1G"), 1'000'000'000u);
+    EXPECT_FALSE(parse_memory_bytes("12Q"));
+    EXPECT_FALSE(parse_memory_bytes("-5Mi"));
+    EXPECT_FALSE(parse_memory_bytes(""));
+}
+
+TEST(ResourceQuantities, FormatsRoundTrip) {
+    EXPECT_EQ(parse_cpu_millicores(format_cpu_millicores(1500)), 1500u);
+    EXPECT_EQ(parse_memory_bytes(format_memory_bytes(sim::mib(128))),
+              sim::mib(128));
+}
+
+// ------------------------------------------------------------------- ledger
+
+TEST(ResourceLedger, AdmitsUntilFullWithTypedRejections) {
+    ResourceLedger ledger({.cpu_millicores = 1000, .memory_bytes = sim::mib(512)});
+    const ResourceRequest half{500, sim::mib(200)};
+    EXPECT_EQ(ledger.admit(half), AdmissionReason::kAdmitted);
+    EXPECT_EQ(ledger.admit(half), AdmissionReason::kAdmitted);
+    // CPU is the binding dimension now: 1000/1000 used.
+    EXPECT_EQ(ledger.admit({100, 0}), AdmissionReason::kInsufficientCpu);
+    EXPECT_EQ(ledger.admit({0, sim::mib(200)}),
+              AdmissionReason::kInsufficientMemory);
+    EXPECT_EQ(ledger.admissions(), 2u);
+    EXPECT_EQ(ledger.rejections(), 2u);
+    EXPECT_DOUBLE_EQ(ledger.cpu_fraction(), 1.0);
+    EXPECT_DOUBLE_EQ(ledger.pressure(), 1.0);
+
+    ledger.release(half);
+    EXPECT_EQ(ledger.used().cpu_millicores, 500u);
+    EXPECT_EQ(ledger.admit({100, 0}), AdmissionReason::kAdmitted);
+    // Peak keeps the high-water mark from before the release.
+    EXPECT_EQ(ledger.peak().cpu_millicores, 1000u);
+}
+
+TEST(ResourceLedger, UnlimitedDimensionsAdmitEverything) {
+    ResourceLedger unlimited;
+    EXPECT_FALSE(unlimited.limited());
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(unlimited.admit({1'000'000, sim::gib(100)}),
+                  AdmissionReason::kAdmitted);
+    }
+    EXPECT_DOUBLE_EQ(unlimited.pressure(), 0.0);
+
+    // CPU-only budget: memory stays unlimited.
+    ResourceLedger cpu_only(ResourceCapacity{.cpu_millicores = 100});
+    EXPECT_EQ(cpu_only.admit({50, sim::gib(100)}), AdmissionReason::kAdmitted);
+    EXPECT_EQ(cpu_only.admit({60, 0}), AdmissionReason::kInsufficientCpu);
+}
+
+TEST(ResourceLedger, DoubleReleaseClampsAtZero) {
+    ResourceLedger ledger({.cpu_millicores = 1000, .memory_bytes = sim::mib(64)});
+    const ResourceRequest r{400, sim::mib(32)};
+    ASSERT_EQ(ledger.admit(r), AdmissionReason::kAdmitted);
+    ledger.release(r);
+    ledger.release(r); // caller bug: must clamp, not underflow
+    EXPECT_EQ(ledger.used().cpu_millicores, 0u);
+    EXPECT_EQ(ledger.used().memory_bytes, 0u);
+    // Free capacity never exceeds the budget: a full admit still fits, one
+    // more than full still rejects.
+    EXPECT_EQ(ledger.admit({1000, sim::mib(64)}), AdmissionReason::kAdmitted);
+    EXPECT_EQ(ledger.admit({1, 0}), AdmissionReason::kInsufficientCpu);
+}
+
+// Property: under an arbitrary interleaving of admissions and releases, used
+// never exceeds capacity and never goes negative (uint underflow would show
+// up as a huge value).
+TEST(ResourceLedgerProperty, FreeCapacityNeverNegative) {
+    sim::Rng rng(42);
+    ResourceLedger ledger({.cpu_millicores = 2000, .memory_bytes = sim::mib(256)});
+    std::vector<ResourceRequest> admitted;
+    for (int step = 0; step < 5000; ++step) {
+        const ResourceRequest request{rng() % 700,
+                                      (rng() % 64) * sim::mib(1)};
+        if (admitted.empty() || rng() % 2 == 0) {
+            if (ledger.admit(request) == AdmissionReason::kAdmitted) {
+                admitted.push_back(request);
+            }
+        } else {
+            const auto index = rng() % admitted.size();
+            ledger.release(admitted[index]);
+            admitted.erase(admitted.begin() +
+                           static_cast<std::ptrdiff_t>(index));
+        }
+        ASSERT_LE(ledger.used().cpu_millicores, 2000u) << "step " << step;
+        ASSERT_LE(ledger.used().memory_bytes, sim::mib(256)) << "step " << step;
+        ASSERT_LE(ledger.used().cpu_millicores, ledger.peak().cpu_millicores);
+    }
+}
+
+// ------------------------------------------------- annotator `resources:`
+
+TEST(AnnotatorResources, ParsesRequestsIntoContainerTemplate) {
+    const container::AppProfile profile{.name = "web", .port = 80};
+    sdn::Annotator annotator(
+        [&](const container::ImageRef&) { return &profile; });
+    const auto annotated = annotator.annotate(R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - image: web:1
+          ports:
+            - containerPort: 80
+          resources:
+            requests:
+              cpu: 250m
+              memory: 96Mi
+)",
+                                              {net::Ipv4{203, 0, 113, 5}, 80});
+    ASSERT_EQ(annotated.spec.containers.size(), 1u);
+    EXPECT_EQ(annotated.spec.containers[0].resources.cpu_millicores, 250u);
+    EXPECT_EQ(annotated.spec.containers[0].resources.memory_bytes, sim::mib(96));
+    EXPECT_EQ(annotated.spec.resource_request().cpu_millicores, 250u);
+}
+
+TEST(AnnotatorResources, MalformedQuantityThrows) {
+    const container::AppProfile profile{.name = "web", .port = 80};
+    sdn::Annotator annotator(
+        [&](const container::ImageRef&) { return &profile; });
+    EXPECT_THROW(annotator.annotate(R"(
+kind: Deployment
+spec:
+  template:
+    spec:
+      containers:
+        - image: web:1
+          resources:
+            requests:
+              cpu: lots
+)",
+                                    {net::Ipv4{203, 0, 113, 5}, 80}),
+                 std::invalid_argument);
+}
+
+// ------------------------------------------------------------ DockerCluster
+
+struct DockerCapacityFixture : ::testing::Test {
+    DockerCapacityFixture() {
+        node = topo.add_host("egs", net::Ipv4{10, 0, 0, 2}, 12);
+        registry = std::make_unique<container::Registry>(
+            simulation, container::RegistryProfile{.host = "docker.io"});
+        registries.add(*registry);
+
+        DockerClusterConfig config;
+        config.capacity = {.cpu_millicores = 1000, .memory_bytes = sim::mib(512)};
+        cluster = std::make_unique<DockerCluster>(
+            "docker", simulation, topo, node, endpoints, registries,
+            sim::Rng{1}, config);
+
+        app.name = "web";
+        app.init_median = milliseconds(20);
+        app.port = 80;
+        image.ref = *container::ImageRef::parse("web:1");
+        image.layers = container::make_layers("web", sim::mib(10), 1);
+        registry->put(image);
+    }
+
+    ServiceSpec make_spec(const std::string& name, std::uint64_t millicores,
+                          std::uint64_t memory) {
+        ServiceSpec spec;
+        spec.name = name;
+        spec.cloud_address = {net::Ipv4{203, 0, 113, 1}, 80};
+        spec.expose_port = 80;
+        spec.target_port = 80;
+        ContainerTemplate tmpl;
+        tmpl.name = "web";
+        tmpl.image = image.ref;
+        tmpl.app = &app;
+        tmpl.container_port = 80;
+        tmpl.resources = {millicores, memory};
+        spec.containers.push_back(tmpl);
+        return spec;
+    }
+
+    void pull(const ServiceSpec& spec) {
+        bool ok = false;
+        cluster->ensure_image(spec,
+                              [&](bool success, const container::PullTiming&) {
+                                  ok = success;
+                              });
+        simulation.run();
+        ASSERT_TRUE(ok);
+    }
+
+    bool create(const ServiceSpec& spec) {
+        bool ok = false;
+        cluster->create_service(spec, [&](bool success) { ok = success; });
+        simulation.run();
+        return ok;
+    }
+
+    bool scale_up(const std::string& name) {
+        bool ok = false;
+        cluster->scale_up(name, [&](bool success) { ok = success; });
+        simulation.run_until(simulation.now() + seconds(5));
+        return ok;
+    }
+
+    sim::Simulation simulation;
+    net::Topology topo;
+    net::EndpointDirectory endpoints;
+    net::NodeId node;
+    RegistryDirectory registries;
+    std::unique_ptr<container::Registry> registry;
+    std::unique_ptr<DockerCluster> cluster;
+    container::AppProfile app;
+    container::Image image;
+};
+
+TEST_F(DockerCapacityFixture, RejectsServiceLargerThanTotalCapacity) {
+    const auto spec = make_spec("huge", 1500, sim::mib(64));
+    pull(spec);
+    EXPECT_FALSE(create(spec)); // can never fit: rejected at Create
+    EXPECT_FALSE(cluster->has_service("huge"));
+}
+
+TEST_F(DockerCapacityFixture, OverloadRejectsWithTypedReasonAtScaleUp) {
+    const auto a = make_spec("svc-a", 400, sim::mib(100));
+    const auto b = make_spec("svc-b", 400, sim::mib(100));
+    const auto c = make_spec("svc-c", 400, sim::mib(100));
+    pull(a);
+    ASSERT_TRUE(create(a));
+    ASSERT_TRUE(create(b));
+    ASSERT_TRUE(create(c)); // creating is fine; capacity binds at start
+    EXPECT_TRUE(scale_up("svc-a"));
+    EXPECT_TRUE(scale_up("svc-b"));
+    // 800/1000 millicores used; a third 400m instance does not fit.
+    EXPECT_EQ(cluster->admits(c), AdmissionReason::kInsufficientCpu);
+    EXPECT_FALSE(scale_up("svc-c"));
+    EXPECT_TRUE(cluster->instances("svc-c").empty());
+
+    const auto util = cluster->utilization();
+    EXPECT_TRUE(util.limited());
+    EXPECT_EQ(util.used.cpu_millicores, 800u);
+    EXPECT_DOUBLE_EQ(util.cpu_fraction(), 0.8);
+    EXPECT_EQ(util.admissions, 2u);
+    EXPECT_EQ(util.rejections, 1u);
+    // Running services report themselves admitted (they already hold their
+    // reservation); only new placements are checked against free capacity.
+    EXPECT_EQ(cluster->admits(a), AdmissionReason::kAdmitted);
+}
+
+TEST_F(DockerCapacityFixture, MemoryRejectionIsTyped) {
+    const auto a = make_spec("svc-a", 100, sim::mib(300));
+    const auto b = make_spec("svc-b", 100, sim::mib(300));
+    pull(a);
+    ASSERT_TRUE(create(a));
+    ASSERT_TRUE(create(b));
+    EXPECT_TRUE(scale_up("svc-a"));
+    EXPECT_EQ(cluster->admits(b), AdmissionReason::kInsufficientMemory);
+    EXPECT_FALSE(scale_up("svc-b"));
+}
+
+TEST_F(DockerCapacityFixture, ScaleDownReleasesCapacityForWaitingService) {
+    const auto a = make_spec("svc-a", 600, sim::mib(100));
+    const auto b = make_spec("svc-b", 600, sim::mib(100));
+    pull(a);
+    ASSERT_TRUE(create(a));
+    ASSERT_TRUE(create(b));
+    EXPECT_TRUE(scale_up("svc-a"));
+    EXPECT_FALSE(scale_up("svc-b")); // full
+
+    bool down = false;
+    cluster->scale_down("svc-a", [&](bool ok) { down = ok; });
+    simulation.run();
+    ASSERT_TRUE(down);
+    EXPECT_EQ(cluster->utilization().used.cpu_millicores, 0u);
+    // The evicted capacity serves the service that was turned away.
+    EXPECT_TRUE(scale_up("svc-b"));
+    EXPECT_EQ(cluster->utilization().used.cpu_millicores, 600u);
+    EXPECT_EQ(cluster->utilization().peak_used.cpu_millicores, 600u);
+}
+
+TEST_F(DockerCapacityFixture, UnlimitedClusterIsUnchanged) {
+    auto unlimited = std::make_unique<DockerCluster>(
+        "free", simulation, topo, node, endpoints, registries, sim::Rng{2});
+    EXPECT_FALSE(unlimited->utilization().limited());
+    const auto spec = make_spec("svc", 1'000'000, sim::gib(100));
+    EXPECT_EQ(unlimited->admits(spec), AdmissionReason::kAdmitted);
+}
+
+// --------------------------------------------------------------- K8sCluster
+
+struct K8sCapacityFixture : ::testing::Test {
+    K8sCapacityFixture() {
+        node = topo.add_host("egs-k8s", net::Ipv4{10, 0, 0, 3}, 12);
+        registry = std::make_unique<container::Registry>(
+            simulation, container::RegistryProfile{.host = "docker.io"});
+        registries.add(*registry);
+
+        k8s::K8sClusterConfig config;
+        config.node_capacity = {.cpu_millicores = 1000,
+                                .memory_bytes = sim::mib(512)};
+        cluster = std::make_unique<k8s::K8sCluster>(
+            "k8s", simulation, topo, std::vector{node}, endpoints, registries,
+            sim::Rng{1}, config);
+
+        app.name = "web";
+        app.init_median = milliseconds(30);
+        app.port = 80;
+        image.ref = *container::ImageRef::parse("web:1");
+        image.layers = container::make_layers("web", sim::mib(10), 1);
+        registry->put(image);
+    }
+
+    ServiceSpec make_spec(const std::string& name, std::uint64_t millicores) {
+        ServiceSpec spec;
+        spec.name = name;
+        spec.cloud_address = {net::Ipv4{203, 0, 113, 1}, 80};
+        spec.expose_port = 80;
+        spec.target_port = 80;
+        spec.labels = {{"app", name}, {"edge.service", name}};
+        ContainerTemplate tmpl;
+        tmpl.name = "web";
+        tmpl.image = image.ref;
+        tmpl.app = &app;
+        tmpl.container_port = 80;
+        tmpl.resources = {millicores, sim::mib(100)};
+        spec.containers.push_back(tmpl);
+        return spec;
+    }
+
+    void prepare(const ServiceSpec& spec) {
+        bool pulled = false;
+        cluster->ensure_image(spec,
+                              [&](bool ok, const container::PullTiming&) {
+                                  pulled = ok;
+                              });
+        simulation.run_until(simulation.now() + seconds(60));
+        ASSERT_TRUE(pulled);
+        bool created = false;
+        cluster->create_service(spec, [&](bool ok) { created = ok; });
+        simulation.run_until(simulation.now() + seconds(5));
+        ASSERT_TRUE(created);
+    }
+
+    bool scale_up(const std::string& name) {
+        bool ok = false;
+        cluster->scale_up(name, [&](bool success) { ok = success; });
+        simulation.run_until(simulation.now() + seconds(30));
+        return ok;
+    }
+
+    sim::Simulation simulation;
+    net::Topology topo;
+    net::EndpointDirectory endpoints;
+    net::NodeId node;
+    RegistryDirectory registries;
+    std::unique_ptr<container::Registry> registry;
+    std::unique_ptr<k8s::K8sCluster> cluster;
+    container::AppProfile app;
+    container::Image image;
+};
+
+TEST_F(K8sCapacityFixture, OverloadRejectsAtAdmissionWithTypedReason) {
+    const auto a = make_spec("svc-a", 600);
+    const auto b = make_spec("svc-b", 600);
+    prepare(a);
+    prepare(b);
+    ASSERT_TRUE(scale_up("svc-a"));
+    EXPECT_FALSE(cluster->ready_instances("svc-a").empty());
+
+    // 600/1000 millicores bound; a second 600m pod fits on no node.
+    EXPECT_EQ(cluster->admits(b), AdmissionReason::kInsufficientCpu);
+    EXPECT_FALSE(scale_up("svc-b"));
+    EXPECT_TRUE(cluster->instances("svc-b").empty());
+
+    const auto util = cluster->utilization();
+    EXPECT_EQ(util.capacity.cpu_millicores, 1000u);
+    EXPECT_EQ(util.used.cpu_millicores, 600u);
+    EXPECT_GE(util.rejections, 1u);
+}
+
+TEST_F(K8sCapacityFixture, ScaleDownFreesNodeForRejectedService) {
+    const auto a = make_spec("svc-a", 600);
+    const auto b = make_spec("svc-b", 600);
+    prepare(a);
+    prepare(b);
+    ASSERT_TRUE(scale_up("svc-a"));
+    ASSERT_FALSE(scale_up("svc-b"));
+
+    bool down = false;
+    cluster->scale_down("svc-a", [&](bool ok) { down = ok; });
+    simulation.run_until(simulation.now() + seconds(30));
+    ASSERT_TRUE(down);
+    EXPECT_EQ(cluster->utilization().used.cpu_millicores, 0u);
+
+    ASSERT_TRUE(scale_up("svc-b"));
+    EXPECT_FALSE(cluster->ready_instances("svc-b").empty());
+    EXPECT_EQ(cluster->utilization().used.cpu_millicores, 600u);
+}
+
+TEST_F(K8sCapacityFixture, PodsThatFitTogetherShareTheNode) {
+    const auto a = make_spec("svc-a", 400);
+    const auto b = make_spec("svc-b", 400);
+    prepare(a);
+    prepare(b);
+    EXPECT_TRUE(scale_up("svc-a"));
+    EXPECT_TRUE(scale_up("svc-b"));
+    EXPECT_FALSE(cluster->ready_instances("svc-a").empty());
+    EXPECT_FALSE(cluster->ready_instances("svc-b").empty());
+    EXPECT_EQ(cluster->utilization().used.cpu_millicores, 800u);
+    // Kubelet's view agrees with the cluster ledger.
+    EXPECT_EQ(cluster->utilization().peak_used.cpu_millicores, 800u);
+}
+
+} // namespace
+} // namespace tedge::orchestrator

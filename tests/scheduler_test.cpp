@@ -3,10 +3,12 @@
 // clusters.
 #include <gtest/gtest.h>
 
+#include "sdn/schedulers/deadline_slo.hpp"
 #include "sdn/schedulers/hierarchical.hpp"
 #include "sdn/schedulers/least_loaded.hpp"
 #include "sdn/schedulers/proximity.hpp"
 #include "sdn/schedulers/round_robin.hpp"
+#include "sdn/schedulers/utilization_balancing.hpp"
 #include "test_util.hpp"
 
 namespace tedge::sdn {
@@ -63,7 +65,8 @@ TEST(SchedulerRegistry, CreatesBuiltinsByName) {
     auto& registry = SchedulerRegistry::instance();
     for (const auto* name : {kProximityScheduler, kRoundRobinScheduler,
                              kLeastLoadedScheduler, kHierarchicalScheduler,
-                             kCloudOnlyScheduler}) {
+                             kCloudOnlyScheduler, kUtilizationBalancingScheduler,
+                             kDeadlineSloScheduler}) {
         EXPECT_TRUE(registry.contains(name)) << name;
         const auto scheduler = registry.create(name);
         ASSERT_NE(scheduler, nullptr);
@@ -216,6 +219,110 @@ TEST_F(SchedulerFixture, HierarchicalWithoutWaitForwardsToCloudAndDeploysBest) {
     EXPECT_EQ(result.best->cluster, near.get());
 }
 
+// ----------------------------------------------------- utilization balancing
+
+TEST_F(SchedulerFixture, UtilizationBalancingDeploysToLeastPressuredCluster) {
+    UtilizationBalancingScheduler scheduler;
+    auto ctx = context();
+    ctx.states[0].utilization.capacity = {1000, 0}; // near: 90% cpu
+    ctx.states[0].utilization.used = {900, 0};
+    ctx.states[1].utilization.capacity = {1000, 0}; // far: 10% cpu
+    ctx.states[1].utilization.used = {100, 0};
+    const auto result = scheduler.decide(ctx);
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, far.get()); // worst fit: balance away
+    EXPECT_FALSE(result.fast->instance);
+}
+
+TEST_F(SchedulerFixture, UtilizationBalancingSkipsNonAdmittedClusters) {
+    UtilizationBalancingScheduler scheduler;
+    auto ctx = context();
+    // far is less pressured but full for this service; near must win.
+    ctx.states[0].utilization.capacity = {1000, 0};
+    ctx.states[0].utilization.used = {800, 0};
+    ctx.states[1].admission = orchestrator::AdmissionReason::kInsufficientCpu;
+    const auto result = scheduler.decide(ctx);
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, near.get());
+
+    // Nobody admits and nothing is ready: FAST empty -> the cloud serves.
+    ctx.states[0].admission = orchestrator::AdmissionReason::kInsufficientMemory;
+    const auto full = scheduler.decide(ctx);
+    EXPECT_FALSE(full.fast);
+}
+
+TEST_F(SchedulerFixture, UtilizationBalancingCountsInflightDeployments) {
+    UtilizationBalancingScheduler scheduler(/*inflight_weight=*/0.1);
+    auto ctx = context();
+    ctx.states[0].inflight_deploys = 3; // equal pressure, near busy deploying
+    const auto result = scheduler.decide(ctx);
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, far.get());
+}
+
+TEST_F(SchedulerFixture, UtilizationBalancingServesReadyAndRebalances) {
+    UtilizationBalancingScheduler scheduler;
+    near->add_instance("svc", true);
+    auto ctx = context();
+    ctx.states[0].utilization.capacity = {1000, 0};
+    ctx.states[0].utilization.used = {900, 0};
+    const auto result = scheduler.decide(ctx);
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, near.get()); // ready instance serves now
+    ASSERT_TRUE(result.best);                    // but future load moves away
+    EXPECT_EQ(result.best->cluster, far.get());
+}
+
+// --------------------------------------------------------------- deadline/SLO
+
+TEST_F(SchedulerFixture, DeadlineSloPrefersReadyInstanceWithinBudget) {
+    near->add_instance("svc", true);
+    DeadlineSloScheduler scheduler;
+    const auto result = scheduler.decide(context());
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, near.get());
+    ASSERT_TRUE(result.fast->instance);
+    EXPECT_TRUE(result.fast->instance->ready);
+}
+
+TEST_F(SchedulerFixture, DeadlineSloPacksTightestFitWithinDeadline) {
+    // Both cold and both meet a 10 s deadline; the pressured far cluster has
+    // the *larger* completion estimate and is deliberately packed first,
+    // keeping the fast near cluster free (flhofer-style slotting).
+    DeadlineSloConfig config;
+    config.deadline = sim::seconds(10);
+    DeadlineSloScheduler scheduler(config);
+    auto ctx = context();
+    ctx.states[1].utilization.capacity = {1000, 0};
+    ctx.states[1].utilization.used = {500, 0};
+    const auto result = scheduler.decide(ctx);
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, far.get());
+}
+
+TEST_F(SchedulerFixture, DeadlineSloMinimizesDamageWhenNothingFits) {
+    // Default 100 ms deadline cannot absorb a 3 s cold start anywhere: fall
+    // back to the smallest estimate (the near, unpressured cluster).
+    DeadlineSloScheduler scheduler;
+    auto ctx = context();
+    ctx.states[1].utilization.capacity = {1000, 0};
+    ctx.states[1].utilization.used = {500, 0};
+    const auto result = scheduler.decide(ctx);
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, near.get());
+}
+
+TEST_F(SchedulerFixture, DeadlineSloSkipsNonAdmittedForColdStarts) {
+    DeadlineSloConfig config;
+    config.deadline = sim::seconds(10);
+    DeadlineSloScheduler scheduler(config);
+    auto ctx = context();
+    ctx.states[1].admission = orchestrator::AdmissionReason::kInsufficientCpu;
+    const auto result = scheduler.decide(ctx);
+    ASSERT_TRUE(result.fast);
+    EXPECT_EQ(result.fast->cluster, near.get()); // far cannot take the pod
+}
+
 // ---------------------------------------------------------------- cloud only
 
 TEST_F(SchedulerFixture, CloudOnlyNeverRedirects) {
@@ -254,7 +361,9 @@ INSTANTIATE_TEST_SUITE_P(Builtins, AllSchedulers,
                          ::testing::Values(kProximityScheduler, kRoundRobinScheduler,
                                            kLeastLoadedScheduler,
                                            kHierarchicalScheduler,
-                                           kCloudOnlyScheduler));
+                                           kCloudOnlyScheduler,
+                                           kUtilizationBalancingScheduler,
+                                           kDeadlineSloScheduler));
 
 } // namespace
 } // namespace tedge::sdn
