@@ -44,11 +44,23 @@
 // the hybrid/exact ratio is the control-plane speedup. When both fidelities
 // sweep the 1M x 8 wheel point, the run fails unless hybrid is >= 10x exact.
 //
+// The sharded rows have a sync dimension (--sync, default "channel"): the
+// coordinator that drives the domains, either the global barrier or the
+// asynchronous channel-clock protocol (DESIGN §8). Points record the mode as
+// "sync_mode" plus the per-run lane accounting -- total lane busy/blocked
+// wall time and the null-message count -- so the shard-scaling table can
+// attribute (lack of) speedup to synchronization stalls. Baselines written
+// before the sync dimension existed were all measured on the barrier design
+// and parse as sync_mode=barrier; serial rows carry the same label so they
+// keep gating across the change.
+//
 // Flags: --quick (skip the 1M row and the RSS comparison: CI),
 //        --backend heap|wheel|both (event-queue backend to sweep; default
 //        wheel, `both` additionally prints a heap-vs-wheel table),
 //        --shards <csv> (shard counts to sweep, default 1,2,8),
 //        --fidelity exact|hybrid|both (default both),
+//        --sync channel|barrier|both (coordinator for sharded rows; default
+//        channel),
 //        --out <file>, --baseline <file>.
 #include <algorithm>
 #include <chrono>
@@ -169,10 +181,20 @@ struct SweepPoint {
     sim::QueueBackend backend = sim::QueueBackend::kWheel;
     std::size_t shards = 1;  ///< 1 = serial kernel, > 1 = sharded control plane
     sdn::Fidelity fidelity = sdn::Fidelity::kExact;
+    sim::SyncMode sync = sim::SyncMode::kChannel;  ///< sharded points only
 };
 
 const char* backend_str(sim::QueueBackend backend) {
     return backend == sim::QueueBackend::kHeap ? "heap" : "wheel";
+}
+
+/// Label recorded in JSON and used as the baseline key. Serial points carry
+/// "barrier": they never run a coordinator, and baselines written before the
+/// sync dimension existed (all of them measured on the barrier design) parse
+/// with the same default, so the serial rows keep gating across the change.
+const char* sync_str(const SweepPoint& point) {
+    if (point.shards <= 1) return "barrier";
+    return point.sync == sim::SyncMode::kChannel ? "channel" : "barrier";
 }
 
 /// POD result shipped from the forked child back over the pipe.
@@ -187,7 +209,11 @@ struct PointResult {
     long rss_kb = 0;
     std::uint64_t idle_notifications = 0;
     std::uint64_t peak_live_flows = 0;
-    std::uint64_t sync_rounds = 0;  ///< barrier rounds (sharded points only)
+    std::uint64_t sync_rounds = 0;  ///< sync rounds / windows (sharded points)
+    std::uint64_t null_messages = 0;   ///< pure horizon publications (channel)
+    std::uint64_t lane_busy_ns = 0;    ///< wall time lanes spent in windows
+    std::uint64_t lane_blocked_ns = 0; ///< wall time lanes waited on upstreams
+    std::uint32_t lane_count = 0;      ///< coordinator lanes the run used
     std::uint64_t digests = 0;      ///< digests the controller received
     std::uint32_t cores_used = 1;      ///< worker threads the point could use
     std::uint32_t hw_concurrency = 0;  ///< std::thread::hardware_concurrency()
@@ -508,6 +534,7 @@ PointResult run_point_sharded_once(const SweepPoint& point) {
     kernel.seed = 42;
     kernel.backend = point.backend;
     kernel.lookahead = kAccessLatency;
+    kernel.sync = point.sync;
     sim::ShardedSimulation sharded(kernel);
 
     std::vector<sim::Domain*> edges;
@@ -653,6 +680,12 @@ PointResult run_point_sharded_once(const SweepPoint& point) {
         result.idle_notifications += shard.plane->idle_notifications();
     }
     result.sync_rounds = sharded.rounds();
+    result.null_messages = sharded.null_messages();
+    for (const auto& lane : sharded.lane_stats()) {
+        result.lane_busy_ns += lane.busy_ns;
+        result.lane_blocked_ns += lane.blocked_ns;
+    }
+    result.lane_count = static_cast<std::uint32_t>(sharded.lane_stats().size());
     result.digests = aggregator.digests_received();
     result.rss_kb = peak_rss_kb();
     // One worker lane per domain (edges + controller), capped by the host.
@@ -842,10 +875,15 @@ std::string json_point(const SweepPoint& point, const PointResult& result) {
         << ", \"backend\": \"" << backend_str(point.backend)
         << "\", \"shards\": " << point.shards
         << ", \"fidelity\": \"" << sdn::to_string(point.fidelity)
+        << "\", \"sync_mode\": \"" << sync_str(point)
         << "\", \"cores_used\": " << result.cores_used
         << ", \"hw_concurrency\": " << result.hw_concurrency
         << ", \"kernel_events\": " << result.kernel_events
         << ", \"sync_rounds\": " << result.sync_rounds
+        << ", \"null_messages\": " << result.null_messages
+        << ", \"lanes\": " << result.lane_count
+        << ", \"lane_busy_ns\": " << result.lane_busy_ns
+        << ", \"lane_blocked_ns\": " << result.lane_blocked_ns
         << ", \"digests\": " << result.digests
         << ", \"events_per_s\": "
         << static_cast<std::uint64_t>(result.events_per_s)
@@ -891,14 +929,16 @@ std::optional<std::string> extract_string(const std::string& line,
     return line.substr(start, end - start);
 }
 
-using BaselineKey =
-    std::tuple<std::size_t, std::uint32_t, std::string, std::size_t, std::string>;
+using BaselineKey = std::tuple<std::size_t, std::uint32_t, std::string,
+                               std::size_t, std::string, std::string>;
 
-/// events/s per (flows, services, backend, shards, fidelity) point parsed
-/// from a BENCH_scale.json. Points written before the backend dimension
-/// existed carry no "backend" field; those were measured on the binary heap,
-/// so they gate the heap rows of a newer run. Points written before the
-/// shard / fidelity dimensions existed parse as shards=1 / exact.
+/// events/s per (flows, services, backend, shards, fidelity, sync) point
+/// parsed from a BENCH_scale.json. Points written before the backend
+/// dimension existed carry no "backend" field; those were measured on the
+/// binary heap, so they gate the heap rows of a newer run. Points written
+/// before the shard / fidelity dimensions existed parse as shards=1 / exact,
+/// and points written before the sync dimension existed were all measured on
+/// the barrier coordinator, so they parse as sync_mode=barrier.
 std::map<BaselineKey, double> parse_baseline(const std::string& path) {
     std::map<BaselineKey, double> baseline;
     std::ifstream in(path);
@@ -910,12 +950,14 @@ std::map<BaselineKey, double> parse_baseline(const std::string& path) {
         const auto backend = extract_string(line, "backend");
         const auto shards = extract_number(line, "shards");
         const auto fidelity = extract_string(line, "fidelity");
+        const auto sync = extract_string(line, "sync_mode");
         if (flows && services && events) {
             baseline[{static_cast<std::size_t>(*flows),
                       static_cast<std::uint32_t>(*services),
                       backend.value_or("heap"),
                       static_cast<std::size_t>(shards.value_or(1)),
-                      fidelity.value_or("exact")}] = *events;
+                      fidelity.value_or("exact"),
+                      sync.value_or("barrier")}] = *events;
         }
     }
     return baseline;
@@ -951,6 +993,7 @@ int main(int argc, char** argv) {
     std::string backend_arg = "wheel";
     std::string shards_arg = "1,2,8";
     std::string fidelity_arg = "both";
+    std::string sync_arg = "channel";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quick") {
@@ -965,10 +1008,13 @@ int main(int argc, char** argv) {
             shards_arg = argv[++i];
         } else if (arg == "--fidelity" && i + 1 < argc) {
             fidelity_arg = argv[++i];
+        } else if (arg == "--sync" && i + 1 < argc) {
+            sync_arg = argv[++i];
         } else {
             std::cerr << "usage: bench_scale [--quick] "
                          "[--backend heap|wheel|both] [--shards <csv>] "
                          "[--fidelity exact|hybrid|both] "
+                         "[--sync channel|barrier|both] "
                          "[--out <file>] [--baseline <file>]\n";
             return 2;
         }
@@ -1003,6 +1049,18 @@ int main(int argc, char** argv) {
                   << "' (expected exact, hybrid, or both)\n";
         return 2;
     }
+    std::vector<sim::SyncMode> syncs;
+    if (sync_arg == "channel") {
+        syncs = {sim::SyncMode::kChannel};
+    } else if (sync_arg == "barrier") {
+        syncs = {sim::SyncMode::kBarrier};
+    } else if (sync_arg == "both") {
+        syncs = {sim::SyncMode::kBarrier, sim::SyncMode::kChannel};
+    } else {
+        std::cerr << "unknown --sync '" << sync_arg
+                  << "' (expected channel, barrier, or both)\n";
+        return 2;
+    }
 
     print_header("scale",
                  "control-plane scale sweep: concurrent flows x services -> "
@@ -1014,8 +1072,8 @@ int main(int argc, char** argv) {
     const std::vector<std::uint32_t> service_counts = {1, 8, 64};
 
     std::vector<std::pair<SweepPoint, PointResult>> results;
-    workload::TextTable table({"fidelity", "backend", "shards", "flows",
-                               "services", "events/s", "install p50",
+    workload::TextTable table({"fidelity", "backend", "shards", "sync",
+                               "flows", "services", "events/s", "install p50",
                                "install p99", "lookup ns", "idle ns",
                                "peak RSS MB"});
     for (const auto fidelity : fidelities) {
@@ -1034,10 +1092,14 @@ int main(int argc, char** argv) {
                     flow_counts.push_back(10'000'000);
                     flow_counts.push_back(100'000'000);
                 }
+                for (const auto sync : syncs) {
+                    // The sync dimension only exists for sharded points; a
+                    // serial point runs once no matter how many modes sweep.
+                    if (shards == 1 && sync != syncs.front()) continue;
                 for (const auto flows : flow_counts) {
                     for (const auto services : service_counts) {
                         const SweepPoint point{flows, services, backend, shards,
-                                               fidelity};
+                                               fidelity, sync};
                         const auto result = run_forked<PointResult>(
                             [point] { return run_point(point); });
                         if (!result) {
@@ -1063,8 +1125,9 @@ int main(int argc, char** argv) {
                         results.emplace_back(point, *result);
                         table.add_row(
                             {sdn::to_string(fidelity), backend_str(backend),
-                             std::to_string(shards), std::to_string(flows),
-                             std::to_string(services),
+                             std::to_string(shards),
+                             shards > 1 ? sync_str(point) : "-",
+                             std::to_string(flows), std::to_string(services),
                              workload::TextTable::num(result->events_per_s, 0),
                              workload::TextTable::num(result->install_p50_ns,
                                                       0) +
@@ -1078,6 +1141,7 @@ int main(int argc, char** argv) {
                                  static_cast<double>(result->rss_kb) / 1024.0,
                                  1)});
                     }
+                }
                 }
             }
         }
@@ -1166,9 +1230,10 @@ int main(int argc, char** argv) {
     // Shard-scaling view: events/s vs the serial kernel at the same point
     // (wheel rows only; the serial wheel row is the committed baseline).
     if (shard_counts->size() > 1) {
-        workload::TextTable scaling({"flows", "services", "shards", "cores",
-                                     "events/s", "vs serial", "per-core eff",
-                                     "sync rounds", "digests"});
+        workload::TextTable scaling({"flows", "services", "shards", "sync",
+                                     "cores", "events/s", "vs serial",
+                                     "per-core eff", "sync rounds", "nulls",
+                                     "busy ms", "blocked ms", "digests"});
         for (const auto flows : base_flow_counts) {
             for (const auto services : service_counts) {
                 double serial_events = 0;
@@ -1197,11 +1262,18 @@ int main(int argc, char** argv) {
                     scaling.add_row(
                         {std::to_string(flows), std::to_string(services),
                          std::to_string(point.shards),
+                         point.shards > 1 ? sync_str(point) : "-",
                          std::to_string(result.cores_used),
                          workload::TextTable::num(result.events_per_s, 0),
                          workload::TextTable::num(speedup, 2) + "x",
                          workload::TextTable::num(per_core, 2),
                          std::to_string(result.sync_rounds),
+                         std::to_string(result.null_messages),
+                         workload::TextTable::num(
+                             static_cast<double>(result.lane_busy_ns) / 1e6, 1),
+                         workload::TextTable::num(
+                             static_cast<double>(result.lane_blocked_ns) / 1e6,
+                             1),
                          std::to_string(result.digests)});
                 }
             }
@@ -1319,7 +1391,8 @@ int main(int argc, char** argv) {
             const auto it = baseline.find({point.flows, point.services,
                                            backend_str(point.backend),
                                            point.shards,
-                                           sdn::to_string(point.fidelity)});
+                                           sdn::to_string(point.fidelity),
+                                           sync_str(point)});
             if (it == baseline.end() || it->second <= 0) continue;
             const double ratio = result.events_per_s / it->second;
             std::cout << "  " << point.flows << "x" << point.services << " ("

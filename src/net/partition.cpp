@@ -1,8 +1,11 @@
 #include "net/partition.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <utility>
+
+#include "simcore/sharded_simulation.hpp"
 
 namespace tedge::net {
 
@@ -31,6 +34,30 @@ TopologyPartition::TopologyPartition(const Topology& topo,
         cut_links_.push_back(CutLink{a, b, da, db, latency, rate});
         lookahead_ = std::min(lookahead_, latency);
     });
+    // Directed channels: minimum joining cut-link latency per ordered domain
+    // pair. Links are bidirectional, so each cut link feeds both directions.
+    std::map<std::pair<sim::DomainId, sim::DomainId>, sim::SimTime> best;
+    for (const CutLink& link : cut_links_) {
+        for (const auto& [src, dst] :
+             {std::make_pair(link.domain_a, link.domain_b),
+              std::make_pair(link.domain_b, link.domain_a)}) {
+            const auto it = best.find({src, dst});
+            if (it == best.end() || link.latency < it->second) {
+                best[{src, dst}] = link.latency;
+            }
+        }
+    }
+    channels_.reserve(best.size());
+    for (const auto& [pair, lookahead] : best) {
+        channels_.push_back(DomainChannel{pair.first, pair.second, lookahead});
+    }
+}
+
+void TopologyPartition::apply_channels(sim::ShardedSimulation& sharded) const {
+    for (const DomainChannel& ch : channels_) {
+        sharded.set_channel(ch.src, ch.dst, ch.lookahead);
+    }
+    if (channels_.empty()) sharded.set_lookahead(lookahead_);
 }
 
 TopologyPartition TopologyPartition::single_domain(const Topology& topo) {

@@ -65,12 +65,39 @@ public:
     /// ShardedSimulation reads as "no cross-domain messaging".
     [[nodiscard]] sim::SimTime lookahead() const { return lookahead_; }
 
+    /// A directed cross-domain channel: any message from `src` to `dst` must
+    /// traverse at least one cut link joining the pair, so it is timestamped
+    /// at least `lookahead` (the minimum such latency) after the sending
+    /// event. Per-pair bounds are often far wider than the global minimum --
+    /// a metro ring with one short link clamps lookahead() for everyone,
+    /// while channels keep every other pair at its real latency.
+    struct DomainChannel {
+        sim::DomainId src = 0;
+        sim::DomainId dst = 0;
+        sim::SimTime lookahead;
+    };
+
+    /// Directed channels between domains joined by at least one cut link,
+    /// sorted by (src, dst). Links are bidirectional, so channels come in
+    /// pairs with equal lookahead. Pairs with no joining cut link have no
+    /// channel: under explicit channels ShardedSimulation rejects posts
+    /// between them and never makes one domain wait on the other.
+    [[nodiscard]] const std::vector<DomainChannel>& channels() const {
+        return channels_;
+    }
+
+    /// Install this partition's channel graph on a coordinator
+    /// (ShardedSimulation::set_channel per directed channel, plus the global
+    /// minimum as Options-level lookahead for single-domain partitions).
+    void apply_channels(sim::ShardedSimulation& sharded) const;
+
     /// Nodes assigned to `domain`, ascending by id.
     [[nodiscard]] std::vector<NodeId> nodes_in(sim::DomainId domain) const;
 
 private:
     std::vector<sim::DomainId> assignment_;
     std::vector<CutLink> cut_links_;
+    std::vector<DomainChannel> channels_;
     std::size_t domain_count_ = 0;
     sim::SimTime lookahead_ = sim::SimTime::max();
 };

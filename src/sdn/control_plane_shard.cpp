@@ -116,8 +116,10 @@ void ControlPlaneShard::send_digest() {
         return;
     }
     // The digest crosses the site-to-controller access link; it can never
-    // arrive faster than the partition's minimum cut latency.
-    const sim::SimTime at = domain_->sim().now() + domain_->lookahead();
+    // arrive faster than that channel's own minimum cut latency (with
+    // explicit channels this is the real site-to-controller bound, not the
+    // global minimum over all cut links).
+    const sim::SimTime at = domain_->sim().now() + domain_->lookahead_to(dst);
     domain_->post(dst, at,
                   [agg = aggregator_, digest] { agg->deliver(digest); },
                   /*daemon=*/true);

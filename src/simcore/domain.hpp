@@ -9,13 +9,16 @@
 // coordinator execute domains on different threads without locks.
 //
 // Cross-domain interaction happens exclusively through post(): a timestamped
-// message (timestamp, source domain, per-source sequence) delivered into the
-// destination domain's event queue at a synchronization barrier. The
-// coordinator enforces the conservative lookahead contract — a message must
-// be timestamped at least `lookahead` after the sender's current clock — and
-// merges all messages in (timestamp, source id, sequence) order, which makes
-// the delivered sequence, and therefore the whole run, bit-identical at any
-// shard or thread count.
+// message (timestamp, source domain, per-source sequence) staged into the
+// destination domain's inbox — a (timestamp, source id, sequence) min-heap —
+// and inserted into its event queue immediately before the destination
+// executes its first event at or past the message timestamp. That insertion
+// rule is a pure merge of two deterministic sequences (local schedule order
+// vs. message order), independent of how execution is windowed, which is what
+// lets the barrier and channel-clock coordinators produce bit-identical runs
+// at any shard or thread count. The coordinator enforces the conservative
+// lookahead contract per directed channel: a message must be timestamped at
+// least the channel's lookahead after the sender's current clock.
 #pragma once
 
 #include <cstdint>
@@ -74,18 +77,30 @@ public:
     [[nodiscard]] Logger make_logger(const std::string& component,
                                      LogLevel level = LogLevel::kWarn);
 
-    /// The coordinator's conservative lookahead (minimum cross-domain
-    /// message delay). SimTime::max() when no finite lookahead was set.
+    /// The coordinator's minimum conservative lookahead over all channels
+    /// (the global window bound). SimTime::max() when no finite lookahead
+    /// was set.
     [[nodiscard]] SimTime lookahead() const;
+
+    /// Conservative lookahead of the directed channel id() -> dst: the
+    /// smallest latency a message from this domain to `dst` can have. With
+    /// explicit channels (ShardedSimulation::set_channel, typically derived
+    /// from TopologyPartition cut links) this is the per-pair bound — often
+    /// much larger than the global minimum, letting senders on slow links
+    /// timestamp later and grant receivers wider windows. Throws
+    /// std::logic_error when no such channel exists.
+    [[nodiscard]] SimTime lookahead_to(DomainId dst) const;
 
     /// Number of domains in the coordinator (valid post() destinations).
     [[nodiscard]] std::size_t domain_count() const;
 
     /// Send a cross-domain message: `cb` runs inside domain `dst` at
     /// absolute (destination) time `at`. Requires at >= sim().now() +
-    /// coordinator lookahead — the conservative contract that makes windowed
+    /// lookahead_to(dst) — the conservative contract that makes windowed
     /// parallel execution safe — and throws std::logic_error otherwise.
     /// Messages become user events in the destination unless `daemon`.
+    /// Must be called from the sending domain's own execution (its event
+    /// callbacks) — outboxes are flushed by the lane that owns the sender.
     void post(DomainId dst, SimTime at, EventQueue::Callback cb,
               bool daemon = false);
 
@@ -109,6 +124,46 @@ private:
     Domain(ShardedSimulation& coordinator, DomainId id, std::string name,
            QueueBackend backend, std::uint64_t run_seed);
 
+    /// (at, src, seq) descending — std::push_heap/pop_heap with this
+    /// comparator keep inbox_.front() the next message in merge order.
+    static bool message_after(const Message& a, const Message& b) {
+        if (a.at != b.at) return a.at > b.at;
+        if (a.src != b.src) return a.src > b.src;
+        return a.seq > b.seq;
+    }
+
+    /// Stage an inbound message (coordinator only; serialized by the barrier
+    /// or by the channel coordinator's sync mutex).
+    void stage_inbound(Message&& m);
+
+    /// Timestamp of the earliest staged message; max() when none.
+    [[nodiscard]] SimTime inbox_next_time() const {
+        return inbox_.empty() ? SimTime::max() : inbox_.front().at;
+    }
+
+    /// Earliest thing this domain could execute: min over its queue and its
+    /// staged inbox; max() when fully drained.
+    [[nodiscard]] SimTime next_work_time() const;
+
+    /// Pending user events, in the queue or staged in the inbox.
+    [[nodiscard]] bool has_user_work() const {
+        return sim_.has_user_events() || inbox_user_ > 0;
+    }
+
+    /// Anything left that run() semantics oblige us to execute: user work,
+    /// or daemon work at or before the fence.
+    [[nodiscard]] bool has_eligible_work(SimTime fence) const;
+
+    /// This domain's contribution to the coordinator's daemon fence: the
+    /// largest user-event timestamp it has scheduled locally or posted.
+    [[nodiscard]] SimTime user_horizon() const;
+
+    /// The shared execution primitive of both coordinators: execute events
+    /// strictly before `end`, inserting staged messages into the queue
+    /// immediately before the first pop at or past their timestamp, daemons
+    /// fenced at `fence`. Returns events executed.
+    std::uint64_t advance_window(SimTime end, SimTime fence);
+
     ShardedSimulation* coordinator_;
     DomainId id_;
     std::string name_;
@@ -117,8 +172,12 @@ private:
     MetricsRegistry metrics_;
     Tracer tracer_;
     LogBuffer log_buffer_;
-    std::vector<Message> outbox_;  ///< drained by the coordinator at barriers
+    std::vector<Message> outbox_;  ///< drained by the owning lane per window
+    std::vector<Message> inbox_;   ///< staged inbound, (at, src, seq) min-heap
+    std::size_t inbox_user_ = 0;   ///< staged non-daemon messages
     std::uint64_t next_send_seq_ = 0;
+    std::uint64_t delivered_ = 0;  ///< messages inserted into the queue
+    SimTime posted_user_horizon_ = SimTime::zero();
 };
 
 } // namespace tedge::sim

@@ -104,6 +104,13 @@ public:
     /// discard cancelled tombstones (see the Store member note).
     [[nodiscard]] SimTime next_time() const;
 
+    /// True when the earliest live event is a daemon. Requires !empty().
+    /// Non-destructive on both backends (the wheel is not advanced), so the
+    /// caller may still push events earlier than the reported minimum — the
+    /// sharded kernel peeks this to fence daemon housekeeping without
+    /// disturbing later message insertion.
+    [[nodiscard]] bool next_is_daemon() const;
+
     /// Remove and return the earliest live event. Requires !empty().
     std::pair<SimTime, Callback> pop();
 
@@ -325,6 +332,21 @@ inline std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
     if (!s.daemon) --live_user_;
     release_slot(entry.slot);
     return out;
+}
+
+inline bool EventQueue::next_is_daemon() const {
+    if (backend_ == QueueBackend::kHeap) {
+        drop_dead();
+        if (heap_empty()) {
+            throw std::logic_error("EventQueue::next_is_daemon on empty queue");
+        }
+        return store_.slots[store_.heap[kRoot].slot].daemon;
+    }
+    TimerWheel::Entry entry{};
+    if (!store_.wheel.min_entry(dead_filter(), entry)) {
+        throw std::logic_error("EventQueue::next_is_daemon on empty queue");
+    }
+    return store_.slots[entry.slot].daemon;
 }
 
 inline SimTime EventQueue::next_time() const {

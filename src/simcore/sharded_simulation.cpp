@@ -1,7 +1,9 @@
 #include "simcore/sharded_simulation.hpp"
 
 #include <algorithm>
-#include <optional>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -20,7 +22,26 @@ SimTime saturating_add(SimTime a, SimTime b) {
     return a + b;
 }
 
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0,
+                         std::chrono::steady_clock::time_point t1) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
 } // namespace
+
+SyncMode ShardedSimulation::default_sync() {
+    const char* env = std::getenv("TEDGE_SYNC");
+    if (env != nullptr && std::strcmp(env, "barrier") == 0) {
+        return SyncMode::kBarrier;
+    }
+    return SyncMode::kChannel;
+}
+
+bool ShardedSimulation::default_pin() {
+    const char* env = std::getenv("TEDGE_PIN");
+    return env != nullptr && std::strcmp(env, "1") == 0;
+}
 
 ShardedSimulation::ShardedSimulation() : ShardedSimulation(Options{}) {}
 
@@ -42,6 +63,34 @@ Domain& ShardedSimulation::add_domain(std::string name) {
     domains_.push_back(std::unique_ptr<Domain>(new Domain(
         *this, id, std::move(name), options_.backend, options_.seed)));
     return *domains_.back();
+}
+
+void ShardedSimulation::set_channel(DomainId src, DomainId dst, SimTime lookahead) {
+    if (running_) {
+        throw std::logic_error("ShardedSimulation: set_channel during a run");
+    }
+    if (lookahead <= SimTime::zero() || lookahead == SimTime::max()) {
+        throw std::invalid_argument(
+            "ShardedSimulation: channel lookahead must be positive and finite");
+    }
+    channels_[channel_key(src, dst)] = lookahead;
+    min_channel_lookahead_ = std::min(min_channel_lookahead_, lookahead);
+    in_channels_built_ = false;
+}
+
+SimTime ShardedSimulation::channel_lookahead(DomainId src, DomainId dst) const {
+    if (channels_.empty()) return options_.lookahead;
+    const auto it = channels_.find(channel_key(src, dst));
+    if (it == channels_.end()) {
+        throw std::logic_error(
+            "ShardedSimulation: no channel between these domains (explicit "
+            "channels are installed; declare one with set_channel)");
+    }
+    return it->second;
+}
+
+SimTime ShardedSimulation::lookahead() const {
+    return channels_.empty() ? options_.lookahead : min_channel_lookahead_;
 }
 
 void ShardedSimulation::set_lookahead(SimTime lookahead) {
@@ -76,37 +125,154 @@ std::uint64_t ShardedSimulation::events_executed() const {
     return total;
 }
 
+std::uint64_t ShardedSimulation::messages_delivered() const {
+    std::uint64_t total = 0;
+    for (const auto& d : domains_) total += d->delivered_;
+    return total;
+}
+
+SimTime ShardedSimulation::compute_fence() const {
+    SimTime fence = SimTime::zero();
+    for (const auto& d : domains_) fence = std::max(fence, d->user_horizon());
+    return fence;
+}
+
+void ShardedSimulation::build_in_channels() {
+    if (in_channels_built_ && in_channels_.size() == domains_.size()) return;
+    in_channels_.assign(domains_.size(), {});
+    if (channels_.empty()) {
+        // Implicit full mesh at the global lookahead. SimTime::max() means
+        // "no cross-domain messaging": nothing can ever arrive, so domains
+        // have no in-channels and run unbounded windows.
+        if (options_.lookahead != SimTime::max()) {
+            for (DomainId dst = 0; dst < domains_.size(); ++dst) {
+                for (DomainId src = 0; src < domains_.size(); ++src) {
+                    if (src == dst) continue;
+                    in_channels_[dst].emplace_back(src, options_.lookahead);
+                }
+            }
+        }
+    } else {
+        for (const auto& [key, lookahead] : channels_) {
+            const auto src = static_cast<DomainId>(key >> 32);
+            const auto dst = static_cast<DomainId>(key & 0xffffffffu);
+            // Self-channels never gate anything: self-posts are inserted at
+            // post time (Domain::post), so a domain does not wait on itself.
+            if (src == dst) continue;
+            if (src >= domains_.size() || dst >= domains_.size()) continue;
+            in_channels_[dst].emplace_back(src, lookahead);
+        }
+        for (auto& in : in_channels_) std::sort(in.begin(), in.end());
+    }
+    in_channels_built_ = true;
+}
+
+void ShardedSimulation::drain_staged_inboxes() {
+    for (std::size_t i = 0; i < staged_.size() && i < domains_.size(); ++i) {
+        for (auto& m : staged_[i]) domains_[i]->stage_inbound(std::move(m));
+        staged_[i].clear();
+    }
+}
+
 std::uint64_t ShardedSimulation::drive(Mode mode, SimTime deadline) {
     if (domains_.empty()) return 0;
     running_ = true;
     const std::uint64_t executed_before = events_executed();
-    const std::size_t lanes = shard_count();
+    try {
+        if (domains_.size() == 1) {
+            drive_single(mode, deadline);
+        } else if (options_.sync == SyncMode::kBarrier ||
+                   (mode == Mode::kRunUntil && deadline == SimTime::max())) {
+            // run_until(max) has no finite quiescence point for the channel
+            // horizon fixpoint; the barrier driver handles it directly (the
+            // two coordinators produce identical results by construction).
+            drive_barrier(mode, deadline);
+        } else {
+            drive_channel(mode, deadline);
+        }
+    } catch (...) {
+        running_ = false;
+        throw;
+    }
+    running_ = false;
+    flush_logs_if_configured();
+    return events_executed() - executed_before;
+}
 
+// With a single domain the coordinator is the serial kernel plus an optional
+// self-mailbox; windowed execution buys nothing and the old (pre-channel)
+// windowing is kept verbatim so single-domain runs stay bit-identical to
+// Simulation::run()/run_until().
+void ShardedSimulation::drive_single(Mode mode, SimTime deadline) {
+    Domain& d = *domains_[0];
+    for (;;) {
+        if (mode == Mode::kRun && !d.sim().has_user_events()) break;
+        if (!d.sim().has_pending_events() ||
+            (mode == Mode::kRunUntil && d.sim().next_time() > deadline)) {
+            if (mode == Mode::kRunUntil) d.sim().run_until(deadline);
+            break;
+        }
+        SimTime window_end = saturating_add(d.sim().next_time(), lookahead());
+        if (mode == Mode::kRunUntil) {
+            // Events at exactly `deadline` still execute: the window is
+            // half-open, so end one tick past it.
+            window_end = std::min(window_end, saturating_add(deadline, nanoseconds(1)));
+        }
+        d.sim().run_window(window_end, mode == Mode::kRun);
+        ++rounds_;
+        if (!d.outbox_.empty()) {
+            // Self-posts normally insert at post time; this only runs for
+            // messages staged before the immediate-insert rule could apply
+            // (none today -- kept for robustness).
+            std::sort(d.outbox_.begin(), d.outbox_.end(),
+                      [](const Domain::Message& a, const Domain::Message& b) {
+                          if (a.at != b.at) return a.at < b.at;
+                          return a.seq < b.seq;
+                      });
+            for (auto& m : d.outbox_) {
+                d.sim().schedule_at(m.at, std::move(m.fn), m.daemon);
+                ++d.delivered_;
+            }
+            d.outbox_.clear();
+        }
+    }
+}
+
+void ShardedSimulation::drive_barrier(Mode mode, SimTime deadline) {
+    const std::size_t lanes = shard_count();
     if (lanes > 1 && pool_ == nullptr) {
         std::size_t workers = options_.workers;
         if (workers == 0) {
             workers = std::min<std::size_t>(
                 lanes, std::max(1u, std::thread::hardware_concurrency()));
         }
-        pool_ = std::make_unique<ThreadPool>(workers);
+        pool_ = std::make_unique<ThreadPool>(workers, options_.pin_lanes);
+    }
+    // A prior channel-mode run can leave batches staged, and messages posted
+    // outside any window (before the first run, or between runs) sit in
+    // their sender's outbox; merge both before the eligibility scan so a
+    // run whose only work arrives by mail still starts.
+    drain_staged_inboxes();
+    for (auto& d : domains_) {
+        for (auto& m : d->outbox_) domains_[m.dst]->stage_inbound(std::move(m));
+        d->outbox_.clear();
     }
 
-    std::vector<bool> require_user(domains_.size(), false);
     for (;;) {
         // ---- round-start snapshot (deterministic: barrier state only) ----
-        std::size_t domains_with_user = 0;
-        for (const auto& d : domains_) {
-            if (d->sim().has_user_events()) ++domains_with_user;
+        const SimTime fence = mode == Mode::kRun ? compute_fence() : SimTime::max();
+        if (mode == Mode::kRun) {
+            bool any_eligible = false;
+            for (const auto& d : domains_) {
+                if (d->has_eligible_work(fence)) { any_eligible = true; break; }
+            }
+            if (!any_eligible) break;
         }
-        if (mode == Mode::kRun && domains_with_user == 0) break;
 
-        std::optional<SimTime> next;
-        for (const auto& d : domains_) {
-            if (!d->sim().has_pending_events()) continue;
-            const SimTime t = d->sim().next_time();
-            if (!next || t < *next) next = t;
-        }
-        if (!next || (mode == Mode::kRunUntil && *next > deadline)) {
+        SimTime next = SimTime::max();
+        for (const auto& d : domains_) next = std::min(next, d->next_work_time());
+        if (next == SimTime::max() ||
+            (mode == Mode::kRunUntil && next > deadline)) {
             if (mode == Mode::kRunUntil) {
                 // Nothing left at or before the deadline: advance every
                 // clock exactly like Simulation::run_until would.
@@ -115,79 +281,253 @@ std::uint64_t ShardedSimulation::drive(Mode mode, SimTime deadline) {
             break;
         }
 
-        SimTime window_end = saturating_add(*next, options_.lookahead);
+        SimTime window_end = saturating_add(next, lookahead());
         if (mode == Mode::kRunUntil) {
-            // Events at exactly `deadline` still execute: the window is
-            // half-open, so end one tick past it (deadline < max here).
-            window_end = std::min(window_end, deadline + nanoseconds(1));
+            window_end = std::min(window_end, saturating_add(deadline, nanoseconds(1)));
         }
 
-        // run() semantics: a domain may grind daemon-only housekeeping while
-        // user work exists *elsewhere*; a domain whose own user events are
-        // the only ones left stops at its last user event, exactly like the
-        // serial kernel. run_until executes daemons unconditionally.
-        for (std::size_t i = 0; i < domains_.size(); ++i) {
-            const bool others_have_user =
-                domains_with_user >
-                (domains_[i]->sim().has_user_events() ? 1u : 0u);
-            require_user[i] = mode == Mode::kRun && !others_have_user;
-        }
-
-        execute_windows(window_end, require_user);
-        ++rounds_;
-        collect_and_deliver();
-        flush_logs_if_configured();
-    }
-
-    running_ = false;
-    flush_logs_if_configured();
-    return events_executed() - executed_before;
-}
-
-void ShardedSimulation::execute_windows(SimTime window_end,
-                                        const std::vector<bool>& require_user) {
-    const std::size_t lanes = shard_count();
-    auto run_lane = [&](std::size_t lane) {
         // Each lane owns the domains with id % lanes == lane and runs their
         // sub-windows sequentially in id order; no two lanes ever touch the
         // same domain, so lanes share no mutable state.
-        for (std::size_t i = lane; i < domains_.size(); i += lanes) {
-            domains_[i]->sim().run_window(window_end, require_user[i]);
+        auto run_lane = [&](std::size_t lane) {
+            for (std::size_t i = lane; i < domains_.size(); i += lanes) {
+                domains_[i]->advance_window(window_end, fence);
+            }
+        };
+        if (lanes <= 1 || pool_ == nullptr || pool_->size() <= 1) {
+            // One lane, or one worker (single-core host): dispatching through
+            // the pool buys nothing but wakeup latency. Lane order cannot
+            // matter -- lanes share no state -- so inline execution is the
+            // same run.
+            for (std::size_t lane = 0; lane < lanes; ++lane) run_lane(lane);
+        } else {
+            pool_->parallel_for(lanes, run_lane);
         }
-    };
-    if (lanes <= 1 || pool_ == nullptr || pool_->size() <= 1) {
-        // One lane, or one worker (single-core host): dispatching through the
-        // pool buys nothing but wakeup latency. Lane order cannot matter --
-        // lanes share no state -- so inline execution is the same run.
-        for (std::size_t lane = 0; lane < lanes; ++lane) run_lane(lane);
-    } else {
-        pool_->parallel_for(lanes, run_lane);
+        ++rounds_;
+
+        // Barrier delivery: stage every outbox into the destination inbox
+        // heaps. Insertion into destination queues happens at execution
+        // boundaries (Domain::advance_window), identically to channel mode.
+        for (auto& d : domains_) {
+            for (auto& m : d->outbox_) {
+                const DomainId dst = m.dst;
+                domains_[dst]->stage_inbound(std::move(m));
+            }
+            d->outbox_.clear();
+        }
     }
 }
 
-void ShardedSimulation::collect_and_deliver() {
-    mail_.clear();
-    for (auto& d : domains_) {
-        if (d->outbox_.empty()) continue;
-        std::move(d->outbox_.begin(), d->outbox_.end(), std::back_inserter(mail_));
-        d->outbox_.clear();
+void ShardedSimulation::drive_channel(Mode mode, SimTime deadline) {
+    build_in_channels();
+    const std::size_t lanes = shard_count();
+    std::size_t workers = options_.workers;
+    if (workers == 0) {
+        workers = std::min<std::size_t>(
+            lanes, std::max(1u, std::thread::hardware_concurrency()));
     }
-    if (mail_.empty()) return;
-    // (timestamp, source, per-source seq) is a total order independent of
-    // which thread ran which domain -- the determinism linchpin. Insertion
-    // into the destination queue in this order also fixes same-timestamp
-    // tie-breaks against locally scheduled events.
-    std::sort(mail_.begin(), mail_.end(),
-              [](const Domain::Message& a, const Domain::Message& b) {
-                  if (a.at != b.at) return a.at < b.at;
-                  if (a.src != b.src) return a.src < b.src;
-                  return a.seq < b.seq;
-              });
-    for (auto& m : mail_) {
-        domains_[m.dst]->sim().schedule_at(m.at, std::move(m.fn), m.daemon);
+    const std::size_t nlanes = std::min(lanes, std::max<std::size_t>(1, workers));
+
+    // All horizons start at zero and only climb (publications are monotone);
+    // staged_ keeps its per-destination capacity across windows and runs.
+    horizon_.assign(domains_.size(), SimTime::zero());
+    if (staged_.size() < domains_.size()) staged_.resize(domains_.size());
+    fence_ = compute_fence();
+    version_ = 0;
+    busy_lanes_ = 0;
+    done_ = false;
+    lane_error_ = nullptr;
+    lane_stats_.assign(nlanes, LaneStat{});
+
+    if (nlanes <= 1) {
+        // Deterministic inline path: one lane, calling thread, fixed pass
+        // order -- window and null-message counters are reproducible here.
+        channel_lane(0, 1, mode, deadline);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(nlanes);
+        for (std::size_t t = 0; t < nlanes; ++t) {
+            threads.emplace_back([this, t, nlanes, mode, deadline] {
+                if (options_.pin_lanes) pin_current_thread_to_core(t);
+                channel_lane(t, nlanes, mode, deadline);
+            });
+        }
+        for (auto& th : threads) th.join();
     }
-    messages_delivered_ += mail_.size();
-    mail_.clear();
+    for (const auto& stat : lane_stats_) rounds_ += stat.windows;
+    if (lane_error_ != nullptr) {
+        std::exception_ptr err = lane_error_;
+        lane_error_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+SimTime ShardedSimulation::safe_end_locked(DomainId dst) const {
+    SimTime end = SimTime::max();
+    for (const auto& [src, lookahead] : in_channels_[dst]) {
+        end = std::min(end, saturating_add(horizon_[src], lookahead));
+    }
+    return end;
+}
+
+bool ShardedSimulation::quiescent_locked(Mode mode, SimTime deadline) const {
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+        const Domain& d = *domains_[i];
+        for (const auto& m : staged_[i]) {
+            if (mode == Mode::kRun) {
+                if (!m.daemon || m.at <= fence_) return false;
+            } else if (m.at <= deadline) {
+                return false;
+            }
+        }
+        if (mode == Mode::kRun) {
+            if (d.has_eligible_work(fence_)) return false;
+        } else {
+            const SimTime next = d.next_work_time();
+            if (next <= deadline && next != SimTime::max()) return false;
+            if (d.sim().now() < deadline) return false;
+        }
+    }
+    return true;
+}
+
+// One lane of the channel coordinator. All shared state (horizons, fence,
+// staged batches, version counter) lives under sync_mu_; domain windows run
+// unlocked -- a domain is only ever touched by its owning lane (id % nlanes).
+//
+// Each pass over the lane's domains: merge staged batches into the inbox,
+// execute up to the channel-safe bound, flush the outbox as one batch per
+// destination, then publish fence and horizon updates. A horizon publication
+// that carried no execution and no payload is a pure null message. When a
+// full pass makes no progress and nothing was published since the pass
+// started, the lane either detects global quiescence (no lane executing,
+// nothing eligible anywhere) or sleeps until the version counter moves.
+void ShardedSimulation::channel_lane(std::size_t lane, std::size_t nlanes,
+                                     Mode mode, SimTime deadline) {
+    using Clock = std::chrono::steady_clock;
+    LaneStat& stat = lane_stats_[lane];
+    const SimTime past_deadline = mode == Mode::kRunUntil
+                                      ? saturating_add(deadline, nanoseconds(1))
+                                      : SimTime::max();
+    std::unique_lock<std::mutex> lock(sync_mu_);
+    try {
+        for (;;) {
+            if (done_) return;
+            const std::uint64_t seen = version_;
+            bool progressed = false;
+            for (std::size_t i = lane; i < domains_.size(); i += nlanes) {
+                Domain& d = *domains_[i];
+                if (!staged_[i].empty()) {
+                    for (auto& m : staged_[i]) d.stage_inbound(std::move(m));
+                    staged_[i].clear();
+                    progressed = true;
+                }
+                const SimTime fence = mode == Mode::kRun ? fence_ : SimTime::max();
+                SimTime end = safe_end_locked(static_cast<DomainId>(i));
+                if (mode == Mode::kRunUntil) end = std::min(end, past_deadline);
+                std::uint64_t executed = 0;
+                bool published = false;
+                // Attempt a window only when it can actually execute
+                // something: next work inside the safe bound AND not entirely
+                // fence-blocked daemons. A futile attempt would be a no-op
+                // (run_window_fenced does not even advance the clock), and
+                // publishing for it would keep every lane spinning on
+                // version bumps that carry no information -- with all lanes
+                // perpetually "busy" on empty windows, the quiescence check
+                // below could starve forever.
+                if (d.next_work_time() < end && d.has_eligible_work(fence)) {
+                    ++busy_lanes_;
+                    lock.unlock();
+                    const auto t0 = Clock::now();
+                    executed = d.advance_window(end, fence);
+                    const auto t1 = Clock::now();
+                    stat.busy_ns += elapsed_ns(t0, t1);
+                    ++stat.windows;
+                    lock.lock();
+                    --busy_lanes_;
+                    if (executed > 0) progressed = true;
+                }
+                bool sent = false;
+                if (!d.outbox_.empty()) {
+                    // One batch append per (src, dst, window): messages to the
+                    // same destination land contiguously in its staging
+                    // vector under a single lock hold, and the single version
+                    // bump below is the one wakeup the whole batch costs.
+                    for (auto& m : d.outbox_) {
+                        staged_[m.dst].push_back(std::move(m));
+                    }
+                    d.outbox_.clear();
+                    sent = true;
+                    published = true;
+                }
+                if (mode == Mode::kRun) {
+                    const SimTime uh = d.user_horizon();
+                    if (uh > fence_) {
+                        fence_ = uh;
+                        published = true;
+                    }
+                } else {
+                    // run_until semantics: once nothing at or before the
+                    // deadline remains and nothing more can arrive (the safe
+                    // bound cleared the deadline), pin the clock to it. The
+                    // queue holds nothing <= deadline, so this executes zero
+                    // events and is fine under the lock.
+                    const SimTime next = d.next_work_time();
+                    const bool drained = next > deadline || next == SimTime::max();
+                    if (drained && d.sim().now() < deadline &&
+                        safe_end_locked(static_cast<DomainId>(i)) >= past_deadline) {
+                        d.sim().run_until(deadline);
+                    }
+                }
+                // Horizon: a lower bound on anything this domain will still
+                // execute -- its earliest pending work, capped by its own
+                // safe bound (staged messages it has not seen yet can only
+                // arrive at or after that). Monotone by construction.
+                const SimTime h = std::min(
+                    d.next_work_time(),
+                    safe_end_locked(static_cast<DomainId>(i)));
+                if (h > horizon_[i]) {
+                    horizon_[i] = h;
+                    if (executed == 0 && !sent) ++null_messages_;
+                    published = true;
+                }
+                if (published) {
+                    ++version_;
+                    sync_cv_.notify_all();
+                }
+            }
+            if (progressed) continue;
+            // Quiescence falls to whichever lane finishes last: a lane only
+            // sleeps while another is mid-window (busy_lanes_ > 0) or has
+            // pending publications to absorb, and every change that could
+            // enable a sleeping lane's domains -- a message batch, a horizon
+            // climb, a fence extension -- bumps the version and wakes it. So
+            // the final no-progress pass always runs with busy_lanes_ == 0
+            // on some lane, which detects quiescence here and releases the
+            // rest via done_.
+            if (busy_lanes_ == 0 && quiescent_locked(mode, deadline)) {
+                done_ = true;
+                sync_cv_.notify_all();
+                return;
+            }
+            if (version_ != seen) continue;  // horizons or fence moved: re-pass
+            if (nlanes == 1) {
+                // A single lane has nobody to wait for: a stable, no-progress,
+                // non-quiescent pass means the protocol is wedged.
+                throw std::logic_error(
+                    "ShardedSimulation: channel coordinator stalled (no "
+                    "progress, no pending publications, not quiescent)");
+            }
+            const auto t0 = Clock::now();
+            sync_cv_.wait(lock, [&] { return done_ || version_ != seen; });
+            stat.blocked_ns += elapsed_ns(t0, Clock::now());
+        }
+    } catch (...) {
+        if (!lock.owns_lock()) lock.lock();
+        if (lane_error_ == nullptr) lane_error_ = std::current_exception();
+        done_ = true;
+        sync_cv_.notify_all();
+    }
 }
 
 void ShardedSimulation::dump_metrics(std::ostream& os) const {

@@ -1,50 +1,80 @@
 // ShardedSimulation: conservative parallel discrete-event execution of
-// independent Domains, deterministic at any shard count and thread count.
+// independent Domains, deterministic at any shard count, thread count, and
+// synchronization mode.
 //
 // ## Execution model
 //
-// The coordinator advances all domains in barrier-synchronized rounds. Each
-// round it computes the earliest pending event time across every domain,
-// `next`, and executes all domains up to the window end
+// Two coordinators are available (Options::sync), both built on the same
+// per-domain primitives and producing bit-identical runs:
 //
-//     window_end = next + lookahead
+//  * kBarrier — global barrier rounds. Each round computes the earliest
+//    pending work time across every domain, `next`, and executes all domains
+//    up to `next + lookahead` (the minimum channel lookahead), then delivers
+//    all cross-domain messages at the barrier. Simple, fully synchronous,
+//    kept for differential testing.
+//  * kChannel — asynchronous channel clocks (Chandy-Misra-Bryant null
+//    messages). Every domain continuously publishes a *horizon* — a lower
+//    bound on the timestamp of anything it will still execute (and therefore
+//    send + channel lookahead later). A domain's safe execution bound is the
+//    minimum EIT (earliest input time) over its in-channels,
 //
-// where `lookahead` is the minimum cross-domain message latency (for a
-// partitioned topology: the smallest latency of any cut link). Because a
-// message sent by an event executing at local time s >= next must be
-// timestamped at s + lookahead >= window_end, no event inside the window can
-// be invalidated by a message generated in the same window — every domain
-// can safely run its sub-window [*, window_end) in parallel, one domain per
-// thread, with no rollback (classic conservative / bounded-lag
-// synchronization a la Chandy-Misra-Bryant, window-stepped).
+//        safe_end(d) = min over channels (s -> d) of horizon(s) + L(s, d)
+//
+//    so a domain blocks only on its actual upstream channels — unrelated
+//    domains never wait on each other, and a domain with no in-channels runs
+//    its entire workload in one window. Horizon publications that carry no
+//    payload are the null messages; strictly positive channel lookaheads
+//    make the horizon fixpoint climb around any channel cycle, which is the
+//    classic deadlock-freedom argument. Cross-domain messages travel in
+//    per-(src, dst, window) batches: one staging append and one wakeup per
+//    batch, not per message.
 //
 // ## Determinism argument
 //
 //  * Within a domain, execution is the ordinary serial kernel: events run in
 //    (timestamp, insertion seq) order.
-//  * A domain's sub-window depends only on its own queue at the round start
-//    plus its own RNG stream (derived from the stable domain id) — never on
-//    which shard group or OS thread executes it, and never on how far other
-//    domains have progressed.
-//  * Cross-domain messages are buffered in per-domain outboxes during the
-//    window and merged at the barrier in (timestamp, source id, sequence)
-//    order — a total order independent of execution interleaving — then
-//    inserted into destination queues in that order.
-//  * The round structure itself (window ends, delivery batches) is a pure
-//    function of round-start state, which inductively is identical at any
-//    shard/thread count.
+//  * Cross-domain messages are staged into the destination's inbox — a
+//    (timestamp, source id, sequence) min-heap, a total order independent of
+//    execution interleaving — and inserted into the destination queue
+//    immediately before the destination executes its first event at or past
+//    the message timestamp. Conservative safety guarantees every message
+//    with timestamp <= t has arrived before the domain may execute at t, so
+//    the insertion point is well-defined and *window-structure independent*:
+//    the pop sequence is a pure merge of the local schedule order and the
+//    message order, the same under barrier rounds, channel windows, or any
+//    thread interleaving.
+//  * Daemon housekeeping is gated by the *fence*: the largest user-event
+//    timestamp scheduled anywhere in the run so far (a monotone quantity
+//    with a schedule-independent final value). A daemon event executes iff
+//    its timestamp is <= the fence — run()'s "housekeeping rides along while
+//    user work remains" semantics, restated without reference to rounds.
+//    When a daemon's eligibility is still undecided the domain blocks; at
+//    global quiescence no user work remains anywhere, the fence is final,
+//    and every pending daemon past it is legitimately left unexecuted.
 //
 // Hence the whole run — event counts, per-domain clocks, metric values,
-// trace exports, log buffers — is bit-identical whether the run uses one
-// shard or many, one thread or many. With a single domain, run()/run_until()
+// trace exports, log buffers — is bit-identical across sync modes, shard
+// counts, and worker counts. With a single domain, run()/run_until()
 // reproduce Simulation::run()/run_until() exactly (same pop sequence, same
 // daemon-event semantics, same final clock).
+//
+// ## Channels
+//
+// Channel lookaheads default to a full mesh at Options::lookahead (the PR-5
+// behaviour). set_channel() — typically fed from
+// net::TopologyPartition::channels(), i.e. per-directed-pair minimum
+// cut-link latencies — replaces the mesh with the real channel graph:
+// posting on a pair with no channel throws, per-pair lookaheads can far
+// exceed the global minimum, and absent channels mean absent waiting.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "simcore/domain.hpp"
@@ -54,6 +84,12 @@ namespace tedge::sim {
 
 class ThreadPool;
 
+/// Coordinator algorithm selector (Options::sync, TEDGE_SYNC).
+enum class SyncMode : std::uint8_t {
+    kBarrier,  ///< global barrier rounds (PR-5 coordinator, kept for diffing)
+    kChannel,  ///< asynchronous per-channel clocks with null messages
+};
+
 class ShardedSimulation {
 public:
     struct Options {
@@ -61,11 +97,13 @@ public:
         std::uint64_t seed = 42;
         /// Event-queue backend for every domain's kernel.
         QueueBackend backend = EventQueue::default_backend();
-        /// Minimum cross-domain message latency. post() requires message
-        /// timestamps >= sender now + lookahead. The default (SimTime::max)
-        /// declares "no cross-domain messaging": windows are unbounded and
-        /// post() throws. Derive a real value from the topology partition
-        /// (net::TopologyPartition::lookahead()). Must be positive.
+        /// Minimum cross-domain message latency of the implicit full-mesh
+        /// channel graph used when no explicit channels are set. post()
+        /// requires message timestamps >= sender now + channel lookahead.
+        /// The default (SimTime::max) declares "no cross-domain messaging":
+        /// windows are unbounded and post() throws. Derive a real value from
+        /// the topology partition (net::TopologyPartition::lookahead()), or
+        /// better, install per-pair channels (set_channel). Must be positive.
         SimTime lookahead = SimTime::max();
         /// Execution lanes. Domains are assigned round-robin by id
         /// (id % shards); each lane runs its domains' windows sequentially
@@ -75,7 +113,20 @@ public:
         /// Worker threads (0 = one per lane, capped by the hardware). Only
         /// affects wall-clock speed, never results.
         std::size_t workers = 0;
+        /// Coordinator algorithm; results are identical either way. Defaults
+        /// from TEDGE_SYNC ("barrier"/"channel"), else kChannel.
+        SyncMode sync = default_sync();
+        /// Pin lane threads to cores (lane i -> core i mod hardware size)
+        /// via pthread_setaffinity_np; cores < lanes degrades to sharing
+        /// cores, unsupported platforms to a no-op. Defaults from
+        /// TEDGE_PIN=1. Only affects wall-clock speed, never results.
+        bool pin_lanes = default_pin();
     };
+
+    /// Process-wide default sync mode: kChannel unless TEDGE_SYNC=barrier.
+    [[nodiscard]] static SyncMode default_sync();
+    /// Process-wide default lane pinning: off unless TEDGE_PIN=1.
+    [[nodiscard]] static bool default_pin();
 
     ShardedSimulation();
     explicit ShardedSimulation(Options options);
@@ -93,16 +144,35 @@ public:
     [[nodiscard]] const Domain& domain(DomainId id) const { return *domains_.at(id); }
     [[nodiscard]] std::size_t domain_count() const { return domains_.size(); }
 
-    [[nodiscard]] SimTime lookahead() const { return options_.lookahead; }
+    /// Declare a directed channel src -> dst with the given conservative
+    /// lookahead (must be positive; src/dst need not exist yet). The first
+    /// call switches the coordinator from the implicit Options::lookahead
+    /// full mesh to the explicit channel graph: posting on a pair with no
+    /// channel throws, and in channel-sync mode a domain waits only on its
+    /// declared in-channels. Typically fed from
+    /// net::TopologyPartition::channels(). Call before the first run.
+    void set_channel(DomainId src, DomainId dst, SimTime lookahead);
+
+    /// True once set_channel() has installed an explicit channel graph.
+    [[nodiscard]] bool has_explicit_channels() const { return !channels_.empty(); }
+
+    /// Lookahead of the directed channel src -> dst: the explicit channel's,
+    /// or Options::lookahead under the implicit full mesh. Throws
+    /// std::logic_error for a pair with no explicit channel.
+    [[nodiscard]] SimTime channel_lookahead(DomainId src, DomainId dst) const;
+
+    /// Minimum channel lookahead (the global conservative window bound).
+    [[nodiscard]] SimTime lookahead() const;
     void set_lookahead(SimTime lookahead);
+
+    [[nodiscard]] SyncMode sync_mode() const { return options_.sync; }
 
     [[nodiscard]] std::size_t shard_count() const;
 
-    /// Run until no user events remain in any domain and no messages are in
-    /// flight. Daemon housekeeping keeps executing while user work exists
-    /// anywhere (round-start snapshot), mirroring Simulation::run()'s
-    /// daemon-thread semantics; with one domain this is exactly run().
-    /// Returns the number of events executed across all domains.
+    /// Run until no user events remain in any domain and no daemon work at
+    /// or before the fence (the largest user timestamp ever scheduled)
+    /// remains; with one domain this is exactly Simulation::run(). Returns
+    /// the number of events executed across all domains.
     std::uint64_t run();
 
     /// Run every domain up to and including `deadline` (daemon events too)
@@ -116,13 +186,31 @@ public:
     /// Total events executed across all domains so far.
     [[nodiscard]] std::uint64_t events_executed() const;
 
-    /// Synchronization barriers completed so far (diagnostics: how many
-    /// rounds the lookahead granted).
+    /// Synchronization work so far: barrier mode counts global rounds,
+    /// channel mode counts per-domain windows attempted. Deterministic with
+    /// a single worker; multi-worker channel runs may split windows
+    /// differently (results never change).
     [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
 
-    /// Cross-domain messages delivered so far.
-    [[nodiscard]] std::uint64_t messages_delivered() const {
-        return messages_delivered_;
+    /// Cross-domain messages inserted into destination queues so far.
+    [[nodiscard]] std::uint64_t messages_delivered() const;
+
+    /// Pure null messages so far: horizon publications that advanced a
+    /// channel clock without carrying any message batch or executed event
+    /// (channel mode only; barrier mode has none). Deterministic with a
+    /// single worker — the liveness tests bound it.
+    [[nodiscard]] std::uint64_t null_messages() const { return null_messages_; }
+
+    /// Per-lane wall-clock accounting of the most recent run call (channel
+    /// mode; empty after barrier runs). Wall-clock quantities — reporting
+    /// only, never part of simulation results.
+    struct LaneStat {
+        std::uint64_t busy_ns = 0;     ///< executing domain windows
+        std::uint64_t blocked_ns = 0;  ///< waiting for upstream horizons
+        std::uint64_t windows = 0;     ///< windows attempted
+    };
+    [[nodiscard]] const std::vector<LaneStat>& lane_stats() const {
+        return lane_stats_;
     }
 
     /// Deterministic merged metrics: per-domain registries folded in domain
@@ -136,8 +224,12 @@ public:
     void write_chrome_trace(std::ostream& os) const;
 
     /// When set, every domain's log buffer is flushed to `os` in domain
-    /// order at each barrier and at the end of each run call — the
-    /// deterministic multi-domain replacement for the shared stderr sink.
+    /// order at the end of each run call — the deterministic multi-domain
+    /// replacement for the shared stderr sink. Flushing only at run
+    /// boundaries (never mid-run) is what makes the flushed byte stream
+    /// identical across sync modes: barrier rounds and channel windows
+    /// interleave domains differently, but each domain's buffer content and
+    /// the domain flush order do not depend on that.
     void set_log_output(std::ostream* os) { log_output_ = os; }
 
     /// Flush all domain log buffers in domain order now.
@@ -146,19 +238,52 @@ public:
 private:
     friend class Domain;
 
-    enum class Mode { kRun, kRunUntil };
+    enum class Mode : std::uint8_t { kRun, kRunUntil };
+
+    static std::uint64_t channel_key(DomainId src, DomainId dst) {
+        return (static_cast<std::uint64_t>(src) << 32) | dst;
+    }
 
     std::uint64_t drive(Mode mode, SimTime deadline);
-    void execute_windows(SimTime window_end, const std::vector<bool>& require_user);
-    void collect_and_deliver();
+    void drive_single(Mode mode, SimTime deadline);
+    void drive_barrier(Mode mode, SimTime deadline);
+    void drive_channel(Mode mode, SimTime deadline);
+    void channel_lane(std::size_t lane, std::size_t nlanes, Mode mode,
+                      SimTime deadline);
+    [[nodiscard]] SimTime safe_end_locked(DomainId dst) const;
+    [[nodiscard]] bool quiescent_locked(Mode mode, SimTime deadline) const;
+    void build_in_channels();
+    void drain_staged_inboxes();
+    [[nodiscard]] SimTime compute_fence() const;
     void flush_logs_if_configured();
 
     Options options_;
     std::vector<std::unique_ptr<Domain>> domains_;
-    std::unique_ptr<ThreadPool> pool_;
-    std::vector<Domain::Message> mail_;  ///< barrier staging, reused
+    std::unique_ptr<ThreadPool> pool_;  ///< barrier-mode lanes
+    std::unordered_map<std::uint64_t, SimTime> channels_;
+    SimTime min_channel_lookahead_ = SimTime::max();
+    /// in_channels_[dst] = (src, lookahead) pairs; built at first drive from
+    /// the explicit channel graph or the implicit mesh.
+    std::vector<std::vector<std::pair<DomainId, SimTime>>> in_channels_;
+    bool in_channels_built_ = false;
+
+    // Channel-coordinator shared state, guarded by sync_mu_. Horizons and
+    // fence only ever grow; staged_ holds flushed batches until the owning
+    // lane merges them into the domain inbox (buffers keep their capacity
+    // across windows and runs — no per-round reallocation).
+    std::mutex sync_mu_;
+    std::condition_variable sync_cv_;
+    std::vector<SimTime> horizon_;
+    std::vector<std::vector<Domain::Message>> staged_;
+    SimTime fence_ = SimTime::zero();
+    std::uint64_t version_ = 0;
+    std::size_t busy_lanes_ = 0;  ///< lanes currently executing unlocked
+    bool done_ = false;
+    std::exception_ptr lane_error_;
+
     std::uint64_t rounds_ = 0;
-    std::uint64_t messages_delivered_ = 0;
+    std::uint64_t null_messages_ = 0;
+    std::vector<LaneStat> lane_stats_;
     std::ostream* log_output_ = nullptr;
     bool running_ = false;
 };

@@ -9,12 +9,14 @@ namespace tedge::sim {
 EventHandle Simulation::schedule(SimTime delay, EventQueue::Callback cb, bool daemon) {
     if (delay < SimTime::zero()) throw std::invalid_argument("negative delay");
     if (tracer_ != nullptr) cb = tracer_->propagate(std::move(cb));
+    note_scheduled(now_ + delay, daemon);
     return queue_.push(now_ + delay, std::move(cb), daemon);
 }
 
 EventHandle Simulation::schedule_at(SimTime at, EventQueue::Callback cb, bool daemon) {
     if (at < now_) throw std::invalid_argument("schedule_at in the past");
     if (tracer_ != nullptr) cb = tracer_->propagate(std::move(cb));
+    note_scheduled(at, daemon);
     return queue_.push(at, std::move(cb), daemon);
 }
 
@@ -97,6 +99,21 @@ std::uint64_t Simulation::run_window(SimTime end, bool require_user) {
     while (!queue_.empty() && !stop_requested_ &&
            (!require_user || queue_.has_user_events()) &&
            queue_.next_time() < end) {
+        execute_next();
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t Simulation::run_window_fenced(SimTime end, SimTime fence) {
+    stop_requested_ = false;
+    std::uint64_t n = 0;
+    while (!queue_.empty() && !stop_requested_) {
+        const SimTime next = queue_.next_time();
+        if (next >= end) break;
+        // The daemon peek runs only past the fence — the common case (user
+        // work ahead of the fence) stays a single timestamp compare.
+        if (next > fence && queue_.next_is_daemon()) break;
         execute_next();
         ++n;
     }

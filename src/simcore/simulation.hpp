@@ -103,6 +103,17 @@ public:
     /// true) is exactly run(). Returns the number of events executed.
     std::uint64_t run_window(SimTime end, bool require_user);
 
+    /// Fenced conservative window for the multi-domain coordinators: execute
+    /// events strictly before `end` like run_window, but additionally stop —
+    /// without popping — when the next event is a *daemon* with timestamp
+    /// beyond `fence`. The fence is the global user-event horizon (the
+    /// largest user timestamp scheduled anywhere in the sharded run): daemon
+    /// housekeeping executes only while user work at or past it exists, a
+    /// schedule-independent restatement of run()'s daemon semantics that is
+    /// identical under any window structure. Pass fence = SimTime::max() to
+    /// disable the fence (run_until-style windows). Returns events executed.
+    std::uint64_t run_window_fenced(SimTime end, SimTime fence);
+
     /// Request that run()/run_until() return after the current event.
     void stop() { stop_requested_ = true; }
 
@@ -125,6 +136,14 @@ public:
         return queue_.total_scheduled();
     }
 
+    /// Enable user-horizon tracking (the sharded kernel turns this on for
+    /// every domain kernel at construction; standalone kernels skip the
+    /// bookkeeping). Once enabled, user_horizon() reports the largest
+    /// timestamp of any non-daemon event ever scheduled here — the domain's
+    /// contribution to the coordinator's daemon fence.
+    void track_user_horizon() { track_user_horizon_ = true; }
+    [[nodiscard]] SimTime user_horizon() const { return user_horizon_; }
+
     /// Wheel-backend cascade accounting (zeros under kHeap); deterministic
     /// at a fixed seed, so bench gates can bound amortized cascade work.
     [[nodiscard]] const TimerWheel::CascadeStats& wheel_cascade_stats() const {
@@ -145,12 +164,20 @@ public:
 private:
     void execute_next();
 
+    void note_scheduled(SimTime at, bool daemon) {
+        if (track_user_horizon_ && !daemon && at > user_horizon_) {
+            user_horizon_ = at;
+        }
+    }
+
     SimTime now_ = SimTime::zero();
     EventQueue queue_;
     bool stop_requested_ = false;
     std::uint64_t executed_ = 0;
     Tracer* tracer_ = nullptr;
     MetricsRegistry* metrics_ = nullptr;
+    bool track_user_horizon_ = false;
+    SimTime user_horizon_ = SimTime::zero();
 };
 
 } // namespace tedge::sim

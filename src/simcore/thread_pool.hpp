@@ -14,10 +14,18 @@
 
 namespace tedge::sim {
 
+/// Pin the calling thread to CPU core `core % hardware_concurrency` via the
+/// platform affinity API. Returns false (and changes nothing) when pinning
+/// is unsupported on this platform or the kernel rejects the mask; never
+/// throws. Purely a wall-clock optimization -- results never depend on it.
+bool pin_current_thread_to_core(std::size_t core);
+
 class ThreadPool {
 public:
     /// Create a pool with `threads` workers (0 -> hardware_concurrency).
-    explicit ThreadPool(std::size_t threads = 0);
+    /// With `pin_to_cores`, worker i pins itself to core i modulo the
+    /// hardware size (fewer cores than workers degrades to sharing cores).
+    explicit ThreadPool(std::size_t threads = 0, bool pin_to_cores = false);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;

@@ -76,6 +76,13 @@ public:
     template <typename Drop>
     [[nodiscard]] bool min_time(Drop&& drop, std::uint64_t& at_out);
 
+    /// The earliest entry surviving `drop` in (at, seq) order, without
+    /// advancing the wheel (same non-destructive contract as min_time, so
+    /// callers may still push entries earlier than the reported minimum
+    /// afterwards). Returns false when no live entry remains.
+    template <typename Drop>
+    [[nodiscard]] bool min_entry(Drop&& drop, Entry& out);
+
     /// Remove the earliest entry surviving `drop` in (at, seq) order.
     /// Advances current() to the popped timestamp. Returns false when empty.
     template <typename Drop>
@@ -257,6 +264,44 @@ bool TimerWheel::min_time(Drop&& drop, std::uint64_t& at_out) {
             min_cache_ = best;
             min_valid_ = true;
             at_out = best;
+            return true;
+        }
+    }
+    return false;
+}
+
+template <typename Drop>
+bool TimerWheel::min_entry(Drop&& drop, Entry& out) {
+    purge_ready(drop);
+    if (ready_head_ < ready_.size()) {
+        out = ready_[ready_head_];
+        return true;
+    }
+    // Same first-non-empty-bucket scan as min_time, but selecting the full
+    // (at, seq)-minimal entry. Entries sharing a timestamp are always filed
+    // in the same bucket (identical distance from cur_), so the winner of
+    // this bucket is the global next pop. Deliberately not cached: the peek
+    // runs only on the fence-blocked path, never per event.
+    while (level_mask_ != 0) {
+        const int level = std::countr_zero(level_mask_);
+        while (occupied_[level] != 0) {
+            const auto idx =
+                static_cast<std::size_t>(std::countr_zero(occupied_[level]));
+            Bucket& bucket = buckets_[level][idx];
+            purge_bucket(bucket, drop);
+            if (bucket.empty()) {
+                clear_bucket_bit(level, idx);
+                continue;
+            }
+            Entry best = bucket.front();
+            for (const Entry& e : bucket) {
+                if (e.at < best.at || (e.at == best.at && e.seq < best.seq)) {
+                    best = e;
+                }
+            }
+            min_cache_ = best.at;
+            min_valid_ = true;
+            out = best;
             return true;
         }
     }
