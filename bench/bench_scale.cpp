@@ -45,22 +45,33 @@
 // sweep the 1M x 8 wheel point, the run fails unless hybrid is >= 10x exact.
 //
 // The sharded rows have a sync dimension (--sync, default "channel"): the
-// coordinator that drives the domains, either the global barrier or the
-// asynchronous channel-clock protocol (DESIGN §8). Points record the mode as
-// "sync_mode" plus the per-run lane accounting -- total lane busy/blocked
-// wall time and the null-message count -- so the shard-scaling table can
-// attribute (lack of) speedup to synchronization stalls. Baselines written
-// before the sync dimension existed were all measured on the barrier design
-// and parse as sync_mode=barrier; serial rows carry the same label so they
-// keep gating across the change.
+// coordinator that drives the domains -- the global barrier, the locked
+// channel-clock protocol, or the lock-free channel plane (DESIGN §8). Points
+// record the mode as "sync_mode" plus the per-run lane accounting -- total
+// lane busy/blocked wall time, the null-message count, and the lock-free
+// plane's wakeup/park/suppression/demand counters -- so the shard-scaling
+// table can attribute (lack of) speedup to synchronization stalls vs lock
+// contention. Baselines written before the sync dimension existed were all
+// measured on the barrier design and parse as sync_mode=barrier; serial rows
+// carry the same label so they keep gating across the change.
+//
+// Lock-free channel rows additionally sweep a grain dimension (--grain, a
+// CSV of fractions of each channel's lookahead; default "0.25"): the
+// null-message suppression threshold of DESIGN §8.7. Grain changes
+// scheduling pressure only, never results, so every grain row produces the
+// same simulation outcome; the sweep exists to price suppression (nulls and
+// wakeups per point). Rows of other coordinators record grain=0, and
+// baselines written before the grain dimension existed parse as grain=0.
 //
 // Flags: --quick (skip the 1M row and the RSS comparison: CI),
 //        --backend heap|wheel|both (event-queue backend to sweep; default
 //        wheel, `both` additionally prints a heap-vs-wheel table),
 //        --shards <csv> (shard counts to sweep, default 1,2,8),
 //        --fidelity exact|hybrid|both (default both),
-//        --sync channel|barrier|both (coordinator for sharded rows; default
-//        channel),
+//        --sync channel|channel-locked|barrier|both|all (coordinator for
+//        sharded rows; default channel; both = barrier + channel),
+//        --grain <csv> (lookahead fractions for lock-free channel rows,
+//        default 0.25),
 //        --out <file>, --baseline <file>.
 #include <algorithm>
 #include <chrono>
@@ -182,6 +193,7 @@ struct SweepPoint {
     std::size_t shards = 1;  ///< 1 = serial kernel, > 1 = sharded control plane
     sdn::Fidelity fidelity = sdn::Fidelity::kExact;
     sim::SyncMode sync = sim::SyncMode::kChannel;  ///< sharded points only
+    double grain = 0.25;  ///< horizon grain fraction (lock-free channel only)
 };
 
 const char* backend_str(sim::QueueBackend backend) {
@@ -194,7 +206,20 @@ const char* backend_str(sim::QueueBackend backend) {
 /// with the same default, so the serial rows keep gating across the change.
 const char* sync_str(const SweepPoint& point) {
     if (point.shards <= 1) return "barrier";
-    return point.sync == sim::SyncMode::kChannel ? "channel" : "barrier";
+    switch (point.sync) {
+        case sim::SyncMode::kBarrier: return "barrier";
+        case sim::SyncMode::kChannelLocked: return "channel-locked";
+        case sim::SyncMode::kChannel: return "channel";
+    }
+    return "barrier";
+}
+
+/// Grain recorded in JSON and used in the baseline key. Only the lock-free
+/// channel coordinator reads Options::horizon_grain, so every other row
+/// carries 0 -- which also matches how pre-grain baselines parse.
+double grain_label(const SweepPoint& point) {
+    if (point.shards <= 1 || point.sync != sim::SyncMode::kChannel) return 0.0;
+    return point.grain;
 }
 
 /// POD result shipped from the forked child back over the pipe.
@@ -214,6 +239,11 @@ struct PointResult {
     std::uint64_t lane_busy_ns = 0;    ///< wall time lanes spent in windows
     std::uint64_t lane_blocked_ns = 0; ///< wall time lanes waited on upstreams
     std::uint32_t lane_count = 0;      ///< coordinator lanes the run used
+    std::uint64_t wakeups = 0;      ///< lane gate wakeups (lock-free channel)
+    std::uint64_t parks = 0;        ///< gate waits that hit the condvar path
+    std::uint64_t parked_ns = 0;    ///< wall time lanes spent parked
+    std::uint64_t suppressed = 0;   ///< horizon advances withheld by the grain
+    std::uint64_t demands = 0;      ///< demand pulls by EIT-blocked domains
     std::uint64_t digests = 0;      ///< digests the controller received
     std::uint32_t cores_used = 1;      ///< worker threads the point could use
     std::uint32_t hw_concurrency = 0;  ///< std::thread::hardware_concurrency()
@@ -535,6 +565,7 @@ PointResult run_point_sharded_once(const SweepPoint& point) {
     kernel.backend = point.backend;
     kernel.lookahead = kAccessLatency;
     kernel.sync = point.sync;
+    kernel.horizon_grain = point.grain;
     sim::ShardedSimulation sharded(kernel);
 
     std::vector<sim::Domain*> edges;
@@ -681,9 +712,14 @@ PointResult run_point_sharded_once(const SweepPoint& point) {
     }
     result.sync_rounds = sharded.rounds();
     result.null_messages = sharded.null_messages();
+    result.wakeups = sharded.lane_wakeups();
+    result.suppressed = sharded.suppressed_publications();
+    result.demands = sharded.demand_requests();
     for (const auto& lane : sharded.lane_stats()) {
         result.lane_busy_ns += lane.busy_ns;
         result.lane_blocked_ns += lane.blocked_ns;
+        result.parks += lane.parks;
+        result.parked_ns += lane.parked_ns;
     }
     result.lane_count = static_cast<std::uint32_t>(sharded.lane_stats().size());
     result.digests = aggregator.digests_received();
@@ -876,11 +912,17 @@ std::string json_point(const SweepPoint& point, const PointResult& result) {
         << "\", \"shards\": " << point.shards
         << ", \"fidelity\": \"" << sdn::to_string(point.fidelity)
         << "\", \"sync_mode\": \"" << sync_str(point)
-        << "\", \"cores_used\": " << result.cores_used
+        << "\", \"grain\": " << grain_label(point)
+        << ", \"cores_used\": " << result.cores_used
         << ", \"hw_concurrency\": " << result.hw_concurrency
         << ", \"kernel_events\": " << result.kernel_events
         << ", \"sync_rounds\": " << result.sync_rounds
         << ", \"null_messages\": " << result.null_messages
+        << ", \"wakeups\": " << result.wakeups
+        << ", \"parks\": " << result.parks
+        << ", \"parked_ns\": " << result.parked_ns
+        << ", \"suppressed\": " << result.suppressed
+        << ", \"demands\": " << result.demands
         << ", \"lanes\": " << result.lane_count
         << ", \"lane_busy_ns\": " << result.lane_busy_ns
         << ", \"lane_blocked_ns\": " << result.lane_blocked_ns
@@ -930,15 +972,16 @@ std::optional<std::string> extract_string(const std::string& line,
 }
 
 using BaselineKey = std::tuple<std::size_t, std::uint32_t, std::string,
-                               std::size_t, std::string, std::string>;
+                               std::size_t, std::string, std::string, double>;
 
-/// events/s per (flows, services, backend, shards, fidelity, sync) point
-/// parsed from a BENCH_scale.json. Points written before the backend
+/// events/s per (flows, services, backend, shards, fidelity, sync, grain)
+/// point parsed from a BENCH_scale.json. Points written before the backend
 /// dimension existed carry no "backend" field; those were measured on the
 /// binary heap, so they gate the heap rows of a newer run. Points written
 /// before the shard / fidelity dimensions existed parse as shards=1 / exact,
-/// and points written before the sync dimension existed were all measured on
-/// the barrier coordinator, so they parse as sync_mode=barrier.
+/// points written before the sync dimension existed were all measured on
+/// the barrier coordinator, so they parse as sync_mode=barrier, and points
+/// written before the grain dimension existed parse as grain=0.
 std::map<BaselineKey, double> parse_baseline(const std::string& path) {
     std::map<BaselineKey, double> baseline;
     std::ifstream in(path);
@@ -951,13 +994,15 @@ std::map<BaselineKey, double> parse_baseline(const std::string& path) {
         const auto shards = extract_number(line, "shards");
         const auto fidelity = extract_string(line, "fidelity");
         const auto sync = extract_string(line, "sync_mode");
+        const auto grain = extract_number(line, "grain");
         if (flows && services && events) {
             baseline[{static_cast<std::size_t>(*flows),
                       static_cast<std::uint32_t>(*services),
                       backend.value_or("heap"),
                       static_cast<std::size_t>(shards.value_or(1)),
                       fidelity.value_or("exact"),
-                      sync.value_or("barrier")}] = *events;
+                      sync.value_or("barrier"),
+                      grain.value_or(0.0)}] = *events;
         }
     }
     return baseline;
@@ -980,6 +1025,23 @@ std::optional<std::vector<std::size_t>> parse_shards_csv(const std::string& csv)
     return shards;
 }
 
+/// "0,0.25,1" -> {0, 0.25, 1}; nullopt on anything non-numeric or negative.
+std::optional<std::vector<double>> parse_grain_csv(const std::string& csv) {
+    std::vector<double> grains;
+    std::stringstream in(csv);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+        char* end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == token.c_str() || *end != '\0' || value < 0) {
+            return std::nullopt;
+        }
+        grains.push_back(value);
+    }
+    if (grains.empty()) return std::nullopt;
+    return grains;
+}
+
 } // namespace
 } // namespace tedge::bench
 
@@ -994,6 +1056,7 @@ int main(int argc, char** argv) {
     std::string shards_arg = "1,2,8";
     std::string fidelity_arg = "both";
     std::string sync_arg = "channel";
+    std::string grain_arg = "0.25";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quick") {
@@ -1010,11 +1073,14 @@ int main(int argc, char** argv) {
             fidelity_arg = argv[++i];
         } else if (arg == "--sync" && i + 1 < argc) {
             sync_arg = argv[++i];
+        } else if (arg == "--grain" && i + 1 < argc) {
+            grain_arg = argv[++i];
         } else {
             std::cerr << "usage: bench_scale [--quick] "
                          "[--backend heap|wheel|both] [--shards <csv>] "
                          "[--fidelity exact|hybrid|both] "
-                         "[--sync channel|barrier|both] "
+                         "[--sync channel|channel-locked|barrier|both|all] "
+                         "[--grain <csv>] "
                          "[--out <file>] [--baseline <file>]\n";
             return 2;
         }
@@ -1052,13 +1118,25 @@ int main(int argc, char** argv) {
     std::vector<sim::SyncMode> syncs;
     if (sync_arg == "channel") {
         syncs = {sim::SyncMode::kChannel};
+    } else if (sync_arg == "channel-locked" || sync_arg == "locked") {
+        syncs = {sim::SyncMode::kChannelLocked};
     } else if (sync_arg == "barrier") {
         syncs = {sim::SyncMode::kBarrier};
     } else if (sync_arg == "both") {
         syncs = {sim::SyncMode::kBarrier, sim::SyncMode::kChannel};
+    } else if (sync_arg == "all") {
+        syncs = {sim::SyncMode::kBarrier, sim::SyncMode::kChannelLocked,
+                 sim::SyncMode::kChannel};
     } else {
         std::cerr << "unknown --sync '" << sync_arg
-                  << "' (expected channel, barrier, or both)\n";
+                  << "' (expected channel, channel-locked, barrier, both, or "
+                     "all)\n";
+        return 2;
+    }
+    const auto grain_values = parse_grain_csv(grain_arg);
+    if (!grain_values) {
+        std::cerr << "bad --grain '" << grain_arg
+                  << "' (expected comma-separated non-negative fractions)\n";
         return 2;
     }
 
@@ -1073,9 +1151,9 @@ int main(int argc, char** argv) {
 
     std::vector<std::pair<SweepPoint, PointResult>> results;
     workload::TextTable table({"fidelity", "backend", "shards", "sync",
-                               "flows", "services", "events/s", "install p50",
-                               "install p99", "lookup ns", "idle ns",
-                               "peak RSS MB"});
+                               "grain", "flows", "services", "events/s",
+                               "install p50", "install p99", "lookup ns",
+                               "idle ns", "peak RSS MB"});
     for (const auto fidelity : fidelities) {
         for (const auto backend : backends) {
             for (const auto shards : *shard_counts) {
@@ -1096,10 +1174,17 @@ int main(int argc, char** argv) {
                     // The sync dimension only exists for sharded points; a
                     // serial point runs once no matter how many modes sweep.
                     if (shards == 1 && sync != syncs.front()) continue;
+                for (const auto grain : *grain_values) {
+                    // Only the lock-free channel coordinator reads the grain;
+                    // every other row runs once no matter how many sweep.
+                    if ((shards == 1 || sync != sim::SyncMode::kChannel) &&
+                        grain != grain_values->front()) {
+                        continue;
+                    }
                 for (const auto flows : flow_counts) {
                     for (const auto services : service_counts) {
                         const SweepPoint point{flows, services, backend, shards,
-                                               fidelity, sync};
+                                               fidelity, sync, grain};
                         const auto result = run_forked<PointResult>(
                             [point] { return run_point(point); });
                         if (!result) {
@@ -1127,6 +1212,9 @@ int main(int argc, char** argv) {
                             {sdn::to_string(fidelity), backend_str(backend),
                              std::to_string(shards),
                              shards > 1 ? sync_str(point) : "-",
+                             shards > 1 && sync == sim::SyncMode::kChannel
+                                 ? workload::TextTable::num(grain, 2)
+                                 : "-",
                              std::to_string(flows), std::to_string(services),
                              workload::TextTable::num(result->events_per_s, 0),
                              workload::TextTable::num(result->install_p50_ns,
@@ -1141,6 +1229,7 @@ int main(int argc, char** argv) {
                                  static_cast<double>(result->rss_kb) / 1024.0,
                                  1)});
                     }
+                }
                 }
                 }
             }
@@ -1231,8 +1320,9 @@ int main(int argc, char** argv) {
     // (wheel rows only; the serial wheel row is the committed baseline).
     if (shard_counts->size() > 1) {
         workload::TextTable scaling({"flows", "services", "shards", "sync",
-                                     "cores", "events/s", "vs serial",
+                                     "grain", "cores", "events/s", "vs serial",
                                      "per-core eff", "sync rounds", "nulls",
+                                     "wakeups", "parks/lane", "parked ms/lane",
                                      "busy ms", "blocked ms", "digests"});
         for (const auto flows : base_flow_counts) {
             for (const auto services : service_counts) {
@@ -1259,16 +1349,30 @@ int main(int argc, char** argv) {
                     const double speedup = result.events_per_s / serial_events;
                     const double per_core =
                         speedup / static_cast<double>(result.cores_used);
+                    // Lock contention per lane: how often a gate wait fell
+                    // through the spin to the condvar, and how long it sat
+                    // there. A contended plane parks often and long; a
+                    // well-suppressed one wakes rarely in the first place.
+                    const double lanes = std::max(1u, result.lane_count);
                     scaling.add_row(
                         {std::to_string(flows), std::to_string(services),
                          std::to_string(point.shards),
                          point.shards > 1 ? sync_str(point) : "-",
+                         point.shards > 1 && point.sync == sim::SyncMode::kChannel
+                             ? workload::TextTable::num(point.grain, 2)
+                             : "-",
                          std::to_string(result.cores_used),
                          workload::TextTable::num(result.events_per_s, 0),
                          workload::TextTable::num(speedup, 2) + "x",
                          workload::TextTable::num(per_core, 2),
                          std::to_string(result.sync_rounds),
                          std::to_string(result.null_messages),
+                         std::to_string(result.wakeups),
+                         workload::TextTable::num(
+                             static_cast<double>(result.parks) / lanes, 1),
+                         workload::TextTable::num(
+                             static_cast<double>(result.parked_ns) / lanes / 1e6,
+                             1),
                          workload::TextTable::num(
                              static_cast<double>(result.lane_busy_ns) / 1e6, 1),
                          workload::TextTable::num(
@@ -1392,7 +1496,8 @@ int main(int argc, char** argv) {
                                            backend_str(point.backend),
                                            point.shards,
                                            sdn::to_string(point.fidelity),
-                                           sync_str(point)});
+                                           sync_str(point),
+                                           grain_label(point)});
             if (it == baseline.end() || it->second <= 0) continue;
             const double ratio = result.events_per_s / it->second;
             std::cout << "  " << point.flows << "x" << point.services << " ("

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 #include "simcore/sharded_simulation.hpp"
@@ -51,6 +52,19 @@ TopologyPartition::TopologyPartition(const Topology& topo,
     for (const auto& [pair, lookahead] : best) {
         channels_.push_back(DomainChannel{pair.first, pair.second, lookahead});
     }
+}
+
+sim::SimTime TopologyPartition::channel_lookahead(sim::DomainId src,
+                                                  sim::DomainId dst) const {
+    const auto it = std::lower_bound(
+        channels_.begin(), channels_.end(), std::make_pair(src, dst),
+        [](const DomainChannel& ch, const std::pair<sim::DomainId, sim::DomainId>& key) {
+            return std::tie(ch.src, ch.dst) < std::tie(key.first, key.second);
+        });
+    if (it == channels_.end() || it->src != src || it->dst != dst) {
+        return sim::SimTime::max();
+    }
+    return it->lookahead;
 }
 
 void TopologyPartition::apply_channels(sim::ShardedSimulation& sharded) const {

@@ -86,6 +86,14 @@ public:
         return channels_;
     }
 
+    /// Lookahead of the directed channel src -> dst: the minimum latency of
+    /// any cut link joining the pair. SimTime::max() when no cut link joins
+    /// them -- under explicit channels the coordinator rejects such posts,
+    /// and the pair never constrains each other's windows. Binary search
+    /// over the (src, dst)-sorted channel list.
+    [[nodiscard]] sim::SimTime channel_lookahead(sim::DomainId src,
+                                                 sim::DomainId dst) const;
+
     /// Install this partition's channel graph on a coordinator
     /// (ShardedSimulation::set_channel per directed channel, plus the global
     /// minimum as Options-level lookahead for single-domain partitions).

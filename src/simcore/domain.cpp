@@ -79,6 +79,11 @@ void Domain::stage_inbound(Message&& m) {
     std::push_heap(inbox_.begin(), inbox_.end(), message_after);
 }
 
+void Domain::stage_inbound_batch(std::vector<Message>& batch) {
+    for (auto& m : batch) stage_inbound(std::move(m));
+    batch.clear();
+}
+
 SimTime Domain::next_work_time() const {
     SimTime next = inbox_next_time();
     if (sim_.has_pending_events()) next = std::min(next, sim_.next_time());

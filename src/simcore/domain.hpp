@@ -132,9 +132,15 @@ private:
         return a.seq > b.seq;
     }
 
-    /// Stage an inbound message (coordinator only; serialized by the barrier
-    /// or by the channel coordinator's sync mutex).
+    /// Stage an inbound message (coordinator only; serialized by the barrier,
+    /// by the locked channel coordinator's sync mutex, or — in the lock-free
+    /// coordinator — by the fact that only the owning lane touches the inbox).
     void stage_inbound(Message&& m);
+
+    /// Stage a whole mailbox batch (lock-free coordinator: one ring pop per
+    /// batch). The vector is cleared but keeps its capacity, so handing it
+    /// back to the SPSC ring recycles the allocation.
+    void stage_inbound_batch(std::vector<Message>& batch);
 
     /// Timestamp of the earliest staged message; max() when none.
     [[nodiscard]] SimTime inbox_next_time() const {

@@ -4,7 +4,7 @@
 //
 // ## Execution model
 //
-// Two coordinators are available (Options::sync), both built on the same
+// Three coordinators are available (Options::sync), all built on the same
 // per-domain primitives and producing bit-identical runs:
 //
 //  * kBarrier — global barrier rounds. Each round computes the earliest
@@ -12,11 +12,13 @@
 //    up to `next + lookahead` (the minimum channel lookahead), then delivers
 //    all cross-domain messages at the barrier. Simple, fully synchronous,
 //    kept for differential testing.
-//  * kChannel — asynchronous channel clocks (Chandy-Misra-Bryant null
-//    messages). Every domain continuously publishes a *horizon* — a lower
-//    bound on the timestamp of anything it will still execute (and therefore
-//    send + channel lookahead later). A domain's safe execution bound is the
-//    minimum EIT (earliest input time) over its in-channels,
+//  * kChannelLocked — asynchronous channel clocks (Chandy-Misra-Bryant null
+//    messages) with all shared state under one mutex + condvar (the PR-8
+//    coordinator, kept for differential testing). Every domain continuously
+//    publishes a *horizon* — a lower bound on the timestamp of anything it
+//    will still execute (and therefore send + channel lookahead later). A
+//    domain's safe execution bound is the minimum EIT (earliest input time)
+//    over its in-channels,
 //
 //        safe_end(d) = min over channels (s -> d) of horizon(s) + L(s, d)
 //
@@ -28,6 +30,19 @@
 //    classic deadlock-freedom argument. Cross-domain messages travel in
 //    per-(src, dst, window) batches: one staging append and one wakeup per
 //    batch, not per message.
+//  * kChannel (default) — the same channel-clock protocol on a mostly
+//    lock-free synchronization plane (DESIGN §8.7). Horizons are monotone
+//    atomics published per directed channel (release) and read into EIT
+//    without any lock (acquire); message batches travel through bounded SPSC
+//    mailbox rings, one per directed channel (the producer is the lane
+//    owning src, the consumer the lane owning dst — both fixed for the run);
+//    lanes track a per-domain dirty set and spin-then-park on a per-lane
+//    Eventcount instead of a global condvar; horizon advances smaller than a
+//    per-channel grain (Options::horizon_grain × lookahead) are withheld
+//    unless a batch rode along or the downstream *demanded* the update — an
+//    EIT-blocked domain pokes exactly its laggard upstream instead of all
+//    upstreams broadcasting continuously. The sync mutex survives only on
+//    the quiescence slow path (every lane idle).
 //
 // ## Determinism argument
 //
@@ -68,6 +83,7 @@
 // exceed the global minimum, and absent channels mean absent waiting.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
@@ -78,16 +94,19 @@
 #include <vector>
 
 #include "simcore/domain.hpp"
+#include "simcore/spsc_ring.hpp"
 #include "simcore/time.hpp"
 
 namespace tedge::sim {
 
 class ThreadPool;
+class Eventcount;
 
 /// Coordinator algorithm selector (Options::sync, TEDGE_SYNC).
 enum class SyncMode : std::uint8_t {
-    kBarrier,  ///< global barrier rounds (PR-5 coordinator, kept for diffing)
-    kChannel,  ///< asynchronous per-channel clocks with null messages
+    kBarrier,        ///< global barrier rounds (PR-5 coordinator, kept for diffing)
+    kChannelLocked,  ///< channel clocks, all state under one mutex (PR-8)
+    kChannel,        ///< channel clocks on the lock-free plane (default)
 };
 
 class ShardedSimulation {
@@ -113,9 +132,19 @@ public:
         /// Worker threads (0 = one per lane, capped by the hardware). Only
         /// affects wall-clock speed, never results.
         std::size_t workers = 0;
-        /// Coordinator algorithm; results are identical either way. Defaults
-        /// from TEDGE_SYNC ("barrier"/"channel"), else kChannel.
+        /// Coordinator algorithm; results are identical under every mode.
+        /// Defaults from TEDGE_SYNC ("barrier"/"channel-locked"/"channel"),
+        /// else kChannel.
         SyncMode sync = default_sync();
+        /// Null-message suppression grain of the lock-free channel
+        /// coordinator, as a fraction of each directed channel's lookahead:
+        /// a horizon advance smaller than grain × L(src, dst) is withheld
+        /// unless the publishing pass executed events, flushed a batch, or
+        /// the downstream demanded it. 0 publishes every advance (the PR-8
+        /// behaviour). Changes scheduling pressure only — results are
+        /// byte-identical at any grain. Defaults from TEDGE_GRAIN (a
+        /// non-negative double), else 0.25.
+        double horizon_grain = default_grain();
         /// Pin lane threads to cores (lane i -> core i mod hardware size)
         /// via pthread_setaffinity_np; cores < lanes degrades to sharing
         /// cores, unsupported platforms to a no-op. Defaults from
@@ -123,10 +152,13 @@ public:
         bool pin_lanes = default_pin();
     };
 
-    /// Process-wide default sync mode: kChannel unless TEDGE_SYNC=barrier.
+    /// Process-wide default sync mode: kChannel unless TEDGE_SYNC names
+    /// another coordinator ("barrier" or "channel-locked").
     [[nodiscard]] static SyncMode default_sync();
     /// Process-wide default lane pinning: off unless TEDGE_PIN=1.
     [[nodiscard]] static bool default_pin();
+    /// Process-wide default suppression grain: TEDGE_GRAIN, else 0.25.
+    [[nodiscard]] static double default_grain();
 
     ShardedSimulation();
     explicit ShardedSimulation(Options options);
@@ -197,17 +229,38 @@ public:
 
     /// Pure null messages so far: horizon publications that advanced a
     /// channel clock without carrying any message batch or executed event
-    /// (channel mode only; barrier mode has none). Deterministic with a
+    /// (channel modes only; barrier mode has none). Deterministic with a
     /// single worker — the liveness tests bound it.
     [[nodiscard]] std::uint64_t null_messages() const { return null_messages_; }
 
-    /// Per-lane wall-clock accounting of the most recent run call (channel
-    /// mode; empty after barrier runs). Wall-clock quantities — reporting
-    /// only, never part of simulation results.
+    /// Horizon advances withheld by the suppression grain so far (lock-free
+    /// channel mode only). Deterministic with a single worker.
+    [[nodiscard]] std::uint64_t suppressed_publications() const {
+        return suppressed_publications_;
+    }
+
+    /// Demand pulls issued by EIT-blocked domains so far (lock-free channel
+    /// mode only). Deterministic with a single worker.
+    [[nodiscard]] std::uint64_t demand_requests() const { return demand_requests_; }
+
+    /// Lane gate wakeups so far (lock-free channel mode only): returns from
+    /// the per-lane Eventcount, spin or park alike. Wall-clock-dependent
+    /// with multiple workers.
+    [[nodiscard]] std::uint64_t lane_wakeups() const { return wakeups_; }
+
+    /// Per-lane accounting of the most recent run call (channel modes;
+    /// empty after barrier runs). The *_ns members are wall-clock quantities
+    /// — reporting only, never part of simulation results.
     struct LaneStat {
         std::uint64_t busy_ns = 0;     ///< executing domain windows
         std::uint64_t blocked_ns = 0;  ///< waiting for upstream horizons
         std::uint64_t windows = 0;     ///< windows attempted
+        std::uint64_t parks = 0;       ///< gate waits that hit the condvar slow path
+        std::uint64_t parked_ns = 0;   ///< wall-clock spent parked on the condvar
+        std::uint64_t wakeups = 0;     ///< returns from the lane gate
+        std::uint64_t nulls = 0;       ///< pure null publications by this lane
+        std::uint64_t suppressed = 0;  ///< advances withheld by the grain
+        std::uint64_t demands = 0;     ///< demand pulls issued by this lane
     };
     [[nodiscard]] const std::vector<LaneStat>& lane_stats() const {
         return lane_stats_;
@@ -247,13 +300,22 @@ private:
     std::uint64_t drive(Mode mode, SimTime deadline);
     void drive_single(Mode mode, SimTime deadline);
     void drive_barrier(Mode mode, SimTime deadline);
+    void drive_channel_locked(Mode mode, SimTime deadline);
+    void channel_lane_locked(std::size_t lane, std::size_t nlanes, Mode mode,
+                             SimTime deadline);
     void drive_channel(Mode mode, SimTime deadline);
     void channel_lane(std::size_t lane, std::size_t nlanes, Mode mode,
                       SimTime deadline);
     [[nodiscard]] SimTime safe_end_locked(DomainId dst) const;
     [[nodiscard]] bool quiescent_locked(Mode mode, SimTime deadline) const;
     void build_in_channels();
+    void build_channel_plane();
     void drain_staged_inboxes();
+    /// Quiescence scan of the lock-free plane. Call with sync_mu_ held and
+    /// every lane registered idle. Not const: any domain that still owes
+    /// work is re-marked dirty (healing suppressed or raced wakeups).
+    [[nodiscard]] bool quiescent_lockfree(Mode mode, SimTime deadline);
+    [[nodiscard]] bool plane_clean() const;
     [[nodiscard]] SimTime compute_fence() const;
     void flush_logs_if_configured();
 
@@ -267,10 +329,12 @@ private:
     std::vector<std::vector<std::pair<DomainId, SimTime>>> in_channels_;
     bool in_channels_built_ = false;
 
-    // Channel-coordinator shared state, guarded by sync_mu_. Horizons and
-    // fence only ever grow; staged_ holds flushed batches until the owning
-    // lane merges them into the domain inbox (buffers keep their capacity
-    // across windows and runs — no per-round reallocation).
+    // Locked-channel-coordinator shared state, guarded by sync_mu_. Horizons
+    // and fence only ever grow; staged_ holds flushed batches until the
+    // owning lane merges them into the domain inbox (buffers keep their
+    // capacity across windows and runs — no per-round reallocation). The
+    // lock-free coordinator reuses sync_mu_ for its idle-registration slow
+    // path only.
     std::mutex sync_mu_;
     std::condition_variable sync_cv_;
     std::vector<SimTime> horizon_;
@@ -281,8 +345,49 @@ private:
     bool done_ = false;
     std::exception_ptr lane_error_;
 
+    // ---- lock-free channel plane (SyncMode::kChannel; DESIGN §8.7) ----
+    //
+    // One ChannelEdge + ChannelClock + SPSC mailbox ring per directed
+    // channel. The clock's horizon is published by the lane owning src
+    // (release) and read lock-free into EIT(dst) (acquire); the demand flag
+    // is the downstream's pull request. dirty_[d] says "domain d's inputs
+    // may have advanced — re-examine it"; fence_wait_[d] records the daemon
+    // timestamp d is fence-blocked on, so a fence raise wakes exactly the
+    // domains it unblocks. All of it is rebuilt/reset at drive start and
+    // torn into quiescence under sync_mu_ (the only lock on the whole path).
+    struct ChannelEdge {
+        DomainId src = 0;
+        DomainId dst = 0;
+        SimTime lookahead = SimTime::zero();
+        std::int64_t grain_ns = 0;  ///< horizon_grain × lookahead, in ns
+    };
+    struct alignas(64) ChannelClock {
+        std::atomic<std::int64_t> horizon{0};  ///< published ns, monotone
+        std::atomic<std::uint8_t> demand{0};   ///< downstream pull request
+    };
+    static constexpr std::uint32_t kNoEdge = 0xffffffffu;
+    std::vector<ChannelEdge> edges_;
+    std::vector<std::vector<std::uint32_t>> in_edges_;   ///< dst -> edge ids
+    std::vector<std::vector<std::uint32_t>> out_edges_;  ///< src -> edge ids
+    std::vector<std::uint32_t> edge_of_;  ///< src * n + dst -> edge id
+    std::unique_ptr<ChannelClock[]> clocks_;
+    std::vector<std::unique_ptr<SpscRing<std::vector<Domain::Message>>>> rings_;
+    std::unique_ptr<std::atomic<std::uint8_t>[]> dirty_;
+    std::unique_ptr<std::atomic<std::int64_t>[]> fence_wait_;
+    std::vector<std::unique_ptr<Eventcount>> gates_;  ///< one per lane
+    std::atomic<std::int64_t> fence_ns_{0};
+    std::atomic<bool> lf_done_{false};
+    std::atomic<std::uint64_t> publications_{0};
+    std::size_t idle_lanes_ = 0;  ///< guarded by sync_mu_
+    std::uint64_t heal_events_ = 0;  ///< guarded by sync_mu_ (stall detection)
+    std::uint64_t heal_pubs_ = 0;    ///< guarded by sync_mu_
+    bool plane_built_ = false;
+
     std::uint64_t rounds_ = 0;
     std::uint64_t null_messages_ = 0;
+    std::uint64_t suppressed_publications_ = 0;
+    std::uint64_t demand_requests_ = 0;
+    std::uint64_t wakeups_ = 0;
     std::vector<LaneStat> lane_stats_;
     std::ostream* log_output_ = nullptr;
     bool running_ = false;

@@ -1,0 +1,90 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The sharded coordinator's lock-free mailbox primitive: each *directed*
+// channel (src domain -> dst domain) gets one ring, its producer is the lane
+// that owns src and its consumer the lane that owns dst — both fixed for the
+// whole run (domains are assigned to lanes by id % nlanes), which is exactly
+// the SPSC contract. Slots are exchanged by swap, so a consumer that hands a
+// drained std::vector back in its pop argument recycles that vector's heap
+// capacity into the ring: steady-state message batches move with zero
+// allocation in either direction.
+//
+// Memory ordering is the textbook pair: the producer releases `tail_` after
+// writing the slot, the consumer acquires `tail_` before reading it (and
+// symmetrically for `head_` on the return path). Anything the producer wrote
+// before the push — including *other* atomics such as a horizon clock it
+// publishes afterwards — is therefore visible to a consumer that observed the
+// push. Head and tail live on separate cache lines so the two sides do not
+// false-share.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tedge::sim {
+
+template <typename T>
+class SpscRing {
+public:
+    /// Capacity is rounded up to a power of two (minimum 2).
+    explicit SpscRing(std::size_t capacity = 64) {
+        std::size_t cap = 2;
+        while (cap < capacity) cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    /// Producer side. On success the pushed value is *swapped* into the ring
+    /// and `item` holds whatever the slot previously contained (an empty
+    /// vector whose capacity a past consumer recycled, typically). Returns
+    /// false when the ring is full; `item` is untouched.
+    bool try_push(T& item) {
+        const std::size_t t = tail_.load(std::memory_order_relaxed);
+        if (t - head_.load(std::memory_order_acquire) > mask_) return false;
+        using std::swap;
+        swap(slots_[t & mask_], item);
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side. On success the front value is swapped into `out` (and
+    /// `out`'s previous value — ideally an empty, capacity-bearing vector —
+    /// is left in the slot for the producer to reuse). Returns false when
+    /// empty; `out` is untouched.
+    bool try_pop(T& out) {
+        const std::size_t h = head_.load(std::memory_order_relaxed);
+        if (tail_.load(std::memory_order_acquire) == h) return false;
+        using std::swap;
+        swap(out, slots_[h & mask_]);
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Racy observer (exact only when the observing side is quiescent); the
+    /// coordinator uses it from its quiescence scan, which runs with every
+    /// lane idle and therefore sees exact values.
+    [[nodiscard]] bool empty() const {
+        return tail_.load(std::memory_order_acquire) ==
+               head_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        return tail_.load(std::memory_order_acquire) -
+               head_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace tedge::sim

@@ -1,6 +1,7 @@
 #include "simcore/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #ifdef __linux__
 #include <pthread.h>
@@ -8,6 +9,50 @@
 #endif
 
 namespace tedge::sim {
+
+void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+void Eventcount::notify() {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) != 0) {
+        // Taking the mutex (even empty-handed) orders this notify after any
+        // waiter that registered but has not yet entered cv_.wait; without it
+        // the notify_all could fire into the gap and be lost.
+        std::lock_guard<std::mutex> lock(mu_);
+        cv_.notify_all();
+    }
+}
+
+bool Eventcount::wait(std::uint64_t ticket, std::uint64_t* parked_ns, int spin) {
+    for (int i = 0; i < spin; ++i) {
+        if (epoch_.load(std::memory_order_seq_cst) != ticket) return false;
+        cpu_relax();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+            return epoch_.load(std::memory_order_seq_cst) != ticket;
+        });
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    if (parked_ns != nullptr) {
+        *parked_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
+    return true;
+}
 
 bool pin_current_thread_to_core(std::size_t core) {
 #ifdef __linux__
