@@ -23,6 +23,8 @@ void EdgePlatform::init() {
                                                config_.ingress);
     tcp_ = std::make_unique<net::TcpNet>(*sim_, topo_, *switch_, endpoints_,
                                          config_.tcp);
+    sessions_ = std::make_unique<sdn::SessionPlane>(*sim_);
+    tcp_->set_attachment(sessions_.get());
     annotator_ = std::make_unique<sdn::Annotator>(
         [this](const container::ImageRef& ref) { return profile_for(ref); },
         config_.annotator);
@@ -44,6 +46,7 @@ net::NodeId EdgePlatform::add_client(const std::string& name, net::Ipv4 ip,
                                      sim::SimTime link_latency, sim::DataRate rate) {
     const auto node = topo_.add_host(name, ip, 4);
     topo_.add_link(node, switch_node_, link_latency, rate);
+    sessions_->attach(node, ip, *switch_);
     return node;
 }
 
@@ -56,7 +59,16 @@ void EdgePlatform::connect_client_to_ingress(net::NodeId client,
 }
 
 void EdgePlatform::handover_client(net::NodeId client, net::OvsSwitch& ingress) {
-    tcp_->attach_client(client, ingress);
+    sessions_->attach(client, topo_.node(client).ip, ingress);
+}
+
+void EdgePlatform::schedule_handover(net::NodeId client, net::OvsSwitch& ingress,
+                                     sim::SimTime at) {
+    // A user event, not a daemon: a pending handover is workload, and the
+    // run must not drain out from under it.
+    sim_->schedule_at(at, [this, client, &ingress] {
+        handover_client(client, ingress);
+    });
 }
 
 net::NodeId EdgePlatform::add_edge_host(const std::string& name, net::Ipv4 ip,
@@ -189,6 +201,7 @@ sdn::Controller& EdgePlatform::start_controller(net::NodeId controller_host,
     if (controller_) throw std::logic_error("controller already started");
     prober_ = std::make_unique<PortProber>(*tcp_, controller_host, config_.prober);
     engine_ = std::make_unique<DeploymentEngine>(*sim_, *prober_);
+    config.session_plane = sessions_.get();
     controller_ = std::make_unique<sdn::Controller>(
         *sim_, topo_, *switch_, services_, *engine_, cluster_ptrs_, std::move(config));
     controller_->start();

@@ -21,6 +21,7 @@
 #include "sdn/annotator.hpp"
 #include "sdn/controller.hpp"
 #include "sdn/service_registry.hpp"
+#include "sdn/session_plane.hpp"
 #include "simcore/random.hpp"
 
 namespace tedge::core {
@@ -70,6 +71,17 @@ public:
                                    sim::SimTime link_latency = sim::microseconds(300),
                                    sim::DataRate rate = sim::gbit_per_sec(1));
     void handover_client(net::NodeId client, net::OvsSwitch& ingress);
+
+    /// Schedule a handover as a platform event at absolute time `at` --
+    /// mobility traces (workload::MobilityStream) drive the platform through
+    /// this. The client must already be connected to `ingress` (overlapping
+    /// cells: connect_client_to_ingress up front, handovers later).
+    void schedule_handover(net::NodeId client, net::OvsSwitch& ingress,
+                           sim::SimTime at);
+
+    /// The session plane: source of truth for client attachments. Created
+    /// with the platform; shared with the controller when one starts.
+    [[nodiscard]] sdn::SessionPlane& sessions() { return *sessions_; }
 
     /// Add a server host linked to the ingress switch (edge cluster homes).
     net::NodeId add_edge_host(const std::string& name, net::Ipv4 ip,
@@ -152,6 +164,9 @@ private:
     std::unique_ptr<net::OvsSwitch> switch_;
     std::vector<std::unique_ptr<net::OvsSwitch>> extra_switches_;
     std::unique_ptr<net::TcpNet> tcp_;
+    /// Declared after tcp_ (the transport holds a resolver pointer into it)
+    /// and before controller_ (which registers a handover callback).
+    std::unique_ptr<sdn::SessionPlane> sessions_;
     net::NodeId cloud_;
     orchestrator::RegistryDirectory registry_dir_;
     std::vector<std::unique_ptr<container::Registry>> registries_;

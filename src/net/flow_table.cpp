@@ -148,6 +148,16 @@ std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
     return removed;
 }
 
+std::size_t FlowTable::remove_by_src_ip(Ipv4 src_ip) {
+    const auto before = entries_.size();
+    std::erase_if(entries_, [&](const FlowEntry& e) {
+        return e.match.src_ip && *e.match.src_ip == src_ip;
+    });
+    const std::size_t removed = before - entries_.size();
+    if (removed > 0) reindex();
+    return removed;
+}
+
 std::size_t FlowTable::expire(sim::SimTime now) {
     std::size_t removed = 0;
     for (auto it = entries_.begin(); it != entries_.end();) {

@@ -47,6 +47,10 @@ public:
     /// Remove all entries carrying `cookie`. Returns removed count.
     std::size_t remove_by_cookie(std::uint64_t cookie);
 
+    /// Remove all entries whose match pins src_ip to `src_ip` (wildcard
+    /// src entries are kept: they are not client state). Returns count.
+    std::size_t remove_by_src_ip(Ipv4 src_ip);
+
     /// Expire timed-out entries; invokes the removed-callback for each.
     std::size_t expire(sim::SimTime now);
 

@@ -105,4 +105,14 @@ void OvsSwitch::remove_flows_by_cookie(std::uint64_t cookie) {
                   [this, cookie] { table_.remove_by_cookie(cookie); });
 }
 
+void OvsSwitch::remove_flows(const FlowMatch& match) {
+    sim_.schedule(config_.channel_latency,
+                  [this, match] { table_.remove(match); });
+}
+
+void OvsSwitch::remove_flows_by_src_ip(Ipv4 src_ip) {
+    sim_.schedule(config_.channel_latency,
+                  [this, src_ip] { table_.remove_by_src_ip(src_ip); });
+}
+
 } // namespace tedge::net

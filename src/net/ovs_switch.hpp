@@ -61,6 +61,16 @@ public:
     /// Remove flows carrying this cookie (controller-initiated eviction).
     void remove_flows_by_cookie(std::uint64_t cookie);
 
+    /// Remove flows matching exactly `match` (client-scoped eviction after
+    /// a migration cut-over).
+    void remove_flows(const FlowMatch& match);
+
+    /// Remove every flow whose match pins this source IP: the stale-state
+    /// sweep when a client re-homes away from this cell. Its packets can no
+    /// longer enter here, so the entries would only idle out as dead TCAM
+    /// weight -- or serve stale rewrites if the client ever bounced back.
+    void remove_flows_by_src_ip(Ipv4 src_ip);
+
     [[nodiscard]] FlowTable& table() { return table_; }
     [[nodiscard]] const FlowTable& table() const { return table_; }
     [[nodiscard]] NodeId node() const { return self_; }

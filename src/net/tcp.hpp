@@ -12,14 +12,25 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 
 #include "net/ovs_switch.hpp"
 #include "net/topology.hpp"
+#include "simcore/logging.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/units.hpp"
 
 namespace tedge::net {
+
+/// Answers "which ingress switch does this client currently enter through?".
+/// Implemented by the session plane (sdn::SessionPlane); defined here so the
+/// transport layer depends only on the interface, not on the SDN layer.
+/// Returning nullptr means "no attachment known" and the transport applies
+/// its configured fallback policy.
+class IngressResolver {
+public:
+    virtual ~IngressResolver() = default;
+    [[nodiscard]] virtual OvsSwitch* current_ingress(NodeId client) = 0;
+};
 
 /// An application endpoint bound to (node, port). The handler receives the
 /// request size and must invoke the reply function exactly once (after any
@@ -57,6 +68,10 @@ struct TcpNetConfig {
     /// Fixed software overhead per HTTP exchange on top of network transfer
     /// times (kernel, curl, HTTP parsing).
     sim::SimTime per_request_overhead = sim::microseconds(150);
+    /// Reject requests from clients with no known attachment instead of
+    /// silently entering through the primary ingress. Off by default: ad-hoc
+    /// scenarios (benches, probes from helper hosts) never attach.
+    bool strict_attachment = false;
 };
 
 class TcpNet {
@@ -66,14 +81,21 @@ public:
     TcpNet(sim::Simulation& sim, Topology& topo, OvsSwitch& ingress,
            EndpointDirectory& endpoints, Config config = {});
 
-    /// Attach a client to a specific ingress switch (its current gNB/cell).
-    /// Clients without an explicit attachment use the primary ingress.
-    /// Re-attaching models a radio handover: subsequent first packets enter
-    /// the network at the new switch.
-    void attach_client(NodeId client, OvsSwitch& ingress);
+    /// Wire the attachment source of truth (the session plane). Until set --
+    /// or for clients the resolver does not know -- requests fall back to
+    /// the primary ingress (counted, see unattached_fallbacks()).
+    void set_attachment(IngressResolver* resolver) { resolver_ = resolver; }
 
-    /// The ingress switch a client currently enters through.
+    /// The ingress switch a client currently enters through; primary-ingress
+    /// fallback when unattached.
     [[nodiscard]] OvsSwitch& ingress_for(NodeId client);
+
+    /// Requests that entered through the primary ingress only because the
+    /// client had no attachment. Nonzero here with mobility configured means
+    /// a session-plane wiring bug: packets entering at the wrong cell.
+    [[nodiscard]] std::uint64_t unattached_fallbacks() const {
+        return unattached_fallbacks_;
+    }
 
     /// Perform a full HTTP exchange from `client` to `target` (a registered
     /// cloud service address). The first packet traverses the client's
@@ -96,18 +118,29 @@ public:
     [[nodiscard]] std::uint64_t requests_failed() const { return requests_failed_; }
 
 private:
-    void run_exchange(NodeId client, sim::SimTime started, const Resolution& r,
-                      sim::Bytes request_size,
+    /// Resolved ingress, or nullptr when unattached under strict_attachment.
+    [[nodiscard]] OvsSwitch* resolve_ingress(NodeId client);
+    void run_exchange(NodeId client, NodeId ingress_node, sim::SimTime started,
+                      const Resolution& r, sim::Bytes request_size,
                       const std::function<void(const HttpResult&)>& done);
+    /// Concatenated client -> ingress -> dest path: the data path always
+    /// traverses the client's current cell. Equal to the direct shortest
+    /// path in single-ingress topologies (every route crosses the gNB
+    /// anyway); with several cells it pins the radio leg to the *current*
+    /// attachment so links to previously-visited cells cannot short-cut.
+    [[nodiscard]] std::optional<PathInfo>
+    path_via_ingress(NodeId client, NodeId ingress_node, NodeId dest) const;
 
     sim::Simulation& sim_;
     Topology& topo_;
     OvsSwitch& ingress_;
     EndpointDirectory& endpoints_;
     Config config_;
-    std::unordered_map<NodeId, OvsSwitch*> attachment_;
+    IngressResolver* resolver_ = nullptr;
+    sim::Logger log_;
     std::uint64_t requests_started_ = 0;
     std::uint64_t requests_failed_ = 0;
+    std::uint64_t unattached_fallbacks_ = 0;
     std::uint16_t next_ephemeral_ = 32768;
 };
 

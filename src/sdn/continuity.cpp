@@ -1,0 +1,25 @@
+#include "sdn/continuity.hpp"
+
+#include <stdexcept>
+
+namespace tedge::sdn {
+
+ContinuityAction LatencyDeltaPolicy::decide(const ContinuityContext& ctx) {
+    const bool affordable =
+        ctx.target_warm || ctx.deployment_cost <= config_.max_deploy_cost;
+    if (!affordable) return ContinuityAction::kResteer;
+    if (ctx.resteer_latency - ctx.migrate_latency >= config_.min_latency_gain) {
+        return ContinuityAction::kMigrate;
+    }
+    return ContinuityAction::kResteer;
+}
+
+std::unique_ptr<ContinuityPolicy> make_continuity_policy(const ContinuityConfig& config) {
+    if (config.policy == kResteerPolicy) return std::make_unique<ResteerPolicy>();
+    if (config.policy == kLatencyDeltaPolicy) {
+        return std::make_unique<LatencyDeltaPolicy>(config);
+    }
+    throw std::invalid_argument("unknown continuity policy: " + config.policy);
+}
+
+} // namespace tedge::sdn

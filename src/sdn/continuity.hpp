@@ -1,0 +1,94 @@
+// Continuity policies: what the controller does with a client's existing
+// flows when the client re-homes to a new cell.
+//
+// Two strategies from the paper's mobility discussion:
+//   - re-steer: keep serving from the old instance, just route the new
+//     cell's traffic to it (zero deployment cost, pays backhaul latency
+//     forever);
+//   - migrate-and-warm: deploy/warm an instance near the new cell in the
+//     background, cut the flow over once ready (deployment cost once,
+//     restores edge-local latency).
+//
+// Policies are pure decision functions over a ContinuityContext snapshot --
+// they schedule nothing themselves, so they stay deterministic and trivially
+// testable. Configured by name so ControllerConfig remains copyable.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sdn/flow_memory.hpp"
+#include "simcore/simulation.hpp"
+
+namespace tedge::sdn {
+
+enum class ContinuityAction {
+    kResteer, ///< keep the old instance, reroute via the backhaul
+    kMigrate, ///< warm an instance near the new cell, then cut over
+};
+
+/// Snapshot handed to the policy for one (client, flow) pair on handover.
+struct ContinuityContext {
+    net::NodeId client;            ///< the client's new attachment (gNB node)
+    net::NodeId old_ingress;
+    net::NodeId new_ingress;
+    const MemorizedFlow* flow = nullptr;
+    /// One-way latency new cell -> current serving instance (re-steer cost).
+    sim::SimTime resteer_latency;
+    /// One-way latency new cell -> best candidate near it (post-migration).
+    sim::SimTime migrate_latency;
+    bool target_warm = false;      ///< candidate already has a ready instance
+    /// Estimated time to make the candidate serve (0 when warm).
+    sim::SimTime deployment_cost;
+};
+
+struct ContinuityConfig {
+    std::string policy = "resteer"; ///< kResteerPolicy | kLatencyDeltaPolicy
+    /// latency_delta: migrate only if re-steer costs at least this much more
+    /// per one-way trip than the post-migration path.
+    sim::SimTime min_latency_gain = sim::milliseconds(1);
+    /// latency_delta: never migrate when warming would take longer than this.
+    sim::SimTime max_deploy_cost = sim::seconds(5);
+    /// Deployment-cost estimates fed to the policy (image present / absent).
+    sim::SimTime warm_deploy_cost = sim::milliseconds(200);
+    sim::SimTime cold_deploy_cost = sim::seconds(10);
+};
+
+inline constexpr const char* kResteerPolicy = "resteer";
+inline constexpr const char* kLatencyDeltaPolicy = "latency_delta";
+
+class ContinuityPolicy {
+public:
+    virtual ~ContinuityPolicy() = default;
+    [[nodiscard]] virtual const char* name() const = 0;
+    [[nodiscard]] virtual ContinuityAction decide(const ContinuityContext& ctx) = 0;
+};
+
+/// Always keep the old instance (the paper's baseline: the network follows
+/// the user, compute does not).
+class ResteerPolicy final : public ContinuityPolicy {
+public:
+    [[nodiscard]] const char* name() const override { return kResteerPolicy; }
+    [[nodiscard]] ContinuityAction decide(const ContinuityContext&) override {
+        return ContinuityAction::kResteer;
+    }
+};
+
+/// Migrate when the latency saved per trip clears a threshold and the
+/// deployment is affordable (warm target, or bounded warm-up cost).
+class LatencyDeltaPolicy final : public ContinuityPolicy {
+public:
+    explicit LatencyDeltaPolicy(ContinuityConfig config) : config_(config) {}
+    [[nodiscard]] const char* name() const override { return kLatencyDeltaPolicy; }
+    [[nodiscard]] ContinuityAction decide(const ContinuityContext& ctx) override;
+
+private:
+    ContinuityConfig config_;
+};
+
+/// Factory over ContinuityConfig::policy; throws std::invalid_argument on an
+/// unknown name.
+std::unique_ptr<ContinuityPolicy> make_continuity_policy(const ContinuityConfig& config);
+
+} // namespace tedge::sdn

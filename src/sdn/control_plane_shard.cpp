@@ -49,6 +49,18 @@ std::uint64_t ControlPlaneAggregator::total_idle_notifications() const {
     return total;
 }
 
+std::uint64_t ControlPlaneAggregator::total_flows_handed_off() const {
+    std::uint64_t total = 0;
+    for (const auto& d : latest_) total += d.flows_handed_off;
+    return total;
+}
+
+std::uint64_t ControlPlaneAggregator::total_flows_adopted() const {
+    std::uint64_t total = 0;
+    for (const auto& d : latest_) total += d.flows_adopted;
+    return total;
+}
+
 const ControlPlaneDigest& ControlPlaneAggregator::latest(sim::DomainId shard) const {
     return latest_.at(shard);
 }
@@ -91,6 +103,42 @@ bool ControlPlaneShard::packet_in(net::Ipv4 client_ip,
     return false;
 }
 
+void ControlPlaneShard::handoff_client(net::Ipv4 client_ip,
+                                       ControlPlaneShard& dst) {
+    std::vector<MemorizedFlow> flows = memory_.extract_client(client_ip);
+    ++handoffs_out_;
+    flows_handed_off_ += flows.size();
+    if (flows.empty()) return; // nothing to ship; the handoff itself is free
+    if (dst.domain_->id() == domain_->id()) {
+        // Same site (single-domain runs): the transfer is a local control-
+        // plane operation, but still costs the processing delay.
+        domain_->sim().schedule(config_.handoff_delay,
+                                [d = &dst, flows = std::move(flows)] {
+                                    d->adopt_handoff(flows);
+                                });
+        return;
+    }
+    // Cross-site: the slice rides the inter-site channel. Delivery time is
+    // sender clock + max(processing delay, conservative lookahead) -- the
+    // same merge rule as every other cross-domain message, which is what
+    // keeps the handoff byte-identical at any shard/worker count.
+    const sim::SimTime delay =
+        std::max(config_.handoff_delay, domain_->lookahead_to(dst.domain_->id()));
+    domain_->post(dst.domain_->id(), domain_->sim().now() + delay,
+                  [d = &dst, flows = std::move(flows)] {
+                      d->adopt_handoff(flows);
+                  },
+                  /*daemon=*/false);
+}
+
+void ControlPlaneShard::adopt_handoff(const std::vector<MemorizedFlow>& flows) {
+    ++handoffs_in_;
+    flows_adopted_ += flows.size();
+    // memorize() preserves a nonzero `created` and stamps last_used = now:
+    // adoption is exactly a touch at the arrival instant.
+    for (const MemorizedFlow& flow : flows) memory_.memorize(flow);
+}
+
 void ControlPlaneShard::start() {
     if (digest_timer_.active()) return;
     digest_timer_ = domain_->sim().schedule_periodic(
@@ -108,6 +156,8 @@ void ControlPlaneShard::send_digest() {
     digest.recall_hits = memory_.hits();
     digest.recall_misses = memory_.misses();
     digest.idle_notifications = idle_notifications_;
+    digest.flows_handed_off = flows_handed_off_;
+    digest.flows_adopted = flows_adopted_;
 
     const sim::DomainId dst = aggregator_->domain().id();
     if (dst == domain_->id()) {

@@ -43,6 +43,8 @@ struct ControlPlaneDigest {
     std::uint64_t recall_hits = 0;
     std::uint64_t recall_misses = 0;
     std::uint64_t idle_notifications = 0;
+    std::uint64_t flows_handed_off = 0;   ///< donated to other shards (mobility)
+    std::uint64_t flows_adopted = 0;      ///< received from other shards
 };
 
 /// The central controller's view of the sharded control plane. Lives in its
@@ -64,6 +66,8 @@ public:
     [[nodiscard]] std::uint64_t total_recall_hits() const;
     [[nodiscard]] std::uint64_t total_recall_misses() const;
     [[nodiscard]] std::uint64_t total_idle_notifications() const;
+    [[nodiscard]] std::uint64_t total_flows_handed_off() const;
+    [[nodiscard]] std::uint64_t total_flows_adopted() const;
 
     /// Latest digest from `shard`; seq 0 when none arrived yet.
     [[nodiscard]] const ControlPlaneDigest& latest(sim::DomainId shard) const;
@@ -82,6 +86,11 @@ public:
         FlowMemory::Config flow_memory;
         /// How often a digest is composed and posted to the aggregator.
         sim::SimTime digest_period = sim::seconds(1);
+        /// Control-plane processing time for a client-state handoff on top
+        /// of the inter-site channel (serialize + transfer + adopt). The
+        /// effective delivery delay is max(handoff_delay, lookahead) so the
+        /// conservative-lookahead contract always holds.
+        sim::SimTime handoff_delay = sim::milliseconds(25);
     };
 
     /// `aggregator` must live in a *different* domain of the same
@@ -98,6 +107,20 @@ public:
                    const std::string& service_name, net::NodeId instance_node,
                    std::uint16_t instance_port, const std::string& cluster);
 
+    /// A client homed here re-homed to `dst`'s site: extract its FlowMemory
+    /// partition slice and ship it over the inter-site channel. Runs in this
+    /// shard's domain; the flows are adopted in `dst`'s domain one
+    /// max(handoff_delay, lookahead) later (same-domain: handoff_delay).
+    /// Rides as a *user* message -- state transfer must complete even if the
+    /// workload drains meanwhile, unlike telemetry digests.
+    /// Requires flow_memory.track_clients for O(client) extraction.
+    void handoff_client(net::Ipv4 client_ip, ControlPlaneShard& dst);
+
+    /// Adopt flows donated by another shard (runs in this shard's domain).
+    /// Adoption re-memorizes: `created` survives the move, the idle clock
+    /// restarts at the arrival instant.
+    void adopt_handoff(const std::vector<MemorizedFlow>& flows);
+
     /// Begin the periodic digest daemon (idempotent).
     void start();
     /// Stop reporting (also happens on destruction).
@@ -109,6 +132,10 @@ public:
     [[nodiscard]] std::uint64_t packet_ins() const { return packet_ins_; }
     [[nodiscard]] std::uint64_t digests_sent() const { return next_digest_seq_; }
     [[nodiscard]] std::uint64_t idle_notifications() const { return idle_notifications_; }
+    [[nodiscard]] std::uint64_t handoffs_out() const { return handoffs_out_; }
+    [[nodiscard]] std::uint64_t handoffs_in() const { return handoffs_in_; }
+    [[nodiscard]] std::uint64_t flows_handed_off() const { return flows_handed_off_; }
+    [[nodiscard]] std::uint64_t flows_adopted() const { return flows_adopted_; }
 
 private:
     void send_digest();
@@ -121,6 +148,10 @@ private:
     std::uint64_t packet_ins_ = 0;
     std::uint64_t next_digest_seq_ = 0;
     std::uint64_t idle_notifications_ = 0;
+    std::uint64_t handoffs_out_ = 0;      ///< handoff_client() calls issued
+    std::uint64_t handoffs_in_ = 0;       ///< adopt_handoff() deliveries
+    std::uint64_t flows_handed_off_ = 0;
+    std::uint64_t flows_adopted_ = 0;
 };
 
 } // namespace tedge::sdn

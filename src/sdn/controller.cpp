@@ -8,6 +8,10 @@ namespace {
 ControllerConfig with_fidelity(ControllerConfig config) {
     config.flow_memory.fidelity = config.fidelity;
     config.dispatcher.fidelity = config.fidelity;
+    // The dispatcher's handover path walks flows by client; keep that
+    // O(client's flows). The index has no observable artifacts, so scenarios
+    // without mobility are byte-identical either way.
+    config.flow_memory.track_clients = true;
     return config;
 }
 
@@ -24,10 +28,20 @@ Controller::Controller(sim::Simulation& sim, net::Topology& topo,
       scheduler_(SchedulerRegistry::instance().create(config_.scheduler,
                                                       config_.scheduler_params)),
       log_(sim, "controller") {
+    if (config_.session_plane != nullptr) {
+        sessions_ = config_.session_plane;
+    } else {
+        owned_sessions_ = std::make_unique<SessionPlane>(sim);
+        sessions_ = owned_sessions_.get();
+    }
     dispatcher_ = std::make_unique<Dispatcher>(sim, topo, ingress, registry,
                                                flow_memory_, engine, *scheduler_,
-                                               std::move(clusters),
+                                               *sessions_, std::move(clusters),
                                                config_.dispatcher);
+    sessions_->on_handover(
+        [this](const UeSession& session, net::NodeId old_ingress) {
+            dispatcher_->on_handover(session, old_ingress);
+        });
     if (config_.scale_down_idle) {
         flow_memory_.set_idle_service_callback(
             [this](const std::string& service, const std::string& cluster) {

@@ -16,6 +16,7 @@
 #include "sdn/flow_memory.hpp"
 #include "sdn/scheduler.hpp"
 #include "sdn/service_registry.hpp"
+#include "sdn/session_plane.hpp"
 #include "simcore/logging.hpp"
 
 namespace tedge::sdn {
@@ -31,6 +32,10 @@ struct ControllerConfig {
     /// copies it into the dispatcher and flow-memory sub-configs, overriding
     /// whatever they carry.
     Fidelity fidelity = Fidelity::kExact;
+    /// The session plane to read client attachments from. The platform wires
+    /// its own; when null the controller owns a private one (implicit
+    /// sessions only -- the legacy packet-driven location tracking).
+    SessionPlane* session_plane = nullptr;
 };
 
 class Controller {
@@ -51,6 +56,7 @@ public:
 
     [[nodiscard]] Dispatcher& dispatcher() { return *dispatcher_; }
     [[nodiscard]] const Dispatcher& dispatcher() const { return *dispatcher_; }
+    [[nodiscard]] SessionPlane& sessions() { return *sessions_; }
     [[nodiscard]] FlowMemory& flow_memory() { return flow_memory_; }
     [[nodiscard]] GlobalScheduler& scheduler() { return *scheduler_; }
     [[nodiscard]] const ControllerConfig& config() const { return config_; }
@@ -66,6 +72,11 @@ private:
     std::vector<orchestrator::Cluster*> clusters_;
     ControllerConfig config_;
     FlowMemory flow_memory_;
+    /// Owned fallback when no session plane was configured; sessions_ always
+    /// points at the one in use. Declared before dispatcher_, which holds a
+    /// reference into it.
+    std::unique_ptr<SessionPlane> owned_sessions_;
+    SessionPlane* sessions_ = nullptr;
     std::unique_ptr<GlobalScheduler> scheduler_;
     std::unique_ptr<Dispatcher> dispatcher_;
     sim::Logger log_;

@@ -10,13 +10,19 @@ namespace tedge::sdn {
 Dispatcher::Dispatcher(sim::Simulation& sim, net::Topology& topo,
                        net::OvsSwitch& ingress, ServiceRegistry& registry,
                        FlowMemory& memory, core::DeploymentEngine& engine,
-                       GlobalScheduler& scheduler,
+                       GlobalScheduler& scheduler, SessionPlane& sessions,
                        std::vector<orchestrator::Cluster*> clusters,
                        DispatcherConfig config)
     : sim_(sim), topo_(topo), ingress_(ingress), registry_(registry),
       memory_(memory), engine_(engine), scheduler_(scheduler),
-      clusters_(std::move(clusters)), config_(config), log_(sim, "dispatcher") {
+      sessions_(sessions), clusters_(std::move(clusters)), config_(config),
+      log_(sim, "dispatcher"),
+      continuity_(make_continuity_policy(config_.continuity)) {
     switches_.push_back(&ingress_);
+}
+
+void Dispatcher::set_continuity_policy(std::unique_ptr<ContinuityPolicy> policy) {
+    if (policy) continuity_ = std::move(policy);
 }
 
 void Dispatcher::add_switch(net::OvsSwitch& ingress) {
@@ -33,15 +39,14 @@ std::uint64_t Dispatcher::cookie_for(const std::string& service) {
 }
 
 std::optional<net::NodeId> Dispatcher::client_location(net::Ipv4 client) const {
-    const auto it = client_locations_.find(client.value());
-    return it == client_locations_.end() ? std::nullopt : std::optional{it->second};
+    return sessions_.location(client);
 }
 
-ScheduleContext Dispatcher::build_context(const net::PacketIn& event,
+ScheduleContext Dispatcher::build_context(net::NodeId client,
                                           const orchestrator::ServiceSpec& spec,
                                           const std::string* exclude_cluster) const {
     ScheduleContext ctx;
-    ctx.client = event.packet.ingress;
+    ctx.client = client;
     ctx.spec = &spec;
     ctx.topo = &topo_;
     for (auto* cluster : clusters_) {
@@ -95,6 +100,7 @@ void Dispatcher::install_and_release(net::OvsSwitch& source,
     flow.cluster = cluster_name;
     memory_.memorize(flow,
                      established && config_.fidelity == Fidelity::kHybrid);
+    sessions_.note_served_by(event.packet.src_ip, cluster_name);
 
     // Lazy: FlowMatch::str() runs per packet-in only when debug is on.
     log_.debug([&] {
@@ -157,9 +163,10 @@ void Dispatcher::handle_packet_in(net::OvsSwitch& source,
 void Dispatcher::dispatch(net::OvsSwitch& source, const net::PacketIn& event,
                           sim::SpanId pin_span) {
     ++stats_.packet_ins;
-    // Location tracking: the client is wherever its packets enter the
-    // network -- the source switch (its current gNB).
-    client_locations_[event.packet.src_ip.value()] = source.node();
+    // Location tracking: the session plane observes where the packet entered.
+    // Explicitly attached sessions are authoritative and ignore stragglers
+    // from the old cell; implicit ones keep the last-packet-wins behaviour.
+    sessions_.observe_packet(event.packet.src_ip, source.node());
 
     const auto dst = event.packet.dst();
 
@@ -205,7 +212,7 @@ void Dispatcher::dispatch(net::OvsSwitch& source, const net::PacketIn& event,
     const orchestrator::ServiceSpec& spec = svc->spec;
 
     // 3./4. Gather system state, ask the Global Scheduler.
-    const auto ctx = build_context(event, spec);
+    const auto ctx = build_context(event.packet.ingress, spec);
     sim::SpanId decide_span = 0;
     if (auto* tr = sim_.tracer()) decide_span = tr->begin("schedule.decide");
     const ScheduleResult result = scheduler_.decide(ctx);
@@ -275,7 +282,7 @@ void Dispatcher::retry_dispatch(net::OvsSwitch& source, const net::PacketIn& eve
                                 const orchestrator::ServiceSpec& spec,
                                 const std::string& failed_cluster,
                                 sim::SpanId pin_span) {
-    const auto ctx = build_context(event, spec, &failed_cluster);
+    const auto ctx = build_context(event.packet.ingress, spec, &failed_cluster);
     const ScheduleResult result = scheduler_.decide(ctx);
     if (!result.fast || result.fast->cluster == nullptr ||
         result.fast->cluster->name() == failed_cluster) {
@@ -312,6 +319,123 @@ void Dispatcher::retry_dispatch(net::OvsSwitch& source, const net::PacketIn& eve
         ++stats_.retry_successes;
         install_and_release(source, event, spec, instance, alternate_name,
                             /*established=*/false);
+    });
+}
+
+void Dispatcher::on_handover(const UeSession& session, net::NodeId old_ingress) {
+    ++stats_.handovers;
+    if (auto* m = sim_.metrics()) m->counter("sdn.handovers").inc();
+    log_.debug([&] {
+        return "handover client " + session.ip.str() + ": node " +
+               std::to_string(old_ingress.value) + " -> " +
+               std::to_string(session.ingress.value) + " (epoch " +
+               std::to_string(session.epoch) + ")";
+    });
+    // Stale-flow sweep: the client's packets can no longer enter the old
+    // cell, so its entries there are dead TCAM weight at best and stale
+    // rewrites at worst (if the client bounces back before they idle out).
+    for (auto* sw : switches_) {
+        if (sw->node() == old_ingress) sw->remove_flows_by_src_ip(session.ip);
+    }
+    // Continuity: decide per memorized flow whether the old instance keeps
+    // serving (re-steer) or an instance near the new cell is warmed.
+    for (const MemorizedFlow& flow : memory_.flows_of_client(session.ip)) {
+        decide_continuity(session, old_ingress, flow);
+    }
+}
+
+void Dispatcher::decide_continuity(const UeSession& session,
+                                   net::NodeId old_ingress,
+                                   const MemorizedFlow& flow) {
+    const auto* svc = registry_.lookup(flow.service_address);
+    if (svc == nullptr) return;
+    const orchestrator::ServiceSpec& spec = svc->spec;
+
+    // Ask the scheduler where this flow would go if it arrived fresh at the
+    // *new* cell. Proximity is judged from the cell, not the client node:
+    // the client still carries radio links to previously-visited cells.
+    const auto ctx = build_context(session.ingress, spec);
+    const ScheduleResult result = scheduler_.decide(ctx);
+    if (!result.fast || result.fast->cluster == nullptr) return;
+    auto* target = result.fast->cluster;
+    if (target->name() == flow.cluster) {
+        // Best candidate is where the flow already lives: keep it.
+        ++stats_.resteers;
+        if (auto* m = sim_.metrics()) m->counter("sdn.resteers").inc();
+        return;
+    }
+
+    ContinuityContext cctx;
+    cctx.client = session.ingress;
+    cctx.old_ingress = old_ingress;
+    cctx.new_ingress = session.ingress;
+    cctx.flow = &flow;
+    if (const auto p = topo_.path(session.ingress, flow.instance_node)) {
+        cctx.resteer_latency = p->latency;
+    }
+    const net::NodeId target_node = result.fast->instance
+                                        ? result.fast->instance->node
+                                        : target->location();
+    if (const auto p = topo_.path(session.ingress, target_node)) {
+        cctx.migrate_latency = p->latency;
+    }
+    cctx.target_warm = result.fast->instance && result.fast->instance->ready;
+    if (!cctx.target_warm) {
+        bool has_image = false;
+        for (const auto& state : ctx.states) {
+            if (state.cluster == target) {
+                has_image = state.has_image;
+                break;
+            }
+        }
+        cctx.deployment_cost = has_image ? config_.continuity.warm_deploy_cost
+                                         : config_.continuity.cold_deploy_cost;
+    }
+
+    if (continuity_->decide(cctx) == ContinuityAction::kResteer) {
+        ++stats_.resteers;
+        if (auto* m = sim_.metrics()) m->counter("sdn.resteers").inc();
+        return;
+    }
+
+    // Migrate-and-warm: deploy near the new cell in the background; cut the
+    // flow over only once the instance is ready. Until then the old instance
+    // keeps serving -- the client never waits on the migration.
+    ++stats_.migrations;
+    if (auto* m = sim_.metrics()) m->counter("sdn.migrations").inc();
+    const std::uint64_t epoch = session.epoch;
+    const net::Ipv4 client = session.ip;
+    const net::ServiceAddress addr = flow.service_address;
+    core::DeployOptions options;
+    options.wait_ready = true;
+    engine_.ensure(*target, spec, options,
+                   [this, epoch, client, addr](
+                       bool ok, const orchestrator::InstanceInfo&) {
+        if (!ok) {
+            ++stats_.migration_failures;
+            return;
+        }
+        const UeSession* current = sessions_.by_ip(client);
+        if (current == nullptr || current->epoch != epoch) {
+            // The client re-homed again (or detached) while the instance
+            // warmed: this cut-over belongs to a dead attachment. Drop it;
+            // the newer handover runs its own continuity pass.
+            ++stats_.stale_migrations;
+            return;
+        }
+        ++stats_.migrations_completed;
+        if (auto* m = sim_.metrics()) m->counter("sdn.migrations_completed").inc();
+        // Cut over: drop the memorized flow (notifying the old instance's
+        // idle hook if this was its last user) and evict the installed
+        // entries everywhere, so the next packet re-dispatches -- and the
+        // scheduler now finds the warm instance near the new cell.
+        memory_.forget_flow(client, addr, /*notify_if_idle=*/true);
+        net::FlowMatch match;
+        match.src_ip = client;
+        match.dst_ip = addr.ip;
+        match.dst_port = addr.port;
+        match.proto = addr.proto;
+        for (auto* sw : switches_) sw->remove_flows(match);
     });
 }
 

@@ -13,14 +13,16 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "core/deployment.hpp"
 #include "net/ovs_switch.hpp"
+#include "sdn/continuity.hpp"
 #include "sdn/flow_memory.hpp"
 #include "sdn/scheduler.hpp"
 #include "sdn/service_registry.hpp"
+#include "sdn/session_plane.hpp"
 #include "simcore/logging.hpp"
 #include "simcore/tracer.hpp"
 
@@ -39,6 +41,8 @@ struct DispatcherConfig {
     /// established, letting FlowMemory promote it into a fluid cohort.
     /// Cold starts and deploy-and-wait installs stay exact in either mode.
     Fidelity fidelity = Fidelity::kExact;
+    /// What to do with a client's existing flows on handover (DESIGN §11).
+    ContinuityConfig continuity;
 };
 
 struct DispatcherStats {
@@ -52,6 +56,12 @@ struct DispatcherStats {
     std::uint64_t failures = 0;
     std::uint64_t deploy_retries = 0;     ///< alternate-cluster retries issued
     std::uint64_t retry_successes = 0;    ///< retries that served the request
+    std::uint64_t handovers = 0;          ///< session re-homes processed
+    std::uint64_t resteers = 0;           ///< flows kept on their old instance
+    std::uint64_t migrations = 0;         ///< migrate-and-warm decisions taken
+    std::uint64_t migrations_completed = 0; ///< cut-overs executed
+    std::uint64_t migration_failures = 0; ///< warm-up deployments that failed
+    std::uint64_t stale_migrations = 0;   ///< completions dropped: client re-homed again
 };
 
 class Dispatcher {
@@ -59,6 +69,7 @@ public:
     Dispatcher(sim::Simulation& sim, net::Topology& topo, net::OvsSwitch& ingress,
                ServiceRegistry& registry, FlowMemory& memory,
                core::DeploymentEngine& engine, GlobalScheduler& scheduler,
+               SessionPlane& sessions,
                std::vector<orchestrator::Cluster*> clusters,
                DispatcherConfig config = {});
 
@@ -77,9 +88,18 @@ public:
     /// re-dispatch to the new optimal instance.
     void on_best_ready(const orchestrator::ServiceSpec& spec);
 
-    /// Last known attachment point of a client -- the ingress switch it most
-    /// recently entered through (the paper's location tracking). With
-    /// several gNBs this changes as the client moves.
+    /// A client re-homed (SessionPlane handover callback): sweep its stale
+    /// flows off the old cell's switch and run the continuity policy over
+    /// each of its memorized flows -- re-steer or migrate-and-warm.
+    void on_handover(const UeSession& session, net::NodeId old_ingress);
+
+    /// Replace the continuity policy (tests / custom strategies). The default
+    /// is built from DispatcherConfig::continuity by name.
+    void set_continuity_policy(std::unique_ptr<ContinuityPolicy> policy);
+
+    /// Current attachment point of a client -- answered by the session plane
+    /// (the paper's location tracking, now handover-aware: updated by the
+    /// platform's handover event, not by the next packet).
     [[nodiscard]] std::optional<net::NodeId> client_location(net::Ipv4 client) const;
 
     [[nodiscard]] const DispatcherStats& stats() const { return stats_; }
@@ -105,9 +125,16 @@ private:
     void retry_dispatch(net::OvsSwitch& source, const net::PacketIn& event,
                         const orchestrator::ServiceSpec& spec,
                         const std::string& failed_cluster, sim::SpanId pin_span);
-    ScheduleContext build_context(const net::PacketIn& event,
+    /// `client` is the node proximity is judged from: the packet's ingress on
+    /// the dispatch path, the *new* cell on the handover path (the client's
+    /// own node still carries links to previously-visited cells, which would
+    /// distort the decision).
+    ScheduleContext build_context(net::NodeId client,
                                   const orchestrator::ServiceSpec& spec,
                                   const std::string* exclude_cluster = nullptr) const;
+    /// Continuity decision for one (client, flow) pair after a handover.
+    void decide_continuity(const UeSession& session, net::NodeId old_ingress,
+                           const MemorizedFlow& flow);
     static std::uint64_t cookie_for(const std::string& service);
 
     sim::Simulation& sim_;
@@ -118,13 +145,12 @@ private:
     FlowMemory& memory_;
     core::DeploymentEngine& engine_;
     GlobalScheduler& scheduler_;
+    SessionPlane& sessions_;
     std::vector<orchestrator::Cluster*> clusters_;
     DispatcherConfig config_;
     DispatcherStats stats_;
     sim::Logger log_;
-    /// Client ip -> last ingress switch; updated on every packet-in, so it
-    /// must be O(1) -- an ordered map's rebalancing has no value here.
-    std::unordered_map<std::uint32_t, net::NodeId> client_locations_;
+    std::unique_ptr<ContinuityPolicy> continuity_;
 };
 
 } // namespace tedge::sdn

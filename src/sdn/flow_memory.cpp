@@ -138,12 +138,33 @@ std::size_t FlowMemory::insert(Key64 key, const FlowRec& rec) {
     index_at(slot) = static_cast<std::uint32_t>(pool_.size());
     pool_.push_back(Entry{key, rec, static_cast<std::uint32_t>(slot)});
     bump_counters(rec, +1);
+    // Only fresh insertions touch the client index: an overwrite (above)
+    // keeps the same key, so the index already holds it.
+    client_index_add(key);
     file_expiry(key, pool_.back().rec);
     return pool_.size() - 1;
 }
 
+void FlowMemory::client_index_add(Key64 key) {
+    if (!config_.track_clients) return;
+    client_keys_[static_cast<std::uint32_t>(key >> 32)].push_back(key);
+}
+
+void FlowMemory::client_index_remove(Key64 key) {
+    if (!config_.track_clients) return;
+    const auto it = client_keys_.find(static_cast<std::uint32_t>(key >> 32));
+    if (it == client_keys_.end()) return;
+    std::vector<Key64>& keys = it->second;
+    const auto pos = std::find(keys.begin(), keys.end(), key);
+    if (pos == keys.end()) return;
+    *pos = keys.back();
+    keys.pop_back();
+    if (keys.empty()) client_keys_.erase(it);
+}
+
 void FlowMemory::erase_entry(std::size_t index) {
     bump_counters(pool_[index].rec, -1);
+    client_index_remove(pool_[index].key);
     tag_at(pool_[index].slot) = kTombstoneTag;
     ++tombstones_;
     pending_slot_ = kNpos;
@@ -450,6 +471,68 @@ std::size_t FlowMemory::forget_service(std::string_view service_name) {
         removed += static_cast<std::size_t>(n);
     }
     return removed;
+}
+
+std::vector<MemorizedFlow> FlowMemory::flows_of_client(net::Ipv4 client_ip) const {
+    std::vector<MemorizedFlow> flows;
+    if (config_.track_clients) {
+        const auto it = client_keys_.find(client_ip.value());
+        if (it == client_keys_.end()) return flows;
+        flows.reserve(it->second.size());
+        for (const Key64 key : it->second) {
+            const std::size_t slot = find_slot(key);
+            if (slot == kNpos) continue; // index is maintained; defensive only
+            const Entry& entry = pool_[index_at(slot)];
+            flows.push_back(materialize(entry.key, entry.rec));
+        }
+        return flows;
+    }
+    for (const Entry& entry : pool_) {
+        if (static_cast<std::uint32_t>(entry.key >> 32) == client_ip.value()) {
+            flows.push_back(materialize(entry.key, entry.rec));
+        }
+    }
+    return flows;
+}
+
+std::vector<MemorizedFlow> FlowMemory::extract_client(net::Ipv4 client_ip) {
+    std::vector<MemorizedFlow> flows = flows_of_client(client_ip);
+    // Erase by key, not pool index: each erase swap-removes and would shift
+    // any index list. Stale expiry filings left behind cancel when their
+    // bucket fires (find_slot misses, or the key was reused and the bucket
+    // field mismatches).
+    for (const MemorizedFlow& flow : flows) {
+        const auto address_id = find_address(flow.service_address);
+        if (!address_id) continue;
+        const std::size_t slot =
+            find_slot(pack_key(flow.client_ip.value(), *address_id));
+        if (slot != kNpos) erase_entry(index_at(slot));
+    }
+    return flows;
+}
+
+bool FlowMemory::forget_flow(net::Ipv4 client_ip,
+                             const net::ServiceAddress& service,
+                             bool notify_if_idle) {
+    const auto address_id = find_address(service);
+    if (!address_id) return false;
+    const std::size_t slot = find_slot(pack_key(client_ip.value(), *address_id));
+    if (slot == kNpos) return false;
+    const std::size_t index = index_at(slot);
+    const Key64 pair =
+        pack_pair(pool_[index].rec.service, pool_[index].rec.cluster);
+    erase_entry(index);
+    // Not routed through finish_expiry(): this flow was *removed*, not
+    // expired, so the expiry counter must not move -- but the old instance
+    // may still have just lost its last user.
+    if (notify_if_idle && idle_cb_ && !pair_counts_.contains(pair)) {
+        if (auto* m = sim_.metrics()) {
+            m->counter("sdn.flow_memory.idle_notifications").inc();
+        }
+        idle_cb_(symbols_.name(static_cast<sim::SymbolId>(pair >> 32)),
+                 symbols_.name(static_cast<sim::SymbolId>(pair)));
+    }
+    return true;
 }
 
 std::size_t FlowMemory::flows_for_service(std::string_view service_name) const {

@@ -101,6 +101,11 @@ public:
         Fidelity fidelity = Fidelity::kExact;
         /// Epoch grid period for cohort rate accounting (hybrid only).
         sim::SimTime epoch_period = sim::milliseconds(100);
+        /// Maintain a per-client key index so flows_of_client() /
+        /// extract_client() are O(client's flows) instead of O(pool). Off by
+        /// default: the index costs a hash update per insert/erase and only
+        /// mobility scenarios (handover, cross-shard handoff) read it.
+        bool track_clients = false;
     };
 
     FlowMemory(sim::Simulation& sim, Config config);
@@ -136,6 +141,24 @@ public:
     /// erased, anonymous cohort members are cancelled against their filed
     /// expiry drains.
     std::size_t forget_service(std::string_view service_name);
+
+    // -------------------------------------------------- client-scoped state
+    /// All live flows of one client (materialized copies). O(client's flows)
+    /// with track_clients, O(pool) otherwise.
+    [[nodiscard]] std::vector<MemorizedFlow> flows_of_client(net::Ipv4 client_ip) const;
+
+    /// Remove and return all of a client's flows -- the donor half of a
+    /// cross-shard handoff. Deliberately NO idle notifications: the flows
+    /// are moving, not going idle; the adopting shard re-memorizes them and
+    /// their idle clock restarts there.
+    [[nodiscard]] std::vector<MemorizedFlow> extract_client(net::Ipv4 client_ip);
+
+    /// Drop one (client, service) flow, e.g. after a migration cut-over
+    /// re-homed it to a new instance. With `notify_if_idle`, fires the idle
+    /// callback when this was the last flow of its (service, cluster) pair
+    /// -- the old instance just lost its last user and may scale down.
+    bool forget_flow(net::Ipv4 client_ip, const net::ServiceAddress& service,
+                     bool notify_if_idle);
 
     // ------------------------------------------------ hybrid fluid cohorts
     /// Admit `count` established flows into the (service, cluster) fluid
@@ -264,6 +287,8 @@ private:
     void grow(std::size_t min_capacity);
     std::size_t insert(Key64 key, const FlowRec& rec);  ///< returns pool index
     void erase_entry(std::size_t index);  ///< pool index; swap-removes
+    void client_index_add(Key64 key);
+    void client_index_remove(Key64 key);
 
     void bump_counters(const FlowRec& rec, std::int64_t delta);
     /// Fused-counter bulk update for anonymous cohort members.
@@ -364,6 +389,11 @@ private:
     // behind flows_for_service() and expire()'s idle detection.
     std::unordered_map<Key64, std::size_t> pair_counts_;
     std::unordered_map<sim::SymbolId, std::size_t> service_counts_;
+
+    /// Per-client live keys (track_clients only): client ip value -> keys.
+    /// Entries are swap-removed; the map drops a client when its last flow
+    /// goes.
+    std::unordered_map<std::uint32_t, std::vector<Key64>> client_keys_;
 
     /// One filed expiry: an exact flow key (count == 0), or a run of `count`
     /// anonymous cohort flows keyed by their (service, cluster) pair. Runs

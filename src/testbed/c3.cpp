@@ -88,6 +88,13 @@ std::unique_ptr<C3Testbed> build_c3(const C3Options& options) {
         throw std::invalid_argument("C3 testbed needs at least one cluster or cloud");
     }
 
+    // --- extra cells (mobility) ------------------------------------------
+    for (std::size_t i = 0; i < options.extra_gnbs; ++i) {
+        testbed->gnbs.push_back(&p.add_ingress(
+            "gnb" + std::to_string(i + 2),
+            options.gnb_backbone_latency * static_cast<std::int64_t>(i + 1)));
+    }
+
     // --- controller ---------------------------------------------------------
     p.start_controller(testbed->controller_host, options.controller);
     return testbed;

@@ -26,6 +26,11 @@ struct C3Options {
     bool with_far_edge = false;
     /// Route all pulls through the private in-network registry.
     bool use_private_registry_mirror = false;
+    /// Extra gNB cells beyond the primary (mobility scenarios): cell k is a
+    /// secondary ingress switch behind k x gnb_backbone_latency of backbone,
+    /// a simple linear corridor. 0 = classic single-cell C3.
+    std::size_t extra_gnbs = 0;
+    sim::SimTime gnb_backbone_latency = sim::milliseconds(2);
     sdn::ControllerConfig controller;
     /// Host the testbed on an external kernel (a sim::Domain's simulation
     /// inside a ShardedSimulation) instead of letting the platform own one.
@@ -46,6 +51,9 @@ struct C3Testbed {
     orchestrator::Cluster* docker = nullptr;
     orchestrator::Cluster* k8s = nullptr;
     orchestrator::Cluster* far_edge = nullptr;
+    /// Secondary cells (extra_gnbs of them), nearest first. The primary
+    /// ingress is platform.ingress(), not listed here.
+    std::vector<net::OvsSwitch*> gnbs;
 
     explicit C3Testbed(core::EdgePlatformConfig config) : platform(std::move(config)) {}
     C3Testbed(sim::Simulation& host_sim, core::EdgePlatformConfig config)

@@ -1,0 +1,120 @@
+#include "workload/mobility.hpp"
+
+#include <algorithm>
+
+namespace tedge::workload {
+
+namespace {
+
+[[nodiscard]] sim::SimTime from_seconds(double s) {
+    return sim::SimTime{static_cast<std::int64_t>(s * 1e9)};
+}
+
+} // namespace
+
+// --------------------------------------------------------------- waypoint
+
+WaypointMobility::WaypointMobility(const Options& options) : options_(options) {
+    rngs_.reserve(options_.ues);
+    initial_cells_.reserve(options_.ues);
+    for (std::uint32_t ue = 0; ue < options_.ues; ++ue) {
+        rngs_.push_back(sim::Rng::for_stream(options_.seed, ue));
+        initial_cells_.push_back(static_cast<std::uint32_t>(
+            rngs_.back().uniform_int(0, std::int64_t{options_.cells} - 1)));
+    }
+    if (options_.cells < 2) return; // nowhere to go
+    for (std::uint32_t ue = 0; ue < options_.ues; ++ue) {
+        arm(ue, initial_cells_[ue], sim::SimTime::zero());
+    }
+    std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+bool WaypointMobility::arm(std::uint32_t ue, std::uint32_t from,
+                           sim::SimTime after) {
+    const double dwell_s = rngs_[ue].exponential(
+        static_cast<double>(options_.mean_dwell.ns()) / 1e9);
+    const sim::SimTime at = after + from_seconds(dwell_s);
+    // Draw the destination even when the crossing falls past the horizon:
+    // the per-UE draw sequence must not depend on where the horizon sits.
+    const auto step = static_cast<std::uint32_t>(
+        rngs_[ue].uniform_int(0, std::int64_t{options_.cells} - 2));
+    const std::uint32_t to = step >= from ? step + 1 : step;
+    if (at > options_.horizon) return false; // UE parks in `from`
+    heap_.push_back(Pending{at, ue, from, to});
+    return true;
+}
+
+std::optional<HandoverEvent> WaypointMobility::next() {
+    if (heap_.empty()) return std::nullopt;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    const Pending p = heap_.back();
+    heap_.pop_back();
+    if (arm(p.ue, p.to_cell, p.at)) {
+        std::push_heap(heap_.begin(), heap_.end(), later);
+    }
+    return HandoverEvent{p.at, p.ue, p.from_cell, p.to_cell};
+}
+
+// --------------------------------------------------------------- corridor
+
+CorridorMobility::CorridorMobility(const Options& options) : options_(options) {
+    departures_.reserve(options_.ues);
+    cell_seconds_.reserve(options_.ues);
+    const double window_s =
+        static_cast<double>(options_.departure_window.ns()) / 1e9;
+    for (std::uint32_t ue = 0; ue < options_.ues; ++ue) {
+        sim::Rng rng = sim::Rng::for_stream(options_.seed, ue);
+        departures_.push_back(from_seconds(rng.uniform(0.0, window_s)));
+        const double factor =
+            rng.uniform(1.0 - options_.speed_jitter, 1.0 + options_.speed_jitter);
+        cell_seconds_.push_back(options_.cell_span_m /
+                                (options_.speed_mps * factor));
+    }
+    if (options_.cells < 2) return;
+    for (std::uint32_t ue = 0; ue < options_.ues; ++ue) {
+        heap_.push_back(Pending{crossing_time(ue, 1), ue, 1});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+sim::SimTime CorridorMobility::crossing_time(std::uint32_t ue,
+                                             std::uint32_t k) const {
+    return departures_[ue] +
+           from_seconds(static_cast<double>(k) * cell_seconds_[ue]);
+}
+
+std::optional<HandoverEvent> CorridorMobility::next() {
+    if (heap_.empty()) return std::nullopt;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    const Pending p = heap_.back();
+    heap_.pop_back();
+    if (p.next_cell + 1 < options_.cells) {
+        heap_.push_back(Pending{crossing_time(p.ue, p.next_cell + 1), p.ue,
+                                p.next_cell + 1});
+        std::push_heap(heap_.begin(), heap_.end(), later);
+    }
+    return HandoverEvent{p.at, p.ue, p.next_cell - 1, p.next_cell};
+}
+
+// ------------------------------------------------------------------- pump
+
+MobilityPump::MobilityPump(sim::Simulation& sim, MobilityStream& stream,
+                           Handler on_event)
+    : sim_(&sim), stream_(&stream), on_event_(std::move(on_event)) {}
+
+void MobilityPump::start() {
+    if (started_) return;
+    started_ = true;
+    pending_ = stream_->next();
+    if (pending_) sim_->schedule_at(pending_->at, [this] { fire(); });
+}
+
+void MobilityPump::fire() {
+    const HandoverEvent event = *pending_;
+    pending_ = stream_->next();
+    if (pending_) sim_->schedule_at(pending_->at, [this] { fire(); });
+    ++delivered_;
+    on_event_(event);
+}
+
+} // namespace tedge::workload

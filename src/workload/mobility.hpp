@@ -1,0 +1,168 @@
+// Mobility traces: when does which UE cross into which cell?
+//
+// A MobilityStream hands out HandoverEvents one at a time in nondecreasing
+// time order -- the same lazy pull discipline as RequestStream, so a run
+// holds one pending handover, not the whole trace. Per-UE randomness comes
+// from Rng::for_stream(seed, ue): UE k's trajectory is a pure function of
+// (seed, k), independent of how many other UEs exist or which shard replays
+// it -- the property the sharded mobility differential relies on.
+//
+// Two generators:
+//  - WaypointMobility: each UE dwells exponentially in a cell, then jumps to
+//    a uniformly-drawn *other* cell (random-waypoint on a cell graph).
+//  - CorridorMobility: each UE departs within a window and sweeps the cell
+//    corridor 0 -> cells-1 at constant (jittered) speed -- the commuter-wave
+//    scenario of bench_mobility, where every UE crosses every cell once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "simcore/random.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/time.hpp"
+
+namespace tedge::workload {
+
+/// UE `ue` leaves cell `from_cell` and attaches to cell `to_cell` at `at`.
+struct HandoverEvent {
+    sim::SimTime at;
+    std::uint32_t ue = 0;
+    std::uint32_t from_cell = 0;
+    std::uint32_t to_cell = 0;
+};
+
+class MobilityStream {
+public:
+    virtual ~MobilityStream() = default;
+
+    /// The next handover (nondecreasing `at`), or nullopt when exhausted.
+    virtual std::optional<HandoverEvent> next() = 0;
+
+    [[nodiscard]] virtual std::uint32_t ue_count() const = 0;
+    [[nodiscard]] virtual std::uint32_t cell_count() const = 0;
+    /// The cell a UE occupies at t=0 (before its first handover).
+    [[nodiscard]] virtual std::uint32_t initial_cell(std::uint32_t ue) const = 0;
+};
+
+/// Random-waypoint over cells: exponential dwell, uniform next cell.
+class WaypointMobility final : public MobilityStream {
+public:
+    struct Options {
+        std::uint32_t ues = 20;
+        std::uint32_t cells = 4;
+        sim::SimTime mean_dwell = sim::seconds(30);
+        sim::SimTime horizon = sim::seconds(300); ///< no handovers after this
+        std::uint64_t seed = 1;
+    };
+
+    explicit WaypointMobility(const Options& options);
+
+    std::optional<HandoverEvent> next() override;
+    [[nodiscard]] std::uint32_t ue_count() const override { return options_.ues; }
+    [[nodiscard]] std::uint32_t cell_count() const override {
+        return options_.cells;
+    }
+    [[nodiscard]] std::uint32_t initial_cell(std::uint32_t ue) const override {
+        return initial_cells_[ue];
+    }
+
+private:
+    struct Pending {
+        sim::SimTime at;
+        std::uint32_t ue;
+        std::uint32_t from_cell;
+        std::uint32_t to_cell;
+    };
+    /// Min-heap by (at, ue) -- ue as tie-break keeps the merge deterministic.
+    [[nodiscard]] static bool later(const Pending& a, const Pending& b) {
+        if (a.at != b.at) return a.at > b.at;
+        return a.ue > b.ue;
+    }
+    /// Draw UE `ue`'s next crossing from `from` at `after`; push (and return
+    /// true) unless the crossing falls past the horizon.
+    bool arm(std::uint32_t ue, std::uint32_t from, sim::SimTime after);
+
+    Options options_;
+    std::vector<sim::Rng> rngs_;            ///< per-UE streams
+    std::vector<std::uint32_t> initial_cells_;
+    std::vector<Pending> heap_;
+};
+
+/// Linear corridor sweep: depart within a window, cross cells in order.
+class CorridorMobility final : public MobilityStream {
+public:
+    struct Options {
+        std::uint32_t ues = 20;
+        std::uint32_t cells = 4;
+        double cell_span_m = 500.0;      ///< corridor length per cell
+        double speed_mps = 15.0;         ///< nominal UE speed
+        double speed_jitter = 0.2;       ///< per-UE factor in [1-j, 1+j]
+        sim::SimTime departure_window = sim::seconds(60);
+        std::uint64_t seed = 1;
+    };
+
+    explicit CorridorMobility(const Options& options);
+
+    std::optional<HandoverEvent> next() override;
+    [[nodiscard]] std::uint32_t ue_count() const override { return options_.ues; }
+    [[nodiscard]] std::uint32_t cell_count() const override {
+        return options_.cells;
+    }
+    [[nodiscard]] std::uint32_t initial_cell(std::uint32_t) const override {
+        return 0; // every commuter starts at the corridor entrance
+    }
+
+    /// Closed form: when UE `ue` crosses from cell k-1 into cell k. Pure in
+    /// (seed, ue, k) -- sharded scenarios recompute crossings per shard
+    /// without replaying the merged stream.
+    [[nodiscard]] sim::SimTime crossing_time(std::uint32_t ue,
+                                             std::uint32_t k) const;
+
+private:
+    struct Pending {
+        sim::SimTime at;
+        std::uint32_t ue;
+        std::uint32_t next_cell; ///< the cell this crossing enters
+    };
+    [[nodiscard]] static bool later(const Pending& a, const Pending& b) {
+        if (a.at != b.at) return a.at > b.at;
+        return a.ue > b.ue;
+    }
+
+    Options options_;
+    std::vector<sim::SimTime> departures_;  ///< per-UE departure instants
+    std::vector<double> cell_seconds_;      ///< per-UE seconds per cell
+    std::vector<Pending> heap_;
+};
+
+/// Pump a MobilityStream through a kernel one pending handover at a time
+/// (the StreamPump pattern for mobility). Handover events are *user* events:
+/// a pending re-home is workload and must not drain out of the run.
+class MobilityPump {
+public:
+    using Handler = std::function<void(const HandoverEvent& event)>;
+
+    /// All referents must outlive the pump.
+    MobilityPump(sim::Simulation& sim, MobilityStream& stream, Handler on_event);
+
+    /// Schedule the first pending handover (no-op on an empty stream).
+    void start();
+
+    [[nodiscard]] std::size_t delivered() const { return delivered_; }
+    [[nodiscard]] bool done() const { return started_ && !pending_; }
+
+private:
+    void fire();
+
+    sim::Simulation* sim_;
+    MobilityStream* stream_;
+    Handler on_event_;
+    std::optional<HandoverEvent> pending_;
+    std::size_t delivered_ = 0;
+    bool started_ = false;
+};
+
+} // namespace tedge::workload

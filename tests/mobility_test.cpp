@@ -53,10 +53,12 @@ spec:
         platform.start_controller(edge, config);
     }
 
-    net::HttpResult request_and_wait() {
+    net::HttpResult request_and_wait() { return request_and_wait_from(client); }
+
+    net::HttpResult request_and_wait_from(net::NodeId source) {
         net::HttpResult result;
         bool done = false;
-        platform.http_request(client, address, 100, [&](const net::HttpResult& r) {
+        platform.http_request(source, address, 100, [&](const net::HttpResult& r) {
             result = r;
             done = true;
         });
@@ -111,6 +113,8 @@ TEST_F(MobilityFixture, HandoverReusesFlowMemoryWithoutRedeploying) {
     EXPECT_EQ(stats.memory_hits, 1u);
     EXPECT_EQ(platform.deployment_engine().records().size(), 1u); // unchanged
     EXPECT_EQ(gnb2->table().size(), 1u);
+    // The handover swept the stale flow off the old cell's table.
+    EXPECT_EQ(platform.ingress().table().size(), 0u);
     // Location updated to the new cell.
     EXPECT_EQ(*platform.controller().dispatcher().client_location(
                   net::Ipv4{10, 0, 1, 1}),
@@ -118,10 +122,13 @@ TEST_F(MobilityFixture, HandoverReusesFlowMemoryWithoutRedeploying) {
 }
 
 TEST_F(MobilityFixture, EvictionReachesAllSwitches) {
-    // Flows on both switches, then a service-wide eviction.
+    // Two UEs, one per cell (a single roaming UE no longer leaves a flow on
+    // the old cell -- the handover sweep evicts it): flows on both switches,
+    // then a service-wide eviction must clear both tables.
+    const auto ue2 = platform.add_client("ue2", net::Ipv4{10, 0, 1, 2});
+    platform.connect_client_to_ingress(ue2, *gnb2, sim::microseconds(300));
     request_and_wait();
-    platform.connect_client_to_ingress(client, *gnb2, sim::microseconds(300));
-    request_and_wait();
+    request_and_wait_from(ue2);
     ASSERT_EQ(platform.ingress().table().size(), 1u);
     ASSERT_EQ(gnb2->table().size(), 1u);
 
